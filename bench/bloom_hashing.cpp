@@ -1,0 +1,74 @@
+// §6.3 ablation: deriving Bloom probe positions by slicing the txid
+// (kSplitDigest) versus k independent SipHash evaluations (kRehash). The
+// paper reports the optimization nearly halving receiver processing time
+// (17.8 ms → 9.5 ms per block in their Geth implementation).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "chain/transaction.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace graphene;
+
+std::vector<chain::TxId> make_ids(std::size_t count) {
+  util::Rng rng(7);
+  std::vector<chain::TxId> ids(count);
+  for (auto& id : ids) id = chain::make_random_transaction(rng).id;
+  return ids;
+}
+
+constexpr std::size_t kMempool = 10000;
+constexpr std::size_t kBlock = 2000;
+constexpr double kFpr = 0.01;
+
+void run_pass(bloom::HashStrategy strategy, benchmark::State& state) {
+  const auto block_ids = make_ids(kBlock);
+  const auto mempool_ids = make_ids(kMempool);
+  bloom::BloomFilter filter(kBlock, kFpr, /*seed=*/5, strategy);
+  for (const auto& id : block_ids) filter.insert(util::ByteView(id.data(), id.size()));
+
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const auto& id : mempool_ids) {
+      hits += filter.contains(util::ByteView(id.data(), id.size())) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kMempool));
+}
+
+void BM_MempoolPass_SplitDigest(benchmark::State& state) {
+  run_pass(bloom::HashStrategy::kSplitDigest, state);
+}
+BENCHMARK(BM_MempoolPass_SplitDigest)->Unit(benchmark::kMillisecond);
+
+void BM_MempoolPass_Rehash(benchmark::State& state) {
+  run_pass(bloom::HashStrategy::kRehash, state);
+}
+BENCHMARK(BM_MempoolPass_Rehash)->Unit(benchmark::kMillisecond);
+
+void BM_Insert_SplitDigest(benchmark::State& state) {
+  const auto ids = make_ids(kBlock);
+  for (auto _ : state) {
+    bloom::BloomFilter filter(kBlock, kFpr, 5, bloom::HashStrategy::kSplitDigest);
+    for (const auto& id : ids) filter.insert(util::ByteView(id.data(), id.size()));
+    benchmark::DoNotOptimize(filter.bit_count());
+  }
+}
+BENCHMARK(BM_Insert_SplitDigest)->Unit(benchmark::kMicrosecond);
+
+void BM_Insert_Rehash(benchmark::State& state) {
+  const auto ids = make_ids(kBlock);
+  for (auto _ : state) {
+    bloom::BloomFilter filter(kBlock, kFpr, 5, bloom::HashStrategy::kRehash);
+    for (const auto& id : ids) filter.insert(util::ByteView(id.data(), id.size()));
+    benchmark::DoNotOptimize(filter.bit_count());
+  }
+}
+BENCHMARK(BM_Insert_Rehash)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

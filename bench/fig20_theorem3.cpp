@@ -1,0 +1,49 @@
+// Fig. 20: empirical validation of Theorem 3 — the fraction of Monte Carlo
+// experiments where y* ≥ y, versus the design bound β = 239/240.
+#include <iostream>
+
+#include "graphene/bounds.hpp"
+#include "graphene/params.hpp"
+#include "sim/scenario.hpp"
+#include "sim/table.hpp"
+#include "util/random.hpp"
+
+int main() {
+  using namespace graphene;
+  const std::uint64_t trials = sim::trials_from_env(10000);
+  constexpr double kBeta = 239.0 / 240.0;
+  util::Rng rng(0xf16020);
+
+  std::cout << "=== Fig. 20: Theorem 3 validation (y* >= y at rate >= beta) ===\n";
+  std::cout << "trials per point: " << trials << ", beta = " << kBeta << "\n\n";
+
+  for (const std::uint64_t n : sim::paper_block_sizes()) {
+    const std::uint64_t m = 2 * n;
+    const std::uint64_t facet_trials =
+        n >= 10000 ? std::max<std::uint64_t>(trials / 10, 100)
+                   : n >= 2000 ? std::max<std::uint64_t>(trials / 2, 100) : trials;
+    const double f_s = core::optimize_protocol1(n, m).fpr;
+    sim::TablePrinter table({"fraction of block held", "Pr[y* >= y]", "beta"});
+    for (const double frac : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+      const auto x_true = static_cast<std::uint64_t>(frac * static_cast<double>(n));
+      std::uint64_t ok = 0;
+      for (std::uint64_t t = 0; t < facet_trials; ++t) {
+        const std::uint64_t y = rng.binomial(m - x_true, f_s);
+        const std::uint64_t z = x_true + y;
+        const std::uint64_t x_star = core::bound_x_star(z, m, n, f_s, kBeta);
+        const std::uint64_t y_star = core::bound_y_star(m, x_star, f_s, kBeta);
+        ok += y_star >= y ? 1 : 0;
+      }
+      table.add_row({sim::format_double(frac, 1),
+                     sim::format_double(static_cast<double>(ok) /
+                                        static_cast<double>(facet_trials), 5),
+                     sim::format_double(kBeta, 5)});
+    }
+    std::cout << "--- block size " << n << " txns, mempool " << m << " (f_S = "
+              << sim::format_double(f_s, 5) << ") ---\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Expected: every row's Pr[y* >= y] >= beta, matching Fig. 20.\n";
+  return 0;
+}

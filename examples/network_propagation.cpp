@@ -1,0 +1,49 @@
+// Network-wide block propagation (the paper's motivation, §1): relay one
+// block across a random peer graph under each protocol and compare total
+// bandwidth and the time until 99% of peers hold the block.
+//
+//   $ ./network_propagation [peers] [block_txns]   (defaults 30, 1000)
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "p2p/propagation.hpp"
+#include "sim/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graphene;
+  const auto peers =
+      static_cast<std::uint32_t>(argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 30);
+  const std::uint64_t n = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1000;
+
+  util::Rng rng(5150);
+  std::vector<chain::Transaction> txs;
+  txs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) txs.push_back(chain::make_random_transaction(rng));
+  const chain::Block block(chain::BlockHeader{}, std::move(txs));
+  const p2p::Topology topo = p2p::Topology::random_regular(peers, 8, rng);
+
+  std::printf("block: %llu txns (%zu bytes full) | %u peers, %zu links | 1 MB/s, 50 ms\n\n",
+              static_cast<unsigned long long>(n), block.full_block_bytes(), peers,
+              topo.edge_count());
+
+  sim::TablePrinter table({"protocol", "total bytes", "t50", "t99", "relays",
+                           "decode failures"});
+  for (const p2p::RelayProtocol protocol :
+       {p2p::RelayProtocol::kGraphene, p2p::RelayProtocol::kCompactBlocks,
+        p2p::RelayProtocol::kXthin, p2p::RelayProtocol::kFullBlocks}) {
+    p2p::PropagationConfig cfg;
+    cfg.protocol = protocol;
+    cfg.mempool_coverage = 0.995;  // peers miss ~0.5% of block txns
+    util::Rng run_rng(42);  // same per-protocol randomness for fairness
+    const p2p::PropagationResult r = p2p::propagate_block(block, topo, cfg, run_rng);
+    table.add_row({p2p::protocol_name(protocol),
+                   sim::format_bytes(static_cast<double>(r.total_bytes)),
+                   sim::format_double(r.t50_s, 3) + " s",
+                   sim::format_double(r.t99_s, 3) + " s", std::to_string(r.relays),
+                   std::to_string(r.decode_failures)});
+  }
+  table.print(std::cout);
+  std::printf("\nsmaller encodings -> faster 99%%-propagation -> fewer forks (§1).\n");
+  return 0;
+}

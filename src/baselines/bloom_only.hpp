@@ -1,0 +1,41 @@
+// Bloom-filter-only relay baseline (§3's motivating strawman and §5.1).
+//
+// The sender encodes the block as a single Bloom filter with FPR
+// f = 1/(144(m−n)) — one expected spurious transaction per ~144 blocks —
+// and the receiver takes every mempool transaction that passes. Theorem 4
+// shows Graphene Protocol 1 beats this (and the Carter et al. information-
+// theoretic lower bound for approximate membership) by Ω(n log n) bits.
+#pragma once
+
+#include <cstdint>
+
+#include "chain/block.hpp"
+#include "chain/mempool.hpp"
+
+namespace graphene::baselines {
+
+struct BloomOnlyResult {
+  bool success = false;          ///< receiver recovered exactly the block
+  std::size_t filter_bytes = 0;  ///< serialized filter size
+  std::size_t false_positives = 0;
+};
+
+/// Paper's FPR choice: one expected false block-membership per 144 blocks.
+[[nodiscard]] double bloom_only_fpr(std::uint64_t n, std::uint64_t m) noexcept;
+
+/// Discrete serialized size of the Bloom-only encoding.
+[[nodiscard]] std::size_t bloom_only_bytes(std::uint64_t n, std::uint64_t m) noexcept;
+
+/// Carter et al.'s lower bound for any approximate-membership structure at
+/// the same FPR: −n·log2(f) bits, returned in bytes.
+[[nodiscard]] double carter_lower_bound_bytes(std::uint64_t n, double fpr) noexcept;
+
+/// Information-theoretic bound to *exactly* describe n-of-m: log2(C(m,n))
+/// bits ≈ n log2(m/n), returned in bytes.
+[[nodiscard]] double exact_description_bound_bytes(std::uint64_t n, std::uint64_t m) noexcept;
+
+/// End-to-end run against a concrete mempool.
+BloomOnlyResult run_bloom_only(const chain::Block& block, const chain::Mempool& mempool,
+                               std::uint64_t seed = 0xb100f);
+
+}  // namespace graphene::baselines

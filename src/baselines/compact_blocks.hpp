@@ -1,0 +1,50 @@
+// Compact Blocks (BIP-152) baseline (§2.2, §5.3).
+//
+// The sender ships 6-byte SipHash short IDs for every block transaction (plus
+// the coinbase prefilled); a receiver missing transactions answers with a
+// getblocktxn carrying differentially-encoded indexes (1 or 3 bytes each,
+// per the paper's cost model), and the sender returns the transactions.
+#pragma once
+
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/mempool.hpp"
+#include "net/channel.hpp"
+
+namespace graphene::baselines {
+
+struct CompactBlocksResult {
+  bool success = false;
+  std::size_t cmpctblock_bytes = 0;   ///< header + nonce + short IDs + prefilled
+  std::size_t getblocktxn_bytes = 0;  ///< index-based repair request
+  std::size_t blocktxn_bytes = 0;     ///< full missing transactions
+  std::size_t missing_count = 0;
+  bool needed_roundtrip = false;
+  bool shortid_collision = false;  ///< mempool collision forced extra requests
+
+  /// Protocol encoding cost excluding transaction bytes — the quantity the
+  /// paper's figures compare against Graphene.
+  [[nodiscard]] std::size_t encoding_bytes() const noexcept {
+    return cmpctblock_bytes + getblocktxn_bytes;
+  }
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    return cmpctblock_bytes + getblocktxn_bytes + blocktxn_bytes;
+  }
+};
+
+/// Runs the full protocol against `mempool`, logging messages to `channel`
+/// when non-null. `nonce` keys the 6-byte short IDs.
+CompactBlocksResult run_compact_blocks(const chain::Block& block,
+                                       const chain::Mempool& mempool, std::uint64_t nonce,
+                                       net::Channel* channel = nullptr);
+
+/// Closed-form encoding size used by sweeps that don't need the full run:
+/// header + nonce + varints + 6n short IDs.
+[[nodiscard]] std::size_t compact_block_encoding_bytes(std::uint64_t n) noexcept;
+
+/// Per-index getblocktxn cost from the paper: 1 byte for blocks < 256 txns,
+/// 3 bytes otherwise.
+[[nodiscard]] std::size_t index_bytes(std::uint64_t n) noexcept;
+
+}  // namespace graphene::baselines

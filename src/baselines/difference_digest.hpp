@@ -1,0 +1,44 @@
+// Difference Digest baseline (Eppstein et al., SIGCOMM 2011), as described
+// in §5.3.2: an IBLT-only alternative to Graphene Protocol 2.
+//
+// The sender announces n; the receiver estimates |mempool △ block| with a
+// Flajolet–Martin strata estimator (⌈log2 m⌉ strata IBLTs of 80 cells each,
+// every mempool element inserted into the stratum given by the number of
+// trailing zero bits of its hash); the sender then ships one IBLT with twice
+// the estimated difference to absorb under-estimates.
+#pragma once
+
+#include <cstdint>
+
+#include "chain/block.hpp"
+#include "chain/mempool.hpp"
+#include "util/random.hpp"
+
+namespace graphene::baselines {
+
+struct DifferenceDigestResult {
+  bool success = false;
+  std::uint64_t estimated_diff = 0;
+  std::uint64_t true_diff = 0;
+  std::size_t estimator_bytes = 0;  ///< strata IBLTs sent by the receiver
+  std::size_t iblt_bytes = 0;       ///< sender's difference IBLT
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    return estimator_bytes + iblt_bytes;
+  }
+};
+
+struct DifferenceDigestConfig {
+  std::uint32_t strata_cells = 80;
+  std::uint32_t strata_k = 4;
+  std::uint32_t final_k = 4;
+  std::uint64_t seed = 0xd1ff;
+};
+
+/// Runs the two-message difference digest between the receiver's mempool and
+/// the sender's block; decodes the symmetric difference IBLT and reports
+/// sizes. Used by bench_difference_digest for the §5.3.2 comparison.
+DifferenceDigestResult run_difference_digest(const chain::Block& block,
+                                             const chain::Mempool& mempool,
+                                             const DifferenceDigestConfig& cfg = {});
+
+}  // namespace graphene::baselines

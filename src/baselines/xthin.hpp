@@ -1,0 +1,47 @@
+// Xtreme Thinblocks (BUIP010) baseline (§2.2).
+//
+// The receiver's getdata carries a Bloom filter of her whole mempool; the
+// sender answers with every block transaction's 8-byte short ID plus, in
+// full, any transaction that does not pass the receiver's filter. XThin
+// never needs a second roundtrip, but its cost scales with the mempool.
+//
+// Fig. 12 compares Graphene against "XThin*": XThin with the receiver's
+// Bloom filter cost excluded; both variants are reported here.
+#pragma once
+
+#include "chain/block.hpp"
+#include "chain/mempool.hpp"
+#include "net/channel.hpp"
+
+namespace graphene::baselines {
+
+struct XthinConfig {
+  /// FPR of the receiver's mempool filter (BU uses ~0.1%).
+  double mempool_filter_fpr = 0.001;
+  std::uint64_t filter_seed = 0x7174bdf3;
+};
+
+struct XthinResult {
+  bool success = false;
+  std::size_t getdata_filter_bytes = 0;  ///< receiver's mempool Bloom filter
+  std::size_t shortid_bytes = 0;         ///< 8 bytes per block transaction
+  std::size_t pushed_txn_bytes = 0;      ///< transactions pushed proactively
+  std::size_t pushed_txn_count = 0;
+  /// A mempool transaction falsely passed the filter while the real block
+  /// transaction was absent — the failure mode §6.1 discusses.
+  bool unrecoverable_collision = false;
+
+  /// Full XThin encoding cost (excluding pushed transaction bytes).
+  [[nodiscard]] std::size_t encoding_bytes() const noexcept {
+    return getdata_filter_bytes + shortid_bytes;
+  }
+  /// XThin* (Fig. 12): the receiver-filter cost removed.
+  [[nodiscard]] std::size_t encoding_bytes_xthin_star() const noexcept {
+    return shortid_bytes;
+  }
+};
+
+XthinResult run_xthin(const chain::Block& block, const chain::Mempool& mempool,
+                      const XthinConfig& cfg = {}, net::Channel* channel = nullptr);
+
+}  // namespace graphene::baselines

@@ -1,0 +1,103 @@
+#include "bloom/bloom_filter.hpp"
+
+#include <stdexcept>
+
+#include "util/varint.hpp"
+
+namespace graphene::bloom {
+
+namespace {
+constexpr std::uint32_t kMaxHashCount = 64;
+}
+
+BloomFilter::BloomFilter(std::uint64_t expected_items, double target_fpr, std::uint64_t seed,
+                         HashStrategy strategy)
+    : seed_(seed), strategy_(strategy) {
+  n_bits_ = optimal_bits(expected_items, target_fpr);
+  if (n_bits_ > 0) {
+    k_ = optimal_hash_count(n_bits_, expected_items == 0 ? 1 : expected_items);
+    bits_.assign((n_bits_ + 63) / 64, 0);
+  }
+}
+
+void BloomFilter::probe_positions(util::ByteView txid, std::uint64_t* out) const {
+  if (strategy_ == HashStrategy::kSplitDigest) {
+    // §6.3: derive probes from the digest's own entropy; the seed
+    // decorrelates filters built by different peers. Enhanced double hashing
+    // (Dillinger–Manolios, the paper's [19, 20]) — the quadratic `y += i`
+    // term removes plain double hashing's FPR inflation at large k.
+    const auto words = util::split_digest_words(txid);
+    std::uint64_t x = (words[0] ^ util::mix64(seed_)) % n_bits_;
+    std::uint64_t y = (words[1] ^ words[2]) % n_bits_;
+    for (std::uint32_t i = 0; i < k_; ++i) {
+      out[i] = x;
+      x = (x + y) % n_bits_;
+      y = (y + i + 1) % n_bits_;
+    }
+  } else {
+    for (std::uint32_t i = 0; i < k_; ++i) {
+      const util::SipHashKey key{seed_, seed_ ^ (0x5bd1e995UL + i)};
+      out[i] = util::siphash24(key, txid) % n_bits_;
+    }
+  }
+}
+
+void BloomFilter::insert(util::ByteView txid) {
+  ++inserted_;
+  if (n_bits_ == 0) return;
+  std::uint64_t pos[kMaxHashCount];
+  probe_positions(txid, pos);
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    bits_[pos[i] / 64] |= (1ULL << (pos[i] % 64));
+  }
+}
+
+bool BloomFilter::contains(util::ByteView txid) const {
+  if (n_bits_ == 0) return true;
+  std::uint64_t pos[kMaxHashCount];
+  probe_positions(txid, pos);
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    if ((bits_[pos[i] / 64] & (1ULL << (pos[i] % 64))) == 0) return false;
+  }
+  return true;
+}
+
+util::Bytes BloomFilter::serialize() const {
+  util::ByteWriter w;
+  util::write_varint(w, n_bits_);
+  w.u8(static_cast<std::uint8_t>((k_ & 0x7f) |
+                                 (strategy_ == HashStrategy::kRehash ? 0x80 : 0)));
+  w.u64(seed_);
+  const std::size_t payload = static_cast<std::size_t>((n_bits_ + 7) / 8);
+  for (std::size_t byte = 0; byte < payload; ++byte) {
+    w.u8(static_cast<std::uint8_t>(bits_[byte / 8] >> (8 * (byte % 8))));
+  }
+  return w.take();
+}
+
+std::size_t BloomFilter::serialized_size() const noexcept {
+  return util::varint_size(n_bits_) + 1 + 8 + static_cast<std::size_t>((n_bits_ + 7) / 8);
+}
+
+BloomFilter BloomFilter::deserialize(util::ByteReader& reader) {
+  BloomFilter f;
+  f.n_bits_ = util::read_varint(reader);
+  const std::uint8_t kByte = reader.u8();
+  f.k_ = kByte & 0x7f;
+  f.strategy_ = (kByte & 0x80) ? HashStrategy::kRehash : HashStrategy::kSplitDigest;
+  if (f.k_ == 0 || f.k_ > kMaxHashCount) {
+    throw util::DeserializeError("BloomFilter: invalid hash count");
+  }
+  f.seed_ = reader.u64();
+  const std::size_t payload = static_cast<std::size_t>((f.n_bits_ + 7) / 8);
+  if (payload > reader.remaining()) {
+    throw util::DeserializeError("BloomFilter: bit count exceeds buffer");
+  }
+  f.bits_.assign((f.n_bits_ + 63) / 64, 0);
+  for (std::size_t byte = 0; byte < payload; ++byte) {
+    f.bits_[byte / 8] |= static_cast<std::uint64_t>(reader.u8()) << (8 * (byte % 8));
+  }
+  return f;
+}
+
+}  // namespace graphene::bloom

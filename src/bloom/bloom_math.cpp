@@ -1,0 +1,49 @@
+#include "bloom/bloom_math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/varint.hpp"
+
+namespace graphene::bloom {
+
+namespace {
+constexpr double kLn2 = 0.6931471805599453;
+constexpr double kLn2Sq = kLn2 * kLn2;
+}  // namespace
+
+double ideal_bytes(double n, double fpr) noexcept {
+  if (fpr >= 1.0 || n <= 0.0) return 0.0;
+  fpr = std::max(fpr, 1e-12);
+  return -n * std::log(fpr) / (8.0 * kLn2Sq);
+}
+
+std::uint64_t optimal_bits(std::uint64_t n, double fpr) noexcept {
+  if (fpr >= 1.0 || n == 0) return 0;
+  fpr = std::max(fpr, 1e-12);
+  const double bits = -static_cast<double>(n) * std::log(fpr) / kLn2Sq;
+  return static_cast<std::uint64_t>(std::max(1.0, std::ceil(bits)));
+}
+
+std::uint32_t optimal_hash_count(std::uint64_t bits, std::uint64_t n) noexcept {
+  if (n == 0 || bits == 0) return 1;
+  const double k = std::round(static_cast<double>(bits) / static_cast<double>(n) * kLn2);
+  return static_cast<std::uint32_t>(std::clamp(k, 1.0, 64.0));
+}
+
+double expected_fpr(std::uint64_t bits, std::uint32_t k, std::uint64_t n) noexcept {
+  if (bits == 0) return 1.0;
+  if (n == 0) return 0.0;
+  const double exponent =
+      -static_cast<double>(k) * static_cast<double>(n) / static_cast<double>(bits);
+  return std::pow(1.0 - std::exp(exponent), static_cast<double>(k));
+}
+
+std::size_t serialized_bytes(std::uint64_t n, double fpr) noexcept {
+  const std::uint64_t bits = optimal_bits(n, fpr);
+  const std::size_t payload = static_cast<std::size_t>((bits + 7) / 8);
+  // Header: varint(bits) + u8 hash count + u64 seed (matches BloomFilter::serialize).
+  return util::varint_size(bits) + 1 + 8 + payload;
+}
+
+}  // namespace graphene::bloom

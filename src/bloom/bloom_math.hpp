@@ -1,0 +1,36 @@
+// Closed-form Bloom filter sizing used by the Graphene parameter optimizers.
+//
+// The paper works with the continuous approximation
+//     T_BF(n, f) = -n ln(f) / (8 ln² 2) bytes
+// but notes (§3.3.1) that real implementations involve ceiling functions, so
+// both the continuous and the discretized sizes are exposed here. Graphene's
+// a-search uses the discretized forms for a < 100 (the "strictly optimal"
+// path) and the continuous form to seed the search elsewhere.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace graphene::bloom {
+
+/// Continuous-size model in bytes: -n ln(f) / (8 ln² 2). Returns 0 for
+/// f >= 1 (a degenerate filter that matches everything costs nothing).
+[[nodiscard]] double ideal_bytes(double n, double fpr) noexcept;
+
+/// Number of bits a discrete filter allocates for n items at target FPR f:
+/// ceil(-n ln f / ln² 2), minimum 1 (0 when f >= 1).
+[[nodiscard]] std::uint64_t optimal_bits(std::uint64_t n, double fpr) noexcept;
+
+/// Optimal hash-function count for a filter of `bits` bits holding n items:
+/// round(bits/n · ln 2), clamped to [1, 64].
+[[nodiscard]] std::uint32_t optimal_hash_count(std::uint64_t bits, std::uint64_t n) noexcept;
+
+/// Expected FPR of a filter with `bits` bits, `k` hashes, n insertions:
+/// (1 - e^{-kn/bits})^k.
+[[nodiscard]] double expected_fpr(std::uint64_t bits, std::uint32_t k, std::uint64_t n) noexcept;
+
+/// Serialized size in bytes of a discrete filter for n items at FPR f,
+/// including the wire header (varint bit count + hash count + seed).
+[[nodiscard]] std::size_t serialized_bytes(std::uint64_t n, double fpr) noexcept;
+
+}  // namespace graphene::bloom

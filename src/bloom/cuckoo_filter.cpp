@@ -1,0 +1,213 @@
+#include "bloom/cuckoo_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.hpp"
+#include "util/varint.hpp"
+
+namespace graphene::bloom {
+
+namespace {
+
+constexpr double kTargetLoad = 0.95;
+
+/// Fingerprint width for a target FPR: f ≈ 2·kBucketSize / 2^w.
+std::uint32_t fp_bits_for(double fpr) noexcept {
+  fpr = std::clamp(fpr, 1e-9, 1.0);
+  const double bits = std::log2(2.0 * CuckooFilter::kBucketSize / fpr);
+  return static_cast<std::uint32_t>(std::clamp(std::ceil(bits), 4.0, 16.0));
+}
+
+std::uint64_t round_up_pow2(std::uint64_t v) noexcept {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+CuckooFilter::CuckooFilter(std::uint64_t expected_items, double target_fpr,
+                           std::uint64_t seed)
+    : seed_(seed) {
+  if (target_fpr >= 1.0 || expected_items == 0) return;  // degenerate
+  fp_bits_ = fp_bits_for(target_fpr);
+  const auto needed = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(expected_items) / (kTargetLoad * kBucketSize)));
+  // Power-of-two buckets keep the partial-key alt-index involutive.
+  buckets_ = round_up_pow2(std::max<std::uint64_t>(needed, 2));
+  table_.assign(buckets_, Slots{});
+}
+
+std::uint16_t CuckooFilter::fingerprint(std::uint64_t h) const noexcept {
+  const std::uint64_t mask = (1ULL << fp_bits_) - 1;
+  auto fp = static_cast<std::uint16_t>((h >> 32) & mask);
+  return fp == 0 ? 1 : fp;  // 0 marks an empty slot
+}
+
+std::uint64_t CuckooFilter::index1(std::uint64_t h) const noexcept {
+  return h & (buckets_ - 1);
+}
+
+std::uint64_t CuckooFilter::alt_index(std::uint64_t i, std::uint16_t fp) const noexcept {
+  // Partial-key displacement: xor with a hash of the fingerprint.
+  return (i ^ util::mix64(fp * 0x5bd1e9955bd1e995ULL)) & (buckets_ - 1);
+}
+
+bool CuckooFilter::bucket_insert(std::uint64_t i, std::uint16_t fp) {
+  for (auto& slot : table_[i].fp) {
+    if (slot == 0) {
+      slot = fp;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CuckooFilter::bucket_contains(std::uint64_t i, std::uint16_t fp) const noexcept {
+  for (const auto& slot : table_[i].fp) {
+    if (slot == fp) return true;
+  }
+  return false;
+}
+
+bool CuckooFilter::bucket_erase(std::uint64_t i, std::uint16_t fp) {
+  for (auto& slot : table_[i].fp) {
+    if (slot == fp) {
+      slot = 0;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CuckooFilter::insert(util::ByteView digest) {
+  ++inserted_;
+  if (buckets_ == 0) return true;
+  const std::uint64_t h = util::hash64(digest, seed_);
+  std::uint16_t fp = fingerprint(h);
+  const std::uint64_t i1 = index1(h);
+  if (bucket_insert(i1, fp)) return true;
+  const std::uint64_t i2 = alt_index(i1, fp);
+  if (bucket_insert(i2, fp)) return true;
+
+  // Kick a random resident and relocate it, up to kMaxKicks.
+  util::Rng rng(h ^ seed_);
+  std::uint64_t i = rng.chance(0.5) ? i1 : i2;
+  for (std::uint32_t kick = 0; kick < kMaxKicks; ++kick) {
+    const std::uint64_t victim_slot = rng.below(kBucketSize);
+    std::swap(fp, table_[i].fp[victim_slot]);
+    i = alt_index(i, fp);
+    if (bucket_insert(i, fp)) return true;
+  }
+  // Table effectively full: stash the victim so lookups stay correct.
+  stash_.push_back(fp);
+  return false;
+}
+
+bool CuckooFilter::contains(util::ByteView digest) const {
+  if (buckets_ == 0) return true;
+  const std::uint64_t h = util::hash64(digest, seed_);
+  const std::uint16_t fp = fingerprint(h);
+  const std::uint64_t i1 = index1(h);
+  if (bucket_contains(i1, fp)) return true;
+  if (bucket_contains(alt_index(i1, fp), fp)) return true;
+  return std::find(stash_.begin(), stash_.end(), fp) != stash_.end();
+}
+
+bool CuckooFilter::erase(util::ByteView digest) {
+  if (buckets_ == 0) return false;
+  const std::uint64_t h = util::hash64(digest, seed_);
+  const std::uint16_t fp = fingerprint(h);
+  const std::uint64_t i1 = index1(h);
+  if (bucket_erase(i1, fp)) return true;
+  if (bucket_erase(alt_index(i1, fp), fp)) return true;
+  const auto it = std::find(stash_.begin(), stash_.end(), fp);
+  if (it != stash_.end()) {
+    stash_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+util::Bytes CuckooFilter::serialize() const {
+  util::ByteWriter w;
+  util::write_varint(w, buckets_);
+  w.u8(static_cast<std::uint8_t>(fp_bits_));
+  w.u64(seed_);
+  util::write_varint(w, stash_.size());
+  for (const std::uint16_t fp : stash_) w.u16(fp);
+  // Pack fingerprints at fp_bits_ each.
+  std::uint64_t acc = 0;
+  std::uint32_t acc_bits = 0;
+  for (const Slots& bucket : table_) {
+    for (const std::uint16_t fp : bucket.fp) {
+      acc |= static_cast<std::uint64_t>(fp) << acc_bits;
+      acc_bits += fp_bits_;
+      while (acc_bits >= 8) {
+        w.u8(static_cast<std::uint8_t>(acc));
+        acc >>= 8;
+        acc_bits -= 8;
+      }
+    }
+  }
+  if (acc_bits > 0) w.u8(static_cast<std::uint8_t>(acc));
+  return w.take();
+}
+
+std::size_t CuckooFilter::serialized_size() const noexcept {
+  const std::uint64_t payload_bits = buckets_ * kBucketSize * fp_bits_;
+  return util::varint_size(buckets_) + 1 + 8 + util::varint_size(stash_.size()) +
+         stash_.size() * 2 + static_cast<std::size_t>((payload_bits + 7) / 8);
+}
+
+CuckooFilter CuckooFilter::deserialize(util::ByteReader& reader) {
+  CuckooFilter f(0, 1.0);
+  f.buckets_ = util::read_varint(reader);
+  f.fp_bits_ = reader.u8();
+  if (f.buckets_ != 0 && (f.buckets_ & (f.buckets_ - 1)) != 0) {
+    throw util::DeserializeError("CuckooFilter: bucket count not a power of two");
+  }
+  if (f.fp_bits_ < 4 || f.fp_bits_ > 16) {
+    throw util::DeserializeError("CuckooFilter: invalid fingerprint width");
+  }
+  if (f.buckets_ > reader.remaining()) {  // cheap pre-allocation guard
+    throw util::DeserializeError("CuckooFilter: bucket count exceeds buffer");
+  }
+  f.seed_ = reader.u64();
+  const std::uint64_t stash_count = util::read_varint(reader);
+  if (stash_count > reader.remaining() / 2) {
+    throw util::DeserializeError("CuckooFilter: stash exceeds buffer");
+  }
+  f.stash_.resize(stash_count);
+  for (auto& fp : f.stash_) fp = reader.u16();
+
+  f.table_.assign(f.buckets_, Slots{});
+  std::uint64_t acc = 0;
+  std::uint32_t acc_bits = 0;
+  const std::uint16_t mask = static_cast<std::uint16_t>((1U << f.fp_bits_) - 1);
+  for (Slots& bucket : f.table_) {
+    for (auto& fp : bucket.fp) {
+      while (acc_bits < f.fp_bits_) {
+        acc |= static_cast<std::uint64_t>(reader.u8()) << acc_bits;
+        acc_bits += 8;
+      }
+      fp = static_cast<std::uint16_t>(acc & mask);
+      acc >>= f.fp_bits_;
+      acc_bits -= f.fp_bits_;
+    }
+  }
+  return f;
+}
+
+std::size_t cuckoo_serialized_bytes(std::uint64_t n, double fpr) noexcept {
+  if (fpr >= 1.0 || n == 0) return 1 + 1 + 8 + 1;
+  const std::uint32_t w = fp_bits_for(fpr);
+  const auto needed = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(n) / (kTargetLoad * CuckooFilter::kBucketSize)));
+  const std::uint64_t buckets = round_up_pow2(std::max<std::uint64_t>(needed, 2));
+  const std::uint64_t bits = buckets * CuckooFilter::kBucketSize * w;
+  return util::varint_size(buckets) + 1 + 8 + 1 + static_cast<std::size_t>((bits + 7) / 8);
+}
+
+}  // namespace graphene::bloom

@@ -1,0 +1,199 @@
+#include "bloom/golomb_set.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.hpp"
+#include "util/varint.hpp"
+
+namespace graphene::bloom {
+
+namespace {
+
+class BitWriter {
+ public:
+  void bit(bool b) {
+    if (offset_ == 0) buf_.push_back(0);
+    if (b) buf_.back() |= static_cast<std::uint8_t>(1U << offset_);
+    offset_ = (offset_ + 1) % 8;
+    ++count_;
+  }
+  void bits(std::uint64_t value, std::uint32_t width) {
+    for (std::uint32_t i = 0; i < width; ++i) bit((value >> i) & 1);
+  }
+  void unary(std::uint64_t q) {
+    for (std::uint64_t i = 0; i < q; ++i) bit(true);
+    bit(false);
+  }
+  [[nodiscard]] util::Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::uint64_t bit_count() const noexcept { return count_; }
+
+ private:
+  util::Bytes buf_;
+  std::uint32_t offset_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(util::ByteView data, std::uint64_t bit_count)
+      : data_(data), bit_count_(bit_count) {}
+
+  bool bit() {
+    if (pos_ >= bit_count_) {
+      throw util::DeserializeError("GolombSet: bit stream exhausted");
+    }
+    const bool b = (data_[pos_ / 8] >> (pos_ % 8)) & 1;
+    ++pos_;
+    return b;
+  }
+  std::uint64_t bits(std::uint32_t width) {
+    std::uint64_t v = 0;
+    for (std::uint32_t i = 0; i < width; ++i) {
+      v |= static_cast<std::uint64_t>(bit()) << i;
+    }
+    return v;
+  }
+  std::uint64_t unary() {
+    std::uint64_t q = 0;
+    while (bit()) ++q;
+    return q;
+  }
+
+ private:
+  util::ByteView data_;
+  std::uint64_t bit_count_;
+  std::uint64_t pos_ = 0;
+};
+
+std::uint32_t rice_param_for(double fpr) noexcept {
+  fpr = std::clamp(fpr, 1e-9, 0.5);
+  return static_cast<std::uint32_t>(
+      std::clamp(std::round(std::log2(1.0 / fpr)), 1.0, 40.0));
+}
+
+}  // namespace
+
+GolombSet::GolombSet(const std::vector<util::Bytes>& digests, double fpr,
+                     std::uint64_t seed) {
+  n_ = digests.size();
+  fpr_ = fpr;
+  rice_param_ = rice_param_for(fpr);
+  seed_ = seed;
+  std::vector<std::uint64_t> values;
+  values.reserve(n_);
+  for (const util::Bytes& d : digests) values.push_back(map_to_range(util::ByteView(d)));
+  build(std::move(values));
+}
+
+GolombSet GolombSet::from_views(const std::vector<util::ByteView>& digests, double fpr,
+                                std::uint64_t seed) {
+  GolombSet g;
+  g.n_ = digests.size();
+  g.fpr_ = fpr;
+  g.rice_param_ = rice_param_for(fpr);
+  g.seed_ = seed;
+  std::vector<std::uint64_t> values;
+  values.reserve(g.n_);
+  for (const util::ByteView d : digests) values.push_back(g.map_to_range(d));
+  g.build(std::move(values));
+  return g;
+}
+
+std::uint64_t GolombSet::map_to_range(util::ByteView digest) const noexcept {
+  // Map uniformly into [0, n · 2^rice) via the multiply-shift trick.
+  const std::uint64_t h = util::hash64(digest, seed_);
+  const std::uint64_t range = n_ << rice_param_;
+  if (range == 0) return 0;
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(h) * range) >> 64);
+}
+
+void GolombSet::build(std::vector<std::uint64_t> values) {
+  std::sort(values.begin(), values.end());
+  BitWriter w;
+  std::uint64_t prev = 0;
+  for (const std::uint64_t v : values) {
+    const std::uint64_t delta = v - prev;  // duplicates encode delta 0; fine
+    prev = v;
+    w.unary(delta >> rice_param_);
+    w.bits(delta, rice_param_);
+  }
+  bit_count_ = w.bit_count();
+  coded_ = w.take();
+}
+
+std::vector<std::uint64_t> GolombSet::decode_all() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(n_);
+  BitReader r(util::ByteView(coded_), bit_count_);
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < n_; ++i) {
+    const std::uint64_t q = r.unary();
+    const std::uint64_t rem = r.bits(rice_param_);
+    prev += (q << rice_param_) | rem;
+    out.push_back(prev);
+  }
+  return out;
+}
+
+bool GolombSet::contains(util::ByteView digest) const {
+  if (n_ == 0) return false;
+  const std::uint64_t target = map_to_range(digest);
+  BitReader r(util::ByteView(coded_), bit_count_);
+  std::uint64_t value = 0;
+  for (std::uint64_t i = 0; i < n_; ++i) {
+    const std::uint64_t q = r.unary();
+    const std::uint64_t rem = r.bits(rice_param_);
+    value += (q << rice_param_) | rem;
+    if (value == target) return true;
+    if (value > target) return false;
+  }
+  return false;
+}
+
+util::Bytes GolombSet::serialize() const {
+  util::ByteWriter w;
+  util::write_varint(w, n_);
+  w.u8(static_cast<std::uint8_t>(rice_param_));
+  w.u64(seed_);
+  util::write_varint(w, bit_count_);
+  w.raw(util::ByteView(coded_));
+  return w.take();
+}
+
+std::size_t GolombSet::serialized_size() const noexcept {
+  return util::varint_size(n_) + 1 + 8 + util::varint_size(bit_count_) + coded_.size();
+}
+
+GolombSet GolombSet::deserialize(util::ByteReader& reader) {
+  GolombSet g;
+  g.n_ = util::read_varint(reader);
+  g.rice_param_ = reader.u8();
+  if (g.rice_param_ < 1 || g.rice_param_ > 40) {
+    throw util::DeserializeError("GolombSet: invalid rice parameter");
+  }
+  g.seed_ = reader.u64();
+  g.bit_count_ = util::read_varint(reader);
+  const std::size_t payload = static_cast<std::size_t>((g.bit_count_ + 7) / 8);
+  if (payload > reader.remaining()) {
+    throw util::DeserializeError("GolombSet: bit count exceeds buffer");
+  }
+  g.coded_ = reader.raw(payload);
+  g.fpr_ = std::pow(2.0, -static_cast<double>(g.rice_param_));
+  // Validate the stream fully decodes (hostile input must not crash later).
+  (void)g.decode_all();
+  return g;
+}
+
+std::size_t gcs_serialized_bytes(std::uint64_t n, double fpr) noexcept {
+  if (n == 0) return 11;
+  const std::uint32_t p = rice_param_for(fpr);
+  // Golomb-Rice expected cost: ~(p + 1.5) bits per delta.
+  const auto bits = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(n) * (static_cast<double>(p) + 1.5)));
+  return util::varint_size(n) + 1 + 8 + util::varint_size(bits) +
+         static_cast<std::size_t>((bits + 7) / 8);
+}
+
+}  // namespace graphene::bloom

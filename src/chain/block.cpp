@@ -1,0 +1,63 @@
+#include "chain/block.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/varint.hpp"
+
+namespace graphene::chain {
+
+std::size_t ordering_cost_bytes(std::uint64_t n) noexcept {
+  if (n < 2) return 0;
+  const double bits = static_cast<double>(n) * std::log2(static_cast<double>(n));
+  return static_cast<std::size_t>(std::ceil(bits / 8.0));
+}
+
+util::Bytes BlockHeader::serialize() const {
+  util::ByteWriter w;
+  w.i32(version);
+  w.raw(util::ByteView(prev_hash.data(), prev_hash.size()));
+  w.raw(util::ByteView(merkle_root.data(), merkle_root.size()));
+  w.u32(time);
+  w.u32(bits);
+  w.u32(nonce);
+  return w.take();
+}
+
+BlockHeader BlockHeader::deserialize(util::ByteReader& reader) {
+  BlockHeader h;
+  h.version = reader.i32();
+  reader.raw_into(h.prev_hash.data(), h.prev_hash.size());
+  reader.raw_into(h.merkle_root.data(), h.merkle_root.size());
+  h.time = reader.u32();
+  h.bits = reader.u32();
+  h.nonce = reader.u32();
+  return h;
+}
+
+Block::Block(BlockHeader header, std::vector<Transaction> txs)
+    : header_(header), txs_(std::move(txs)) {
+  std::sort(txs_.begin(), txs_.end(), CtorLess{});
+  header_.merkle_root = merkle_root(tx_ids());
+}
+
+std::vector<TxId> Block::tx_ids() const {
+  std::vector<TxId> ids;
+  ids.reserve(txs_.size());
+  for (const Transaction& tx : txs_) ids.push_back(tx.id);
+  return ids;
+}
+
+std::size_t Block::full_block_bytes() const noexcept {
+  std::size_t total = BlockHeader::kWireSize + util::varint_size(txs_.size());
+  for (const Transaction& tx : txs_) total += tx.size_bytes;
+  return total;
+}
+
+bool Block::validates(std::vector<TxId> ids) const {
+  if (ids.size() != txs_.size()) return false;
+  std::sort(ids.begin(), ids.end());
+  return merkle_root(ids) == header_.merkle_root;
+}
+
+}  // namespace graphene::chain

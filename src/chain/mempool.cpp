@@ -1,0 +1,27 @@
+#include "chain/mempool.hpp"
+
+namespace graphene::chain {
+
+bool Mempool::insert(const Transaction& tx) { return pool_.emplace(tx.id, tx).second; }
+
+std::optional<Transaction> Mempool::get(const TxId& id) const {
+  const auto it = pool_.find(id);
+  if (it == pool_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<TxId> Mempool::ids() const {
+  std::vector<TxId> out;
+  out.reserve(pool_.size());
+  for (const auto& [id, tx] : pool_) out.push_back(id);
+  return out;
+}
+
+std::vector<Transaction> Mempool::transactions() const {
+  std::vector<Transaction> out;
+  out.reserve(pool_.size());
+  for (const auto& [id, tx] : pool_) out.push_back(tx);
+  return out;
+}
+
+}  // namespace graphene::chain

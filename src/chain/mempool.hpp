@@ -1,0 +1,40 @@
+// The receiver-side transaction pool.
+//
+// Exposes exactly the operations the propagation protocols need: membership,
+// iteration over IDs (to pass the pool through a Bloom filter), and tracked
+// insertion so mempool/block overlap can be constructed precisely in
+// simulation.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/transaction.hpp"
+
+namespace graphene::chain {
+
+class Mempool {
+ public:
+  Mempool() = default;
+
+  /// Inserts; returns false if the txid was already present.
+  bool insert(const Transaction& tx);
+
+  [[nodiscard]] bool contains(const TxId& id) const noexcept { return pool_.count(id) > 0; }
+  [[nodiscard]] std::optional<Transaction> get(const TxId& id) const;
+  [[nodiscard]] std::size_t size() const noexcept { return pool_.size(); }
+
+  bool erase(const TxId& id) { return pool_.erase(id) > 0; }
+
+  /// Snapshot of all txids (unordered).
+  [[nodiscard]] std::vector<TxId> ids() const;
+
+  /// Snapshot of all transactions (unordered).
+  [[nodiscard]] std::vector<Transaction> transactions() const;
+
+ private:
+  std::unordered_map<TxId, Transaction, TxIdHasher> pool_;
+};
+
+}  // namespace graphene::chain

@@ -1,0 +1,25 @@
+#include "chain/merkle.hpp"
+
+namespace graphene::chain {
+
+TxId merkle_root(const std::vector<TxId>& ids) {
+  if (ids.empty()) return TxId{};
+  std::vector<TxId> level = ids;
+  std::vector<TxId> next;
+  while (level.size() > 1) {
+    if (level.size() % 2 != 0) level.push_back(level.back());
+    next.clear();
+    next.reserve(level.size() / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      util::Sha256 h;
+      h.update(util::ByteView(level[i].data(), level[i].size()));
+      h.update(util::ByteView(level[i + 1].data(), level[i + 1].size()));
+      const auto once = h.finalize();
+      next.push_back(util::sha256(util::ByteView(once.data(), once.size())));
+    }
+    level.swap(next);
+  }
+  return level.front();
+}
+
+}  // namespace graphene::chain

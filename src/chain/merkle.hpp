@@ -1,0 +1,20 @@
+// Merkle tree over ordered transaction IDs (Bitcoin style).
+//
+// The receiver validates a decoded Graphene block by recomputing the Merkle
+// root over the recovered, canonically-ordered transaction set and comparing
+// it to the root in the block header — this is the exactness check that
+// catches any residual Bloom/IBLT error (§3.3, §6.1).
+#pragma once
+
+#include <vector>
+
+#include "chain/transaction.hpp"
+
+namespace graphene::chain {
+
+/// Computes the Merkle root of `ids` (in the given order). Empty input
+/// yields the all-zero digest; an odd level duplicates its last node, as in
+/// Bitcoin. Interior nodes are sha256d(left || right).
+[[nodiscard]] TxId merkle_root(const std::vector<TxId>& ids);
+
+}  // namespace graphene::chain

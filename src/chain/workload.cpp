@@ -1,0 +1,106 @@
+#include "chain/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace graphene::chain {
+
+Scenario make_scenario(const ScenarioSpec& spec, util::Rng& rng) {
+  Scenario s;
+  s.n = spec.block_txns;
+
+  std::vector<Transaction> block_txs;
+  block_txs.reserve(spec.block_txns);
+  for (std::uint64_t i = 0; i < spec.block_txns; ++i) {
+    block_txs.push_back(make_random_transaction(rng));
+  }
+
+  const double frac = std::clamp(spec.block_fraction_in_mempool, 0.0, 1.0);
+  s.x = static_cast<std::uint64_t>(std::llround(frac * static_cast<double>(spec.block_txns)));
+
+  // Receiver holds the first x block transactions (block order is random, so
+  // taking a prefix is an unbiased choice of which x the receiver has).
+  for (std::uint64_t i = 0; i < s.x; ++i) s.receiver_mempool.insert(block_txs[i]);
+  for (std::uint64_t i = 0; i < spec.extra_txns; ++i) {
+    s.receiver_mempool.insert(make_random_transaction(rng));
+  }
+
+  for (const Transaction& tx : block_txs) s.sender_mempool.insert(tx);
+  for (std::uint64_t i = 0; i < spec.sender_extra_txns; ++i) {
+    s.sender_mempool.insert(make_random_transaction(rng));
+  }
+
+  BlockHeader header;
+  header.time = 1'500'000'000 + static_cast<std::uint32_t>(rng.below(100'000'000));
+  header.nonce = static_cast<std::uint32_t>(rng.next());
+  s.block = Block(header, std::move(block_txs));
+  s.m = s.receiver_mempool.size();
+  return s;
+}
+
+std::uint64_t sample_eth_block_size(util::Rng& rng, std::uint64_t max_txns) {
+  // log-normal with median e^µ ≈ 120 txns and σ = 0.85 gives a shape close to
+  // the Jan-2019 mainnet histogram (most blocks 50–300 txns, tail to ~1000).
+  constexpr double kMu = 4.787;  // ln(120)
+  constexpr double kSigma = 0.85;
+  const double sample = std::exp(kMu + kSigma * rng.gaussian());
+  const auto clamped =
+      std::clamp<std::uint64_t>(static_cast<std::uint64_t>(sample), 1, max_txns);
+  return clamped;
+}
+
+Scenario make_spam_scenario(const SpamScenarioSpec& spec, util::Rng& rng) {
+  Scenario s;
+  s.n = spec.block_txns;
+  const auto low_fee_count = static_cast<std::uint64_t>(
+      std::llround(spec.low_fee_fraction * static_cast<double>(spec.block_txns)));
+
+  std::vector<Transaction> block_txs;
+  block_txs.reserve(spec.block_txns);
+  for (std::uint64_t i = 0; i < spec.block_txns; ++i) {
+    Transaction tx = make_random_transaction(rng);
+    if (i < low_fee_count) {
+      tx.fee_per_kb = rng.below(spec.min_fee_per_kb);  // below the relay floor
+    } else {
+      tx.fee_per_kb = spec.min_fee_per_kb + rng.below(10000);
+    }
+    block_txs.push_back(tx);
+  }
+
+  // The receiver's relay policy: keep only transactions meeting the floor.
+  for (const Transaction& tx : block_txs) {
+    if (tx.fee_per_kb >= spec.min_fee_per_kb) {
+      s.receiver_mempool.insert(tx);
+      ++s.x;
+    }
+  }
+  for (std::uint64_t i = 0; i < spec.extra_txns; ++i) {
+    Transaction tx = make_random_transaction(rng);
+    tx.fee_per_kb = spec.min_fee_per_kb + rng.below(10000);
+    s.receiver_mempool.insert(tx);
+  }
+
+  for (const Transaction& tx : block_txs) s.sender_mempool.insert(tx);
+  BlockHeader header;
+  header.nonce = static_cast<std::uint32_t>(rng.next());
+  s.block = Block(header, std::move(block_txs));
+  s.m = s.receiver_mempool.size();
+  return s;
+}
+
+MempoolPair make_mempool_pair(std::uint64_t size, std::uint64_t common, util::Rng& rng) {
+  MempoolPair p;
+  common = std::min(common, size);
+  for (std::uint64_t i = 0; i < common; ++i) {
+    const Transaction tx = make_random_transaction(rng);
+    p.a.insert(tx);
+    p.b.insert(tx);
+  }
+  for (std::uint64_t i = common; i < size; ++i) {
+    p.a.insert(make_random_transaction(rng));
+    p.b.insert(make_random_transaction(rng));
+  }
+  return p;
+}
+
+}  // namespace graphene::chain

@@ -1,0 +1,74 @@
+// Synthetic workload generation for simulation and benchmarks.
+//
+// The paper's evaluation (§5.3) is parameterized by (block size n, mempool
+// size m, fraction of the block held by the receiver). `make_scenario`
+// constructs exactly that: a sender block, a receiver mempool with a chosen
+// overlap, and "extra" unrelated transactions. The Ethereum replay (Fig. 13)
+// additionally needs a realistic block-size distribution, modeled as a
+// clamped log-normal matching mainnet's ~100-tx median with a heavy tail.
+#pragma once
+
+#include <cstdint>
+
+#include "chain/block.hpp"
+#include "chain/mempool.hpp"
+#include "util/random.hpp"
+
+namespace graphene::chain {
+
+/// A fully-constructed sender/receiver experiment instance.
+struct Scenario {
+  Block block;              ///< the sender's block (n transactions)
+  Mempool sender_mempool;   ///< superset of the block on the sender side
+  Mempool receiver_mempool; ///< receiver's pool: overlap + extra transactions
+  std::uint64_t n = 0;      ///< block size
+  std::uint64_t m = 0;      ///< receiver mempool size
+  std::uint64_t x = 0;      ///< block transactions present at the receiver
+};
+
+struct ScenarioSpec {
+  std::uint64_t block_txns = 200;
+  /// Extra receiver-mempool transactions not in the block.
+  std::uint64_t extra_txns = 200;
+  /// Fraction of the block the receiver already has, in [0, 1].
+  double block_fraction_in_mempool = 1.0;
+  /// Extra transactions in the *sender's* pool beyond the block.
+  std::uint64_t sender_extra_txns = 0;
+};
+
+/// Builds a scenario with exact (not sampled) overlap counts so Monte Carlo
+/// sweeps hit the requested x = fraction·n precisely.
+[[nodiscard]] Scenario make_scenario(const ScenarioSpec& spec, util::Rng& rng);
+
+/// Draws a block-size (transaction count) sample from a clamped log-normal
+/// fit of Ethereum mainnet blocks: median ≈ 120 txns, clamp to [1, max_txns].
+[[nodiscard]] std::uint64_t sample_eth_block_size(util::Rng& rng, std::uint64_t max_txns = 1000);
+
+/// §2.2's desynchronization cause: "transactions that offer low fees ... are
+/// sometimes marked as DoS spam and not propagated by full nodes; yet, they
+/// are sometimes included in blocks regardless." The block contains a
+/// fraction of low-fee transactions that the receiver's relay policy
+/// dropped, so the receiver is missing exactly those.
+struct SpamScenarioSpec {
+  std::uint64_t block_txns = 200;
+  std::uint64_t extra_txns = 200;
+  /// Fraction of block transactions below the receiver's fee floor.
+  double low_fee_fraction = 0.05;
+  /// Receiver relay policy: transactions under this fee/kB are not kept.
+  std::uint64_t min_fee_per_kb = 1000;
+};
+
+/// Builds a scenario where the receiver's mempool excludes the block's
+/// low-fee transactions (and any extra transaction respects the policy).
+[[nodiscard]] Scenario make_spam_scenario(const SpamScenarioSpec& spec, util::Rng& rng);
+
+/// Two mempools with `common` shared transactions, sized so both have
+/// exactly `size` entries (the m ≈ n mempool-sync workload of Fig. 18).
+struct MempoolPair {
+  Mempool a;
+  Mempool b;
+};
+[[nodiscard]] MempoolPair make_mempool_pair(std::uint64_t size, std::uint64_t common,
+                                            util::Rng& rng);
+
+}  // namespace graphene::chain

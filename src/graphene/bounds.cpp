@@ -1,0 +1,52 @@
+#include "graphene/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace graphene::core {
+
+std::uint64_t bound_a_star(double a, double beta) noexcept {
+  if (a <= 0.0) return 1;  // Degenerate: still provision one recoverable item.
+  const double delta = util::chernoff_delta(a, beta);
+  return static_cast<std::uint64_t>(std::max(1.0, std::ceil((1.0 + delta) * a)));
+}
+
+std::uint64_t bound_x_star(std::uint64_t z, std::uint64_t m, std::uint64_t n, double f_s,
+                           double beta) noexcept {
+  // x* is the largest k for which the Theorem-2 tail bound on Pr[x ≤ k]
+  // stays within 1−β. The bound is monotone in k (δ_k shrinks as k grows),
+  // so a forward scan that stops at the first violation is exact.
+  const double budget = 1.0 - beta;
+  const std::uint64_t k_max = std::min(z, n);
+  std::uint64_t x_star = 0;
+  for (std::uint64_t k = 0; k <= k_max; ++k) {
+    const double mu = static_cast<double>(m - k) * f_s;
+    const double y_needed = static_cast<double>(z - k);
+    if (mu <= 0.0) {
+      // No false positives possible; all z observations are true positives.
+      x_star = k;
+      continue;
+    }
+    const double delta_k = y_needed / mu - 1.0;
+    if (delta_k <= 0.0) break;  // Tail bound is vacuous (≥ 1) from here on.
+    // Theorem 2 sums k+1 identical tail terms.
+    const double tail =
+        static_cast<double>(k + 1) * util::chernoff_upper_tail(delta_k, mu);
+    if (tail > budget) break;
+    x_star = k;
+  }
+  return x_star;
+}
+
+std::uint64_t bound_y_star(std::uint64_t m, std::uint64_t x_star, double f_s,
+                           double beta) noexcept {
+  if (x_star >= m) return 1;
+  const double mu = static_cast<double>(m - x_star) * f_s;
+  if (mu <= 0.0) return 1;
+  const double delta = util::chernoff_delta(mu, beta);
+  return static_cast<std::uint64_t>(std::max(1.0, std::ceil((1.0 + delta) * mu)));
+}
+
+}  // namespace graphene::core

@@ -1,0 +1,27 @@
+// Probabilistic-assurance bounds (§3.3, Theorems 1–3).
+//
+// Graphene never parameterizes an IBLT with an *expected* count; it uses
+// β-assurance bounds so that the count of items the IBLT must recover is
+// exceeded with probability at most 1−β.
+#pragma once
+
+#include <cstdint>
+
+namespace graphene::core {
+
+/// Theorem 1: with a = (m−n)·f_S expected Bloom false positives, returns
+/// a* = ceil((1+δ)a) such that the realized count is ≤ a* with probability β.
+[[nodiscard]] std::uint64_t bound_a_star(double a, double beta) noexcept;
+
+/// Theorem 2: given z observed positives out of an m-transaction mempool
+/// passed through a filter with FPR f_S, and a block of n transactions,
+/// returns x* ≤ x (the true-positive count) with β-assurance.
+[[nodiscard]] std::uint64_t bound_x_star(std::uint64_t z, std::uint64_t m, std::uint64_t n,
+                                         double f_s, double beta) noexcept;
+
+/// Theorem 3: upper bound y* ≥ y (the false-positive count among z) with
+/// β-assurance, computed from x* of Theorem 2.
+[[nodiscard]] std::uint64_t bound_y_star(std::uint64_t m, std::uint64_t x_star, double f_s,
+                                         double beta) noexcept;
+
+}  // namespace graphene::core

@@ -1,0 +1,148 @@
+#include "graphene/messages.hpp"
+
+#include <algorithm>
+
+#include "util/varint.hpp"
+
+namespace graphene::core {
+
+namespace {
+// id (32) + u32 size field.
+constexpr std::size_t kTxFixedOverhead = 36;
+}  // namespace
+
+void write_full_tx(util::ByteWriter& w, const chain::Transaction& tx) {
+  w.raw(util::ByteView(tx.id.data(), tx.id.size()));
+  w.u32(tx.size_bytes);
+  // Synthetic body pads the record to the transaction's nominal size.
+  const std::size_t body =
+      tx.size_bytes > kTxFixedOverhead ? tx.size_bytes - kTxFixedOverhead : 0;
+  for (std::size_t i = 0; i < body; ++i) w.u8(0xab);
+}
+
+chain::Transaction read_full_tx(util::ByteReader& r) {
+  chain::Transaction tx;
+  r.raw_into(tx.id.data(), tx.id.size());
+  tx.size_bytes = r.u32();
+  const std::size_t body =
+      tx.size_bytes > kTxFixedOverhead ? tx.size_bytes - kTxFixedOverhead : 0;
+  (void)r.raw(body);
+  return tx;
+}
+
+std::size_t full_tx_wire_size(const chain::Transaction& tx) noexcept {
+  return std::max<std::size_t>(tx.size_bytes, kTxFixedOverhead);
+}
+
+util::Bytes GrapheneBlockMsg::serialize() const {
+  util::ByteWriter w;
+  w.raw(header.serialize());
+  util::write_varint(w, n);
+  w.u64(shortid_salt);
+  w.raw(filter_s.serialize());
+  w.raw(iblt_i.serialize());
+  return w.take();
+}
+
+GrapheneBlockMsg GrapheneBlockMsg::deserialize(util::ByteReader& reader) {
+  GrapheneBlockMsg msg;
+  msg.header = chain::BlockHeader::deserialize(reader);
+  msg.n = util::read_varint(reader);
+  msg.shortid_salt = reader.u64();
+  msg.filter_s = bloom::BloomFilter::deserialize(reader);
+  msg.iblt_i = iblt::Iblt::deserialize(reader);
+  return msg;
+}
+
+util::Bytes GrapheneRequestMsg::serialize() const {
+  util::ByteWriter w;
+  util::write_varint(w, z);
+  util::write_varint(w, b);
+  util::write_varint(w, y_star);
+  std::uint64_t fpr_bits = 0;
+  static_assert(sizeof(fpr_bits) == sizeof(fpr_r));
+  std::memcpy(&fpr_bits, &fpr_r, sizeof(fpr_bits));
+  w.u64(fpr_bits);
+  w.u8(reversed ? 1 : 0);
+  w.raw(filter_r.serialize());
+  return w.take();
+}
+
+GrapheneRequestMsg GrapheneRequestMsg::deserialize(util::ByteReader& reader) {
+  GrapheneRequestMsg msg;
+  msg.z = util::read_varint(reader);
+  msg.b = util::read_varint(reader);
+  msg.y_star = util::read_varint(reader);
+  const std::uint64_t fpr_bits = reader.u64();
+  std::memcpy(&msg.fpr_r, &fpr_bits, sizeof(msg.fpr_r));
+  msg.reversed = reader.u8() != 0;
+  msg.filter_r = bloom::BloomFilter::deserialize(reader);
+  return msg;
+}
+
+util::Bytes GrapheneResponseMsg::serialize() const {
+  util::ByteWriter w;
+  util::write_varint(w, missing.size());
+  for (const chain::Transaction& tx : missing) write_full_tx(w, tx);
+  w.raw(iblt_j.serialize());
+  w.u8(filter_f.has_value() ? 1 : 0);
+  if (filter_f) w.raw(filter_f->serialize());
+  return w.take();
+}
+
+GrapheneResponseMsg GrapheneResponseMsg::deserialize(util::ByteReader& reader) {
+  GrapheneResponseMsg msg;
+  const std::uint64_t count = util::read_varint(reader);
+  if (count > reader.remaining() / kTxFixedOverhead) {
+    throw util::DeserializeError("GrapheneResponseMsg: transaction count exceeds buffer");
+  }
+  msg.missing.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) msg.missing.push_back(read_full_tx(reader));
+  msg.iblt_j = iblt::Iblt::deserialize(reader);
+  if (reader.u8() != 0) msg.filter_f = bloom::BloomFilter::deserialize(reader);
+  return msg;
+}
+
+std::size_t GrapheneResponseMsg::missing_tx_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const chain::Transaction& tx : missing) total += full_tx_wire_size(tx);
+  return total;
+}
+
+util::Bytes RepairRequestMsg::serialize() const {
+  util::ByteWriter w;
+  util::write_varint(w, short_ids.size());
+  for (std::uint64_t id : short_ids) w.u64(id);
+  return w.take();
+}
+
+RepairRequestMsg RepairRequestMsg::deserialize(util::ByteReader& reader) {
+  RepairRequestMsg msg;
+  const std::uint64_t count = util::read_varint(reader);
+  if (count > reader.remaining() / 8) {
+    throw util::DeserializeError("RepairRequestMsg: id count exceeds buffer");
+  }
+  msg.short_ids.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) msg.short_ids.push_back(reader.u64());
+  return msg;
+}
+
+util::Bytes RepairResponseMsg::serialize() const {
+  util::ByteWriter w;
+  util::write_varint(w, txns.size());
+  for (const chain::Transaction& tx : txns) write_full_tx(w, tx);
+  return w.take();
+}
+
+RepairResponseMsg RepairResponseMsg::deserialize(util::ByteReader& reader) {
+  RepairResponseMsg msg;
+  const std::uint64_t count = util::read_varint(reader);
+  if (count > reader.remaining() / kTxFixedOverhead) {
+    throw util::DeserializeError("RepairResponseMsg: transaction count exceeds buffer");
+  }
+  msg.txns.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) msg.txns.push_back(read_full_tx(reader));
+  return msg;
+}
+
+}  // namespace graphene::core

@@ -1,0 +1,239 @@
+#include "graphene/receiver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bloom/bloom_math.hpp"
+#include "chain/merkle.hpp"
+#include "graphene/sender.hpp"  // derive_short_id
+#include "iblt/pingpong.hpp"
+
+namespace graphene::core {
+
+Receiver::Receiver(const chain::Mempool& mempool, ProtocolConfig cfg)
+    : mempool_(&mempool), cfg_(cfg) {}
+
+std::uint64_t Receiver::sid(const chain::TxId& id) const noexcept {
+  return derive_short_id(id, msg_.shortid_salt, cfg_);
+}
+
+void Receiver::index_candidate(const chain::TxId& id) {
+  const std::uint64_t s = sid(id);
+  const auto [it, inserted] = sid_to_txid_.emplace(s, id);
+  if (!inserted && it->second != id) ambiguous_sids_.insert(s);
+  candidates_.insert(id);
+}
+
+ReceiveOutcome Receiver::receive_block(const GrapheneBlockMsg& msg) {
+  msg_ = msg;
+  have_block_msg_ = true;
+  sid_to_txid_.clear();
+  ambiguous_sids_.clear();
+  candidates_.clear();
+  received_txns_.clear();
+  pending_unresolved_.clear();
+
+  // Step 4: the candidate set Z = mempool transactions passing S.
+  for (const chain::TxId& id : mempool_->ids()) {
+    if (msg.filter_s.contains(util::ByteView(id.data(), id.size()))) {
+      index_candidate(id);
+    }
+  }
+
+  // I′ over Z with the sender's parameters, then I ⊖ I′.
+  iblt::Iblt i_prime(iblt::IbltParams{msg.iblt_i.hash_count(), msg.iblt_i.cell_count()},
+                     msg.iblt_i.seed());
+  for (const chain::TxId& id : candidates_) i_prime.insert(sid(id));
+
+  const iblt::DecodeResult dec = msg.iblt_i.subtract(i_prime).decode();
+  ReceiveOutcome out;
+  if (dec.malformed) {
+    out.status = ReceiveStatus::kFailed;
+    return out;
+  }
+  if (!dec.success || !dec.positives.empty()) {
+    // Either the IBLT kept a 2-core, or the block contains transactions the
+    // receiver does not hold (positives carry only short IDs) — Protocol 2.
+    out.status = ReceiveStatus::kNeedsProtocol2;
+    return out;
+  }
+  for (const std::uint64_t s : dec.negatives) {
+    if (ambiguous_sids_.count(s) > 0) {
+      out.status = ReceiveStatus::kNeedsProtocol2;
+      return out;
+    }
+    const auto it = sid_to_txid_.find(s);
+    if (it == sid_to_txid_.end()) {
+      out.status = ReceiveStatus::kNeedsProtocol2;
+      return out;
+    }
+    candidates_.erase(it->second);
+  }
+
+  ReceiveOutcome fin = finalize({}, /*used_pingpong=*/false);
+  if (fin.status != ReceiveStatus::kDecoded) fin.status = ReceiveStatus::kNeedsProtocol2;
+  return fin;
+}
+
+GrapheneRequestMsg Receiver::build_request() {
+  if (!have_block_msg_) {
+    throw std::logic_error("Receiver::build_request: no block message received");
+  }
+  const std::uint64_t z = candidates_.size();
+  const double f_s =
+      bloom::expected_fpr(msg_.filter_s.bit_count(), msg_.filter_s.hash_count(), msg_.n);
+  params2_ = optimize_protocol2(z, mempool_->size(), msg_.n, f_s, cfg_);
+
+  GrapheneRequestMsg req;
+  req.z = z;
+  req.b = params2_.b;
+  req.y_star = params2_.y_star;
+  req.fpr_r = params2_.fpr;
+  req.reversed = params2_.reversed;
+  req.filter_r =
+      bloom::BloomFilter(std::max<std::uint64_t>(z, 1), params2_.fpr,
+                         /*seed=*/msg_.shortid_salt ^ 0x42d551f17e1dULL);
+  for (const chain::TxId& id : candidates_) {
+    req.filter_r.insert(util::ByteView(id.data(), id.size()));
+  }
+  return req;
+}
+
+ReceiveOutcome Receiver::complete(const GrapheneResponseMsg& resp) {
+  ReceiveOutcome out;
+  if (!have_block_msg_) return out;  // kFailed: nothing to complete
+
+  // In the reversed (m ≈ n) path, filter F prunes candidates the sender's
+  // block does not contain before the new transactions are added.
+  if (params2_.reversed && resp.filter_f.has_value()) {
+    for (auto it = candidates_.begin(); it != candidates_.end();) {
+      if (!resp.filter_f->contains(util::ByteView(it->data(), it->size()))) {
+        it = candidates_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Step 5: fold in the directly-sent transactions.
+  for (const chain::Transaction& tx : resp.missing) {
+    received_txns_.emplace(tx.id, tx);
+    index_candidate(tx.id);
+  }
+
+  // J′ over the updated candidate set; then J ⊖ J′.
+  iblt::Iblt j_prime(iblt::IbltParams{resp.iblt_j.hash_count(), resp.iblt_j.cell_count()},
+                     resp.iblt_j.seed());
+  for (const chain::TxId& id : candidates_) j_prime.insert(sid(id));
+  const iblt::Iblt diff_j = resp.iblt_j.subtract(j_prime);
+
+  iblt::DecodeResult dec = diff_j.decode();
+  bool used_pingpong = false;
+
+  if (dec.malformed) {
+    out.status = ReceiveStatus::kFailed;
+    return out;
+  }
+  if (!dec.success && have_block_msg_ && cfg_.enable_pingpong) {
+    // Ping-pong (§4.2): rebuild I′ over the *current* candidates so both
+    // differences describe the same set pair, then decode jointly.
+    iblt::Iblt i_prime(
+        iblt::IbltParams{msg_.iblt_i.hash_count(), msg_.iblt_i.cell_count()},
+        msg_.iblt_i.seed());
+    for (const chain::TxId& id : candidates_) i_prime.insert(sid(id));
+    const iblt::PingPongResult pp =
+        iblt::pingpong_decode(diff_j, msg_.iblt_i.subtract(i_prime));
+    if (pp.malformed) {
+      out.status = ReceiveStatus::kFailed;
+      return out;
+    }
+    used_pingpong = true;
+    dec.success = pp.success;
+    dec.positives = pp.positives;
+    dec.negatives = pp.negatives;
+  }
+  if (!dec.success) {
+    out.status = ReceiveStatus::kFailed;
+    out.used_pingpong = used_pingpong;
+    return out;
+  }
+
+  for (const std::uint64_t s : dec.negatives) {
+    if (ambiguous_sids_.count(s) > 0) {
+      out.status = ReceiveStatus::kFailed;
+      return out;
+    }
+    const auto it = sid_to_txid_.find(s);
+    if (it != sid_to_txid_.end()) candidates_.erase(it->second);
+  }
+
+  std::vector<std::uint64_t> unresolved;
+  for (const std::uint64_t s : dec.positives) {
+    const auto it = sid_to_txid_.find(s);
+    if (it != sid_to_txid_.end() && ambiguous_sids_.count(s) == 0) {
+      // The receiver holds this transaction after all (it was pruned by F or
+      // never passed S); restore it.
+      if (mempool_->contains(it->second) || received_txns_.count(it->second) > 0) {
+        candidates_.insert(it->second);
+        continue;
+      }
+    }
+    unresolved.push_back(s);
+  }
+
+  return finalize(std::move(unresolved), used_pingpong);
+}
+
+RepairRequestMsg Receiver::build_repair() const {
+  RepairRequestMsg req;
+  req.short_ids = pending_unresolved_;
+  return req;
+}
+
+ReceiveOutcome Receiver::complete_repair(const RepairResponseMsg& resp) {
+  for (const chain::Transaction& tx : resp.txns) {
+    received_txns_.emplace(tx.id, tx);
+    index_candidate(tx.id);
+  }
+  return finalize({}, /*used_pingpong=*/false);
+}
+
+ReceiveOutcome Receiver::finalize(std::vector<std::uint64_t> unresolved, bool used_pingpong) {
+  ReceiveOutcome out;
+  out.used_pingpong = used_pingpong;
+  if (!unresolved.empty()) {
+    pending_unresolved_ = std::move(unresolved);
+    out.unresolved = pending_unresolved_;
+    out.status = ReceiveStatus::kNeedsRepair;
+    return out;
+  }
+  pending_unresolved_.clear();
+
+  std::vector<chain::TxId> ids(candidates_.begin(), candidates_.end());
+  std::sort(ids.begin(), ids.end());
+  out.merkle_ok =
+      ids.size() == msg_.n && chain::merkle_root(ids) == msg_.header.merkle_root;
+  if (out.merkle_ok) {
+    out.block_ids = std::move(ids);
+    out.status = ReceiveStatus::kDecoded;
+  } else {
+    out.status = ReceiveStatus::kFailed;
+  }
+  return out;
+}
+
+std::vector<chain::Transaction> Receiver::block_transactions() const {
+  std::vector<chain::Transaction> out;
+  out.reserve(candidates_.size());
+  for (const chain::TxId& id : candidates_) {
+    if (const auto tx = mempool_->get(id)) {
+      out.push_back(*tx);
+    } else if (const auto it = received_txns_.find(id); it != received_txns_.end()) {
+      out.push_back(it->second);
+    }
+  }
+  std::sort(out.begin(), out.end(), chain::CtorLess{});
+  return out;
+}
+
+}  // namespace graphene::core

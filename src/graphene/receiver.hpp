@@ -1,0 +1,89 @@
+// Receiver-side protocol engine (Protocols 1 and 2, §3.1–§3.2).
+//
+// Drives the full state machine:
+//
+//   receive_block  → Decoded | NeedsProtocol2 | Failed
+//   build_request  → GrapheneRequestMsg              (Protocol 2 step 1–2)
+//   complete       → Decoded | NeedsRepair | Failed  (step 5, + ping-pong)
+//   build_repair / complete_repair                   (short-ID fetch round)
+//
+// Ping-pong decoding (§4.2) engages automatically in complete(): when J ⊖ J′
+// leaves a 2-core, the receiver rebuilds I′ over the updated candidate set
+// and decodes both differences jointly.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "chain/mempool.hpp"
+#include "graphene/messages.hpp"
+#include "graphene/params.hpp"
+
+namespace graphene::core {
+
+enum class ReceiveStatus : std::uint8_t {
+  kDecoded,         ///< block recovered and Merkle-validated
+  kNeedsProtocol2,  ///< IBLT I failed or block txns are missing — run Protocol 2
+  kNeedsRepair,     ///< symmetric difference resolved but txn bytes missing
+  kFailed,          ///< unrecoverable (or malformed/attack input)
+};
+
+struct ReceiveOutcome {
+  ReceiveStatus status = ReceiveStatus::kFailed;
+  /// CTOR-ordered block txids; populated when status == kDecoded.
+  std::vector<chain::TxId> block_ids;
+  /// Short IDs known to belong to the block but with no transaction held.
+  std::vector<std::uint64_t> unresolved;
+  /// True when the final Merkle check passed.
+  bool merkle_ok = false;
+  /// Diagnostics for benches: did ping-pong decoding rescue this block?
+  bool used_pingpong = false;
+};
+
+class Receiver {
+ public:
+  explicit Receiver(const chain::Mempool& mempool, ProtocolConfig cfg = {});
+
+  /// Protocol 1 step 4. On kDecoded the block is fully recovered.
+  ReceiveOutcome receive_block(const GrapheneBlockMsg& msg);
+
+  /// Protocol 2 steps 1–2. Must follow a non-decoded receive_block().
+  [[nodiscard]] GrapheneRequestMsg build_request();
+
+  /// Protocol 2 step 5.
+  ReceiveOutcome complete(const GrapheneResponseMsg& resp);
+
+  /// Short-ID repair round for any unresolved items.
+  [[nodiscard]] RepairRequestMsg build_repair() const;
+  ReceiveOutcome complete_repair(const RepairResponseMsg& resp);
+
+  /// All transactions recovered for the block (valid after kDecoded).
+  [[nodiscard]] std::vector<chain::Transaction> block_transactions() const;
+
+  [[nodiscard]] const Protocol2Params& last_request_params() const noexcept {
+    return params2_;
+  }
+
+ private:
+  ReceiveOutcome finalize(std::vector<std::uint64_t> unresolved, bool used_pingpong);
+  void index_candidate(const chain::TxId& id);
+  [[nodiscard]] std::uint64_t sid(const chain::TxId& id) const noexcept;
+
+  const chain::Mempool* mempool_;
+  ProtocolConfig cfg_;
+
+  // Protocol state (valid between receive_block and completion).
+  GrapheneBlockMsg msg_{};
+  Protocol2Params params2_{};
+  bool have_block_msg_ = false;
+
+  /// Candidate block membership: short id → txid, plus txn storage for
+  /// transactions that arrived over the wire rather than from the mempool.
+  std::unordered_map<std::uint64_t, chain::TxId> sid_to_txid_;
+  std::unordered_set<std::uint64_t> ambiguous_sids_;
+  std::unordered_set<chain::TxId, chain::TxIdHasher> candidates_;
+  std::unordered_map<chain::TxId, chain::Transaction, chain::TxIdHasher> received_txns_;
+  std::vector<std::uint64_t> pending_unresolved_;
+};
+
+}  // namespace graphene::core

@@ -1,0 +1,116 @@
+#include "graphene/sender.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bloom/bloom_math.hpp"
+#include "graphene/bounds.hpp"
+#include "iblt/param_table.hpp"
+
+namespace graphene::core {
+
+std::uint64_t derive_short_id(const chain::TxId& id, std::uint64_t salt,
+                              const ProtocolConfig& cfg) noexcept {
+  if (cfg.keyed_short_ids) {
+    return chain::short_id_keyed(util::SipHashKey{salt, salt ^ 0x717fb1a5c0ffee00ULL}, id);
+  }
+  return chain::short_id(id);
+}
+
+Sender::Sender(chain::Block block, std::uint64_t salt, ProtocolConfig cfg)
+    : block_(std::move(block)), salt_(salt), cfg_(cfg) {
+  short_ids_.reserve(block_.tx_count());
+  for (const chain::Transaction& tx : block_.transactions()) {
+    const std::uint64_t sid = derive_short_id(tx.id, salt_, cfg_);
+    short_ids_.push_back(sid);
+    by_short_id_.emplace(sid, &tx);
+  }
+}
+
+GrapheneBlockMsg Sender::encode(std::uint64_t receiver_mempool_count) const {
+  const std::uint64_t n = block_.tx_count();
+  last_params_ = optimize_protocol1(n, std::max(receiver_mempool_count, n), cfg_);
+
+  GrapheneBlockMsg msg;
+  msg.header = block_.header();
+  msg.n = n;
+  msg.shortid_salt = salt_;
+
+  msg.filter_s = bloom::BloomFilter(n, last_params_.fpr, /*seed=*/salt_ ^ 0x5eedf00d);
+  for (const chain::Transaction& tx : block_.transactions()) {
+    msg.filter_s.insert(util::ByteView(tx.id.data(), tx.id.size()));
+  }
+
+  msg.iblt_i = iblt::Iblt(last_params_.iblt, /*seed=*/salt_);
+  for (const std::uint64_t sid : short_ids_) msg.iblt_i.insert(sid);
+  return msg;
+}
+
+GrapheneResponseMsg Sender::serve(const GrapheneRequestMsg& request) const {
+  GrapheneResponseMsg resp;
+  const std::uint64_t n = block_.tx_count();
+
+  // Step 3: transactions that do not pass R are certainly missing at the
+  // receiver; send them in full.
+  std::vector<const chain::Transaction*> passed;
+  passed.reserve(n);
+  for (const chain::Transaction& tx : block_.transactions()) {
+    if (request.filter_r.contains(util::ByteView(tx.id.data(), tx.id.size()))) {
+      passed.push_back(&tx);
+    } else {
+      resp.missing.push_back(tx);
+    }
+  }
+
+  std::uint64_t j_items = request.b + request.y_star;
+
+  if (request.reversed) {
+    // §3.3.2 m ≈ n path: re-derive the bounds with the roles of block and
+    // mempool swapped, and compensate R's false positives with filter F.
+    const std::uint64_t z_s = passed.size();
+    const std::uint64_t x_s = bound_x_star(z_s, /*m=*/n, /*n=*/request.z,
+                                           request.fpr_r, cfg_.beta);
+    const std::uint64_t y_s = bound_y_star(/*m=*/n, x_s, request.fpr_r, cfg_.beta);
+
+    // Optimize b for the joint size of F (over z_s items) and J (b + y_s).
+    const std::uint64_t denom =
+        std::max<std::uint64_t>(1, request.z > x_s ? request.z - x_s : 1);
+    std::uint64_t best_b = 1;
+    std::size_t best_total = SIZE_MAX;
+    for (std::uint64_t b = 1; b <= denom; b = (b < 128 ? b + 1 : b + b / 8)) {
+      const double f_f = std::min(1.0, static_cast<double>(b) / static_cast<double>(denom));
+      const std::size_t total = bloom::serialized_bytes(z_s, f_f) +
+                                iblt::iblt_bytes(b + y_s, cfg_.fail_denom);
+      if (total < best_total) {
+        best_total = total;
+        best_b = b;
+      }
+    }
+
+    const double f_f =
+        std::min(1.0, static_cast<double>(best_b) / static_cast<double>(denom));
+    bloom::BloomFilter filter_f(z_s, f_f, /*seed=*/salt_ ^ 0xfeedface);
+    for (const chain::Transaction* tx : passed) {
+      filter_f.insert(util::ByteView(tx->id.data(), tx->id.size()));
+    }
+    resp.filter_f = std::move(filter_f);
+    j_items = best_b + y_s;
+  }
+
+  resp.iblt_j = iblt::Iblt(iblt::lookup_params(j_items, cfg_.fail_denom),
+                           /*seed=*/salt_ + 1);
+  for (const std::uint64_t sid : short_ids_) resp.iblt_j.insert(sid);
+  return resp;
+}
+
+RepairResponseMsg Sender::serve_repair(const RepairRequestMsg& request) const {
+  RepairResponseMsg resp;
+  resp.txns.reserve(request.short_ids.size());
+  for (const std::uint64_t sid : request.short_ids) {
+    const auto it = by_short_id_.find(sid);
+    if (it != by_short_id_.end()) resp.txns.push_back(*it->second);
+  }
+  return resp;
+}
+
+}  // namespace graphene::core

@@ -1,0 +1,51 @@
+// Sender-side protocol engine (Protocols 1 and 2, §3.1–§3.2).
+#pragma once
+
+#include <unordered_map>
+
+#include "chain/block.hpp"
+#include "graphene/messages.hpp"
+#include "graphene/params.hpp"
+
+namespace graphene::core {
+
+class Sender {
+ public:
+  /// `salt` keys the block's short IDs; a real deployment derives it per
+  /// block (BIP-152 style). Pass a fresh value per block.
+  Sender(chain::Block block, std::uint64_t salt, ProtocolConfig cfg = {});
+
+  /// Protocol 1, step 3: builds S and I for a receiver holding
+  /// `receiver_mempool_count` transactions.
+  [[nodiscard]] GrapheneBlockMsg encode(std::uint64_t receiver_mempool_count) const;
+
+  /// Protocol 2, steps 3–4: answers a repair request (handles both the
+  /// normal and the m ≈ n reversed path).
+  [[nodiscard]] GrapheneResponseMsg serve(const GrapheneRequestMsg& request) const;
+
+  /// Final repair round: returns the full transactions for any short IDs
+  /// the receiver decoded but does not hold.
+  [[nodiscard]] RepairResponseMsg serve_repair(const RepairRequestMsg& request) const;
+
+  [[nodiscard]] const chain::Block& block() const noexcept { return block_; }
+  [[nodiscard]] std::uint64_t salt() const noexcept { return salt_; }
+
+  /// Parameters chosen by the most recent encode() — exposed for the
+  /// benchmarks that decompose message sizes (Fig. 17).
+  [[nodiscard]] const Protocol1Params& last_params() const noexcept { return last_params_; }
+
+ private:
+  chain::Block block_;
+  std::uint64_t salt_;
+  ProtocolConfig cfg_;
+  std::vector<std::uint64_t> short_ids_;  // aligned with block_.transactions()
+  std::unordered_map<std::uint64_t, const chain::Transaction*> by_short_id_;
+  mutable Protocol1Params last_params_{};
+};
+
+/// Short-ID derivation shared by sender and receiver: SipHash-keyed under
+/// `salt` when cfg.keyed_short_ids, else the txid's first 8 bytes.
+[[nodiscard]] std::uint64_t derive_short_id(const chain::TxId& id, std::uint64_t salt,
+                                            const ProtocolConfig& cfg) noexcept;
+
+}  // namespace graphene::core

@@ -1,0 +1,57 @@
+#include "iblt/hypergraph.hpp"
+
+#include <vector>
+
+namespace graphene::iblt {
+
+bool hypergraph_decodes(std::uint64_t j, std::uint32_t k, std::uint64_t c, util::Rng& rng) {
+  if (j == 0) return true;
+  if (c < k) return false;
+  const std::uint64_t stride = c / k;
+  if (stride == 0) return false;
+
+  // Edge i occupies vertices edge_vertex[i*k .. i*k+k-1].
+  std::vector<std::uint32_t> edge_vertex(j * k);
+  // Adjacency: per-vertex XOR of incident edge ids plus a degree counter.
+  // XOR-trick adjacency avoids per-vertex edge lists: when degree drops to 1
+  // the XOR accumulator *is* the remaining edge id.
+  std::vector<std::uint32_t> degree(c, 0);
+  std::vector<std::uint32_t> edge_xor(c, 0);
+
+  for (std::uint64_t e = 0; e < j; ++e) {
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const auto v = static_cast<std::uint32_t>(i * stride + rng.below(stride));
+      edge_vertex[e * k + i] = v;
+      degree[v] += 1;
+      edge_xor[v] ^= static_cast<std::uint32_t>(e);
+    }
+  }
+
+  // Peel: repeatedly remove edges incident to a degree-1 vertex.
+  std::vector<std::uint32_t> stack;
+  stack.reserve(64);
+  for (std::uint32_t v = 0; v < c; ++v) {
+    if (degree[v] == 1) stack.push_back(v);
+  }
+
+  std::uint64_t removed = 0;
+  std::vector<bool> edge_removed(j, false);
+  while (!stack.empty()) {
+    const std::uint32_t v = stack.back();
+    stack.pop_back();
+    if (degree[v] != 1) continue;
+    const std::uint32_t e = edge_xor[v];
+    if (edge_removed[e]) continue;
+    edge_removed[e] = true;
+    ++removed;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const std::uint32_t u = edge_vertex[e * k + i];
+      degree[u] -= 1;
+      edge_xor[u] ^= e;
+      if (degree[u] == 1) stack.push_back(u);
+    }
+  }
+  return removed == j;
+}
+
+}  // namespace graphene::iblt

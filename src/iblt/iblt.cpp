@@ -1,0 +1,181 @@
+#include "iblt/iblt.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/varint.hpp"
+
+namespace graphene::iblt {
+
+namespace {
+constexpr std::uint32_t kMinHashCount = 2;
+constexpr std::uint32_t kMaxHashCount = 16;
+constexpr std::uint64_t kCheckSalt = 0xc0ffee3141592653ULL;
+}  // namespace
+
+Iblt::Iblt(IbltParams params, std::uint64_t seed) : k_(params.k), seed_(seed) {
+  if (k_ < kMinHashCount || k_ > kMaxHashCount) {
+    throw std::invalid_argument("Iblt: hash count must be in [2, 16]");
+  }
+  std::uint64_t cells = params.cells == 0 ? k_ : params.cells;
+  // Round up so each of the k partitions covers cells/k slots.
+  cells = ((cells + k_ - 1) / k_) * k_;
+  cells_.assign(cells, Cell{});
+}
+
+void Iblt::positions(std::uint64_t key, std::uint64_t* out) const noexcept {
+  // Partitioned placement: hash i picks one cell in partition i, matching the
+  // k-partite hypergraph model used by the parameter search. Each partition
+  // gets an *independent* full mix of (key, seed, i) — double hashing would
+  // correlate positions across partitions and visibly depress the peeling
+  // threshold relative to the hypergraph model.
+  const std::uint64_t stride = cells_.size() / k_;
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    const std::uint64_t h =
+        util::mix64(key ^ util::mix64(seed_ + 0x9e3779b97f4a7c15ULL * (i + 1)));
+    out[i] = static_cast<std::uint64_t>(i) * stride + h % stride;
+  }
+}
+
+std::uint32_t Iblt::check_hash(std::uint64_t key) const noexcept {
+  return static_cast<std::uint32_t>(util::mix64(key ^ kCheckSalt ^ seed_));
+}
+
+void Iblt::update(std::uint64_t key, std::int32_t delta) {
+  std::uint64_t pos[kMaxHashCount];
+  positions(key, pos);
+  const std::uint32_t check = check_hash(key);
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    Cell& cell = cells_[pos[i]];
+    cell.count += delta;
+    cell.key_sum ^= key;
+    cell.check_sum ^= check;
+  }
+}
+
+void Iblt::cancel(std::uint64_t key, int sign) {
+  update(key, sign > 0 ? -1 : +1);
+  // cancel(+1) removes an item that this difference-IBLT counted positively,
+  // which is the same cell arithmetic as erasing it once.
+}
+
+Iblt Iblt::subtract(const Iblt& other) const {
+  if (cells_.size() != other.cells_.size() || k_ != other.k_ || seed_ != other.seed_) {
+    throw std::invalid_argument("Iblt::subtract: incompatible parameters");
+  }
+  Iblt out = *this;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    out.cells_[i].count -= other.cells_[i].count;
+    out.cells_[i].key_sum ^= other.cells_[i].key_sum;
+    out.cells_[i].check_sum ^= other.cells_[i].check_sum;
+  }
+  return out;
+}
+
+bool Iblt::empty() const noexcept {
+  for (const Cell& c : cells_) {
+    if (c.count != 0 || c.key_sum != 0 || c.check_sum != 0) return false;
+  }
+  return true;
+}
+
+DecodeResult Iblt::decode() const {
+  DecodeResult result;
+  std::vector<Cell> cells = cells_;
+
+  auto pure = [&](const Cell& c) {
+    return (c.count == 1 || c.count == -1) && check_hash(c.key_sum) == c.check_sum;
+  };
+
+  std::deque<std::uint64_t> queue;
+  for (std::uint64_t i = 0; i < cells.size(); ++i) {
+    if (pure(cells[i])) queue.push_back(i);
+  }
+
+  // Tracks peeled items to defeat the malformed-IBLT endless loop (§6.1):
+  // a well-formed difference IBLT never yields the same key twice.
+  std::unordered_map<std::uint64_t, int> seen;
+
+  std::uint64_t pos[kMaxHashCount];
+  while (!queue.empty()) {
+    const std::uint64_t idx = queue.front();
+    queue.pop_front();
+    if (!pure(cells[idx])) continue;  // May have changed since enqueue.
+
+    const std::uint64_t key = cells[idx].key_sum;
+    const int sign = cells[idx].count;
+    if (!seen.emplace(key, sign).second) {
+      result.malformed = true;
+      return result;
+    }
+    if (sign > 0) {
+      result.positives.push_back(key);
+    } else {
+      result.negatives.push_back(key);
+    }
+
+    const std::uint32_t check = check_hash(key);
+    positions(key, pos);
+    for (std::uint32_t i = 0; i < k_; ++i) {
+      Cell& cell = cells[pos[i]];
+      cell.count -= sign;
+      cell.key_sum ^= key;
+      cell.check_sum ^= check;
+      if (pure(cell)) queue.push_back(pos[i]);
+    }
+  }
+
+  for (const Cell& c : cells) {
+    if (c.count != 0 || c.key_sum != 0 || c.check_sum != 0) return result;
+  }
+  result.success = true;
+  return result;
+}
+
+util::Bytes Iblt::serialize() const {
+  util::ByteWriter w;
+  util::write_varint(w, cells_.size());
+  w.u8(static_cast<std::uint8_t>(k_));
+  w.u64(seed_);
+  for (const Cell& c : cells_) {
+    w.i32(c.count);
+    w.u64(c.key_sum);
+    w.u32(c.check_sum);
+  }
+  return w.take();
+}
+
+std::size_t Iblt::serialized_size() const noexcept {
+  return util::varint_size(cells_.size()) + 1 + 8 + cells_.size() * kCellBytes;
+}
+
+std::size_t Iblt::serialized_size_for(std::uint64_t cells) noexcept {
+  return util::varint_size(cells) + 1 + 8 + cells * kCellBytes;
+}
+
+Iblt Iblt::deserialize(util::ByteReader& reader) {
+  const std::uint64_t cells = util::read_varint(reader);
+  const std::uint32_t k = reader.u8();
+  if (k < kMinHashCount || k > kMaxHashCount) {
+    throw util::DeserializeError("Iblt: invalid hash count");
+  }
+  if (cells % k != 0) {
+    throw util::DeserializeError("Iblt: cell count not divisible by hash count");
+  }
+  // Bound the claimed size by the bytes actually present: hostile input must
+  // not drive a huge allocation.
+  if (cells > (reader.remaining() + 8) / kCellBytes + 1) {
+    throw util::DeserializeError("Iblt: cell count exceeds buffer");
+  }
+  const std::uint64_t seed = reader.u64();
+  Iblt out(IbltParams{k, cells}, seed);
+  for (auto& cell : out.cells_) {
+    cell.count = reader.i32();
+    cell.key_sum = reader.u64();
+    cell.check_sum = reader.u32();
+  }
+  return out;
+}
+
+}  // namespace graphene::iblt

@@ -1,0 +1,169 @@
+#include "iblt/kv_iblt.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/varint.hpp"
+
+namespace graphene::iblt {
+
+namespace {
+constexpr std::uint64_t kCheckSalt = 0x1b17ab1e5a17ed00ULL;
+constexpr std::uint32_t kMaxHashCount = 16;
+}  // namespace
+
+KvIblt::KvIblt(std::uint32_t k, std::uint64_t cells, std::uint64_t seed)
+    : k_(k), seed_(seed) {
+  if (k_ < 2 || k_ > kMaxHashCount) {
+    throw std::invalid_argument("KvIblt: hash count must be in [2, 16]");
+  }
+  cells = std::max<std::uint64_t>(cells, k_);
+  cells = ((cells + k_ - 1) / k_) * k_;
+  cells_.assign(cells, Cell{});
+}
+
+void KvIblt::positions(std::uint64_t key, std::uint64_t* out) const noexcept {
+  const std::uint64_t stride = cells_.size() / k_;
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    const std::uint64_t h =
+        util::mix64(key ^ util::mix64(seed_ + 0x9e3779b97f4a7c15ULL * (i + 1)));
+    out[i] = static_cast<std::uint64_t>(i) * stride + h % stride;
+  }
+}
+
+std::uint32_t KvIblt::check_hash(std::uint64_t key) const noexcept {
+  return static_cast<std::uint32_t>(util::mix64(key ^ kCheckSalt ^ seed_));
+}
+
+void KvIblt::update(std::uint64_t key, std::uint64_t value, std::int32_t delta) {
+  std::uint64_t pos[kMaxHashCount];
+  positions(key, pos);
+  const std::uint32_t check = check_hash(key);
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    Cell& cell = cells_[pos[i]];
+    cell.count += delta;
+    cell.key_sum ^= key;
+    cell.value_sum ^= value;
+    cell.check_sum ^= check;
+  }
+}
+
+std::optional<std::uint64_t> KvIblt::get(std::uint64_t key, bool* indeterminate) const {
+  if (indeterminate != nullptr) *indeterminate = false;
+  std::uint64_t pos[kMaxHashCount];
+  positions(key, pos);
+  const std::uint32_t check = check_hash(key);
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    const Cell& cell = cells_[pos[i]];
+    if (cell.count == 0 && cell.key_sum == 0 && cell.check_sum == 0) {
+      return std::nullopt;  // key definitely absent
+    }
+    if (cell.count == 1 && cell.key_sum == key && cell.check_sum == check) {
+      return cell.value_sum;
+    }
+    if (cell.count == 1) return std::nullopt;  // pure cell holds another key
+    // count > 1: crowded, keep probing.
+  }
+  if (indeterminate != nullptr) *indeterminate = true;  // every cell crowded
+  return std::nullopt;
+}
+
+KvIblt KvIblt::subtract(const KvIblt& other) const {
+  if (cells_.size() != other.cells_.size() || k_ != other.k_ || seed_ != other.seed_) {
+    throw std::invalid_argument("KvIblt::subtract: incompatible parameters");
+  }
+  KvIblt out = *this;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    out.cells_[i].count -= other.cells_[i].count;
+    out.cells_[i].key_sum ^= other.cells_[i].key_sum;
+    out.cells_[i].value_sum ^= other.cells_[i].value_sum;
+    out.cells_[i].check_sum ^= other.cells_[i].check_sum;
+  }
+  return out;
+}
+
+KvDecodeResult KvIblt::decode() const {
+  KvDecodeResult result;
+  std::vector<Cell> cells = cells_;
+
+  auto pure = [&](const Cell& c) {
+    return (c.count == 1 || c.count == -1) && check_hash(c.key_sum) == c.check_sum;
+  };
+
+  std::deque<std::uint64_t> queue;
+  for (std::uint64_t i = 0; i < cells.size(); ++i) {
+    if (pure(cells[i])) queue.push_back(i);
+  }
+
+  std::unordered_set<std::uint64_t> seen;
+  std::uint64_t pos[kMaxHashCount];
+  while (!queue.empty()) {
+    const std::uint64_t idx = queue.front();
+    queue.pop_front();
+    if (!pure(cells[idx])) continue;
+
+    const KvEntry entry{cells[idx].key_sum, cells[idx].value_sum};
+    const int sign = cells[idx].count;
+    if (!seen.insert(entry.key).second) {
+      result.malformed = true;
+      return result;
+    }
+    (sign > 0 ? result.positives : result.negatives).push_back(entry);
+
+    const std::uint32_t check = check_hash(entry.key);
+    positions(entry.key, pos);
+    for (std::uint32_t i = 0; i < k_; ++i) {
+      Cell& cell = cells[pos[i]];
+      cell.count -= sign;
+      cell.key_sum ^= entry.key;
+      cell.value_sum ^= entry.value;
+      cell.check_sum ^= check;
+      if (pure(cell)) queue.push_back(pos[i]);
+    }
+  }
+
+  for (const Cell& c : cells) {
+    if (c.count != 0 || c.key_sum != 0 || c.value_sum != 0 || c.check_sum != 0) {
+      return result;
+    }
+  }
+  result.success = true;
+  return result;
+}
+
+util::Bytes KvIblt::serialize() const {
+  util::ByteWriter w;
+  util::write_varint(w, cells_.size());
+  w.u8(static_cast<std::uint8_t>(k_));
+  w.u64(seed_);
+  for (const Cell& c : cells_) {
+    w.i32(c.count);
+    w.u64(c.key_sum);
+    w.u64(c.value_sum);
+    w.u32(c.check_sum);
+  }
+  return w.take();
+}
+
+KvIblt KvIblt::deserialize(util::ByteReader& reader) {
+  const std::uint64_t cells = util::read_varint(reader);
+  const std::uint32_t k = reader.u8();
+  if (k < 2 || k > kMaxHashCount) {
+    throw util::DeserializeError("KvIblt: invalid hash count");
+  }
+  if (cells % k != 0 || cells > reader.remaining() / kCellBytes + 1) {
+    throw util::DeserializeError("KvIblt: invalid cell count");
+  }
+  const std::uint64_t seed = reader.u64();
+  KvIblt out(k, cells, seed);
+  for (auto& cell : out.cells_) {
+    cell.count = reader.i32();
+    cell.key_sum = reader.u64();
+    cell.value_sum = reader.u64();
+    cell.check_sum = reader.u32();
+  }
+  return out;
+}
+
+}  // namespace graphene::iblt

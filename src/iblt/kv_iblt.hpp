@@ -1,0 +1,78 @@
+// Key-value IBLT — the full "Invertible Bloom Lookup Table" of Goodrich &
+// Mitzenmacher, with a valueSum per cell alongside keySum/checkSum.
+//
+// Graphene itself needs only the key-set variant (src/iblt/iblt.hpp stores
+// 8-byte short transaction IDs), but the general structure supports
+// listEntries()/get() over (key, value) pairs and set reconciliation where
+// reconciled items carry payloads — e.g. synchronizing small KV records
+// between replicas without a second fetch round.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/hash.hpp"
+
+namespace graphene::iblt {
+
+struct KvEntry {
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;
+  friend bool operator==(const KvEntry&, const KvEntry&) = default;
+};
+
+struct KvDecodeResult {
+  bool success = false;
+  bool malformed = false;
+  std::vector<KvEntry> positives;  ///< in the minuend only
+  std::vector<KvEntry> negatives;  ///< in the subtrahend only
+};
+
+class KvIblt {
+ public:
+  static constexpr std::size_t kCellBytes = 24;  // count + keySum + valueSum + checkSum
+
+  KvIblt() = default;
+  KvIblt(std::uint32_t k, std::uint64_t cells, std::uint64_t seed = 0);
+
+  void insert(std::uint64_t key, std::uint64_t value) { update(key, value, +1); }
+  void erase(std::uint64_t key, std::uint64_t value) { update(key, value, -1); }
+
+  /// Point lookup (the "Lookup Table" operation): returns the value if the
+  /// key can be resolved from one of its cells, nullopt when the key is
+  /// definitely absent, and nullopt with `*indeterminate = true` when all k
+  /// cells are too crowded to tell.
+  [[nodiscard]] std::optional<std::uint64_t> get(std::uint64_t key,
+                                                 bool* indeterminate = nullptr) const;
+
+  [[nodiscard]] KvIblt subtract(const KvIblt& other) const;
+
+  /// Peels all recoverable entries (listEntries).
+  [[nodiscard]] KvDecodeResult decode() const;
+
+  [[nodiscard]] std::uint64_t cell_count() const noexcept { return cells_.size(); }
+  [[nodiscard]] std::uint32_t hash_count() const noexcept { return k_; }
+
+  [[nodiscard]] util::Bytes serialize() const;
+  static KvIblt deserialize(util::ByteReader& reader);
+
+ private:
+  struct Cell {
+    std::int32_t count = 0;
+    std::uint64_t key_sum = 0;
+    std::uint64_t value_sum = 0;
+    std::uint32_t check_sum = 0;
+  };
+
+  void update(std::uint64_t key, std::uint64_t value, std::int32_t delta);
+  void positions(std::uint64_t key, std::uint64_t* out) const noexcept;
+  [[nodiscard]] std::uint32_t check_hash(std::uint64_t key) const noexcept;
+
+  std::vector<Cell> cells_;
+  std::uint32_t k_ = 4;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace graphene::iblt

@@ -1,0 +1,85 @@
+#include "iblt/param_search.hpp"
+
+#include <algorithm>
+
+#include "iblt/hypergraph.hpp"
+#include "util/stats.hpp"
+
+namespace graphene::iblt {
+
+namespace {
+
+/// Adaptive decode-rate test: does configuration (j, k, c) meet rate p?
+/// Runs batches until the Wilson CI excludes p from one side or the trial
+/// cap is hit, then falls back to the point estimate (Alg. 1's L-band exit).
+bool meets_rate(std::uint64_t j, std::uint32_t k, std::uint64_t c, double p, util::Rng& rng,
+                const SearchOptions& opts) {
+  std::uint64_t trials = 0;
+  std::uint64_t successes = 0;
+  while (trials < opts.max_trials) {
+    for (std::uint64_t i = 0; i < opts.batch; ++i) {
+      successes += hypergraph_decodes(j, k, c, rng) ? 1u : 0u;
+    }
+    trials += opts.batch;
+    const util::Interval ci = util::wilson_interval(successes, trials, opts.z);
+    if (ci.lo() >= p) return true;
+    if (ci.hi() <= p) return false;
+  }
+  return static_cast<double>(successes) / static_cast<double>(trials) >= p;
+}
+
+std::uint64_t round_up_multiple(std::uint64_t v, std::uint64_t m) {
+  return ((v + m - 1) / m) * m;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> search_cells(std::uint64_t j, std::uint32_t k, double p,
+                                          util::Rng& rng, const SearchOptions& opts) {
+  if (j == 0) return k;  // One empty partition row; decodes trivially.
+
+  // Search in units of k cells so every candidate stays a legal table size.
+  std::uint64_t lo = 1;
+  std::uint64_t hi = round_up_multiple(std::max<std::uint64_t>(j * opts.cmax_factor, k), k) / k;
+  if (!meets_rate(j, k, hi * k, p, rng, opts)) return std::nullopt;
+
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (meets_rate(j, k, mid * k, p, rng, opts)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi * k;
+}
+
+SearchResult search_params(std::uint64_t j, double p, util::Rng& rng,
+                           const SearchOptions& opts) {
+  SearchResult best;
+  best.params.cells = 0;
+  for (std::uint32_t k = opts.k_min; k <= opts.k_max; ++k) {
+    const auto c = search_cells(j, k, p, rng, opts);
+    if (!c) continue;
+    if (best.params.cells == 0 || *c < best.params.cells) {
+      best.params = IbltParams{k, *c};
+    }
+  }
+  if (best.params.cells != 0) {
+    best.decode_rate =
+        measure_decode_rate(j, best.params.k, best.params.cells, 2000, rng);
+  }
+  return best;
+}
+
+double measure_decode_rate(std::uint64_t j, std::uint32_t k, std::uint64_t c,
+                           std::uint64_t trials, util::Rng& rng) {
+  if (trials == 0) return 0.0;
+  std::uint64_t successes = 0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    successes += hypergraph_decodes(j, k, c, rng) ? 1u : 0u;
+  }
+  return static_cast<double>(successes) / static_cast<double>(trials);
+}
+
+}  // namespace graphene::iblt

@@ -1,0 +1,54 @@
+// Algorithm 1 (Fig. 9): statistically-certified binary search for the
+// smallest IBLT that decodes j items with probability at least p.
+//
+// For each candidate cell count c the decode rate is estimated by sampling
+// hypergraph peelings until the Wilson confidence interval around the
+// observed success proportion separates from p (or a trial cap is reached).
+// Monotonicity of the decode rate in c justifies the binary search; an outer
+// loop tries each k in [k_min, k_max] and keeps the smallest table.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "iblt/iblt.hpp"
+#include "util/random.hpp"
+
+namespace graphene::iblt {
+
+struct SearchOptions {
+  std::uint32_t k_min = 3;
+  std::uint32_t k_max = 8;
+  /// Upper bracket for the binary search, as a multiple of j (cmax in Alg 1).
+  std::uint64_t cmax_factor = 20;
+  /// Trials before giving up on CI separation and deciding by point estimate.
+  std::uint64_t max_trials = 20000;
+  /// Trials per adaptive batch.
+  std::uint64_t batch = 64;
+  /// z for the Wilson interval (1.96 ≈ 95%).
+  double z = 1.96;
+};
+
+/// Result of a search for a single k.
+struct SearchResult {
+  IbltParams params;
+  /// Point estimate of the decode rate at the returned size.
+  double decode_rate = 0.0;
+};
+
+/// Smallest c (multiple of k) such that j items decode with probability ≥ p
+/// for a fixed k. Returns nullopt if even cmax_factor*j cells fail.
+[[nodiscard]] std::optional<std::uint64_t> search_cells(std::uint64_t j, std::uint32_t k,
+                                                        double p, util::Rng& rng,
+                                                        const SearchOptions& opts = {});
+
+/// Full Algorithm 1 with the outer k loop: smallest (k, c) meeting rate p.
+[[nodiscard]] SearchResult search_params(std::uint64_t j, double p, util::Rng& rng,
+                                         const SearchOptions& opts = {});
+
+/// Measures the decode rate of a (j, k, c) configuration by direct sampling;
+/// exposed for tests and the Fig. 7 benchmark.
+[[nodiscard]] double measure_decode_rate(std::uint64_t j, std::uint32_t k, std::uint64_t c,
+                                         std::uint64_t trials, util::Rng& rng);
+
+}  // namespace graphene::iblt

@@ -1,0 +1,79 @@
+#include "iblt/param_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+namespace graphene::iblt {
+
+namespace {
+
+constexpr TableEntry kParamTable[] = {
+#include "iblt/param_table_data.inc"
+};
+
+/// Safety margin applied when extrapolating beyond the generated grid.
+constexpr double kExtrapolationMargin = 1.10;
+
+std::uint32_t snap_denom(std::uint32_t fail_denom) {
+  // Snap *up*: a stricter failure rate than requested is always acceptable.
+  std::uint32_t snapped = kFailDenoms[std::size(kFailDenoms) - 1];
+  for (std::uint32_t d : kFailDenoms) {
+    if (d >= fail_denom) {
+      snapped = d;
+      break;
+    }
+  }
+  return snapped;
+}
+
+const TableEntry* find_entry(std::uint64_t j, std::uint32_t denom) {
+  const TableEntry* best = nullptr;
+  for (const TableEntry& e : kParamTable) {
+    if (e.fail_denom != denom) continue;
+    if (e.j >= j && (best == nullptr || e.j < best->j)) best = &e;
+  }
+  return best;
+}
+
+const TableEntry* largest_entry(std::uint32_t denom) {
+  const TableEntry* best = nullptr;
+  for (const TableEntry& e : kParamTable) {
+    if (e.fail_denom != denom) continue;
+    if (best == nullptr || e.j > best->j) best = &e;
+  }
+  return best;
+}
+
+}  // namespace
+
+IbltParams lookup_params(std::uint64_t j, std::uint32_t fail_denom) {
+  const std::uint32_t denom = snap_denom(fail_denom);
+  if (j == 0) j = 1;
+  if (const TableEntry* e = find_entry(j, denom)) {
+    return IbltParams{e->k, e->cells};
+  }
+  // Beyond the grid: reuse the largest entry's hedge with a safety margin.
+  // Peeling thresholds improve with j, so the largest-j hedge is already an
+  // upper bound for bigger tables; the margin absorbs finite-size variance.
+  const TableEntry* e = largest_entry(denom);
+  const double tau =
+      static_cast<double>(e->cells) / static_cast<double>(e->j) * kExtrapolationMargin;
+  const std::uint32_t k = e->k;
+  auto cells = static_cast<std::uint64_t>(std::ceil(tau * static_cast<double>(j)));
+  cells = ((cells + k - 1) / k) * k;
+  return IbltParams{k, cells};
+}
+
+double hedge_factor(std::uint64_t j, std::uint32_t fail_denom) {
+  const IbltParams p = lookup_params(j, fail_denom);
+  return static_cast<double>(p.cells) / static_cast<double>(std::max<std::uint64_t>(j, 1));
+}
+
+std::size_t iblt_bytes(std::uint64_t j, std::uint32_t fail_denom) {
+  return Iblt::serialized_size_for(lookup_params(j, fail_denom).cells);
+}
+
+std::span<const TableEntry> raw_table() noexcept { return kParamTable; }
+
+}  // namespace graphene::iblt

@@ -1,0 +1,26 @@
+#include "net/message.hpp"
+
+namespace graphene::net {
+
+std::string_view command_name(MessageType type) noexcept {
+  switch (type) {
+    case MessageType::kInv: return "inv";
+    case MessageType::kGetData: return "getdata";
+    case MessageType::kBlockHeader: return "headers";
+    case MessageType::kFullBlock: return "block";
+    case MessageType::kGrapheneBlock: return "grblk";
+    case MessageType::kGrapheneRequest: return "grblkreq";
+    case MessageType::kGrapheneResponse: return "grblkresp";
+    case MessageType::kCompactBlock: return "cmpctblock";
+    case MessageType::kGetBlockTxn: return "getblocktxn";
+    case MessageType::kBlockTxn: return "blocktxn";
+    case MessageType::kXthinGetData: return "get_xthin";
+    case MessageType::kXthinBlock: return "xthinblock";
+    case MessageType::kMempoolSyncOffer: return "mpsync";
+    case MessageType::kMempoolSyncRequest: return "mpsyncreq";
+    case MessageType::kMempoolSyncResponse: return "mpsyncresp";
+  }
+  return "unknown";
+}
+
+}  // namespace graphene::net

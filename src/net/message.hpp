@@ -1,0 +1,50 @@
+// Wire message framing.
+//
+// Every protocol interaction in the library is expressed as framed messages
+// so the simulator's byte accounting matches what a TCP peer connection
+// would carry. Framing follows the Bitcoin P2P envelope: 4-byte magic,
+// 12-byte command, 4-byte length, 4-byte checksum (24 bytes total).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace graphene::net {
+
+enum class MessageType : std::uint8_t {
+  kInv,
+  kGetData,
+  kBlockHeader,
+  kFullBlock,
+  kGrapheneBlock,      ///< Protocol 1, step 3: S + I (+ header)
+  kGrapheneRequest,    ///< Protocol 2, step 2: R, y*, b
+  kGrapheneResponse,   ///< Protocol 2, steps 3–4: missing txns + J (+ F when m≈n)
+  kCompactBlock,       ///< BIP-152 cmpctblock
+  kGetBlockTxn,        ///< BIP-152 index-based repair request
+  kBlockTxn,           ///< BIP-152 repair response
+  kXthinGetData,       ///< XThin get_xthin with mempool Bloom filter
+  kXthinBlock,         ///< XThin response: 8-byte IDs + missing transactions
+  kMempoolSyncOffer,   ///< mempool sync: S + I over the sender's pool
+  kMempoolSyncRequest,
+  kMempoolSyncResponse,
+};
+
+/// Human-readable command string (also the wire command field).
+[[nodiscard]] std::string_view command_name(MessageType type) noexcept;
+
+/// Size of the P2P envelope prepended to every message.
+inline constexpr std::size_t kEnvelopeBytes = 24;
+
+struct Message {
+  MessageType type = MessageType::kInv;
+  util::Bytes payload;
+
+  /// Envelope + payload: what the socket would carry.
+  [[nodiscard]] std::size_t wire_size() const noexcept {
+    return kEnvelopeBytes + payload.size();
+  }
+};
+
+}  // namespace graphene::net

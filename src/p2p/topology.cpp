@@ -1,0 +1,83 @@
+#include "p2p/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace graphene::p2p {
+
+void Topology::add_edge(std::uint32_t a, std::uint32_t b) {
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+}
+
+std::size_t Topology::edge_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& adj : adjacency_) total += adj.size();
+  return total / 2;
+}
+
+bool Topology::connected() const {
+  if (adjacency_.empty()) return true;
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::deque<std::uint32_t> queue{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!queue.empty()) {
+    const std::uint32_t u = queue.front();
+    queue.pop_front();
+    for (const std::uint32_t v : adjacency_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++visited;
+        queue.push_back(v);
+      }
+    }
+  }
+  return visited == adjacency_.size();
+}
+
+Topology Topology::random_regular(std::uint32_t nodes, std::uint32_t degree,
+                                  util::Rng& rng) {
+  degree = std::min(degree, nodes > 0 ? nodes - 1 : 0);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    Topology topo(nodes);
+    // Each node dials `degree` distinct peers it is not yet connected to —
+    // the Bitcoin outbound-connection model; inbound links raise the
+    // effective degree above `degree`.
+    std::vector<std::unordered_set<std::uint32_t>> links(nodes);
+    bool ok = true;
+    for (std::uint32_t u = 0; u < nodes && ok; ++u) {
+      std::uint32_t dialed = 0;
+      std::uint32_t tries = 0;
+      while (links[u].size() < degree && dialed < degree && tries < nodes * 4) {
+        ++tries;
+        const auto v = static_cast<std::uint32_t>(rng.below(nodes));
+        if (v == u || links[u].count(v) > 0) continue;
+        links[u].insert(v);
+        links[v].insert(u);
+        topo.add_edge(u, v);
+        ++dialed;
+      }
+      ok = links[u].size() >= std::min(degree, nodes - 1);
+    }
+    if (ok && topo.connected()) return topo;
+  }
+  // Fall back to a ring + chords, which is always connected.
+  Topology topo(nodes);
+  for (std::uint32_t u = 0; u < nodes; ++u) {
+    topo.add_edge(u, (u + 1) % nodes);
+    if (degree > 2 && nodes > 4) topo.add_edge(u, (u + nodes / 2) % nodes);
+  }
+  return topo;
+}
+
+Topology Topology::clique(std::uint32_t nodes) {
+  Topology topo(nodes);
+  for (std::uint32_t u = 0; u < nodes; ++u) {
+    for (std::uint32_t v = u + 1; v < nodes; ++v) topo.add_edge(u, v);
+  }
+  return topo;
+}
+
+}  // namespace graphene::p2p

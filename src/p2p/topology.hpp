@@ -1,0 +1,42 @@
+// Random peer topologies for the propagation simulator.
+//
+// Blockchain gossip networks (§2.2) are approximately random graphs where
+// every peer keeps d outbound connections (Bitcoin: d = 8). `random_regular`
+// builds such a graph and guarantees connectivity by retrying with a fresh
+// seed-derived permutation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace graphene::p2p {
+
+class Topology {
+ public:
+  /// Undirected graph over `nodes` vertices where every vertex has degree at
+  /// least `degree` (Bitcoin-like: outbound connections plus inbound).
+  static Topology random_regular(std::uint32_t nodes, std::uint32_t degree,
+                                 util::Rng& rng);
+
+  /// Fully-connected clique (the miner overlay described in §2.2).
+  static Topology clique(std::uint32_t nodes);
+
+  [[nodiscard]] std::uint32_t node_count() const noexcept {
+    return static_cast<std::uint32_t>(adjacency_.size());
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& neighbors(std::uint32_t node) const {
+    return adjacency_[node];
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept;
+  [[nodiscard]] bool connected() const;
+
+ private:
+  explicit Topology(std::uint32_t nodes) : adjacency_(nodes) {}
+  void add_edge(std::uint32_t a, std::uint32_t b);
+
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+};
+
+}  // namespace graphene::p2p

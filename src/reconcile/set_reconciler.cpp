@@ -1,0 +1,411 @@
+#include "reconcile/set_reconciler.hpp"
+
+#include <algorithm>
+
+#include "bloom/bloom_math.hpp"
+#include "graphene/bounds.hpp"
+#include "iblt/param_table.hpp"
+#include "iblt/pingpong.hpp"
+#include "util/varint.hpp"
+
+namespace graphene::reconcile {
+
+namespace {
+
+std::uint64_t short_id_of(const ItemDigest& d, std::uint64_t salt,
+                          const core::ProtocolConfig& cfg) noexcept {
+  if (cfg.keyed_short_ids) {
+    return util::siphash24(util::SipHashKey{salt, salt ^ 0x6a09e667f3bcc908ULL},
+                           util::ByteView(d.data(), d.size()));
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(d[static_cast<std::size_t>(i)]) << (8 * i);
+  return v;
+}
+
+util::ByteView view(const ItemDigest& d) noexcept {
+  return util::ByteView(d.data(), d.size());
+}
+
+}  // namespace
+
+ItemDigest digest_of(util::ByteView data) noexcept { return util::sha256(data); }
+
+// --- wire formats -----------------------------------------------------------
+
+util::Bytes Offer::serialize() const {
+  util::ByteWriter w;
+  util::write_varint(w, count);
+  w.u64(salt);
+  w.u64(set_checksum);
+  w.raw(filter.serialize());
+  w.raw(correction.serialize());
+  return w.take();
+}
+
+Offer Offer::deserialize(util::ByteReader& reader) {
+  Offer o;
+  o.count = util::read_varint(reader);
+  o.salt = reader.u64();
+  o.set_checksum = reader.u64();
+  o.filter = bloom::BloomFilter::deserialize(reader);
+  o.correction = iblt::Iblt::deserialize(reader);
+  return o;
+}
+
+std::size_t Offer::serialized_size() const noexcept {
+  return util::varint_size(count) + 16 + filter.serialized_size() +
+         correction.serialized_size();
+}
+
+util::Bytes Request::serialize() const {
+  util::ByteWriter w;
+  util::write_varint(w, candidate_count);
+  util::write_varint(w, b);
+  util::write_varint(w, y_star);
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &fpr_r, sizeof(bits));
+  w.u64(bits);
+  w.u8(reversed ? 1 : 0);
+  w.raw(filter.serialize());
+  return w.take();
+}
+
+Request Request::deserialize(util::ByteReader& reader) {
+  Request r;
+  r.candidate_count = util::read_varint(reader);
+  r.b = util::read_varint(reader);
+  r.y_star = util::read_varint(reader);
+  const std::uint64_t bits = reader.u64();
+  std::memcpy(&r.fpr_r, &bits, sizeof(r.fpr_r));
+  r.reversed = reader.u8() != 0;
+  r.filter = bloom::BloomFilter::deserialize(reader);
+  return r;
+}
+
+util::Bytes Response::serialize() const {
+  util::ByteWriter w;
+  util::write_varint(w, missing.size());
+  for (const ItemDigest& d : missing) w.raw(view(d));
+  w.raw(correction.serialize());
+  w.u8(compensation.has_value() ? 1 : 0);
+  if (compensation) w.raw(compensation->serialize());
+  return w.take();
+}
+
+Response Response::deserialize(util::ByteReader& reader) {
+  Response r;
+  const std::uint64_t count = util::read_varint(reader);
+  if (count > reader.remaining() / 32) {
+    throw util::DeserializeError("reconcile::Response: item count exceeds buffer");
+  }
+  r.missing.resize(count);
+  for (ItemDigest& d : r.missing) reader.raw_into(d.data(), d.size());
+  r.correction = iblt::Iblt::deserialize(reader);
+  if (reader.u8() != 0) r.compensation = bloom::BloomFilter::deserialize(reader);
+  return r;
+}
+
+util::Bytes FetchRequest::serialize() const {
+  util::ByteWriter w;
+  util::write_varint(w, short_ids.size());
+  for (const std::uint64_t s : short_ids) w.u64(s);
+  return w.take();
+}
+
+FetchRequest FetchRequest::deserialize(util::ByteReader& reader) {
+  FetchRequest r;
+  const std::uint64_t count = util::read_varint(reader);
+  if (count > reader.remaining() / 8) {
+    throw util::DeserializeError("reconcile::FetchRequest: count exceeds buffer");
+  }
+  r.short_ids.resize(count);
+  for (auto& s : r.short_ids) s = reader.u64();
+  return r;
+}
+
+util::Bytes FetchResponse::serialize() const {
+  util::ByteWriter w;
+  util::write_varint(w, items.size());
+  for (const ItemDigest& d : items) w.raw(view(d));
+  return w.take();
+}
+
+FetchResponse FetchResponse::deserialize(util::ByteReader& reader) {
+  FetchResponse r;
+  const std::uint64_t count = util::read_varint(reader);
+  if (count > reader.remaining() / 32) {
+    throw util::DeserializeError("reconcile::FetchResponse: count exceeds buffer");
+  }
+  r.items.resize(count);
+  for (ItemDigest& d : r.items) reader.raw_into(d.data(), d.size());
+  return r;
+}
+
+// --- host -------------------------------------------------------------------
+
+Host::Host(ItemSet items, std::uint64_t salt, core::ProtocolConfig cfg)
+    : items_(std::move(items)), salt_(salt), cfg_(cfg) {}
+
+Offer Host::make_offer(std::uint64_t client_count) const {
+  const std::uint64_t n = items_.size();
+  const core::Protocol1Params params =
+      core::optimize_protocol1(n, std::max(client_count, n), cfg_);
+
+  Offer offer;
+  offer.count = n;
+  offer.salt = salt_;
+  offer.filter = bloom::BloomFilter(std::max<std::uint64_t>(n, 1), params.fpr,
+                                    salt_ ^ 0x0ffe12);
+  offer.correction = iblt::Iblt(params.iblt, salt_);
+  for (const ItemDigest& d : items_) {
+    offer.filter.insert(view(d));
+    const std::uint64_t sid = short_id_of(d, salt_, cfg_);
+    offer.correction.insert(sid);
+    offer.set_checksum ^= util::mix64(sid);
+  }
+  return offer;
+}
+
+Response Host::serve(const Request& request) const {
+  Response resp;
+  const std::uint64_t n = items_.size();
+
+  std::vector<const ItemDigest*> passed;
+  passed.reserve(n);
+  for (const ItemDigest& d : items_) {
+    if (request.filter.contains(view(d))) {
+      passed.push_back(&d);
+    } else {
+      resp.missing.push_back(d);
+    }
+  }
+
+  std::uint64_t j_items = request.b + request.y_star;
+  if (request.reversed) {
+    const std::uint64_t z_s = passed.size();
+    const std::uint64_t x_s = core::bound_x_star(z_s, n, request.candidate_count,
+                                                 request.fpr_r, cfg_.beta);
+    const std::uint64_t y_s = core::bound_y_star(n, x_s, request.fpr_r, cfg_.beta);
+    const std::uint64_t denom = std::max<std::uint64_t>(
+        1, request.candidate_count > x_s ? request.candidate_count - x_s : 1);
+
+    std::uint64_t best_b = 1;
+    std::size_t best_total = SIZE_MAX;
+    for (std::uint64_t b = 1; b <= denom; b = (b < 128 ? b + 1 : b + b / 8)) {
+      const double f_f = std::min(1.0, static_cast<double>(b) / static_cast<double>(denom));
+      const std::size_t total = bloom::serialized_bytes(z_s, f_f) +
+                                iblt::iblt_bytes(b + y_s, cfg_.fail_denom);
+      if (total < best_total) {
+        best_total = total;
+        best_b = b;
+      }
+    }
+    const double f_f = std::min(1.0, static_cast<double>(best_b) / static_cast<double>(denom));
+    bloom::BloomFilter comp(std::max<std::uint64_t>(z_s, 1), f_f, salt_ ^ 0xc0ffee);
+    for (const ItemDigest* d : passed) comp.insert(view(*d));
+    resp.compensation = std::move(comp);
+    j_items = best_b + y_s;
+  }
+
+  resp.correction = iblt::Iblt(iblt::lookup_params(j_items, cfg_.fail_denom), salt_ + 1);
+  for (const ItemDigest& d : items_) resp.correction.insert(short_id_of(d, salt_, cfg_));
+  return resp;
+}
+
+FetchResponse Host::serve_fetch(const FetchRequest& request) const {
+  FetchResponse resp;
+  std::unordered_map<std::uint64_t, const ItemDigest*> by_sid;
+  by_sid.reserve(items_.size());
+  for (const ItemDigest& d : items_) by_sid.emplace(short_id_of(d, salt_, cfg_), &d);
+  for (const std::uint64_t s : request.short_ids) {
+    const auto it = by_sid.find(s);
+    if (it != by_sid.end()) resp.items.push_back(*it->second);
+  }
+  return resp;
+}
+
+// --- client -----------------------------------------------------------------
+
+Client::Client(const ItemSet& items, core::ProtocolConfig cfg)
+    : items_(&items), cfg_(cfg) {}
+
+std::uint64_t Client::sid(const ItemDigest& d) const noexcept {
+  return short_id_of(d, offer_.salt, cfg_);
+}
+
+void Client::index(const ItemDigest& d) {
+  const std::uint64_t s = sid(d);
+  const auto [it, inserted] = sid_to_digest_.emplace(s, d);
+  if (!inserted && it->second != d) ambiguous_.insert(s);
+  candidates_.insert(d);
+}
+
+Outcome Client::absorb(const Offer& offer) {
+  offer_ = offer;
+  sid_to_digest_.clear();
+  ambiguous_.clear();
+  candidates_.clear();
+
+  for (const ItemDigest& d : *items_) {
+    if (offer.filter.contains(view(d))) index(d);
+  }
+
+  iblt::Iblt mine(iblt::IbltParams{offer.correction.hash_count(),
+                                   offer.correction.cell_count()},
+                  offer.correction.seed());
+  for (const ItemDigest& d : candidates_) mine.insert(sid(d));
+
+  const iblt::DecodeResult dec = offer.correction.subtract(mine).decode();
+  Outcome out;
+  if (dec.malformed || !dec.success || !dec.positives.empty()) {
+    out.status = dec.malformed ? Outcome::Status::kFailed : Outcome::Status::kNeedsRequest;
+    return out;
+  }
+  for (const std::uint64_t s : dec.negatives) {
+    const auto it = sid_to_digest_.find(s);
+    if (it == sid_to_digest_.end() || ambiguous_.count(s) > 0) {
+      out.status = Outcome::Status::kNeedsRequest;
+      return out;
+    }
+    candidates_.erase(it->second);
+  }
+  return finalize();
+}
+
+Request Client::make_request() {
+  const std::uint64_t z = candidates_.size();
+  const double f_s = bloom::expected_fpr(offer_.filter.bit_count(),
+                                         offer_.filter.hash_count(), offer_.count);
+  params2_ = core::optimize_protocol2(z, items_->size(), offer_.count, f_s, cfg_);
+
+  Request req;
+  req.candidate_count = z;
+  req.b = params2_.b;
+  req.y_star = params2_.y_star;
+  req.fpr_r = params2_.fpr;
+  req.reversed = params2_.reversed;
+  req.filter = bloom::BloomFilter(std::max<std::uint64_t>(z, 1), params2_.fpr,
+                                  offer_.salt ^ 0x4ece55);
+  for (const ItemDigest& d : candidates_) req.filter.insert(view(d));
+  return req;
+}
+
+Outcome Client::complete(const Response& response) {
+  Outcome out;
+
+  if (params2_.reversed && response.compensation.has_value()) {
+    for (auto it = candidates_.begin(); it != candidates_.end();) {
+      if (!response.compensation->contains(view(*it))) {
+        it = candidates_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const ItemDigest& d : response.missing) index(d);
+
+  iblt::Iblt mine(iblt::IbltParams{response.correction.hash_count(),
+                                   response.correction.cell_count()},
+                  response.correction.seed());
+  for (const ItemDigest& d : candidates_) mine.insert(sid(d));
+
+  const iblt::Iblt diff_j = response.correction.subtract(mine);
+  iblt::DecodeResult dec = diff_j.decode();
+  if (!dec.success && !dec.malformed && cfg_.enable_pingpong) {
+    // §4.2 ping-pong: the offer's IBLT covers the same item pair.
+    iblt::Iblt offer_mine(iblt::IbltParams{offer_.correction.hash_count(),
+                                           offer_.correction.cell_count()},
+                          offer_.correction.seed());
+    for (const ItemDigest& d : candidates_) offer_mine.insert(sid(d));
+    const iblt::PingPongResult pp =
+        iblt::pingpong_decode(diff_j, offer_.correction.subtract(offer_mine));
+    if (pp.malformed) {
+      out.status = Outcome::Status::kFailed;
+      return out;
+    }
+    dec.success = pp.success;
+    dec.positives = pp.positives;
+    dec.negatives = pp.negatives;
+  }
+  if (dec.malformed || !dec.success) {
+    out.status = Outcome::Status::kFailed;
+    return out;
+  }
+  for (const std::uint64_t s : dec.negatives) {
+    const auto it = sid_to_digest_.find(s);
+    if (it == sid_to_digest_.end() || ambiguous_.count(s) > 0) {
+      out.status = Outcome::Status::kFailed;
+      return out;
+    }
+    candidates_.erase(it->second);
+  }
+  std::vector<std::uint64_t> unresolved;
+  for (const std::uint64_t s : dec.positives) {
+    const auto it = sid_to_digest_.find(s);
+    if (it != sid_to_digest_.end() && ambiguous_.count(s) == 0) {
+      candidates_.insert(it->second);
+    } else {
+      unresolved.push_back(s);
+    }
+  }
+  if (!unresolved.empty()) {
+    pending_fetch_ = unresolved;
+    out.status = Outcome::Status::kNeedsFetch;
+    out.unresolved = std::move(unresolved);
+    return out;
+  }
+  return finalize();
+}
+
+FetchRequest Client::make_fetch() const {
+  FetchRequest req;
+  req.short_ids = pending_fetch_;
+  return req;
+}
+
+Outcome Client::complete_fetch(const FetchResponse& response) {
+  for (const ItemDigest& d : response.items) index(d);
+  pending_fetch_.clear();
+  return finalize();
+}
+
+Outcome Client::finalize() {
+  Outcome out;
+  std::uint64_t checksum = 0;
+  for (const ItemDigest& d : candidates_) checksum ^= util::mix64(sid(d));
+  if (candidates_.size() == offer_.count && checksum == offer_.set_checksum) {
+    out.status = Outcome::Status::kComplete;
+    out.host_set = candidates_;
+  } else {
+    out.status = Outcome::Status::kNeedsRequest;
+  }
+  return out;
+}
+
+SyncStats reconcile_one_way(const Host& host, Client& client, const Offer& offer,
+                            Outcome& outcome) {
+  SyncStats stats;
+  stats.offer_bytes = offer.serialize().size();
+  outcome = client.absorb(offer);
+  if (outcome.status == Outcome::Status::kNeedsRequest) {
+    stats.used_request_round = true;
+    const Request req = client.make_request();
+    stats.request_bytes = req.serialize().size();
+    const Response resp = host.serve(req);
+    stats.response_bytes = resp.serialize().size();
+    outcome = client.complete(resp);
+  }
+  if (outcome.status == Outcome::Status::kNeedsFetch) {
+    stats.used_fetch_round = true;
+    const FetchRequest freq = client.make_fetch();
+    stats.fetch_bytes += freq.serialize().size();
+    const FetchResponse fresp = host.serve_fetch(freq);
+    stats.fetch_bytes += fresp.serialize().size();
+    outcome = client.complete_fetch(fresp);
+  }
+  stats.success = outcome.status == Outcome::Status::kComplete;
+  return stats;
+}
+
+}  // namespace graphene::reconcile

@@ -1,0 +1,181 @@
+// Generic Graphene set reconciliation, decoupled from blockchains.
+//
+// The paper (§1) notes the method "applies in general to systems that
+// require set reconciliation, such as database or file system
+// synchronization among replicas. Or ... CRLite, where a client regularly
+// checks a server for revocations of observed certificates."
+//
+// This facade reconciles sets of opaque 32-byte item digests (hash your
+// records however you like) using the same S + I construction as Protocol 1
+// and the R + J recovery of Protocol 2, but with a library-style API:
+//
+//   reconcile::Offer     — host's digest of its set (Bloom filter + IBLT)
+//   reconcile::Request   — client's repair request when the offer alone is
+//                          not decodable
+//   reconcile::Response  — host's missing items + correction IBLT
+//
+// One-way reconciliation (client learns the host's set) is the primitive;
+// two-way union is two one-way passes, exactly like §3.2.1.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graphene/messages.hpp"
+#include "graphene/params.hpp"
+
+namespace graphene::reconcile {
+
+/// Items are identified by 32-byte digests (e.g. SHA-256 of the record).
+using ItemDigest = std::array<std::uint8_t, 32>;
+
+struct DigestHasher {
+  std::size_t operator()(const ItemDigest& d) const noexcept {
+    std::size_t h = 0;
+    for (int i = 0; i < 8; ++i) h |= static_cast<std::size_t>(d[static_cast<std::size_t>(i)]) << (8 * i);
+    return h;
+  }
+};
+
+using ItemSet = std::unordered_set<ItemDigest, DigestHasher>;
+
+/// Host-side digest of a set, sized for a client holding ~`client_count`
+/// items that include (most of) the host's set.
+struct Offer {
+  std::uint64_t count = 0;        ///< |host set|
+  std::uint64_t salt = 0;         ///< keys the 8-byte short IDs
+  std::uint64_t set_checksum = 0; ///< xor of mix64(short id) over the host set —
+                                  ///< the client's final exactness check (the
+                                  ///< blockchain protocol uses the Merkle root)
+  bloom::BloomFilter filter;      ///< S over the full digests
+  iblt::Iblt correction;          ///< I over the short IDs
+
+  [[nodiscard]] util::Bytes serialize() const;
+  static Offer deserialize(util::ByteReader& reader);
+  [[nodiscard]] std::size_t serialized_size() const noexcept;
+};
+
+/// Client-side repair request (Protocol 2 step 2 analogue).
+struct Request {
+  std::uint64_t candidate_count = 0;  ///< z
+  std::uint64_t b = 1;
+  std::uint64_t y_star = 1;
+  double fpr_r = 1.0;
+  bool reversed = false;
+  bloom::BloomFilter filter;  ///< R over the client's candidate digests
+
+  [[nodiscard]] util::Bytes serialize() const;
+  static Request deserialize(util::ByteReader& reader);
+};
+
+/// Host's answer: items the client certainly lacks plus IBLT J.
+struct Response {
+  std::vector<ItemDigest> missing;
+  iblt::Iblt correction;
+  std::optional<bloom::BloomFilter> compensation;  ///< F, reversed path only
+
+  [[nodiscard]] util::Bytes serialize() const;
+  static Response deserialize(util::ByteReader& reader);
+};
+
+/// Final round: short IDs the client decoded as host-only but cannot map to
+/// a digest (they were hidden by R's false positives).
+struct FetchRequest {
+  std::vector<std::uint64_t> short_ids;
+  [[nodiscard]] util::Bytes serialize() const;
+  static FetchRequest deserialize(util::ByteReader& reader);
+};
+
+struct FetchResponse {
+  std::vector<ItemDigest> items;
+  [[nodiscard]] util::Bytes serialize() const;
+  static FetchResponse deserialize(util::ByteReader& reader);
+};
+
+/// Host (sender) side. The host set is fixed at construction.
+class Host {
+ public:
+  Host(ItemSet items, std::uint64_t salt, core::ProtocolConfig cfg = {});
+
+  /// Builds an offer for a client reporting `client_count` items.
+  [[nodiscard]] Offer make_offer(std::uint64_t client_count) const;
+
+  /// Answers a repair request.
+  [[nodiscard]] Response serve(const Request& request) const;
+
+  /// Answers a fetch-by-short-ID request.
+  [[nodiscard]] FetchResponse serve_fetch(const FetchRequest& request) const;
+
+  [[nodiscard]] const ItemSet& items() const noexcept { return items_; }
+
+ private:
+  ItemSet items_;
+  std::uint64_t salt_;
+  core::ProtocolConfig cfg_;
+};
+
+/// Result of a client-side reconciliation attempt.
+struct Outcome {
+  enum class Status { kComplete, kNeedsRequest, kNeedsFetch, kFailed };
+  Status status = Status::kFailed;
+  /// The host's set as learned by the client (valid when kComplete). Items
+  /// the client already held are included.
+  ItemSet host_set;
+  /// Short IDs decoded as host-only but with no digest known — the caller
+  /// must fetch these out of band (or fail). Empty in normal operation.
+  std::vector<std::uint64_t> unresolved;
+};
+
+/// Client (receiver) side. Drives the one-way reconciliation: after
+/// `absorb(offer)` either the host set is known, or `make_request()` /
+/// `complete(response)` runs the recovery round.
+class Client {
+ public:
+  Client(const ItemSet& items, core::ProtocolConfig cfg = {});
+
+  Outcome absorb(const Offer& offer);
+  [[nodiscard]] Request make_request();
+  Outcome complete(const Response& response);
+  [[nodiscard]] FetchRequest make_fetch() const;
+  Outcome complete_fetch(const FetchResponse& response);
+
+ private:
+  Outcome finalize();
+  [[nodiscard]] std::uint64_t sid(const ItemDigest& d) const noexcept;
+  void index(const ItemDigest& d);
+
+  const ItemSet* items_;
+  core::ProtocolConfig cfg_;
+  Offer offer_{};
+  core::Protocol2Params params2_{};
+  std::unordered_map<std::uint64_t, ItemDigest> sid_to_digest_;
+  std::unordered_set<std::uint64_t> ambiguous_;
+  ItemSet candidates_;
+  std::vector<std::uint64_t> pending_fetch_;
+};
+
+/// Convenience: full one-way reconciliation; returns the host set as learned
+/// by the client plus the total encoding bytes exchanged.
+struct SyncStats {
+  bool success = false;
+  bool used_request_round = false;
+  bool used_fetch_round = false;
+  std::size_t offer_bytes = 0;
+  std::size_t request_bytes = 0;
+  std::size_t response_bytes = 0;
+  std::size_t fetch_bytes = 0;
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    return offer_bytes + request_bytes + response_bytes + fetch_bytes;
+  }
+};
+
+SyncStats reconcile_one_way(const Host& host, Client& client, const Offer& offer,
+                            Outcome& outcome);
+
+/// Hashes an arbitrary byte string into an ItemDigest (SHA-256).
+[[nodiscard]] ItemDigest digest_of(util::ByteView data) noexcept;
+
+}  // namespace graphene::reconcile

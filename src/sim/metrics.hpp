@@ -1,0 +1,42 @@
+// Small statistics accumulators for benches (means, 95% CIs, failure rates).
+#pragma once
+
+#include <cstdint>
+
+namespace graphene::sim {
+
+/// Streaming mean/variance (Welford) with a normal-approximation 95% CI.
+class Accumulator {
+ public:
+  void add(double sample) noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Half-width of the 95% confidence interval around the mean.
+  [[nodiscard]] double ci95() const noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Bernoulli success counter with a Wilson 95% interval on the rate.
+class RateCounter {
+ public:
+  void add(bool success) noexcept {
+    ++trials_;
+    successes_ += success ? 1 : 0;
+  }
+  [[nodiscard]] std::uint64_t trials() const noexcept { return trials_; }
+  [[nodiscard]] std::uint64_t successes() const noexcept { return successes_; }
+  [[nodiscard]] double rate() const noexcept;
+  [[nodiscard]] double failure_rate() const noexcept { return 1.0 - rate(); }
+
+ private:
+  std::uint64_t trials_ = 0;
+  std::uint64_t successes_ = 0;
+};
+
+}  // namespace graphene::sim

@@ -1,0 +1,29 @@
+#include "sim/scenario.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace graphene::sim {
+
+std::vector<std::uint64_t> paper_block_sizes() { return {200, 2000, 10000}; }
+
+std::vector<double> mempool_multiples() {
+  return {0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0};
+}
+
+std::vector<double> block_fractions() {
+  return {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+}
+
+std::uint64_t trials_from_env(std::uint64_t default_trials) {
+  if (const char* env = std::getenv("GRAPHENE_TRIALS")) {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<std::uint64_t>(v);
+  }
+  if (const char* fast = std::getenv("GRAPHENE_FAST"); fast != nullptr && fast[0] == '1') {
+    return default_trials >= 10 ? default_trials / 10 : 1;
+  }
+  return default_trials;
+}
+
+}  // namespace graphene::sim

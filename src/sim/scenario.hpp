@@ -1,0 +1,29 @@
+// Re-exported workload types plus the canonical experiment grids used by the
+// paper's evaluation (§5.3): block sizes {200, 2000, 10000} and sweeps over
+// mempool multiples / block fractions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/workload.hpp"
+
+namespace graphene::sim {
+
+using chain::Scenario;
+using chain::ScenarioSpec;
+
+/// Block sizes used throughout §5.3 (ETH/BCH-like, BTC-like, large).
+[[nodiscard]] std::vector<std::uint64_t> paper_block_sizes();
+
+/// Fig. 14/15 x-axis: extra mempool transactions as multiples of block size.
+[[nodiscard]] std::vector<double> mempool_multiples();
+
+/// Fig. 16/17 x-axis: fraction of the block already at the receiver.
+[[nodiscard]] std::vector<double> block_fractions();
+
+/// Environment-tunable trial count: GRAPHENE_TRIALS overrides, GRAPHENE_FAST
+/// divides defaults by 10. Benches use this so full runs stay tractable.
+[[nodiscard]] std::uint64_t trials_from_env(std::uint64_t default_trials);
+
+}  // namespace graphene::sim

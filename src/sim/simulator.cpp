@@ -1,0 +1,89 @@
+#include "sim/simulator.hpp"
+
+namespace graphene::sim {
+
+namespace {
+
+GrapheneRun run_impl(const Scenario& scenario, std::uint64_t salt,
+                     const core::ProtocolConfig& cfg, bool protocol1_only) {
+  GrapheneRun run;
+  core::Sender sender(scenario.block, salt, cfg);
+  core::Receiver receiver(scenario.receiver_mempool, cfg);
+
+  run.getdata_bytes = kGetdataBytes;
+  const core::GrapheneBlockMsg msg = sender.encode(scenario.receiver_mempool.size());
+  run.bloom_s_bytes = msg.filter_s.serialized_size();
+  run.iblt_i_bytes = msg.iblt_i.serialized_size();
+
+  core::ReceiveOutcome out = receiver.receive_block(msg);
+  run.p1_decoded = out.status == core::ReceiveStatus::kDecoded;
+  if (run.p1_decoded || protocol1_only) {
+    run.decoded = run.p1_decoded;
+    return run;
+  }
+
+  if (out.status == core::ReceiveStatus::kNeedsProtocol2) {
+    run.used_protocol2 = true;
+    const core::GrapheneRequestMsg req = receiver.build_request();
+    run.bloom_r_bytes = req.filter_r.serialized_size();
+
+    const core::GrapheneResponseMsg resp = sender.serve(req);
+    run.iblt_j_bytes = resp.iblt_j.serialized_size();
+    if (resp.filter_f) run.bloom_f_bytes = resp.filter_f->serialized_size();
+    run.missing_txn_bytes += resp.missing_tx_bytes();
+
+    out = receiver.complete(resp);
+    run.used_pingpong = out.used_pingpong;
+  }
+
+  if (out.status == core::ReceiveStatus::kNeedsRepair) {
+    run.used_repair = true;
+    const core::RepairRequestMsg rep = receiver.build_repair();
+    run.repair_bytes += rep.serialize().size();
+    const core::RepairResponseMsg rep_resp = sender.serve_repair(rep);
+    run.missing_txn_bytes += rep_resp.serialize().size();
+    out = receiver.complete_repair(rep_resp);
+  }
+
+  run.decoded = out.status == core::ReceiveStatus::kDecoded;
+  return run;
+}
+
+}  // namespace
+
+GrapheneRun run_graphene(const Scenario& scenario, std::uint64_t salt,
+                         const core::ProtocolConfig& cfg) {
+  return run_impl(scenario, salt, cfg, /*protocol1_only=*/false);
+}
+
+GrapheneRun run_graphene_protocol1_only(const Scenario& scenario, std::uint64_t salt,
+                                        const core::ProtocolConfig& cfg) {
+  return run_impl(scenario, salt, cfg, /*protocol1_only=*/true);
+}
+
+TrialStats run_trials(const ScenarioSpec& spec, std::uint64_t trials, std::uint64_t seed,
+                      const core::ProtocolConfig& cfg, bool protocol1_only) {
+  TrialStats stats;
+  stats.trials = trials;
+  util::Rng rng(seed);
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const Scenario scenario = chain::make_scenario(spec, rng);
+    const GrapheneRun run = run_impl(scenario, rng.next(), cfg, protocol1_only);
+    stats.p1_decode_failures += run.p1_decoded ? 0 : 1;
+    stats.decode_failures += run.decoded ? 0 : 1;
+    stats.pingpong_rescues += run.used_pingpong && run.decoded ? 1 : 0;
+    const double w = 1.0 / static_cast<double>(t + 1);
+    auto fold = [w](double& mean, double sample) { mean += (sample - mean) * w; };
+    fold(stats.mean_encoding_bytes, static_cast<double>(run.encoding_bytes()));
+    fold(stats.mean_getdata, static_cast<double>(run.getdata_bytes));
+    fold(stats.mean_bloom_s, static_cast<double>(run.bloom_s_bytes));
+    fold(stats.mean_iblt_i, static_cast<double>(run.iblt_i_bytes));
+    fold(stats.mean_bloom_r, static_cast<double>(run.bloom_r_bytes));
+    fold(stats.mean_iblt_j, static_cast<double>(run.iblt_j_bytes));
+    fold(stats.mean_bloom_f, static_cast<double>(run.bloom_f_bytes));
+    fold(stats.mean_missing_txn, static_cast<double>(run.missing_txn_bytes));
+  }
+  return stats;
+}
+
+}  // namespace graphene::sim

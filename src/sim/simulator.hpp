@@ -1,0 +1,73 @@
+// End-to-end Graphene runs with per-message byte decomposition — the engine
+// behind every figure-reproducing benchmark.
+#pragma once
+
+#include "graphene/params.hpp"
+#include "graphene/receiver.hpp"
+#include "graphene/sender.hpp"
+#include "sim/scenario.hpp"
+
+namespace graphene::sim {
+
+/// One sender→receiver block relay, decomposed the way Fig. 17 plots it.
+struct GrapheneRun {
+  bool p1_decoded = false;   ///< Protocol 1 sufficed
+  bool decoded = false;      ///< block recovered by the end of the run
+  bool used_protocol2 = false;
+  bool used_repair = false;
+  bool used_pingpong = false;
+
+  std::size_t getdata_bytes = 0;   ///< receiver's initial request (inv+count)
+  std::size_t bloom_s_bytes = 0;   ///< Protocol 1 filter S
+  std::size_t iblt_i_bytes = 0;    ///< Protocol 1 IBLT I
+  std::size_t bloom_r_bytes = 0;   ///< Protocol 2 filter R
+  std::size_t iblt_j_bytes = 0;    ///< Protocol 2 IBLT J
+  std::size_t bloom_f_bytes = 0;   ///< m≈n compensation filter F
+  std::size_t missing_txn_bytes = 0;  ///< full transactions shipped
+  std::size_t repair_bytes = 0;       ///< short-ID repair round (both ways)
+
+  /// Protocol encoding cost — what the paper's size figures report
+  /// (excludes missing transaction bytes).
+  [[nodiscard]] std::size_t encoding_bytes() const noexcept {
+    return getdata_bytes + bloom_s_bytes + iblt_i_bytes + bloom_r_bytes + iblt_j_bytes +
+           bloom_f_bytes + repair_bytes;
+  }
+  /// Everything on the wire.
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    return encoding_bytes() + missing_txn_bytes;
+  }
+};
+
+/// Fixed model cost for the receiver's step-2 getdata (inv hash + mempool
+/// count); matches the small constant the deployed protocol sends.
+inline constexpr std::size_t kGetdataBytes = 37;
+
+/// Runs Protocols 1→2→repair as needed over a prepared scenario.
+GrapheneRun run_graphene(const Scenario& scenario, std::uint64_t salt,
+                         const core::ProtocolConfig& cfg = {});
+
+/// Runs Protocol 1 only (no recovery) — Fig. 14/15 measure this path.
+GrapheneRun run_graphene_protocol1_only(const Scenario& scenario, std::uint64_t salt,
+                                        const core::ProtocolConfig& cfg = {});
+
+/// Accumulated Monte Carlo statistics over many runs.
+struct TrialStats {
+  std::uint64_t trials = 0;
+  std::uint64_t p1_decode_failures = 0;
+  std::uint64_t decode_failures = 0;
+  std::uint64_t pingpong_rescues = 0;
+  double mean_encoding_bytes = 0.0;
+  double mean_getdata = 0.0;
+  double mean_bloom_s = 0.0;
+  double mean_iblt_i = 0.0;
+  double mean_bloom_r = 0.0;
+  double mean_iblt_j = 0.0;
+  double mean_bloom_f = 0.0;
+  double mean_missing_txn = 0.0;
+};
+
+/// Repeats `spec` for `trials` independently-seeded runs.
+TrialStats run_trials(const ScenarioSpec& spec, std::uint64_t trials, std::uint64_t seed,
+                      const core::ProtocolConfig& cfg = {}, bool protocol1_only = false);
+
+}  // namespace graphene::sim

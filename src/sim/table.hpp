@@ -1,0 +1,32 @@
+// Aligned ASCII table printing — every bench prints the paper's series as
+// rows through this.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace graphene::sim {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders the table (header, rule, rows) to `os`.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.3 KB" / "734 B" style formatting.
+[[nodiscard]] std::string format_bytes(double bytes);
+/// Fixed-precision double.
+[[nodiscard]] std::string format_double(double v, int precision = 3);
+/// Probability in scientific-ish form ("2.1e-04" or "0").
+[[nodiscard]] std::string format_prob(double p);
+
+}  // namespace graphene::sim

@@ -1,0 +1,12 @@
+#include "util/bytes.hpp"
+
+namespace graphene::util {
+
+bool equal(ByteView a, ByteView b) noexcept {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
+  return acc == 0;
+}
+
+}  // namespace graphene::util

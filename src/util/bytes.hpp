@@ -1,0 +1,119 @@
+// Byte-buffer primitives shared by every wire format in the library.
+//
+// All protocol messages in this reproduction are serialized to real byte
+// buffers (never size formulas alone), so that the benchmark harnesses
+// measure the same thing a network socket would carry.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace graphene::util {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Thrown when a reader runs off the end of a buffer or a decoder meets a
+/// structurally invalid encoding.
+class DeserializeError : public std::runtime_error {
+ public:
+  explicit DeserializeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only little-endian byte writer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append_le(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i32(std::int32_t v) { append_le(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+
+  void raw(ByteView data) { buf_.insert(buf_.end(), data.begin(), data.end()); }
+  void raw(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] const Bytes& bytes() const noexcept { return buf_; }
+  [[nodiscard]] Bytes take() noexcept { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes buf_;
+};
+
+/// Bounds-checked little-endian byte reader over a non-owning view.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteView data) noexcept : data_(data) {}
+
+  std::uint8_t u8() { return take<std::uint8_t>(); }
+  std::uint16_t u16() { return take<std::uint16_t>(); }
+  std::uint32_t u32() { return take<std::uint32_t>(); }
+  std::uint64_t u64() { return take<std::uint64_t>(); }
+  std::int32_t i32() { return static_cast<std::int32_t>(take<std::uint32_t>()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(take<std::uint64_t>()); }
+
+  /// Reads `len` bytes into a fresh vector.
+  Bytes raw(std::size_t len) {
+    require(len);
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return out;
+  }
+
+  /// Reads `len` bytes into caller-provided storage.
+  void raw_into(void* dst, std::size_t len) {
+    require(len);
+    std::memcpy(dst, data_.data() + pos_, len);
+    pos_ += len;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const noexcept { return remaining() == 0; }
+
+ private:
+  void require(std::size_t len) const {
+    if (len > remaining()) {
+      throw DeserializeError("ByteReader: truncated buffer (need " + std::to_string(len) +
+                             " bytes, have " + std::to_string(remaining()) + ")");
+    }
+  }
+
+  template <typename T>
+  T take() {
+    require(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+/// Constant-time-ish equality for short digests (not security critical here,
+/// but cheap and avoids accidental short-circuit timing differences in tests).
+bool equal(ByteView a, ByteView b) noexcept;
+
+}  // namespace graphene::util

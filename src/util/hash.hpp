@@ -1,0 +1,57 @@
+// Fast non-cryptographic hashing for Bloom filter and IBLT index derivation.
+//
+// Two strategies are provided:
+//
+//  * MixHasher — a splitmix64-style avalanche over (seed, input), used when
+//    the input is an arbitrary 64-bit word (IBLT cell indexing, hypergraph
+//    edge generation).
+//
+//  * split_txid_words — §6.3's optimization: a transaction ID is already a
+//    cryptographic hash, so instead of re-hashing it k times a client can
+//    slice the 32-byte ID into k words. bench_bloom_hashing quantifies the
+//    speedup over k-fold SipHash.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace graphene::util {
+
+/// splitmix64 finalizer: a fast, well-distributed 64-bit mixer.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Derives the i-th hash of `item` under `seed` via double hashing
+/// (Kirsch–Mitzenmacher): h_i = h1 + i*h2, each drawn from mix64.
+class MixHasher {
+ public:
+  explicit MixHasher(std::uint64_t seed) noexcept : seed_(seed) {}
+
+  [[nodiscard]] std::uint64_t operator()(std::uint64_t item, std::uint32_t i) const noexcept {
+    const std::uint64_t h1 = mix64(item ^ seed_);
+    const std::uint64_t h2 = mix64(item + 0x632be59bd9b4e019ULL + (seed_ << 1));
+    return h1 + static_cast<std::uint64_t>(i) * (h2 | 1);
+  }
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Slices a 32-byte digest into four 64-bit little-endian words (§6.3).
+/// For k > 4 hash functions, callers extend with double hashing over the
+/// first two words, which preserves the "no extra crypto hashing" property.
+[[nodiscard]] std::array<std::uint64_t, 4> split_digest_words(ByteView digest32) noexcept;
+
+/// Folds an arbitrary byte string to 64 bits (FNV-1a then mixed); used where
+/// an input is not already a digest.
+[[nodiscard]] std::uint64_t hash64(ByteView data, std::uint64_t seed = 0) noexcept;
+
+}  // namespace graphene::util

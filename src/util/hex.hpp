@@ -1,0 +1,17 @@
+// Hex encoding/decoding used by txid printing and test vectors.
+#pragma once
+
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace graphene::util {
+
+/// Lowercase hex encoding of `data`.
+[[nodiscard]] std::string to_hex(ByteView data);
+
+/// Decodes lowercase or uppercase hex; throws DeserializeError on odd length
+/// or non-hex characters.
+[[nodiscard]] Bytes from_hex(const std::string& hex);
+
+}  // namespace graphene::util

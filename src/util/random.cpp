@@ -1,0 +1,54 @@
+#include "util/random.hpp"
+
+#include <cmath>
+
+namespace graphene::util {
+
+std::uint64_t Rng::binomial(std::uint64_t n, double p) noexcept {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  // Exploit symmetry so the inversion loop runs over the smaller tail.
+  if (p > 0.5) return n - binomial(n, 1.0 - p);
+
+  const double mean = static_cast<double>(n) * p;
+  const double variance = mean * (1.0 - p);
+  if (variance > 1000.0) {
+    // Normal approximation with continuity correction; clamp into range.
+    const double sample = mean + std::sqrt(variance) * gaussian() + 0.5;
+    if (sample <= 0.0) return 0;
+    if (sample >= static_cast<double>(n)) return n;
+    return static_cast<std::uint64_t>(sample);
+  }
+  if (mean < 32.0) {
+    // Inversion by sequential search over the CDF.
+    const double q = 1.0 - p;
+    const double ratio = p / q;
+    double pdf = std::pow(q, static_cast<double>(n));
+    double cdf = pdf;
+    const double u = uniform();
+    std::uint64_t k = 0;
+    while (cdf < u && k < n) {
+      ++k;
+      pdf *= ratio * static_cast<double>(n - k + 1) / static_cast<double>(k);
+      cdf += pdf;
+    }
+    return k;
+  }
+  // Moderate mean: sum of Bernoulli draws is still cheap enough.
+  std::uint64_t count = 0;
+  for (std::uint64_t i = 0; i < n; ++i) count += chance(p) ? 1u : 0u;
+  return count;
+}
+
+double Rng::gaussian() noexcept {
+  // Box–Muller; draws until the uniform is nonzero so log() is finite.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+}  // namespace graphene::util

@@ -1,0 +1,92 @@
+// Deterministic fast RNG for Monte Carlo simulation and workload synthesis.
+//
+// xoshiro256** — small state, excellent statistical quality, and fully
+// reproducible across platforms (unlike std::mt19937 distributions, whose
+// outputs are implementation-defined for std::uniform_int_distribution).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+#include "util/hash.hpp"
+
+namespace graphene::util {
+
+class Rng {
+ public:
+  /// Seeds deterministically from a single 64-bit value via splitmix64.
+  explicit Rng(std::uint64_t seed = 0xdecafbadULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    for (auto& word : state_) {
+      seed = mix64(seed + 0x9e3779b97f4a7c15ULL);
+      word = seed;
+    }
+    // Avoid the all-zero state, which is a fixed point.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  /// method for unbiased results.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    // 128-bit multiply; rejection zone keeps the result unbiased.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Fills `out` with random bytes.
+  void fill(Bytes& out) noexcept {
+    for (auto& b : out) b = static_cast<std::uint8_t>(next());
+  }
+
+  /// Standard normal via Box–Muller (used by the workload generator's
+  /// log-normal block-size model).
+  double gaussian() noexcept;
+
+  /// Binomial(n, p) sample. Exact inversion for small means, normal
+  /// approximation with continuity correction beyond np(1−p) > 1000 — the
+  /// Monte Carlo theorem-validation benches draw millions of these.
+  std::uint64_t binomial(std::uint64_t n, double p) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace graphene::util

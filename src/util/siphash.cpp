@@ -1,0 +1,74 @@
+#include "util/siphash.hpp"
+
+#include <bit>
+
+namespace graphene::util {
+
+namespace {
+
+inline void sipround(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
+                     std::uint64_t& v3) noexcept {
+  v0 += v1;
+  v1 = std::rotl(v1, 13);
+  v1 ^= v0;
+  v0 = std::rotl(v0, 32);
+  v2 += v3;
+  v3 = std::rotl(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = std::rotl(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = std::rotl(v1, 17);
+  v1 ^= v2;
+  v2 = std::rotl(v2, 32);
+}
+
+inline std::uint64_t read_le64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t siphash24(const SipHashKey& key, ByteView data) noexcept {
+  std::uint64_t v0 = 0x736f6d6570736575ULL ^ key.k0;
+  std::uint64_t v1 = 0x646f72616e646f6dULL ^ key.k1;
+  std::uint64_t v2 = 0x6c7967656e657261ULL ^ key.k0;
+  std::uint64_t v3 = 0x7465646279746573ULL ^ key.k1;
+
+  const std::size_t len = data.size();
+  const std::size_t end = len - (len % 8);
+  for (std::size_t i = 0; i < end; i += 8) {
+    const std::uint64_t m = read_le64(data.data() + i);
+    v3 ^= m;
+    sipround(v0, v1, v2, v3);
+    sipround(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  std::uint64_t last = static_cast<std::uint64_t>(len & 0xff) << 56;
+  for (std::size_t i = end; i < len; ++i) {
+    last |= static_cast<std::uint64_t>(data[i]) << (8 * (i - end));
+  }
+  v3 ^= last;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  v0 ^= last;
+
+  v2 ^= 0xff;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+std::uint64_t siphash24(const SipHashKey& key, std::uint64_t word) noexcept {
+  std::uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::uint8_t>(word >> (8 * i));
+  return siphash24(key, ByteView(buf, 8));
+}
+
+}  // namespace graphene::util

@@ -1,0 +1,27 @@
+// SipHash-2-4 (Aumasson & Bernstein).
+//
+// The paper (§6.1) notes that deployed clients use SipHash to derive short
+// transaction IDs so that an attacker cannot grind ID collisions that are
+// valid at more than one peer. Compact Blocks (BIP-152) keys short IDs with
+// SipHash of the block header + nonce; our baseline does the same.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace graphene::util {
+
+/// 128-bit SipHash key.
+struct SipHashKey {
+  std::uint64_t k0 = 0;
+  std::uint64_t k1 = 0;
+};
+
+/// Computes 64-bit SipHash-2-4 of `data` under `key`.
+[[nodiscard]] std::uint64_t siphash24(const SipHashKey& key, ByteView data) noexcept;
+
+/// Convenience overload for a single 64-bit word (common for short IDs).
+[[nodiscard]] std::uint64_t siphash24(const SipHashKey& key, std::uint64_t word) noexcept;
+
+}  // namespace graphene::util

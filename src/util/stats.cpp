@@ -1,0 +1,34 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace graphene::util {
+
+double chernoff_delta(double mu, double beta) noexcept {
+  if (mu <= 0.0) return 0.0;
+  beta = std::clamp(beta, 0.0, 1.0 - 1e-15);
+  const double s = -std::log(1.0 - beta) / mu;
+  return 0.5 * (s + std::sqrt(s * s + 8.0 * s));
+}
+
+double chernoff_upper_tail(double delta, double mu) noexcept {
+  if (delta <= 0.0 || mu <= 0.0) return 1.0;
+  // log[(e^δ/(1+δ)^{1+δ})^µ] = µ (δ − (1+δ) ln(1+δ))
+  const double log_tail = mu * (delta - (1.0 + delta) * std::log1p(delta));
+  return std::exp(log_tail);
+}
+
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials, double z) noexcept {
+  if (trials == 0) return {0.5, 0.5};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return {center, half};
+}
+
+}  // namespace graphene::util

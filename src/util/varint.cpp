@@ -1,0 +1,44 @@
+#include "util/varint.hpp"
+
+namespace graphene::util {
+
+void write_varint(ByteWriter& w, std::uint64_t v) {
+  if (v < 0xfd) {
+    w.u8(static_cast<std::uint8_t>(v));
+  } else if (v <= 0xffff) {
+    w.u8(0xfd);
+    w.u16(static_cast<std::uint16_t>(v));
+  } else if (v <= 0xffffffff) {
+    w.u8(0xfe);
+    w.u32(static_cast<std::uint32_t>(v));
+  } else {
+    w.u8(0xff);
+    w.u64(v);
+  }
+}
+
+std::uint64_t read_varint(ByteReader& r) {
+  const std::uint8_t marker = r.u8();
+  std::uint64_t v = 0;
+  if (marker < 0xfd) return marker;
+  if (marker == 0xfd) {
+    v = r.u16();
+    if (v < 0xfd) throw DeserializeError("varint: non-canonical 2-byte encoding");
+  } else if (marker == 0xfe) {
+    v = r.u32();
+    if (v <= 0xffff) throw DeserializeError("varint: non-canonical 4-byte encoding");
+  } else {
+    v = r.u64();
+    if (v <= 0xffffffff) throw DeserializeError("varint: non-canonical 8-byte encoding");
+  }
+  return v;
+}
+
+std::size_t varint_size(std::uint64_t v) noexcept {
+  if (v < 0xfd) return 1;
+  if (v <= 0xffff) return 3;
+  if (v <= 0xffffffff) return 5;
+  return 9;
+}
+
+}  // namespace graphene::util

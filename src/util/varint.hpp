@@ -1,0 +1,24 @@
+// Bitcoin-style CompactSize variable-length integers.
+//
+// Every protocol message in the library frames its collections with
+// CompactSize so that message sizes match what deployed clients would send.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace graphene::util {
+
+/// Appends `v` as a CompactSize: 1 byte for v < 0xfd, otherwise a marker byte
+/// (0xfd/0xfe/0xff) followed by 2/4/8 little-endian bytes.
+void write_varint(ByteWriter& w, std::uint64_t v);
+
+/// Reads a CompactSize; throws DeserializeError on truncation or a
+/// non-canonical (oversized) encoding.
+std::uint64_t read_varint(ByteReader& r);
+
+/// Size in bytes that write_varint would produce.
+[[nodiscard]] std::size_t varint_size(std::uint64_t v) noexcept;
+
+}  // namespace graphene::util

@@ -1,0 +1,75 @@
+#include "baselines/bloom_only.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graphene/params.hpp"
+#include "sim/scenario.hpp"
+
+namespace graphene::baselines {
+namespace {
+
+TEST(BloomOnly, FprMatchesPaperFormula) {
+  EXPECT_DOUBLE_EQ(bloom_only_fpr(100, 1100), 1.0 / (144.0 * 1000.0));
+  EXPECT_DOUBLE_EQ(bloom_only_fpr(100, 100), 1.0);  // degenerate
+}
+
+TEST(BloomOnly, UsuallyRecoversExactBlock) {
+  util::Rng rng(1);
+  int successes = 0;
+  constexpr int kTrials = 50;
+  for (int t = 0; t < kTrials; ++t) {
+    chain::ScenarioSpec spec;
+    spec.block_txns = 200;
+    spec.extra_txns = 400;
+    const chain::Scenario s = chain::make_scenario(spec, rng);
+    const BloomOnlyResult r = run_bloom_only(s.block, s.receiver_mempool, rng.next());
+    successes += r.success ? 1 : 0;
+  }
+  // Expected failure ~1/144 per block; 50 trials nearly always all succeed.
+  EXPECT_GE(successes, kTrials - 3);
+}
+
+TEST(BloomOnly, GrapheneProtocol1IsSmaller) {
+  // Theorem 4's comparison. The claim is asymptotic — §5.1 concedes that
+  // small blocks (and the β-assurance overhead on a tiny IBLT) can go the
+  // other way — so test the regime the paper claims: n ≥ ~2000.
+  for (const std::uint64_t n : {2000ULL, 10000ULL, 50000ULL}) {
+    const std::uint64_t m = 2 * n;
+    const std::size_t bloom_size = bloom_only_bytes(n, m);
+    const std::size_t graphene_size = core::optimize_protocol1(n, m).total_bytes();
+    EXPECT_LT(graphene_size, bloom_size) << "n=" << n;
+  }
+}
+
+TEST(BloomOnly, GapGrowsWithN) {
+  // Ω(n log n) bit advantage ⇒ the byte gap must widen as n grows.
+  const auto gap = [](std::uint64_t n) {
+    const std::uint64_t m = 2 * n;
+    return static_cast<double>(bloom_only_bytes(n, m)) -
+           static_cast<double>(core::optimize_protocol1(n, m).total_bytes());
+  };
+  EXPECT_GT(gap(2000), gap(200));
+  EXPECT_GT(gap(20000), gap(2000));
+}
+
+TEST(BloomOnly, BeatsCarterBoundIsImpossible) {
+  // Sanity: a real Bloom filter cannot be smaller than the approximate-
+  // membership lower bound at the same FPR (up to the ln2² inefficiency).
+  const std::uint64_t n = 1000, m = 5000;
+  const double fpr = bloom_only_fpr(n, m);
+  EXPECT_GE(static_cast<double>(bloom_only_bytes(n, m)),
+            carter_lower_bound_bytes(n, fpr));
+}
+
+TEST(BloomOnly, ExactDescriptionBoundSane) {
+  // log2 C(m, n)/8 for n=1: log2(m)/8 bytes.
+  const double one = exact_description_bound_bytes(1, 1024);
+  EXPECT_NEAR(one, 10.0 / 8.0, 1e-9);
+  EXPECT_EQ(exact_description_bound_bytes(0, 100), 0.0);
+  EXPECT_EQ(exact_description_bound_bytes(100, 100), 0.0);
+}
+
+}  // namespace
+}  // namespace graphene::baselines

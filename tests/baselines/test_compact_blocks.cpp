@@ -1,0 +1,78 @@
+#include "baselines/compact_blocks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace graphene::baselines {
+namespace {
+
+TEST(CompactBlocks, EncodingIsSixBytesPerTxnPlusOverhead) {
+  // 80 header + 8 nonce + varint(n) + 6n + varint(0 prefilled)
+  EXPECT_EQ(compact_block_encoding_bytes(100), 80u + 8u + 1u + 600u + 1u);
+  EXPECT_EQ(compact_block_encoding_bytes(2000), 80u + 8u + 3u + 12000u + 1u);
+}
+
+TEST(CompactBlocks, IndexBytesSwitchAt256) {
+  EXPECT_EQ(index_bytes(255), 1u);
+  EXPECT_EQ(index_bytes(256), 3u);
+}
+
+TEST(CompactBlocks, NoRoundtripWhenMempoolCoversBlock) {
+  util::Rng rng(1);
+  chain::ScenarioSpec spec;
+  spec.block_txns = 500;
+  spec.extra_txns = 500;
+  const chain::Scenario s = chain::make_scenario(spec, rng);
+  const CompactBlocksResult r = run_compact_blocks(s.block, s.receiver_mempool, 42);
+  EXPECT_TRUE(r.success);
+  EXPECT_FALSE(r.needed_roundtrip);
+  EXPECT_EQ(r.missing_count, 0u);
+  EXPECT_EQ(r.getblocktxn_bytes, 0u);
+  EXPECT_EQ(r.encoding_bytes(), compact_block_encoding_bytes(500));
+}
+
+TEST(CompactBlocks, MissingTransactionsTriggerRoundtrip) {
+  util::Rng rng(2);
+  chain::ScenarioSpec spec;
+  spec.block_txns = 300;
+  spec.extra_txns = 300;
+  spec.block_fraction_in_mempool = 0.9;  // 30 missing
+  const chain::Scenario s = chain::make_scenario(spec, rng);
+  const CompactBlocksResult r = run_compact_blocks(s.block, s.receiver_mempool, 43);
+  EXPECT_TRUE(r.needed_roundtrip);
+  EXPECT_GE(r.missing_count, 30u);  // ≥: collisions can add requests
+  EXPECT_LE(r.missing_count, 32u);
+  // 300 txns ⇒ 3-byte indexes.
+  EXPECT_EQ(r.getblocktxn_bytes, 1u + r.missing_count * 3u);
+  EXPECT_GT(r.blocktxn_bytes, 0u);
+}
+
+TEST(CompactBlocks, ChannelTrafficMatchesReportedBytes) {
+  util::Rng rng(3);
+  chain::ScenarioSpec spec;
+  spec.block_txns = 100;
+  spec.extra_txns = 100;
+  spec.block_fraction_in_mempool = 0.8;
+  const chain::Scenario s = chain::make_scenario(spec, rng);
+  net::Channel channel;
+  const CompactBlocksResult r = run_compact_blocks(s.block, s.receiver_mempool, 44, &channel);
+  const auto by_type = channel.payload_by_type();
+  EXPECT_EQ(by_type.at(net::MessageType::kCompactBlock), r.cmpctblock_bytes);
+  EXPECT_EQ(by_type.at(net::MessageType::kGetBlockTxn), r.getblocktxn_bytes);
+  EXPECT_EQ(by_type.at(net::MessageType::kBlockTxn), r.blocktxn_bytes);
+}
+
+TEST(CompactBlocks, EmptyMempoolRequestsWholeBlock) {
+  util::Rng rng(4);
+  chain::ScenarioSpec spec;
+  spec.block_txns = 50;
+  spec.extra_txns = 0;
+  spec.block_fraction_in_mempool = 0.0;
+  const chain::Scenario s = chain::make_scenario(spec, rng);
+  const CompactBlocksResult r = run_compact_blocks(s.block, s.receiver_mempool, 45);
+  EXPECT_EQ(r.missing_count, 50u);
+}
+
+}  // namespace
+}  // namespace graphene::baselines

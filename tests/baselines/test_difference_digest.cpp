@@ -1,0 +1,87 @@
+#include "baselines/difference_digest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graphene/params.hpp"
+#include "sim/scenario.hpp"
+
+namespace graphene::baselines {
+namespace {
+
+TEST(DifferenceDigest, ComputesTrueDifference) {
+  util::Rng rng(1);
+  chain::ScenarioSpec spec;
+  spec.block_txns = 100;
+  spec.extra_txns = 60;
+  spec.block_fraction_in_mempool = 0.9;  // 10 block-only + 60 pool-only = 70
+  const chain::Scenario s = chain::make_scenario(spec, rng);
+  const DifferenceDigestResult r = run_difference_digest(s.block, s.receiver_mempool);
+  EXPECT_EQ(r.true_diff, 70u);
+}
+
+TEST(DifferenceDigest, UsuallyDecodes) {
+  util::Rng rng(2);
+  int successes = 0;
+  constexpr int kTrials = 40;
+  for (int t = 0; t < kTrials; ++t) {
+    chain::ScenarioSpec spec;
+    spec.block_txns = 200;
+    spec.extra_txns = 100;
+    spec.block_fraction_in_mempool = 0.9;
+    const chain::Scenario s = chain::make_scenario(spec, rng);
+    DifferenceDigestConfig cfg;
+    cfg.seed = rng.next();
+    successes += run_difference_digest(s.block, s.receiver_mempool, cfg).success ? 1 : 0;
+  }
+  // 2× overprovisioning on the strata estimate decodes most of the time.
+  EXPECT_GE(successes, kTrials * 6 / 10);
+}
+
+TEST(DifferenceDigest, EstimatorWithinFactorFourTypically) {
+  util::Rng rng(3);
+  int within = 0;
+  constexpr int kTrials = 30;
+  for (int t = 0; t < kTrials; ++t) {
+    chain::ScenarioSpec spec;
+    spec.block_txns = 500;
+    spec.extra_txns = 300;
+    spec.block_fraction_in_mempool = 0.8;
+    const chain::Scenario s = chain::make_scenario(spec, rng);
+    DifferenceDigestConfig cfg;
+    cfg.seed = rng.next();
+    const DifferenceDigestResult r = run_difference_digest(s.block, s.receiver_mempool, cfg);
+    const double ratio =
+        static_cast<double>(r.estimated_diff) / static_cast<double>(r.true_diff);
+    within += (ratio > 0.25 && ratio < 4.0) ? 1 : 0;
+  }
+  EXPECT_GE(within, kTrials * 7 / 10);
+}
+
+TEST(DifferenceDigest, EstimatorCostIsStrataTimes80Cells) {
+  util::Rng rng(4);
+  chain::ScenarioSpec spec;
+  spec.block_txns = 100;
+  spec.extra_txns = 900;  // m = 1000 → 11 strata (ceil(log2 1000)+1)
+  const chain::Scenario s = chain::make_scenario(spec, rng);
+  const DifferenceDigestResult r = run_difference_digest(s.block, s.receiver_mempool);
+  const std::size_t one_strata = iblt::Iblt::serialized_size_for(80);
+  EXPECT_EQ(r.estimator_bytes, 1u + 11u * one_strata);  // header + 11 strata
+}
+
+TEST(DifferenceDigest, MoreExpensiveThanGrapheneProtocol2Setup) {
+  // §5.3.2's qualitative claim: the Difference Digest costs several times
+  // Graphene's Protocol 1+2 encoding for like-for-like scenarios.
+  util::Rng rng(5);
+  chain::ScenarioSpec spec;
+  spec.block_txns = 2000;
+  spec.extra_txns = 1000;
+  spec.block_fraction_in_mempool = 0.98;
+  const chain::Scenario s = chain::make_scenario(spec, rng);
+  const DifferenceDigestResult dd = run_difference_digest(s.block, s.receiver_mempool);
+  const std::size_t graphene =
+      core::optimize_protocol1(s.n, s.m).total_bytes() * 2;  // generous 2× for P2
+  EXPECT_GT(dd.total_bytes(), graphene);
+}
+
+}  // namespace
+}  // namespace graphene::baselines

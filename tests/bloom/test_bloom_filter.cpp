@@ -1,0 +1,173 @@
+#include "bloom/bloom_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "chain/transaction.hpp"
+#include "util/varint.hpp"
+#include "util/random.hpp"
+
+namespace graphene::bloom {
+namespace {
+
+using chain::TxId;
+
+std::vector<TxId> random_ids(std::size_t count, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<TxId> ids(count);
+  for (auto& id : ids) id = chain::make_random_transaction(rng).id;
+  return ids;
+}
+
+util::ByteView view(const TxId& id) { return util::ByteView(id.data(), id.size()); }
+
+TEST(BloomFilter, NoFalseNegatives) {
+  const auto ids = random_ids(5000, 1);
+  BloomFilter f(ids.size(), 0.01, /*seed=*/42);
+  for (const TxId& id : ids) f.insert(view(id));
+  for (const TxId& id : ids) EXPECT_TRUE(f.contains(view(id)));
+}
+
+class BloomFprSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BloomFprSweep, EmpiricalFprNearTarget) {
+  const double target = GetParam();
+  const auto members = random_ids(4000, 2);
+  const auto non_members = random_ids(40000, 3);
+  BloomFilter f(members.size(), target, /*seed=*/7);
+  for (const TxId& id : members) f.insert(view(id));
+
+  std::size_t fps = 0;
+  for (const TxId& id : non_members) fps += f.contains(view(id)) ? 1 : 0;
+  const double observed = static_cast<double>(fps) / static_cast<double>(non_members.size());
+  EXPECT_LT(observed, target * 1.8) << "target " << target;
+  // Shouldn't be wildly over-built either (within ~3x of target).
+  EXPECT_GT(observed, target / 3.0) << "target " << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, BloomFprSweep, ::testing::Values(0.1, 0.02, 0.005));
+
+TEST(BloomFilter, DegenerateFilterMatchesEverything) {
+  BloomFilter f(1000, 1.0);
+  EXPECT_TRUE(f.matches_everything());
+  EXPECT_EQ(f.bit_count(), 0u);
+  for (const TxId& id : random_ids(100, 4)) EXPECT_TRUE(f.contains(view(id)));
+}
+
+TEST(BloomFilter, DefaultConstructedMatchesEverything) {
+  const BloomFilter f;
+  EXPECT_TRUE(f.matches_everything());
+}
+
+TEST(BloomFilter, SerializeRoundTrip) {
+  const auto ids = random_ids(500, 5);
+  BloomFilter f(ids.size(), 0.02, /*seed=*/99);
+  for (const TxId& id : ids) f.insert(view(id));
+
+  const util::Bytes wire = f.serialize();
+  EXPECT_EQ(wire.size(), f.serialized_size());
+
+  util::ByteReader r{util::ByteView(wire)};
+  const BloomFilter g = BloomFilter::deserialize(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(g.bit_count(), f.bit_count());
+  EXPECT_EQ(g.hash_count(), f.hash_count());
+  EXPECT_EQ(g.seed(), f.seed());
+  for (const TxId& id : ids) EXPECT_TRUE(g.contains(view(id)));
+  // Identical probe answers on non-members too.
+  for (const TxId& id : random_ids(2000, 6)) {
+    EXPECT_EQ(f.contains(view(id)), g.contains(view(id)));
+  }
+}
+
+TEST(BloomFilter, DegenerateSerializeRoundTrip) {
+  BloomFilter f(100, 1.0, 3);
+  const util::Bytes wire = f.serialize();
+  util::ByteReader r{util::ByteView(wire)};
+  const BloomFilter g = BloomFilter::deserialize(r);
+  EXPECT_TRUE(g.matches_everything());
+}
+
+TEST(BloomFilter, DeserializeRejectsZeroHashCount) {
+  BloomFilter f(100, 0.01, 3);
+  util::Bytes wire = f.serialize();
+  // Hash-count byte sits right after the varint bit count.
+  const std::size_t k_offset = util::varint_size(f.bit_count());
+  wire[k_offset] = 0;
+  util::ByteReader r{util::ByteView(wire)};
+  EXPECT_THROW(BloomFilter::deserialize(r), util::DeserializeError);
+}
+
+TEST(BloomFilter, SeedsDecorrelateFalsePositives) {
+  const auto members = random_ids(1000, 7);
+  const auto probes = random_ids(20000, 8);
+  BloomFilter f1(members.size(), 0.05, 1);
+  BloomFilter f2(members.size(), 0.05, 2);
+  for (const TxId& id : members) {
+    f1.insert(view(id));
+    f2.insert(view(id));
+  }
+  std::size_t both = 0, either = 0;
+  for (const TxId& id : probes) {
+    const bool a = f1.contains(view(id));
+    const bool b = f2.contains(view(id));
+    both += (a && b) ? 1 : 0;
+    either += (a || b) ? 1 : 0;
+  }
+  // Independent filters: P(both) ≈ f² ≪ P(either).
+  EXPECT_LT(both * 10, either + 10);
+}
+
+TEST(BloomFilter, RehashStrategyAlsoCorrect) {
+  const auto ids = random_ids(1000, 9);
+  BloomFilter f(ids.size(), 0.01, 11, HashStrategy::kRehash);
+  for (const TxId& id : ids) f.insert(view(id));
+  for (const TxId& id : ids) EXPECT_TRUE(f.contains(view(id)));
+  std::size_t fps = 0;
+  for (const TxId& id : random_ids(20000, 10)) fps += f.contains(view(id)) ? 1 : 0;
+  EXPECT_LT(static_cast<double>(fps) / 20000.0, 0.02);
+}
+
+TEST(BloomFilter, RehashStrategySurvivesSerialization) {
+  const auto ids = random_ids(100, 12);
+  BloomFilter f(ids.size(), 0.01, 13, HashStrategy::kRehash);
+  for (const TxId& id : ids) f.insert(view(id));
+  const util::Bytes wire = f.serialize();
+  util::ByteReader r{util::ByteView(wire)};
+  const BloomFilter g = BloomFilter::deserialize(r);
+  for (const TxId& id : ids) EXPECT_TRUE(g.contains(view(id)));
+}
+
+TEST(BloomFilter, HighHashCountFprNotInflated) {
+  // Regression: plain double hashing inflated the FPR ~1.6x at k ≈ 13
+  // (surfaced by the Fig. 13 workload: tiny blocks against a 60k mempool).
+  // Enhanced double hashing must track the theoretical rate closely.
+  const std::uint64_t n = 120;
+  const double target = 10.0 / 59880.0;  // k ≈ 13
+  util::Rng rng(99);
+  std::uint64_t fps = 0;
+  constexpr int kProbes = 400000;
+  BloomFilter f(n, target, rng.next());
+  ASSERT_GE(f.hash_count(), 10u);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const TxId id = chain::make_random_transaction(rng).id;
+    f.insert(view(id));
+  }
+  for (int i = 0; i < kProbes; ++i) {
+    const TxId id = chain::make_random_transaction(rng).id;
+    fps += f.contains(view(id)) ? 1 : 0;
+  }
+  const double observed = static_cast<double>(fps) / kProbes;
+  EXPECT_LT(observed, target * 1.35);
+}
+
+TEST(BloomFilter, EffectiveFprTracksLoad) {
+  BloomFilter f(1000, 0.01, 14);
+  EXPECT_EQ(f.effective_fpr(), 0.0);  // nothing inserted yet
+  for (const TxId& id : random_ids(1000, 15)) f.insert(view(id));
+  EXPECT_NEAR(f.effective_fpr(), 0.01, 0.005);
+}
+
+}  // namespace
+}  // namespace graphene::bloom

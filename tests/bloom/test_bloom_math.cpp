@@ -1,0 +1,88 @@
+#include "bloom/bloom_math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/varint.hpp"
+
+namespace graphene::bloom {
+namespace {
+
+TEST(BloomMath, IdealBytesMatchesPaperFormula) {
+  // T_BF = −n ln(f) / (8 ln² 2)
+  const double n = 2000, f = 0.01;
+  const double expected = -n * std::log(f) / (8.0 * std::log(2.0) * std::log(2.0));
+  EXPECT_NEAR(ideal_bytes(n, f), expected, 1e-9);
+}
+
+TEST(BloomMath, IdealBytesZeroForDegenerateFilter) {
+  EXPECT_EQ(ideal_bytes(1000, 1.0), 0.0);
+  EXPECT_EQ(ideal_bytes(0, 0.01), 0.0);
+}
+
+TEST(BloomMath, OptimalBitsGrowsWithItemsAndShrinksWithFpr) {
+  EXPECT_GT(optimal_bits(2000, 0.01), optimal_bits(1000, 0.01));
+  EXPECT_GT(optimal_bits(1000, 0.001), optimal_bits(1000, 0.01));
+  EXPECT_EQ(optimal_bits(1000, 1.0), 0u);
+  EXPECT_EQ(optimal_bits(0, 0.01), 0u);
+}
+
+TEST(BloomMath, OptimalBitsIsCeilOfContinuous) {
+  const std::uint64_t n = 777;
+  const double f = 0.02;
+  const double cont = -static_cast<double>(n) * std::log(f) / (std::log(2.0) * std::log(2.0));
+  EXPECT_EQ(optimal_bits(n, f), static_cast<std::uint64_t>(std::ceil(cont)));
+}
+
+TEST(BloomMath, OptimalHashCountNearLn2Ratio) {
+  const std::uint64_t n = 1000;
+  const std::uint64_t bits = optimal_bits(n, 0.01);
+  const std::uint32_t k = optimal_hash_count(bits, n);
+  // For FPR 0.01 the optimum is ~6.6 hashes.
+  EXPECT_GE(k, 6u);
+  EXPECT_LE(k, 8u);
+}
+
+TEST(BloomMath, HashCountClampedToValidRange) {
+  EXPECT_EQ(optimal_hash_count(0, 100), 1u);
+  EXPECT_EQ(optimal_hash_count(100, 0), 1u);
+  EXPECT_GE(optimal_hash_count(1ULL << 40, 1), 1u);
+  EXPECT_LE(optimal_hash_count(1ULL << 40, 1), 64u);
+}
+
+TEST(BloomMath, ExpectedFprAtDesignPointApproximatesTarget) {
+  for (const double f : {0.1, 0.01, 0.001}) {
+    const std::uint64_t n = 5000;
+    const std::uint64_t bits = optimal_bits(n, f);
+    const std::uint32_t k = optimal_hash_count(bits, n);
+    const double actual = expected_fpr(bits, k, n);
+    EXPECT_LT(actual, f * 1.3) << "target " << f;
+    EXPECT_GT(actual, f * 0.5) << "target " << f;
+  }
+}
+
+TEST(BloomMath, ExpectedFprEdgeCases) {
+  EXPECT_EQ(expected_fpr(0, 4, 10), 1.0);
+  EXPECT_EQ(expected_fpr(100, 4, 0), 0.0);
+}
+
+TEST(BloomMath, SerializedBytesIncludesHeader) {
+  // Degenerate filter: header only (varint 0 + k byte + seed).
+  EXPECT_EQ(serialized_bytes(100, 1.0), 1u + 1u + 8u);
+  // Real filter: header + ceil(bits/8).
+  const std::uint64_t bits = optimal_bits(100, 0.01);
+  EXPECT_EQ(serialized_bytes(100, 0.01), util::varint_size(bits) + 1 + 8 + (bits + 7) / 8);
+}
+
+TEST(BloomMath, SerializedSizeMonotoneInItems) {
+  std::size_t prev = 0;
+  for (std::uint64_t n = 100; n <= 10000; n += 100) {
+    const std::size_t s = serialized_bytes(n, 0.01);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+}  // namespace
+}  // namespace graphene::bloom

@@ -1,0 +1,106 @@
+#include "bloom/golomb_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bloom/bloom_math.hpp"
+#include "chain/transaction.hpp"
+#include "util/random.hpp"
+
+namespace graphene::bloom {
+namespace {
+
+using chain::TxId;
+
+std::vector<TxId> random_ids(std::size_t count, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<TxId> ids(count);
+  for (auto& id : ids) id = chain::make_random_transaction(rng).id;
+  return ids;
+}
+
+GolombSet build(const std::vector<TxId>& ids, double fpr, std::uint64_t seed = 0) {
+  std::vector<util::ByteView> views;
+  views.reserve(ids.size());
+  for (const TxId& id : ids) views.emplace_back(id.data(), id.size());
+  return GolombSet::from_views(views, fpr, seed);
+}
+
+TEST(GolombSet, NoFalseNegatives) {
+  const auto ids = random_ids(2000, 1);
+  const GolombSet g = build(ids, 0.01);
+  for (const TxId& id : ids) {
+    EXPECT_TRUE(g.contains(util::ByteView(id.data(), id.size())));
+  }
+}
+
+class GcsFprSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GcsFprSweep, EmpiricalFprNearTarget) {
+  const double target = GetParam();
+  const auto members = random_ids(2000, 2);
+  const auto probes = random_ids(30000, 3);
+  const GolombSet g = build(members, target);
+  std::size_t fps = 0;
+  for (const TxId& id : probes) {
+    fps += g.contains(util::ByteView(id.data(), id.size())) ? 1 : 0;
+  }
+  const double observed = static_cast<double>(fps) / static_cast<double>(probes.size());
+  EXPECT_LT(observed, target * 2.0 + 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, GcsFprSweep, ::testing::Values(0.05, 0.01, 0.002));
+
+TEST(GolombSet, SerializeRoundTrip) {
+  const auto ids = random_ids(500, 4);
+  const GolombSet g = build(ids, 0.01, 77);
+  const util::Bytes wire = g.serialize();
+  EXPECT_EQ(wire.size(), g.serialized_size());
+  util::ByteReader r{util::ByteView(wire)};
+  const GolombSet h = GolombSet::deserialize(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(h.item_count(), 500u);
+  for (const TxId& id : ids) {
+    EXPECT_TRUE(h.contains(util::ByteView(id.data(), id.size())));
+  }
+}
+
+TEST(GolombSet, NearOptimalBitsPerItem) {
+  // ~log2(1/f)+1.5 bits/item — tighter than a Bloom filter's 1.44·log2(1/f)
+  // for small f.
+  const std::uint64_t n = 5000;
+  const double f = 1.0 / 1024.0;  // log2(1/f) = 10
+  const auto ids = random_ids(n, 5);
+  const GolombSet g = build(ids, f);
+  const double bits_per_item =
+      static_cast<double>(g.serialized_size()) * 8.0 / static_cast<double>(n);
+  EXPECT_LT(bits_per_item, 12.5);
+  EXPECT_GT(bits_per_item, 10.0);
+  EXPECT_LT(g.serialized_size(), serialized_bytes(n, f));  // beats Bloom here
+}
+
+TEST(GolombSet, PredictionTracksActual) {
+  const auto ids = random_ids(3000, 6);
+  const GolombSet g = build(ids, 0.01);
+  const double predicted = static_cast<double>(gcs_serialized_bytes(3000, 0.01));
+  EXPECT_NEAR(predicted, static_cast<double>(g.serialized_size()), predicted * 0.1);
+}
+
+TEST(GolombSet, EmptySetContainsNothing) {
+  const GolombSet g = build({}, 0.01);
+  const auto probes = random_ids(10, 7);
+  for (const TxId& id : probes) {
+    EXPECT_FALSE(g.contains(util::ByteView(id.data(), id.size())));
+  }
+}
+
+TEST(GolombSet, TruncatedStreamThrows) {
+  const auto ids = random_ids(100, 8);
+  const GolombSet g = build(ids, 0.01);
+  util::Bytes wire = g.serialize();
+  wire.resize(wire.size() - 3);
+  util::ByteReader r{util::ByteView(wire)};
+  EXPECT_THROW(GolombSet::deserialize(r), util::DeserializeError);
+}
+
+}  // namespace
+}  // namespace graphene::bloom

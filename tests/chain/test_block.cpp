@@ -1,0 +1,101 @@
+#include "chain/block.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/random.hpp"
+
+namespace graphene::chain {
+namespace {
+
+std::vector<Transaction> random_txs(std::size_t count, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Transaction> txs(count);
+  for (auto& tx : txs) tx = make_random_transaction(rng);
+  return txs;
+}
+
+TEST(BlockHeader, SerializeRoundTrip) {
+  util::Rng rng(1);
+  BlockHeader h;
+  h.version = 3;
+  h.prev_hash = make_random_transaction(rng).id;
+  h.merkle_root = make_random_transaction(rng).id;
+  h.time = 1234567;
+  h.bits = 0x1a2b3c4d;
+  h.nonce = 987654;
+
+  const util::Bytes wire = h.serialize();
+  EXPECT_EQ(wire.size(), BlockHeader::kWireSize);
+  util::ByteReader r{util::ByteView(wire)};
+  EXPECT_EQ(BlockHeader::deserialize(r), h);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Block, SortsTransactionsIntoCtorOrder) {
+  const Block block(BlockHeader{}, random_txs(100, 2));
+  const auto& txs = block.transactions();
+  EXPECT_TRUE(std::is_sorted(txs.begin(), txs.end(), CtorLess{}));
+}
+
+TEST(Block, HeaderCommitsToMerkleRoot) {
+  const Block block(BlockHeader{}, random_txs(10, 3));
+  EXPECT_EQ(block.header().merkle_root, merkle_root(block.tx_ids()));
+}
+
+TEST(Block, SameTxsAnyInputOrderSameRoot) {
+  auto txs = random_txs(20, 4);
+  const Block a(BlockHeader{}, txs);
+  std::reverse(txs.begin(), txs.end());
+  const Block b(BlockHeader{}, txs);
+  EXPECT_EQ(a.header().merkle_root, b.header().merkle_root);
+}
+
+TEST(Block, ValidatesItsOwnIdsInAnyOrder) {
+  const Block block(BlockHeader{}, random_txs(50, 5));
+  auto ids = block.tx_ids();
+  std::reverse(ids.begin(), ids.end());
+  EXPECT_TRUE(block.validates(std::move(ids)));
+}
+
+TEST(Block, RejectsWrongCount) {
+  const Block block(BlockHeader{}, random_txs(10, 6));
+  auto ids = block.tx_ids();
+  ids.pop_back();
+  EXPECT_FALSE(block.validates(std::move(ids)));
+}
+
+TEST(Block, RejectsSubstitutedTransaction) {
+  util::Rng rng(7);
+  const Block block(BlockHeader{}, random_txs(10, 8));
+  auto ids = block.tx_ids();
+  ids[4] = make_random_transaction(rng).id;
+  EXPECT_FALSE(block.validates(std::move(ids)));
+}
+
+TEST(Block, FullBlockBytesSumsTransactionSizes) {
+  const auto txs = random_txs(5, 9);
+  std::size_t expected = BlockHeader::kWireSize + 1;  // varint(5) = 1 byte
+  for (const auto& tx : txs) expected += tx.size_bytes;
+  const Block block(BlockHeader{}, txs);
+  EXPECT_EQ(block.full_block_bytes(), expected);
+}
+
+TEST(OrderingCost, MatchesNLogNOver8) {
+  EXPECT_EQ(ordering_cost_bytes(0), 0u);
+  EXPECT_EQ(ordering_cost_bytes(1), 0u);
+  // 1024·log2(1024) = 10240 bits = 1280 bytes.
+  EXPECT_EQ(ordering_cost_bytes(1024), 1280u);
+  // Grows superlinearly.
+  EXPECT_GT(ordering_cost_bytes(2000) * 10, ordering_cost_bytes(200) * 20);
+}
+
+TEST(Block, EmptyBlockValidatesEmptyList) {
+  const Block block(BlockHeader{}, {});
+  EXPECT_EQ(block.tx_count(), 0u);
+  EXPECT_TRUE(block.validates({}));
+}
+
+}  // namespace
+}  // namespace graphene::chain

@@ -1,0 +1,76 @@
+#include "chain/mempool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/random.hpp"
+
+namespace graphene::chain {
+namespace {
+
+TEST(Mempool, InsertContainsGet) {
+  util::Rng rng(1);
+  Mempool pool;
+  const Transaction tx = make_random_transaction(rng);
+  EXPECT_TRUE(pool.insert(tx));
+  EXPECT_TRUE(pool.contains(tx.id));
+  ASSERT_TRUE(pool.get(tx.id).has_value());
+  EXPECT_EQ(pool.get(tx.id)->id, tx.id);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(Mempool, DuplicateInsertRejected) {
+  util::Rng rng(2);
+  Mempool pool;
+  const Transaction tx = make_random_transaction(rng);
+  EXPECT_TRUE(pool.insert(tx));
+  EXPECT_FALSE(pool.insert(tx));
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(Mempool, EraseRemoves) {
+  util::Rng rng(3);
+  Mempool pool;
+  const Transaction tx = make_random_transaction(rng);
+  pool.insert(tx);
+  EXPECT_TRUE(pool.erase(tx.id));
+  EXPECT_FALSE(pool.contains(tx.id));
+  EXPECT_FALSE(pool.erase(tx.id));
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(Mempool, GetMissingIsNullopt) {
+  Mempool pool;
+  EXPECT_FALSE(pool.get(TxId{}).has_value());
+}
+
+TEST(Mempool, IdsSnapshotCoversAll) {
+  util::Rng rng(4);
+  Mempool pool;
+  std::vector<TxId> inserted;
+  for (int i = 0; i < 500; ++i) {
+    const Transaction tx = make_random_transaction(rng);
+    pool.insert(tx);
+    inserted.push_back(tx.id);
+  }
+  auto ids = pool.ids();
+  EXPECT_EQ(ids.size(), 500u);
+  std::sort(ids.begin(), ids.end());
+  std::sort(inserted.begin(), inserted.end());
+  EXPECT_EQ(ids, inserted);
+}
+
+TEST(Mempool, TransactionsSnapshotPreservesMetadata) {
+  util::Rng rng(5);
+  Mempool pool;
+  Transaction tx = make_random_transaction(rng);
+  tx.size_bytes = 777;
+  pool.insert(tx);
+  const auto txs = pool.transactions();
+  ASSERT_EQ(txs.size(), 1u);
+  EXPECT_EQ(txs[0].size_bytes, 777u);
+}
+
+}  // namespace
+}  // namespace graphene::chain

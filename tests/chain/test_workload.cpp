@@ -1,0 +1,144 @@
+#include "chain/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace graphene::chain {
+namespace {
+
+TEST(Workload, ScenarioMeetsSpecExactly) {
+  util::Rng rng(1);
+  ScenarioSpec spec;
+  spec.block_txns = 200;
+  spec.extra_txns = 300;
+  spec.block_fraction_in_mempool = 1.0;
+  const Scenario s = make_scenario(spec, rng);
+
+  EXPECT_EQ(s.block.tx_count(), 200u);
+  EXPECT_EQ(s.n, 200u);
+  EXPECT_EQ(s.x, 200u);
+  EXPECT_EQ(s.m, 500u);
+  EXPECT_EQ(s.receiver_mempool.size(), 500u);
+  for (const TxId& id : s.block.tx_ids()) {
+    EXPECT_TRUE(s.receiver_mempool.contains(id));
+  }
+}
+
+TEST(Workload, PartialFractionGivesExactOverlap) {
+  util::Rng rng(2);
+  ScenarioSpec spec;
+  spec.block_txns = 100;
+  spec.extra_txns = 50;
+  spec.block_fraction_in_mempool = 0.6;
+  const Scenario s = make_scenario(spec, rng);
+
+  EXPECT_EQ(s.x, 60u);
+  std::size_t overlap = 0;
+  for (const TxId& id : s.block.tx_ids()) {
+    overlap += s.receiver_mempool.contains(id) ? 1 : 0;
+  }
+  EXPECT_EQ(overlap, 60u);
+  EXPECT_EQ(s.receiver_mempool.size(), 110u);
+}
+
+TEST(Workload, ZeroFractionDisjoint) {
+  util::Rng rng(3);
+  ScenarioSpec spec;
+  spec.block_txns = 50;
+  spec.extra_txns = 50;
+  spec.block_fraction_in_mempool = 0.0;
+  const Scenario s = make_scenario(spec, rng);
+  for (const TxId& id : s.block.tx_ids()) {
+    EXPECT_FALSE(s.receiver_mempool.contains(id));
+  }
+}
+
+TEST(Workload, SenderMempoolIsSupersetOfBlock) {
+  util::Rng rng(4);
+  ScenarioSpec spec;
+  spec.block_txns = 80;
+  spec.sender_extra_txns = 20;
+  const Scenario s = make_scenario(spec, rng);
+  EXPECT_EQ(s.sender_mempool.size(), 100u);
+  for (const TxId& id : s.block.tx_ids()) {
+    EXPECT_TRUE(s.sender_mempool.contains(id));
+  }
+}
+
+TEST(Workload, DeterministicGivenSeed) {
+  ScenarioSpec spec;
+  spec.block_txns = 30;
+  util::Rng rng1(42), rng2(42);
+  const Scenario a = make_scenario(spec, rng1);
+  const Scenario b = make_scenario(spec, rng2);
+  EXPECT_EQ(a.block.header().merkle_root, b.block.header().merkle_root);
+}
+
+TEST(Workload, EthBlockSizesWithinClampAndPlausible) {
+  util::Rng rng(5);
+  double sum = 0;
+  std::uint64_t over_1000 = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t n = sample_eth_block_size(rng, 1000);
+    EXPECT_GE(n, 1u);
+    EXPECT_LE(n, 1000u);
+    sum += static_cast<double>(n);
+    over_1000 += n == 1000 ? 1 : 0;
+  }
+  const double mean = sum / kSamples;
+  EXPECT_GT(mean, 100.0);  // log-normal mean > median 120·exp(σ²/2) ≈ 170
+  EXPECT_LT(mean, 300.0);
+  EXPECT_LT(over_1000, kSamples / 50);  // clamp rarely binds
+}
+
+TEST(Workload, SpamScenarioReceiverMissesOnlyLowFee) {
+  util::Rng rng(10);
+  SpamScenarioSpec spec;
+  spec.block_txns = 200;
+  spec.extra_txns = 100;
+  spec.low_fee_fraction = 0.1;
+  spec.min_fee_per_kb = 1000;
+  const Scenario s = make_spam_scenario(spec, rng);
+
+  EXPECT_EQ(s.block.tx_count(), 200u);
+  EXPECT_EQ(s.x, 180u);  // 20 low-fee txns dropped by the relay policy
+  std::size_t missing = 0;
+  for (const Transaction& tx : s.block.transactions()) {
+    if (!s.receiver_mempool.contains(tx.id)) {
+      ++missing;
+      EXPECT_LT(tx.fee_per_kb, spec.min_fee_per_kb);
+    }
+  }
+  EXPECT_EQ(missing, 20u);
+  EXPECT_EQ(s.m, 280u);
+}
+
+TEST(Workload, SpamScenarioZeroFractionFullySynced) {
+  util::Rng rng(11);
+  SpamScenarioSpec spec;
+  spec.low_fee_fraction = 0.0;
+  const Scenario s = make_spam_scenario(spec, rng);
+  EXPECT_EQ(s.x, spec.block_txns);
+}
+
+TEST(Workload, MempoolPairHasExactCommonCount) {
+  util::Rng rng(6);
+  const MempoolPair p = make_mempool_pair(1000, 400, rng);
+  EXPECT_EQ(p.a.size(), 1000u);
+  EXPECT_EQ(p.b.size(), 1000u);
+  std::size_t common = 0;
+  for (const TxId& id : p.a.ids()) common += p.b.contains(id) ? 1 : 0;
+  EXPECT_EQ(common, 400u);
+}
+
+TEST(Workload, MempoolPairCommonClampedToSize) {
+  util::Rng rng(7);
+  const MempoolPair p = make_mempool_pair(10, 50, rng);
+  EXPECT_EQ(p.a.size(), 10u);
+  std::size_t common = 0;
+  for (const TxId& id : p.a.ids()) common += p.b.contains(id) ? 1 : 0;
+  EXPECT_EQ(common, 10u);
+}
+
+}  // namespace
+}  // namespace graphene::chain

@@ -1,0 +1,120 @@
+#include "graphene/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bloom/bloom_filter.hpp"
+#include "chain/transaction.hpp"
+#include "util/random.hpp"
+
+namespace graphene::core {
+namespace {
+
+constexpr double kBeta = 239.0 / 240.0;
+
+TEST(BoundAStar, AtLeastOneAndAboveMean) {
+  EXPECT_GE(bound_a_star(0.0, kBeta), 1u);
+  for (const double a : {1.0, 5.0, 20.0, 500.0}) {
+    EXPECT_GT(static_cast<double>(bound_a_star(a, kBeta)), a);
+  }
+}
+
+TEST(BoundAStar, RelativeSlackShrinksWithA) {
+  const double slack_small =
+      static_cast<double>(bound_a_star(5.0, kBeta)) / 5.0;
+  const double slack_large =
+      static_cast<double>(bound_a_star(500.0, kBeta)) / 500.0;
+  EXPECT_GT(slack_small, slack_large);
+  EXPECT_LT(slack_large, 1.5);
+}
+
+TEST(BoundAStar, HoldsEmpiricallyAtBeta) {
+  // Theorem 1 validation (paper Fig. 15 foundation): pass m−n non-block
+  // transactions through a Bloom filter at FPR a/(m−n); the realized false
+  // positive count must be ≤ a* in ≥ β of trials.
+  util::Rng rng(1);
+  const std::uint64_t m_minus_n = 2000;
+  const double a = 12.0;
+  const double fpr = a / static_cast<double>(m_minus_n);
+  const std::uint64_t a_star = bound_a_star(a, kBeta);
+
+  constexpr int kTrials = 4000;
+  int within = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    std::uint64_t fps = 0;
+    for (std::uint64_t i = 0; i < m_minus_n; ++i) fps += rng.chance(fpr) ? 1 : 0;
+    within += fps <= a_star ? 1 : 0;
+  }
+  EXPECT_GE(static_cast<double>(within) / kTrials, kBeta - 0.005);
+}
+
+TEST(BoundXStar, NeverExceedsObservedPositivesOrBlockSize) {
+  for (const std::uint64_t z : {10ULL, 100ULL, 900ULL}) {
+    const std::uint64_t x_star = bound_x_star(z, 1000, 900, 0.01, kBeta);
+    EXPECT_LE(x_star, z);
+    EXPECT_LE(x_star, 900u);
+  }
+}
+
+TEST(BoundXStar, ApproachesZWhenFprTiny) {
+  // With a tiny FPR almost all z positives must be true positives.
+  const std::uint64_t x_star = bound_x_star(500, 10000, 600, 1e-6, kBeta);
+  EXPECT_GE(x_star, 495u);
+}
+
+TEST(BoundXStar, ZeroWhenEverythingPasses) {
+  // FPR 1: all m pass, nothing can be inferred.
+  const std::uint64_t x_star = bound_x_star(1000, 1000, 500, 1.0, kBeta);
+  EXPECT_EQ(x_star, 0u);
+}
+
+TEST(BoundXStar, IsLowerBoundEmpirically) {
+  // Theorem 2 validation (paper Fig. 19): x* ≤ x in at least β of trials.
+  util::Rng rng(2);
+  const std::uint64_t n = 200, m = 600;
+  const std::uint64_t x_true = 120;  // receiver holds 60% of the block
+  const double fpr = 0.02;
+
+  constexpr int kTrials = 3000;
+  int ok = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    std::uint64_t y = 0;
+    for (std::uint64_t i = 0; i < m - x_true; ++i) y += rng.chance(fpr) ? 1 : 0;
+    const std::uint64_t z = x_true + y;
+    ok += bound_x_star(z, m, n, fpr, kBeta) <= x_true ? 1 : 0;
+  }
+  EXPECT_GE(static_cast<double>(ok) / kTrials, kBeta - 0.005);
+}
+
+TEST(BoundYStar, IsUpperBoundEmpirically) {
+  // Theorem 3 validation (paper Fig. 20): y* ≥ y in at least β of trials.
+  util::Rng rng(3);
+  const std::uint64_t n = 200, m = 600;
+  const std::uint64_t x_true = 120;
+  const double fpr = 0.02;
+
+  constexpr int kTrials = 3000;
+  int ok = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    std::uint64_t y = 0;
+    for (std::uint64_t i = 0; i < m - x_true; ++i) y += rng.chance(fpr) ? 1 : 0;
+    const std::uint64_t z = x_true + y;
+    const std::uint64_t x_star = bound_x_star(z, m, n, fpr, kBeta);
+    const std::uint64_t y_star = bound_y_star(m, x_star, fpr, kBeta);
+    ok += y_star >= y ? 1 : 0;
+  }
+  EXPECT_GE(static_cast<double>(ok) / kTrials, kBeta - 0.005);
+}
+
+TEST(BoundYStar, DegenerateCases) {
+  EXPECT_GE(bound_y_star(100, 100, 0.1, kBeta), 1u);  // x* = m
+  EXPECT_GE(bound_y_star(100, 0, 0.0, kBeta), 1u);    // zero FPR
+}
+
+TEST(BoundYStar, ScalesWithRemainingPool) {
+  const std::uint64_t small = bound_y_star(1000, 900, 0.05, kBeta);
+  const std::uint64_t large = bound_y_star(1000, 100, 0.05, kBeta);
+  EXPECT_GT(large, small);
+}
+
+}  // namespace
+}  // namespace graphene::core

@@ -1,0 +1,107 @@
+#include "graphene/mempool_sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chain/workload.hpp"
+
+namespace graphene::core {
+namespace {
+
+bool pools_equal(const chain::Mempool& a, const chain::Mempool& b) {
+  if (a.size() != b.size()) return false;
+  for (const chain::TxId& id : a.ids()) {
+    if (!b.contains(id)) return false;
+  }
+  return true;
+}
+
+class MempoolSyncSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MempoolSyncSweep, BothPoolsConvergeToUnion) {
+  const double fraction_common = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(fraction_common * 1000) + 17);
+  int successes = 0;
+  constexpr int kTrials = 10;
+  for (int t = 0; t < kTrials; ++t) {
+    const std::uint64_t size = 400;
+    const auto common = static_cast<std::uint64_t>(fraction_common * size);
+    chain::MempoolPair pair = chain::make_mempool_pair(size, common, rng);
+    const std::uint64_t expected_union = 2 * size - common;
+
+    const MempoolSyncResult result = sync_mempools(pair.a, pair.b, rng.next());
+    if (result.success) {
+      ++successes;
+      EXPECT_EQ(pair.a.size(), expected_union);
+      EXPECT_TRUE(pools_equal(pair.a, pair.b));
+    }
+  }
+  EXPECT_GE(successes, kTrials - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Overlap, MempoolSyncSweep,
+                         ::testing::Values(0.0, 0.2, 0.5, 0.8, 0.95, 1.0));
+
+TEST(MempoolSync, IdenticalPoolsUseProtocol1Only) {
+  util::Rng rng(1);
+  chain::MempoolPair pair = chain::make_mempool_pair(300, 300, rng);
+  const MempoolSyncResult result = sync_mempools(pair.a, pair.b, 7);
+  EXPECT_TRUE(result.success);
+  EXPECT_FALSE(result.used_protocol2);
+  EXPECT_EQ(result.receiver_gained, 0u);
+  EXPECT_EQ(result.sender_gained, 0u);
+}
+
+TEST(MempoolSync, EmptySenderPoolFallsBackToDump) {
+  util::Rng rng(2);
+  chain::Mempool sender_pool;
+  chain::Mempool receiver_pool;
+  for (int i = 0; i < 50; ++i) receiver_pool.insert(chain::make_random_transaction(rng));
+  const MempoolSyncResult result = sync_mempools(sender_pool, receiver_pool, 8);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(sender_pool.size(), 50u);
+  EXPECT_EQ(result.sender_gained, 50u);
+}
+
+TEST(MempoolSync, EmptyReceiverPoolReceivesEverything) {
+  util::Rng rng(3);
+  chain::Mempool sender_pool;
+  chain::Mempool receiver_pool;
+  for (int i = 0; i < 50; ++i) sender_pool.insert(chain::make_random_transaction(rng));
+  const MempoolSyncResult result = sync_mempools(sender_pool, receiver_pool, 9);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(receiver_pool.size(), 50u);
+  EXPECT_EQ(result.receiver_gained, 50u);
+}
+
+TEST(MempoolSync, ChannelRecordsTraffic) {
+  util::Rng rng(4);
+  chain::MempoolPair pair = chain::make_mempool_pair(200, 100, rng);
+  net::Channel channel;
+  const MempoolSyncResult result = sync_mempools(pair.a, pair.b, 10, {}, &channel);
+  EXPECT_TRUE(result.success);
+  EXPECT_GE(channel.message_count(), 1u);
+  EXPECT_GT(channel.payload_bytes(net::Direction::kSenderToReceiver), 0u);
+}
+
+TEST(MempoolSync, GrapheneBytesBeatNaiveFullDump) {
+  // With high overlap, sync encoding must be far below shipping all IDs.
+  util::Rng rng(5);
+  chain::MempoolPair pair = chain::make_mempool_pair(2000, 1900, rng);
+  const MempoolSyncResult result = sync_mempools(pair.a, pair.b, 11);
+  ASSERT_TRUE(result.success);
+  EXPECT_LT(result.graphene_bytes, 2000u * 32u / 4u);
+}
+
+TEST(MempoolSync, GainsMatchSetDifferences) {
+  util::Rng rng(6);
+  chain::MempoolPair pair = chain::make_mempool_pair(500, 350, rng);
+  const MempoolSyncResult result = sync_mempools(pair.a, pair.b, 12);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.receiver_gained, 150u);
+  EXPECT_EQ(result.sender_gained, 150u);
+}
+
+}  // namespace
+}  // namespace graphene::core

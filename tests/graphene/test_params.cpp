@@ -1,0 +1,129 @@
+#include "graphene/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bloom/bloom_math.hpp"
+#include "graphene/bounds.hpp"
+#include "iblt/param_table.hpp"
+
+namespace graphene::core {
+namespace {
+
+std::size_t total_for_a(std::uint64_t a, std::uint64_t n, std::uint64_t m,
+                        const ProtocolConfig& cfg) {
+  const double fpr = std::min(1.0, static_cast<double>(a) / static_cast<double>(m - n));
+  const std::uint64_t a_star = bound_a_star(static_cast<double>(a), cfg.beta);
+  return bloom::serialized_bytes(n, fpr) +
+         iblt::Iblt::serialized_size_for(iblt::lookup_params(a_star, cfg.fail_denom).cells);
+}
+
+TEST(OptimizeProtocol1, MatchesBruteForceSmall) {
+  const ProtocolConfig cfg;
+  for (const auto [n, m] : {std::pair<std::uint64_t, std::uint64_t>{200, 400},
+                            {200, 1200}, {50, 80}, {2000, 6000}}) {
+    const Protocol1Params p = optimize_protocol1(n, m, cfg);
+    std::size_t best = SIZE_MAX;
+    for (std::uint64_t a = 1; a <= m - n; ++a) best = std::min(best, total_for_a(a, n, m, cfg));
+    EXPECT_LE(p.total_bytes(), best + best / 50)  // within 2% of true optimum
+        << "n=" << n << " m=" << m;
+  }
+}
+
+TEST(OptimizeProtocol1, EqualPoolsDegenerateToIbltOnly) {
+  const Protocol1Params p = optimize_protocol1(1000, 1000);
+  EXPECT_EQ(p.fpr, 1.0);
+  EXPECT_EQ(p.a, 0u);
+  EXPECT_GE(p.a_star, 1u);
+  EXPECT_LT(p.bloom_bytes, 16u);  // header-only filter
+}
+
+TEST(OptimizeProtocol1, FprIsAOverDiff) {
+  const Protocol1Params p = optimize_protocol1(2000, 6000);
+  EXPECT_NEAR(p.fpr, static_cast<double>(p.a) / 4000.0, 1e-12);
+}
+
+TEST(OptimizeProtocol1, AStarRespectsTheorem1) {
+  const ProtocolConfig cfg;
+  const Protocol1Params p = optimize_protocol1(2000, 6000, cfg);
+  EXPECT_EQ(p.a_star, bound_a_star(static_cast<double>(p.a), cfg.beta));
+}
+
+TEST(OptimizeProtocol1, TotalGrowsSublinearlyInMempool) {
+  // Fig. 14's qualitative claim: cost grows sublinearly as extra mempool
+  // transactions accumulate.
+  const std::size_t at_1x = optimize_protocol1(2000, 4000).total_bytes();
+  const std::size_t at_5x = optimize_protocol1(2000, 12000).total_bytes();
+  EXPECT_LT(at_5x, at_1x * 3);
+  EXPECT_GT(at_5x, at_1x);
+}
+
+TEST(OptimizeProtocol1, BeatsCompactBlocksForPaperSizes) {
+  // §5.3: Graphene is smaller than Compact Blocks (6 bytes/txn) for all but
+  // tiny blocks.
+  for (const std::uint64_t n : {200ULL, 2000ULL, 10000ULL}) {
+    const std::uint64_t m = n + n;  // mempool = 2 blocks' worth
+    const Protocol1Params p = optimize_protocol1(n, m);
+    EXPECT_LT(p.total_bytes(), 6 * n) << "n=" << n;
+  }
+}
+
+TEST(OptimizeProtocol1, Eq3ContinuousApproximationIsInTheRightRegime) {
+  // Eq. 3 with τ from the table should land within a factor ~4 of the
+  // discrete optimum for large n (the paper notes up to 20% error for
+  // a < 100 plus table discretization).
+  const std::uint64_t n = 10000, m = 30000;
+  const Protocol1Params p = optimize_protocol1(n, m);
+  const double tau = iblt::hedge_factor(p.a_star, 240);
+  const double a_cont = eq3_continuous_a(n, tau);
+  EXPECT_GT(static_cast<double>(p.a), a_cont / 4.0);
+  EXPECT_LT(static_cast<double>(p.a), a_cont * 4.0);
+}
+
+TEST(OptimizeProtocol2, NormalPathProducesConsistentParams) {
+  // z = 150 of m = 500 passed S at FPR 0.05; block n = 200.
+  const ProtocolConfig cfg;
+  const Protocol2Params p = optimize_protocol2(150, 500, 200, 0.05, cfg);
+  EXPECT_FALSE(p.reversed);
+  EXPECT_LE(p.x_star, 150u);
+  EXPECT_GE(p.y_star, 1u);
+  EXPECT_GE(p.b, 1u);
+  EXPECT_NEAR(p.fpr,
+              static_cast<double>(p.b) / static_cast<double>(200 - p.x_star), 1e-9);
+  EXPECT_GT(p.total_bytes(), 0u);
+}
+
+TEST(OptimizeProtocol2, ReversedPathTriggersWhenPoolsMatch) {
+  // m ≈ n with FPR ~1: z = m, y* ≈ m — the §3.3.2 special case.
+  const Protocol2Params p = optimize_protocol2(1000, 1000, 1000, 1.0, {});
+  EXPECT_TRUE(p.reversed);
+  EXPECT_NEAR(p.fpr, 0.1, 1e-12);
+}
+
+TEST(OptimizeProtocol2, IbltSizedForBPlusYStar) {
+  const ProtocolConfig cfg;
+  const Protocol2Params p = optimize_protocol2(300, 1000, 400, 0.02, cfg);
+  const iblt::IbltParams expected = iblt::lookup_params(p.b + p.y_star, cfg.fail_denom);
+  EXPECT_EQ(p.iblt.cells, expected.cells);
+}
+
+TEST(OptimizeProtocol2, MatchesBruteForceOverB) {
+  const ProtocolConfig cfg;
+  const std::uint64_t z = 150, m = 500, n = 200;
+  const double f_s = 0.05;
+  const Protocol2Params p = optimize_protocol2(z, m, n, f_s, cfg);
+  ASSERT_FALSE(p.reversed);
+  const std::uint64_t missing = n - p.x_star;
+  std::size_t best = SIZE_MAX;
+  for (std::uint64_t b = 1; b <= missing; ++b) {
+    const double fr = std::min(1.0, static_cast<double>(b) / static_cast<double>(missing));
+    const std::size_t total =
+        bloom::serialized_bytes(z, fr) +
+        iblt::Iblt::serialized_size_for(
+            iblt::lookup_params(b + p.y_star, cfg.fail_denom).cells);
+    best = std::min(best, total);
+  }
+  EXPECT_LE(p.total_bytes(), best + best / 50);
+}
+
+}  // namespace
+}  // namespace graphene::core

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "graphene/receiver.hpp"
+#include "graphene/sender.hpp"
+#include "sim/scenario.hpp"
+
+namespace graphene::core {
+namespace {
+
+struct P1Case {
+  std::uint64_t n;
+  std::uint64_t extra;
+};
+
+class Protocol1Sweep : public ::testing::TestWithParam<P1Case> {};
+
+TEST_P(Protocol1Sweep, DecodesWhenReceiverHasWholeBlock) {
+  const auto [n, extra] = GetParam();
+  util::Rng rng(n * 1000 + extra);
+  int decoded = 0;
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    chain::ScenarioSpec spec;
+    spec.block_txns = n;
+    spec.extra_txns = extra;
+    spec.block_fraction_in_mempool = 1.0;
+    const chain::Scenario s = chain::make_scenario(spec, rng);
+
+    Sender sender(s.block, /*salt=*/rng.next());
+    Receiver receiver(s.receiver_mempool);
+    const GrapheneBlockMsg msg = sender.encode(s.receiver_mempool.size());
+    const ReceiveOutcome out = receiver.receive_block(msg);
+    decoded += out.status == ReceiveStatus::kDecoded ? 1 : 0;
+    if (out.status == ReceiveStatus::kDecoded) {
+      EXPECT_TRUE(out.merkle_ok);
+      EXPECT_EQ(out.block_ids.size(), n);
+      EXPECT_EQ(out.block_ids, s.block.tx_ids());
+    }
+  }
+  // β = 239/240 per trial; 20 trials with ≥18 successes is conservative.
+  EXPECT_GE(decoded, kTrials - 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, Protocol1Sweep,
+    ::testing::Values(P1Case{20, 0}, P1Case{20, 100}, P1Case{200, 0}, P1Case{200, 100},
+                      P1Case{200, 400}, P1Case{200, 1000}, P1Case{2000, 1000},
+                      P1Case{2000, 4000}, P1Case{1, 10}, P1Case{2, 0}));
+
+TEST(Protocol1, DecodedTransactionsAreRecoverable) {
+  util::Rng rng(1);
+  chain::ScenarioSpec spec;
+  spec.block_txns = 100;
+  spec.extra_txns = 200;
+  const chain::Scenario s = chain::make_scenario(spec, rng);
+  Sender sender(s.block, 42);
+  Receiver receiver(s.receiver_mempool);
+  const ReceiveOutcome out = receiver.receive_block(sender.encode(s.m));
+  ASSERT_EQ(out.status, ReceiveStatus::kDecoded);
+  const auto txs = receiver.block_transactions();
+  ASSERT_EQ(txs.size(), 100u);
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    EXPECT_EQ(txs[i].id, s.block.transactions()[i].id);
+  }
+}
+
+TEST(Protocol1, MissingTransactionsForceProtocol2) {
+  util::Rng rng(2);
+  chain::ScenarioSpec spec;
+  spec.block_txns = 200;
+  spec.extra_txns = 200;
+  spec.block_fraction_in_mempool = 0.9;
+  const chain::Scenario s = chain::make_scenario(spec, rng);
+  Sender sender(s.block, 43);
+  Receiver receiver(s.receiver_mempool);
+  const ReceiveOutcome out = receiver.receive_block(sender.encode(s.m));
+  EXPECT_NE(out.status, ReceiveStatus::kDecoded);
+}
+
+TEST(Protocol1, EncodingSmallerThanCompactBlocksAt2000) {
+  util::Rng rng(3);
+  chain::ScenarioSpec spec;
+  spec.block_txns = 2000;
+  spec.extra_txns = 2000;
+  const chain::Scenario s = chain::make_scenario(spec, rng);
+  Sender sender(s.block, 44);
+  const GrapheneBlockMsg msg = sender.encode(s.m);
+  const std::size_t graphene_bytes =
+      msg.filter_s.serialized_size() + msg.iblt_i.serialized_size();
+  EXPECT_LT(graphene_bytes, 6u * 2000u);
+}
+
+TEST(Protocol1, UnkeyedShortIdsAlsoWork) {
+  util::Rng rng(4);
+  ProtocolConfig cfg;
+  cfg.keyed_short_ids = false;
+  chain::ScenarioSpec spec;
+  spec.block_txns = 200;
+  spec.extra_txns = 400;
+  const chain::Scenario s = chain::make_scenario(spec, rng);
+  Sender sender(s.block, 45, cfg);
+  Receiver receiver(s.receiver_mempool, cfg);
+  const ReceiveOutcome out = receiver.receive_block(sender.encode(s.m));
+  EXPECT_EQ(out.status, ReceiveStatus::kDecoded);
+}
+
+TEST(Protocol1, EmptyMempoolBeyondBlockStillDecodes) {
+  // m = n exactly: degenerate filter + minimal IBLT.
+  util::Rng rng(5);
+  chain::ScenarioSpec spec;
+  spec.block_txns = 300;
+  spec.extra_txns = 0;
+  const chain::Scenario s = chain::make_scenario(spec, rng);
+  Sender sender(s.block, 46);
+  Receiver receiver(s.receiver_mempool);
+  const GrapheneBlockMsg msg = sender.encode(s.m);
+  EXPECT_TRUE(msg.filter_s.matches_everything());
+  const ReceiveOutcome out = receiver.receive_block(msg);
+  EXPECT_EQ(out.status, ReceiveStatus::kDecoded);
+}
+
+TEST(Protocol1, SenderParamsExposedAfterEncode) {
+  util::Rng rng(6);
+  chain::ScenarioSpec spec;
+  spec.block_txns = 500;
+  spec.extra_txns = 1500;
+  const chain::Scenario s = chain::make_scenario(spec, rng);
+  Sender sender(s.block, 47);
+  const GrapheneBlockMsg msg = sender.encode(s.m);
+  const Protocol1Params& p = sender.last_params();
+  EXPECT_EQ(p.bloom_bytes, msg.filter_s.serialized_size());
+  EXPECT_EQ(p.iblt_bytes, msg.iblt_i.serialized_size());
+}
+
+}  // namespace
+}  // namespace graphene::core

@@ -1,0 +1,73 @@
+#include "iblt/hypergraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iblt/iblt.hpp"
+#include "iblt/param_search.hpp"
+#include "util/random.hpp"
+
+namespace graphene::iblt {
+namespace {
+
+TEST(Hypergraph, ZeroEdgesAlwaysDecodes) {
+  util::Rng rng(1);
+  EXPECT_TRUE(hypergraph_decodes(0, 4, 40, rng));
+}
+
+TEST(Hypergraph, TooFewVerticesNeverDecodes) {
+  util::Rng rng(2);
+  EXPECT_FALSE(hypergraph_decodes(5, 4, 2, rng));
+}
+
+TEST(Hypergraph, AmpleVerticesNearlyAlwaysDecode) {
+  util::Rng rng(3);
+  int successes = 0;
+  for (int t = 0; t < 200; ++t) successes += hypergraph_decodes(20, 4, 200, rng) ? 1 : 0;
+  EXPECT_GE(successes, 198);
+}
+
+TEST(Hypergraph, ScarceVerticesRarelyDecode) {
+  util::Rng rng(4);
+  int successes = 0;
+  for (int t = 0; t < 200; ++t) successes += hypergraph_decodes(100, 4, 104, rng) ? 1 : 0;
+  EXPECT_LE(successes, 20);
+}
+
+TEST(Hypergraph, DecodeRateMonotoneInCells) {
+  util::Rng rng(5);
+  const std::uint64_t j = 50;
+  double prev_rate = -1.0;
+  for (const std::uint64_t c : {60ULL, 80ULL, 120ULL, 200ULL}) {
+    const double rate = measure_decode_rate(j, 4, c, 2000, rng);
+    EXPECT_GE(rate, prev_rate - 0.03) << "c=" << c;  // noise tolerance
+    prev_rate = rate;
+  }
+}
+
+TEST(Hypergraph, MatchesRealIbltDecodeRate) {
+  // The hypergraph model must track the decode rate of real IBLTs closely —
+  // that equivalence is what makes Algorithm 1's speedup legitimate.
+  util::Rng rng(6);
+  const std::uint64_t j = 30, c = 60;
+  const std::uint32_t k = 4;
+  constexpr int kTrials = 3000;
+
+  int graph_successes = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    graph_successes += hypergraph_decodes(j, k, c, rng) ? 1 : 0;
+  }
+
+  int iblt_successes = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    Iblt table(IbltParams{k, c}, rng.next());
+    for (std::uint64_t i = 0; i < j; ++i) table.insert(rng.next());
+    iblt_successes += table.decode().success ? 1 : 0;
+  }
+
+  const double graph_rate = static_cast<double>(graph_successes) / kTrials;
+  const double iblt_rate = static_cast<double>(iblt_successes) / kTrials;
+  EXPECT_NEAR(graph_rate, iblt_rate, 0.04);
+}
+
+}  // namespace
+}  // namespace graphene::iblt

@@ -1,0 +1,129 @@
+#include "iblt/kv_iblt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "util/random.hpp"
+
+namespace graphene::iblt {
+namespace {
+
+std::map<std::uint64_t, std::uint64_t> random_entries(std::size_t count,
+                                                      util::Rng& rng) {
+  std::map<std::uint64_t, std::uint64_t> out;
+  while (out.size() < count) out.emplace(rng.next(), rng.next());
+  return out;
+}
+
+TEST(KvIblt, DecodeRecoversEntriesWithValues) {
+  util::Rng rng(1);
+  const auto entries = random_entries(15, rng);
+  KvIblt t(4, 80);
+  for (const auto& [k, v] : entries) t.insert(k, v);
+  const KvDecodeResult dec = t.decode();
+  ASSERT_TRUE(dec.success);
+  ASSERT_EQ(dec.positives.size(), 15u);
+  for (const KvEntry& e : dec.positives) {
+    ASSERT_TRUE(entries.count(e.key) > 0);
+    EXPECT_EQ(entries.at(e.key), e.value);
+  }
+}
+
+TEST(KvIblt, GetResolvesFromPureCell) {
+  util::Rng rng(2);
+  KvIblt t(4, 100);
+  t.insert(42, 1042);
+  t.insert(77, 1077);
+  bool indeterminate = false;
+  const auto v = t.get(42, &indeterminate);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1042u);
+  EXPECT_FALSE(indeterminate);
+}
+
+TEST(KvIblt, GetAbsentKeyIsNullopt) {
+  util::Rng rng(3);
+  KvIblt t(4, 100);
+  for (const auto& [k, v] : random_entries(10, rng)) t.insert(k, v);
+  bool indeterminate = false;
+  EXPECT_FALSE(t.get(0xdead, &indeterminate).has_value());
+}
+
+TEST(KvIblt, GetInOverloadedTableReportsIndeterminate) {
+  util::Rng rng(4);
+  KvIblt t(4, 8);
+  for (const auto& [k, v] : random_entries(100, rng)) t.insert(k, v);
+  int indeterminate_count = 0;
+  for (const auto& [k, v] : random_entries(50, rng)) {
+    bool ind = false;
+    (void)t.get(k, &ind);
+    indeterminate_count += ind ? 1 : 0;
+  }
+  EXPECT_GT(indeterminate_count, 25);  // nearly every probe is crowded
+}
+
+TEST(KvIblt, SubtractRecoversSymmetricDifferenceWithValues) {
+  util::Rng rng(5);
+  const auto common = random_entries(50, rng);
+  const auto only_a = random_entries(6, rng);
+  const auto only_b = random_entries(7, rng);
+  KvIblt a(4, 80, 9), b(4, 80, 9);
+  for (const auto& [k, v] : common) {
+    a.insert(k, v);
+    b.insert(k, v);
+  }
+  for (const auto& [k, v] : only_a) a.insert(k, v);
+  for (const auto& [k, v] : only_b) b.insert(k, v);
+
+  const KvDecodeResult dec = a.subtract(b).decode();
+  ASSERT_TRUE(dec.success);
+  EXPECT_EQ(dec.positives.size(), only_a.size());
+  EXPECT_EQ(dec.negatives.size(), only_b.size());
+  for (const KvEntry& e : dec.positives) EXPECT_EQ(only_a.at(e.key), e.value);
+  for (const KvEntry& e : dec.negatives) EXPECT_EQ(only_b.at(e.key), e.value);
+}
+
+TEST(KvIblt, ValueMismatchOnSameKeyIsDetectedNotSilent) {
+  // Same key with different values on the two sides: the subtraction leaves
+  // a cell whose keySum matches but whose valueSum is the xor of both
+  // values; the count is 0 so the residual is non-decodable — the failure is
+  // reported, never silently wrong.
+  KvIblt a(4, 40, 1), b(4, 40, 1);
+  a.insert(5, 100);
+  b.insert(5, 200);
+  const KvDecodeResult dec = a.subtract(b).decode();
+  EXPECT_FALSE(dec.success);
+}
+
+TEST(KvIblt, InsertEraseCancels) {
+  KvIblt t(4, 40);
+  t.insert(1, 10);
+  t.erase(1, 10);
+  const KvDecodeResult dec = t.decode();
+  EXPECT_TRUE(dec.success);
+  EXPECT_TRUE(dec.positives.empty());
+}
+
+TEST(KvIblt, SerializeRoundTrip) {
+  util::Rng rng(6);
+  KvIblt t(5, 50, 77);
+  for (const auto& [k, v] : random_entries(8, rng)) t.insert(k, v);
+  const util::Bytes wire = t.serialize();
+  util::ByteReader r{util::ByteView(wire)};
+  const KvIblt u = KvIblt::deserialize(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(u.cell_count(), t.cell_count());
+  const KvIblt diff = t.subtract(u);
+  EXPECT_TRUE(diff.decode().success);
+  EXPECT_TRUE(diff.decode().positives.empty());
+}
+
+TEST(KvIblt, RejectsBadParameters) {
+  EXPECT_THROW(KvIblt(1, 10), std::invalid_argument);
+  EXPECT_THROW(KvIblt(99, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace graphene::iblt

@@ -1,0 +1,100 @@
+#include "iblt/param_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iblt/hypergraph.hpp"
+
+namespace graphene::iblt {
+namespace {
+
+SearchOptions fast_options() {
+  SearchOptions opts;
+  opts.max_trials = 3000;
+  opts.batch = 64;
+  return opts;
+}
+
+TEST(ParamSearch, ZeroItemsTrivial) {
+  util::Rng rng(1);
+  const auto c = search_cells(0, 4, 0.95, rng, fast_options());
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, 4u);
+}
+
+TEST(ParamSearch, ReturnsMultipleOfK) {
+  util::Rng rng(2);
+  for (const std::uint32_t k : {3u, 4u, 5u}) {
+    const auto c = search_cells(25, k, 0.95, rng, fast_options());
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(*c % k, 0u) << "k=" << k;
+  }
+}
+
+TEST(ParamSearch, FoundSizeMeetsRate) {
+  util::Rng rng(3);
+  const double p = 0.95;
+  const auto c = search_cells(30, 4, p, rng, fast_options());
+  ASSERT_TRUE(c.has_value());
+  const double rate = measure_decode_rate(30, 4, *c, 4000, rng);
+  EXPECT_GE(rate, p - 0.03);
+}
+
+TEST(ParamSearch, OneStepSmallerMissesRate) {
+  // The returned c should be near-minimal: shrinking by one k-block must
+  // drop the decode rate below (or near) the target.
+  util::Rng rng(4);
+  const double p = 0.99;
+  const std::uint32_t k = 4;
+  const auto c = search_cells(40, k, p, rng, fast_options());
+  ASSERT_TRUE(c.has_value());
+  ASSERT_GT(*c, k);
+  const double smaller_rate = measure_decode_rate(40, k, *c - k, 8000, rng);
+  EXPECT_LT(smaller_rate, p + 0.005);
+}
+
+TEST(ParamSearch, HigherTargetRateNeedsMoreCells) {
+  util::Rng rng(5);
+  const auto c_low = search_cells(50, 4, 0.90, rng, fast_options());
+  const auto c_high = search_cells(50, 4, 0.999, rng, fast_options());
+  ASSERT_TRUE(c_low && c_high);
+  EXPECT_LT(*c_low, *c_high);
+}
+
+TEST(ParamSearch, MoreItemsNeedMoreCells) {
+  util::Rng rng(6);
+  const auto c10 = search_cells(10, 4, 0.95, rng, fast_options());
+  const auto c100 = search_cells(100, 4, 0.95, rng, fast_options());
+  ASSERT_TRUE(c10 && c100);
+  EXPECT_LT(*c10, *c100);
+}
+
+TEST(ParamSearch, FullSearchPicksSmallestAcrossK) {
+  util::Rng rng(7);
+  SearchOptions opts = fast_options();
+  opts.k_min = 3;
+  opts.k_max = 6;
+  const SearchResult best = search_params(60, 0.95, rng, opts);
+  ASSERT_NE(best.params.cells, 0u);
+  EXPECT_GE(best.params.k, opts.k_min);
+  EXPECT_LE(best.params.k, opts.k_max);
+  // No individual k should beat the chosen size materially.
+  for (std::uint32_t k = opts.k_min; k <= opts.k_max; ++k) {
+    const auto c = search_cells(60, k, 0.95, rng, opts);
+    if (c) EXPECT_GE(*c + 2 * k, best.params.cells) << "k=" << k;
+  }
+  EXPECT_GT(best.decode_rate, 0.9);
+}
+
+TEST(ParamSearch, HedgeFactorIsReasonable) {
+  // Literature: peeling thresholds put c/j in roughly [1.2, 3] for mid-size
+  // j at moderate rates.
+  util::Rng rng(8);
+  const auto c = search_cells(100, 4, 0.95, rng, fast_options());
+  ASSERT_TRUE(c.has_value());
+  const double tau = static_cast<double>(*c) / 100.0;
+  EXPECT_GT(tau, 1.0);
+  EXPECT_LT(tau, 3.0);
+}
+
+}  // namespace
+}  // namespace graphene::iblt

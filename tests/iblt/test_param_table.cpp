@@ -1,0 +1,88 @@
+#include "iblt/param_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iblt/param_search.hpp"
+#include "util/random.hpp"
+
+namespace graphene::iblt {
+namespace {
+
+TEST(ParamTable, TableIsNonEmptyAndWellFormed) {
+  const auto table = raw_table();
+  ASSERT_FALSE(table.empty());
+  for (const TableEntry& e : table) {
+    EXPECT_GT(e.j, 0u);
+    EXPECT_GE(e.k, 2u);
+    EXPECT_LE(e.k, 16u);
+    EXPECT_EQ(e.cells % e.k, 0u) << "j=" << e.j;
+    EXPECT_GE(e.cells, e.k);
+  }
+}
+
+TEST(ParamTable, LookupReturnsUsableParams) {
+  for (const std::uint64_t j : {1ULL, 5ULL, 50ULL, 500ULL, 5000ULL}) {
+    const IbltParams p = lookup_params(j, 240);
+    EXPECT_GE(p.k, 2u);
+    EXPECT_GE(p.cells, j) << "j=" << j;  // need at least ~τj ≥ j cells
+  }
+}
+
+TEST(ParamTable, ZeroSnapsToOne) {
+  const IbltParams p0 = lookup_params(0, 240);
+  const IbltParams p1 = lookup_params(1, 240);
+  EXPECT_EQ(p0.cells, p1.cells);
+}
+
+TEST(ParamTable, CellsMonotoneInJ) {
+  std::uint64_t prev = 0;
+  for (std::uint64_t j = 1; j <= 2000; j += 7) {
+    const std::uint64_t cells = lookup_params(j, 240).cells;
+    EXPECT_GE(cells + 8, prev) << "j=" << j;  // small tolerance for k changes
+    prev = cells;
+  }
+}
+
+TEST(ParamTable, StricterRateCostsMoreCells) {
+  for (const std::uint64_t j : {10ULL, 100ULL, 1000ULL}) {
+    EXPECT_LE(lookup_params(j, 24).cells, lookup_params(j, 240).cells + 4) << j;
+    EXPECT_LE(lookup_params(j, 240).cells, lookup_params(j, 2400).cells + 4) << j;
+  }
+}
+
+TEST(ParamTable, UnknownDenomSnapsUp) {
+  // 100 snaps to 240 (stricter), 9999 snaps to 2400 (strictest available).
+  EXPECT_EQ(lookup_params(50, 100).cells, lookup_params(50, 240).cells);
+  EXPECT_EQ(lookup_params(50, 9999).cells, lookup_params(50, 2400).cells);
+}
+
+TEST(ParamTable, ExtrapolationBeyondGridStaysProportional) {
+  const double tau_at_edge = hedge_factor(3000, 240);
+  const double tau_beyond = hedge_factor(30000, 240);
+  EXPECT_LT(tau_beyond, tau_at_edge * 1.3);
+  EXPECT_GT(tau_beyond, 1.0);
+}
+
+TEST(ParamTable, IbltBytesMatchesCellCount) {
+  const IbltParams p = lookup_params(100, 240);
+  EXPECT_EQ(iblt_bytes(100, 240), Iblt::serialized_size_for(p.cells));
+}
+
+class ParamTableDecodeRate : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParamTableDecodeRate, MeetsAdvertisedRateAt240) {
+  // The shipped (j, k, cells) must hit ≥ 1 − 1/240 ≈ 0.9958 decode rate;
+  // check it clears 0.98 at modest trial counts (tight bound needs ~10⁵
+  // trials; the bench does that).
+  const std::uint64_t j = GetParam();
+  const IbltParams p = lookup_params(j, 240);
+  util::Rng rng(j * 31 + 7);
+  const double rate = measure_decode_rate(j, p.k, p.cells, 3000, rng);
+  EXPECT_GE(rate, 0.98) << "j=" << j << " k=" << p.k << " c=" << p.cells;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ParamTableDecodeRate,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 50, 100, 300, 1000));
+
+}  // namespace
+}  // namespace graphene::iblt

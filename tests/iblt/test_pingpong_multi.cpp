@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "iblt/param_table.hpp"
+#include "iblt/pingpong.hpp"
+#include "util/random.hpp"
+
+namespace graphene::iblt {
+namespace {
+
+std::vector<std::uint64_t> random_keys(std::size_t count, util::Rng& rng) {
+  std::set<std::uint64_t> keys;
+  while (keys.size() < count) keys.insert(rng.next());
+  return {keys.begin(), keys.end()};
+}
+
+/// Builds a difference IBLT holding exactly `keys` as positives.
+Iblt diff_of(const std::vector<std::uint64_t>& keys, IbltParams params,
+             std::uint64_t seed) {
+  Iblt t(params, seed);
+  for (const std::uint64_t k : keys) t.insert(k);
+  return t;
+}
+
+TEST(PingPongMulti, EmptyInputFails) {
+  const PingPongResult r = pingpong_decode_multi({});
+  EXPECT_FALSE(r.success);
+}
+
+TEST(PingPongMulti, SingleTableBehavesLikeDecode) {
+  util::Rng rng(1);
+  const auto keys = random_keys(10, rng);
+  const Iblt t = diff_of(keys, IbltParams{4, 60}, 5);
+  const Iblt tables[] = {t};
+  const PingPongResult r = pingpong_decode_multi(tables);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.positives.size(), 10u);
+}
+
+TEST(PingPongMulti, ThreeNeighborsRescueUndersizedTables) {
+  // §4.2's multi-neighbor suggestion: three undersized IBLTs over the same
+  // 30-item difference, each unable to decode alone, jointly succeed most of
+  // the time.
+  util::Rng rng(2);
+  int alone = 0, joint = 0;
+  constexpr int kTrials = 60;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto keys = random_keys(30, rng);
+    const IbltParams small{4, 36};  // τ = 1.2: decodes alone only sometimes
+    const Iblt tables[] = {diff_of(keys, small, rng.next()),
+                           diff_of(keys, small, rng.next()),
+                           diff_of(keys, small, rng.next())};
+    alone += tables[0].decode().success ? 1 : 0;
+    joint += pingpong_decode_multi(tables).success ? 1 : 0;
+  }
+  EXPECT_GT(joint, alone);
+  EXPECT_GE(joint, kTrials * 8 / 10);
+}
+
+TEST(PingPongMulti, RecoveredItemsAreExact) {
+  util::Rng rng(3);
+  const auto keys = random_keys(20, rng);
+  const Iblt tables[] = {diff_of(keys, IbltParams{4, 28}, 7),
+                         diff_of(keys, IbltParams{3, 27}, 8),
+                         diff_of(keys, IbltParams{5, 30}, 9)};
+  const PingPongResult r = pingpong_decode_multi(tables);
+  if (r.success) {
+    auto pos = r.positives;
+    std::sort(pos.begin(), pos.end());
+    EXPECT_EQ(pos, keys);
+    EXPECT_TRUE(r.negatives.empty());
+  }
+}
+
+TEST(PingPongMulti, MalformedTableDetected) {
+  util::Rng rng(4);
+  const auto keys = random_keys(5, rng);
+  Iblt bad = diff_of(keys, IbltParams{4, 40}, 10);
+  auto& cells = bad.cells_for_test();
+  for (auto& cell : cells) {
+    if (cell.count == 1) {
+      cell.count = 0;  // break one insertion
+      break;
+    }
+  }
+  const Iblt ok = diff_of(keys, IbltParams{4, 40}, 11);
+  const Iblt tables[] = {bad, ok};
+  const PingPongResult r = pingpong_decode_multi(tables);
+  // Termination (this test finishing) is the §6.1 guarantee; success may
+  // still be achieved via the healthy sibling.
+  if (!r.success) SUCCEED();
+}
+
+TEST(PingPongMulti, MixedSignsAcrossTables) {
+  util::Rng rng(5);
+  const auto pos_keys = random_keys(8, rng);
+  const auto neg_keys = random_keys(8, rng);
+  auto build = [&](IbltParams params, std::uint64_t seed) {
+    Iblt a(params, seed), b(params, seed);
+    for (const std::uint64_t k : pos_keys) a.insert(k);
+    for (const std::uint64_t k : neg_keys) b.insert(k);
+    return a.subtract(b);
+  };
+  const Iblt tables[] = {build(IbltParams{4, 24}, 1), build(IbltParams{4, 48}, 2)};
+  const PingPongResult r = pingpong_decode_multi(tables);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.positives.size(), 8u);
+  EXPECT_EQ(r.negatives.size(), 8u);
+}
+
+}  // namespace
+}  // namespace graphene::iblt

@@ -1,0 +1,79 @@
+#include "net/channel.hpp"
+#include "net/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string_view>
+
+namespace graphene::net {
+namespace {
+
+TEST(Message, WireSizeIncludesEnvelope) {
+  Message msg{MessageType::kInv, util::Bytes(100, 0)};
+  EXPECT_EQ(msg.wire_size(), 100u + kEnvelopeBytes);
+}
+
+TEST(Message, CommandNamesAreUniqueAndNonEmpty) {
+  const MessageType all[] = {
+      MessageType::kInv,           MessageType::kGetData,
+      MessageType::kBlockHeader,   MessageType::kFullBlock,
+      MessageType::kGrapheneBlock, MessageType::kGrapheneRequest,
+      MessageType::kGrapheneResponse, MessageType::kCompactBlock,
+      MessageType::kGetBlockTxn,   MessageType::kBlockTxn,
+      MessageType::kXthinGetData,  MessageType::kXthinBlock,
+      MessageType::kMempoolSyncOffer, MessageType::kMempoolSyncRequest,
+      MessageType::kMempoolSyncResponse};
+  std::set<std::string_view> names;
+  for (const MessageType t : all) {
+    const std::string_view name = command_name(t);
+    EXPECT_FALSE(name.empty());
+    EXPECT_LE(name.size(), 12u);  // Bitcoin command field is 12 bytes
+    EXPECT_TRUE(names.insert(name).second) << name;
+  }
+}
+
+TEST(Channel, AccountsBytesPerDirection) {
+  Channel ch;
+  ch.send(Direction::kSenderToReceiver, Message{MessageType::kInv, util::Bytes(10, 0)});
+  ch.send(Direction::kReceiverToSender, Message{MessageType::kGetData, util::Bytes(20, 0)});
+  ch.send(Direction::kSenderToReceiver, Message{MessageType::kFullBlock, util::Bytes(30, 0)});
+
+  EXPECT_EQ(ch.payload_bytes(Direction::kSenderToReceiver), 40u);
+  EXPECT_EQ(ch.payload_bytes(Direction::kReceiverToSender), 20u);
+  EXPECT_EQ(ch.bytes(Direction::kSenderToReceiver), 40u + 2 * kEnvelopeBytes);
+  EXPECT_EQ(ch.bytes(Direction::kReceiverToSender), 20u + kEnvelopeBytes);
+  EXPECT_EQ(ch.message_count(), 3u);
+}
+
+TEST(Channel, PayloadByTypeAggregates) {
+  Channel ch;
+  ch.send(Direction::kSenderToReceiver, Message{MessageType::kInv, util::Bytes(5, 0)});
+  ch.send(Direction::kReceiverToSender, Message{MessageType::kInv, util::Bytes(7, 0)});
+  ch.send(Direction::kSenderToReceiver, Message{MessageType::kBlockTxn, util::Bytes(9, 0)});
+  const auto by_type = ch.payload_by_type();
+  EXPECT_EQ(by_type.at(MessageType::kInv), 12u);
+  EXPECT_EQ(by_type.at(MessageType::kBlockTxn), 9u);
+}
+
+TEST(Channel, ResetClearsEverything) {
+  Channel ch;
+  ch.send(Direction::kSenderToReceiver, Message{MessageType::kInv, util::Bytes(5, 0)});
+  ch.reset();
+  EXPECT_EQ(ch.message_count(), 0u);
+  EXPECT_EQ(ch.bytes(Direction::kSenderToReceiver), 0u);
+  EXPECT_EQ(ch.payload_bytes(Direction::kSenderToReceiver), 0u);
+}
+
+TEST(Channel, LogPreservesOrder) {
+  Channel ch;
+  ch.send(Direction::kSenderToReceiver, Message{MessageType::kInv, {}});
+  ch.send(Direction::kReceiverToSender, Message{MessageType::kGetData, {}});
+  ASSERT_EQ(ch.log().size(), 2u);
+  EXPECT_EQ(ch.log()[0].second.type, MessageType::kInv);
+  EXPECT_EQ(ch.log()[1].second.type, MessageType::kGetData);
+  EXPECT_EQ(ch.log()[1].first, Direction::kReceiverToSender);
+}
+
+}  // namespace
+}  // namespace graphene::net

@@ -1,0 +1,54 @@
+#include "p2p/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace graphene::p2p {
+namespace {
+
+TEST(Topology, RandomRegularIsConnectedWithMinDegree) {
+  util::Rng rng(1);
+  for (const std::uint32_t nodes : {10u, 50u, 200u}) {
+    const Topology t = Topology::random_regular(nodes, 8, rng);
+    EXPECT_EQ(t.node_count(), nodes);
+    EXPECT_TRUE(t.connected());
+    for (std::uint32_t u = 0; u < nodes; ++u) {
+      EXPECT_GE(t.neighbors(u).size(), std::min(8u, nodes - 1)) << "node " << u;
+    }
+  }
+}
+
+TEST(Topology, NeighborsAreSymmetric) {
+  util::Rng rng(2);
+  const Topology t = Topology::random_regular(30, 4, rng);
+  for (std::uint32_t u = 0; u < t.node_count(); ++u) {
+    for (const std::uint32_t v : t.neighbors(u)) {
+      const auto& back = t.neighbors(v);
+      EXPECT_NE(std::find(back.begin(), back.end(), u), back.end());
+    }
+  }
+}
+
+TEST(Topology, NoSelfLoops) {
+  util::Rng rng(3);
+  const Topology t = Topology::random_regular(40, 6, rng);
+  for (std::uint32_t u = 0; u < t.node_count(); ++u) {
+    for (const std::uint32_t v : t.neighbors(u)) EXPECT_NE(u, v);
+  }
+}
+
+TEST(Topology, CliqueHasAllEdges) {
+  const Topology t = Topology::clique(10);
+  EXPECT_EQ(t.edge_count(), 45u);
+  EXPECT_TRUE(t.connected());
+  for (std::uint32_t u = 0; u < 10; ++u) EXPECT_EQ(t.neighbors(u).size(), 9u);
+}
+
+TEST(Topology, DegreeClampedForTinyNetworks) {
+  util::Rng rng(4);
+  const Topology t = Topology::random_regular(3, 8, rng);
+  EXPECT_TRUE(t.connected());
+  for (std::uint32_t u = 0; u < 3; ++u) EXPECT_LE(t.neighbors(u).size(), 4u);
+}
+
+}  // namespace
+}  // namespace graphene::p2p

@@ -1,0 +1,48 @@
+#include "sim/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace graphene::sim {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "23456"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name        |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 23456 |"), std::string::npos);
+  // header + rule + 2 rows
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinter, ShortRowsArePadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KB");
+  EXPECT_EQ(format_bytes(3 * 1024 * 1024), "3.00 MB");
+}
+
+TEST(Format, Double) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+}
+
+TEST(Format, Prob) {
+  EXPECT_EQ(format_prob(0.0), "0");
+  EXPECT_EQ(format_prob(0.00021), "2.10e-04");
+}
+
+}  // namespace
+}  // namespace graphene::sim

@@ -1,0 +1,71 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace graphene::util {
+namespace {
+
+TEST(Mix64, AvalanchesSingleBitFlips) {
+  // Flipping any input bit should change roughly half the output bits.
+  const std::uint64_t base = mix64(0x123456789abcdef0ULL);
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t flipped = mix64(0x123456789abcdef0ULL ^ (1ULL << bit));
+    const int hamming = __builtin_popcountll(base ^ flipped);
+    EXPECT_GT(hamming, 12) << "bit " << bit;
+    EXPECT_LT(hamming, 52) << "bit " << bit;
+  }
+}
+
+TEST(Mix64, DistinctInputsGiveDistinctOutputs) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outputs.insert(mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(MixHasher, DifferentSeedsDecorrelate) {
+  const MixHasher h1(1), h2(2);
+  int same = 0;
+  for (std::uint64_t item = 0; item < 100; ++item) {
+    if (h1(item, 0) % 1000 == h2(item, 0) % 1000) ++same;
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(MixHasher, IndexVariesProbe) {
+  const MixHasher h(7);
+  std::set<std::uint64_t> probes;
+  for (std::uint32_t i = 0; i < 8; ++i) probes.insert(h(42, i) % 4096);
+  EXPECT_GE(probes.size(), 7u);  // 8 probes, collisions unlikely in 4096 slots
+}
+
+TEST(SplitDigestWords, SplitsLittleEndian) {
+  Bytes digest(32);
+  for (std::size_t i = 0; i < 32; ++i) digest[i] = static_cast<std::uint8_t>(i);
+  const auto words = split_digest_words(ByteView(digest));
+  EXPECT_EQ(words[0], 0x0706050403020100ULL);
+  EXPECT_EQ(words[1], 0x0f0e0d0c0b0a0908ULL);
+  EXPECT_EQ(words[2], 0x1716151413121110ULL);
+  EXPECT_EQ(words[3], 0x1f1e1d1c1b1a1918ULL);
+}
+
+TEST(SplitDigestWords, ShortInputZeroExtends) {
+  const Bytes digest = {0xff, 0xee};
+  const auto words = split_digest_words(ByteView(digest));
+  EXPECT_EQ(words[0], 0xeeffULL);
+  EXPECT_EQ(words[1], 0u);
+  EXPECT_EQ(words[3], 0u);
+}
+
+TEST(Hash64, SeedChangesOutput) {
+  const Bytes data = {1, 2, 3};
+  EXPECT_NE(hash64(ByteView(data), 0), hash64(ByteView(data), 1));
+}
+
+TEST(Hash64, EmptyInputIsStable) {
+  EXPECT_EQ(hash64(ByteView{}, 0), hash64(ByteView{}, 0));
+}
+
+}  // namespace
+}  // namespace graphene::util

@@ -1,0 +1,37 @@
+#include "util/hex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace graphene::util {
+namespace {
+
+TEST(Hex, EncodesLowercase) {
+  const Bytes b = {0xde, 0xad, 0xBE, 0xEF, 0x00, 0x7f};
+  EXPECT_EQ(to_hex(ByteView(b)), "deadbeef007f");
+}
+
+TEST(Hex, EmptyRoundTrip) {
+  EXPECT_EQ(to_hex(ByteView{}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Hex, DecodesMixedCase) {
+  const Bytes expected = {0xab, 0xcd, 0xef};
+  EXPECT_EQ(from_hex("AbCdEf"), expected);
+}
+
+TEST(Hex, RoundTripsRandomBytes) {
+  Bytes b;
+  for (int i = 0; i < 256; ++i) b.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(from_hex(to_hex(ByteView(b))), b);
+}
+
+TEST(Hex, RejectsOddLength) { EXPECT_THROW(from_hex("abc"), DeserializeError); }
+
+TEST(Hex, RejectsNonHexCharacters) {
+  EXPECT_THROW(from_hex("zz"), DeserializeError);
+  EXPECT_THROW(from_hex("0g"), DeserializeError);
+}
+
+}  // namespace
+}  // namespace graphene::util

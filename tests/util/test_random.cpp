@@ -1,0 +1,135 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace graphene::util {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal_count = 0;
+  for (int i = 0; i < 100; ++i) equal_count += a.next() == b.next() ? 1 : 0;
+  EXPECT_EQ(equal_count, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBound] = {};
+  for (int i = 0; i < kSamples; ++i) counts[rng.below(kBound)]++;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBound, 5 * std::sqrt(kSamples / kBound));
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMomentsMatchStandardNormal) {
+  Rng rng(19);
+  double sum = 0.0, sumsq = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / kSamples, 1.0, 0.03);
+}
+
+class BinomialSweep
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, double>> {};
+
+TEST_P(BinomialSweep, MomentsMatchTheory) {
+  const auto [n, p] = GetParam();
+  Rng rng(n * 7 + static_cast<std::uint64_t>(p * 1000));
+  const double mean = static_cast<double>(n) * p;
+  const double stddev = std::sqrt(mean * (1.0 - p));
+  double sum = 0.0, sumsq = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto s = static_cast<double>(rng.binomial(n, p));
+    ASSERT_LE(s, static_cast<double>(n));
+    sum += s;
+    sumsq += s * s;
+  }
+  const double sample_mean = sum / kSamples;
+  const double sample_var = sumsq / kSamples - sample_mean * sample_mean;
+  EXPECT_NEAR(sample_mean, mean, 5.0 * stddev / std::sqrt(kSamples) + 0.05);
+  EXPECT_NEAR(sample_var, stddev * stddev, stddev * stddev * 0.15 + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, BinomialSweep,
+    ::testing::Values(std::pair<std::uint64_t, double>{100, 0.01},   // inversion
+                      std::pair<std::uint64_t, double>{1000, 0.02},  // moderate
+                      std::pair<std::uint64_t, double>{2000, 0.5},   // symmetry
+                      std::pair<std::uint64_t, double>{500000, 0.01},  // normal
+                      std::pair<std::uint64_t, double>{100, 0.99}));
+
+TEST(RngBinomial, EdgeCases) {
+  Rng rng(41);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+}
+
+TEST(Rng, FillRandomizesBuffer) {
+  Rng rng(23);
+  Bytes buf(64, 0);
+  rng.fill(buf);
+  int zeros = 0;
+  for (const std::uint8_t b : buf) zeros += b == 0 ? 1 : 0;
+  EXPECT_LT(zeros, 8);
+}
+
+TEST(Rng, ReseedResetsSequence) {
+  Rng rng(31);
+  const std::uint64_t first = rng.next();
+  rng.next();
+  rng.reseed(31);
+  EXPECT_EQ(rng.next(), first);
+}
+
+}  // namespace
+}  // namespace graphene::util

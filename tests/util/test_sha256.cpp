@@ -1,0 +1,84 @@
+#include "util/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/hex.hpp"
+
+namespace graphene::util {
+namespace {
+
+std::string hash_hex(const std::string& input) {
+  const Sha256Digest d = sha256(ByteView(reinterpret_cast<const std::uint8_t*>(input.data()),
+                                         input.size()));
+  return to_hex(ByteView(d.data(), d.size()));
+}
+
+// FIPS 180-4 / NIST CAVP reference vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hash_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hash_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hash_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.update(ByteView(reinterpret_cast<const std::uint8_t*>(chunk.data()), chunk.size()));
+  }
+  EXPECT_EQ(to_hex(ByteView(h.finalize().data(), 32)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, BlockBoundaryLengths) {
+  // 55/56/57 bytes straddle the length-field boundary; 63/64/65 the block
+  // boundary. One-shot and byte-at-a-time hashing must agree at each.
+  for (const std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u}) {
+    const std::string s(len, 'q');
+    const auto d1 = sha256(ByteView(reinterpret_cast<const std::uint8_t*>(s.data()), len));
+    Sha256 incremental;
+    for (char ch : s) incremental.update(&ch, 1);
+    EXPECT_EQ(d1, incremental.finalize()) << "length " << len;
+  }
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string input = "the quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  h.update(input.data(), 10);
+  h.update(input.data() + 10, input.size() - 10);
+  const auto incremental = h.finalize();
+  const auto oneshot =
+      sha256(ByteView(reinterpret_cast<const std::uint8_t*>(input.data()), input.size()));
+  EXPECT_EQ(incremental, oneshot);
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 h;
+  h.update("abc", 3);
+  const auto first = h.finalize();
+  h.reset();
+  h.update("abc", 3);
+  EXPECT_EQ(first, h.finalize());
+}
+
+TEST(Sha256, DoubleHashMatchesComposition) {
+  const Bytes payload = {1, 2, 3, 4};
+  const auto once = sha256(ByteView(payload));
+  const auto composed = sha256(ByteView(once.data(), once.size()));
+  EXPECT_EQ(sha256d(ByteView(payload)), composed);
+}
+
+}  // namespace
+}  // namespace graphene::util

@@ -1,0 +1,59 @@
+#include "util/siphash.hpp"
+
+#include <gtest/gtest.h>
+
+namespace graphene::util {
+namespace {
+
+// Reference vectors from the SipHash paper's appendix: key =
+// 000102...0e0f, messages 00, 0001, 000102, ... The canonical test vector
+// for the 15-byte message is 0xa129ca6149be45e5.
+SipHashKey reference_key() {
+  // k0 = little-endian bytes 00..07, k1 = 08..0f.
+  return SipHashKey{0x0706050403020100ULL, 0x0f0e0d0c0b0a0908ULL};
+}
+
+TEST(SipHash, ReferenceVector15Bytes) {
+  Bytes msg;
+  for (std::uint8_t i = 0; i < 15; ++i) msg.push_back(i);
+  EXPECT_EQ(siphash24(reference_key(), ByteView(msg)), 0xa129ca6149be45e5ULL);
+}
+
+TEST(SipHash, ReferenceVectorEmpty) {
+  EXPECT_EQ(siphash24(reference_key(), ByteView{}), 0x726fdb47dd0e0e31ULL);
+}
+
+TEST(SipHash, ReferenceVectorOneByte) {
+  const Bytes msg = {0x00};
+  EXPECT_EQ(siphash24(reference_key(), ByteView(msg)), 0x74f839c593dc67fdULL);
+}
+
+TEST(SipHash, ReferenceVectorEightBytes) {
+  Bytes msg;
+  for (std::uint8_t i = 0; i < 8; ++i) msg.push_back(i);
+  EXPECT_EQ(siphash24(reference_key(), ByteView(msg)), 0x93f5f5799a932462ULL);
+}
+
+TEST(SipHash, WordOverloadMatchesByteOverload) {
+  const SipHashKey key{0x1234, 0x5678};
+  const std::uint64_t word = 0xdeadbeefcafebabeULL;
+  Bytes bytes;
+  for (int i = 0; i < 8; ++i) bytes.push_back(static_cast<std::uint8_t>(word >> (8 * i)));
+  EXPECT_EQ(siphash24(key, word), siphash24(key, ByteView(bytes)));
+}
+
+TEST(SipHash, KeySensitivity) {
+  const Bytes msg = {1, 2, 3};
+  EXPECT_NE(siphash24(SipHashKey{1, 2}, ByteView(msg)),
+            siphash24(SipHashKey{1, 3}, ByteView(msg)));
+}
+
+TEST(SipHash, MessageSensitivity) {
+  const SipHashKey key{42, 43};
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 4};
+  EXPECT_NE(siphash24(key, ByteView(a)), siphash24(key, ByteView(b)));
+}
+
+}  // namespace
+}  // namespace graphene::util

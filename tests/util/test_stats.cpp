@@ -1,0 +1,111 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.hpp"
+
+namespace graphene::util {
+namespace {
+
+TEST(ChernoffDelta, ZeroMuReturnsZero) { EXPECT_EQ(chernoff_delta(0.0, 0.99), 0.0); }
+
+TEST(ChernoffDelta, SatisfiesDefiningEquation) {
+  // δ must satisfy δ = (s + sqrt(s² + 8s))/2 with s = −ln(1−β)/µ, which
+  // rearranges to δ²/(2+δ) = s.
+  for (const double mu : {1.0, 5.0, 50.0, 500.0}) {
+    for (const double beta : {0.9, 0.99, 239.0 / 240.0}) {
+      const double delta = chernoff_delta(mu, beta);
+      const double s = -std::log(1.0 - beta) / mu;
+      EXPECT_NEAR(delta * delta / (2.0 + delta), s, 1e-9);
+    }
+  }
+}
+
+TEST(ChernoffDelta, DecreasesWithMu) {
+  EXPECT_GT(chernoff_delta(1.0, 0.99), chernoff_delta(10.0, 0.99));
+  EXPECT_GT(chernoff_delta(10.0, 0.99), chernoff_delta(100.0, 0.99));
+}
+
+TEST(ChernoffDelta, IncreasesWithBeta) {
+  EXPECT_LT(chernoff_delta(10.0, 0.9), chernoff_delta(10.0, 0.999));
+}
+
+TEST(ChernoffDelta, BoundHoldsEmpirically) {
+  // Binomial(m, p) with mean µ: (1+δ)µ should exceed the realized count in
+  // at least β of trials.
+  Rng rng(1234);
+  constexpr double kBeta = 239.0 / 240.0;
+  constexpr int kTrials = 20000;
+  const double p = 0.01;
+  const int m = 2000;
+  const double mu = m * p;
+  const double bound = (1.0 + chernoff_delta(mu, kBeta)) * mu;
+  int within = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    int count = 0;
+    for (int i = 0; i < m; ++i) count += rng.chance(p) ? 1 : 0;
+    within += count <= bound ? 1 : 0;
+  }
+  EXPECT_GE(static_cast<double>(within) / kTrials, kBeta - 0.002);
+}
+
+TEST(ChernoffUpperTail, VacuousForNonPositiveDelta) {
+  EXPECT_EQ(chernoff_upper_tail(0.0, 10.0), 1.0);
+  EXPECT_EQ(chernoff_upper_tail(-0.5, 10.0), 1.0);
+}
+
+TEST(ChernoffUpperTail, DecreasesWithDeltaAndMu) {
+  EXPECT_GT(chernoff_upper_tail(0.5, 10.0), chernoff_upper_tail(1.0, 10.0));
+  EXPECT_GT(chernoff_upper_tail(0.5, 10.0), chernoff_upper_tail(0.5, 20.0));
+}
+
+TEST(ChernoffUpperTail, MatchesClosedForm) {
+  const double delta = 1.0, mu = 10.0;
+  const double expected = std::pow(std::exp(1.0) / 4.0, 10.0);  // (e^1/2^2)^10
+  EXPECT_NEAR(chernoff_upper_tail(delta, mu), expected, expected * 1e-9);
+}
+
+TEST(WilsonInterval, CentersNearProportionForLargeN) {
+  const Interval ci = wilson_interval(500, 1000);
+  EXPECT_NEAR(ci.center, 0.5, 0.01);
+  EXPECT_NEAR(ci.half_width, 1.96 * std::sqrt(0.25 / 1000.0), 0.002);
+}
+
+TEST(WilsonInterval, NeverEscapesUnitInterval) {
+  for (const std::uint64_t s : {0ULL, 1ULL, 5ULL, 10ULL}) {
+    const Interval ci = wilson_interval(s, 10);
+    EXPECT_GE(ci.lo(), -1e-12);
+    EXPECT_LE(ci.hi(), 1.0 + 1e-12);
+  }
+}
+
+TEST(WilsonInterval, ZeroTrialsIsMaximallyUncertain) {
+  const Interval ci = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(ci.lo(), 0.0);
+  EXPECT_DOUBLE_EQ(ci.hi(), 1.0);
+}
+
+TEST(WilsonInterval, ShrinksWithMoreTrials) {
+  EXPECT_GT(wilson_interval(5, 10).half_width, wilson_interval(500, 1000).half_width);
+}
+
+TEST(WilsonInterval, CoversTrueRate) {
+  // 95% interval should cover the true proportion in ~95% of experiments.
+  Rng rng(77);
+  const double p = 0.95;
+  int covered = 0;
+  constexpr int kExperiments = 2000;
+  for (int e = 0; e < kExperiments; ++e) {
+    std::uint64_t successes = 0;
+    constexpr std::uint64_t kTrials = 500;
+    for (std::uint64_t t = 0; t < kTrials; ++t) successes += rng.chance(p) ? 1 : 0;
+    const Interval ci = wilson_interval(successes, kTrials);
+    covered += (ci.lo() <= p && p <= ci.hi()) ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(covered) / kExperiments, 0.92);
+}
+
+}  // namespace
+}  // namespace graphene::util

@@ -1,0 +1,59 @@
+#include "util/varint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace graphene::util {
+namespace {
+
+struct VarintCase {
+  std::uint64_t value;
+  std::size_t expected_size;
+};
+
+class VarintRoundTrip : public ::testing::TestWithParam<VarintCase> {};
+
+TEST_P(VarintRoundTrip, EncodesAtExpectedSizeAndDecodes) {
+  const auto [value, expected_size] = GetParam();
+  ByteWriter w;
+  write_varint(w, value);
+  EXPECT_EQ(w.size(), expected_size);
+  EXPECT_EQ(varint_size(value), expected_size);
+  ByteReader r{ByteView(w.bytes())};
+  EXPECT_EQ(read_varint(r), value);
+  EXPECT_TRUE(r.done());
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, VarintRoundTrip,
+                         ::testing::Values(VarintCase{0, 1}, VarintCase{1, 1},
+                                           VarintCase{0xfc, 1}, VarintCase{0xfd, 3},
+                                           VarintCase{0xffff, 3}, VarintCase{0x10000, 5},
+                                           VarintCase{0xffffffff, 5},
+                                           VarintCase{0x100000000ULL, 9},
+                                           VarintCase{0xffffffffffffffffULL, 9}));
+
+TEST(Varint, RejectsNonCanonical2Byte) {
+  const Bytes b = {0xfd, 0x10, 0x00};  // 16 should be 1 byte
+  ByteReader r{ByteView(b)};
+  EXPECT_THROW(read_varint(r), DeserializeError);
+}
+
+TEST(Varint, RejectsNonCanonical4Byte) {
+  const Bytes b = {0xfe, 0xff, 0xff, 0x00, 0x00};
+  ByteReader r{ByteView(b)};
+  EXPECT_THROW(read_varint(r), DeserializeError);
+}
+
+TEST(Varint, RejectsNonCanonical8Byte) {
+  const Bytes b = {0xff, 0xff, 0xff, 0xff, 0xff, 0x00, 0x00, 0x00, 0x00};
+  ByteReader r{ByteView(b)};
+  EXPECT_THROW(read_varint(r), DeserializeError);
+}
+
+TEST(Varint, ThrowsOnTruncation) {
+  const Bytes b = {0xfd, 0x10};
+  ByteReader r{ByteView(b)};
+  EXPECT_THROW(read_varint(r), DeserializeError);
+}
+
+}  // namespace
+}  // namespace graphene::util
