@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bloom_hashing"
+  "../bench/bench_bloom_hashing.pdb"
+  "CMakeFiles/bench_bloom_hashing.dir/bloom_hashing.cpp.o"
+  "CMakeFiles/bench_bloom_hashing.dir/bloom_hashing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bloom_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_bloom_hashing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_difference_digest"
+  "../bench/bench_difference_digest.pdb"
+  "CMakeFiles/bench_difference_digest.dir/difference_digest.cpp.o"
+  "CMakeFiles/bench_difference_digest.dir/difference_digest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_difference_digest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_iblt_decode"
+  "../bench/bench_fig07_iblt_decode.pdb"
+  "CMakeFiles/bench_fig07_iblt_decode.dir/fig07_iblt_decode.cpp.o"
+  "CMakeFiles/bench_fig07_iblt_decode.dir/fig07_iblt_decode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_iblt_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_pingpong"
+  "../bench/bench_fig11_pingpong.pdb"
+  "CMakeFiles/bench_fig11_pingpong.dir/fig11_pingpong.cpp.o"
+  "CMakeFiles/bench_fig11_pingpong.dir/fig11_pingpong.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_bch_deployment"
+  "../bench/bench_fig12_bch_deployment.pdb"
+  "CMakeFiles/bench_fig12_bch_deployment.dir/fig12_bch_deployment.cpp.o"
+  "CMakeFiles/bench_fig12_bch_deployment.dir/fig12_bch_deployment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_bch_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_ethereum"
+  "../bench/bench_fig13_ethereum.pdb"
+  "CMakeFiles/bench_fig13_ethereum.dir/fig13_ethereum.cpp.o"
+  "CMakeFiles/bench_fig13_ethereum.dir/fig13_ethereum.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_ethereum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

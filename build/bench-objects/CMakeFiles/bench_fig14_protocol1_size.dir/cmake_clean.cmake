@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_protocol1_size"
+  "../bench/bench_fig14_protocol1_size.pdb"
+  "CMakeFiles/bench_fig14_protocol1_size.dir/fig14_protocol1_size.cpp.o"
+  "CMakeFiles/bench_fig14_protocol1_size.dir/fig14_protocol1_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_protocol1_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

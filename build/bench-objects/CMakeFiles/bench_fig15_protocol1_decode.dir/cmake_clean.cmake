@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_protocol1_decode"
+  "../bench/bench_fig15_protocol1_decode.pdb"
+  "CMakeFiles/bench_fig15_protocol1_decode.dir/fig15_protocol1_decode.cpp.o"
+  "CMakeFiles/bench_fig15_protocol1_decode.dir/fig15_protocol1_decode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_protocol1_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_mempool_sync"
+  "../bench/bench_fig18_mempool_sync.pdb"
+  "CMakeFiles/bench_fig18_mempool_sync.dir/fig18_mempool_sync.cpp.o"
+  "CMakeFiles/bench_fig18_mempool_sync.dir/fig18_mempool_sync.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_mempool_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

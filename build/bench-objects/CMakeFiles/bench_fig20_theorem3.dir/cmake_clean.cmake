@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig20_theorem3"
+  "../bench/bench_fig20_theorem3.pdb"
+  "CMakeFiles/bench_fig20_theorem3.dir/fig20_theorem3.cpp.o"
+  "CMakeFiles/bench_fig20_theorem3.dir/fig20_theorem3.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_theorem3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_filter_alternatives"
+  "../bench/bench_filter_alternatives.pdb"
+  "CMakeFiles/bench_filter_alternatives.dir/filter_alternatives.cpp.o"
+  "CMakeFiles/bench_filter_alternatives.dir/filter_alternatives.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_filter_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_network_propagation"
+  "../bench/bench_network_propagation.pdb"
+  "CMakeFiles/bench_network_propagation.dir/network_propagation.cpp.o"
+  "CMakeFiles/bench_network_propagation.dir/network_propagation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_network_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_param_search_speed"
+  "../bench/bench_param_search_speed.pdb"
+  "CMakeFiles/bench_param_search_speed.dir/param_search_speed.cpp.o"
+  "CMakeFiles/bench_param_search_speed.dir/param_search_speed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_param_search_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_thm4_bloom_only"
+  "../bench/bench_thm4_bloom_only.pdb"
+  "CMakeFiles/bench_thm4_bloom_only.dir/thm4_bloom_only.cpp.o"
+  "CMakeFiles/bench_thm4_bloom_only.dir/thm4_bloom_only.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm4_bloom_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/block_relay.cpp" "examples/CMakeFiles/block_relay.dir/block_relay.cpp.o" "gcc" "examples/CMakeFiles/block_relay.dir/block_relay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphene_reconcile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_iblt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

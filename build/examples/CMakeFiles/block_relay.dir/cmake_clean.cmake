@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_relay.dir/block_relay.cpp.o"
+  "CMakeFiles/block_relay.dir/block_relay.cpp.o.d"
+  "block_relay"
+  "block_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

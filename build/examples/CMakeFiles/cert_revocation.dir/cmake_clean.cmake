@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cert_revocation.dir/cert_revocation.cpp.o"
+  "CMakeFiles/cert_revocation.dir/cert_revocation.cpp.o.d"
+  "cert_revocation"
+  "cert_revocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cert_revocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cert_revocation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iblt_tuning.dir/iblt_tuning.cpp.o"
+  "CMakeFiles/iblt_tuning.dir/iblt_tuning.cpp.o.d"
+  "iblt_tuning"
+  "iblt_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iblt_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

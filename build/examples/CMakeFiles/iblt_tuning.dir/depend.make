@@ -1,0 +1,2 @@
+# Empty dependencies file for iblt_tuning.
+# This may be replaced when dependencies are built.

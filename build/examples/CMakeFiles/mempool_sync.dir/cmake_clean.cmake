@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mempool_sync.dir/mempool_sync.cpp.o"
+  "CMakeFiles/mempool_sync.dir/mempool_sync.cpp.o.d"
+  "mempool_sync"
+  "mempool_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mempool_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

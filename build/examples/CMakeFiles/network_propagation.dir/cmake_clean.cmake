@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_propagation.dir/network_propagation.cpp.o"
+  "CMakeFiles/network_propagation.dir/network_propagation.cpp.o.d"
+  "network_propagation"
+  "network_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

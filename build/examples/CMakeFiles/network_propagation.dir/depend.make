@@ -1,0 +1,2 @@
+# Empty dependencies file for network_propagation.
+# This may be replaced when dependencies are built.

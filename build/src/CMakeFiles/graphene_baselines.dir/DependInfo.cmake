@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bloom_only.cpp" "src/CMakeFiles/graphene_baselines.dir/baselines/bloom_only.cpp.o" "gcc" "src/CMakeFiles/graphene_baselines.dir/baselines/bloom_only.cpp.o.d"
+  "/root/repo/src/baselines/compact_blocks.cpp" "src/CMakeFiles/graphene_baselines.dir/baselines/compact_blocks.cpp.o" "gcc" "src/CMakeFiles/graphene_baselines.dir/baselines/compact_blocks.cpp.o.d"
+  "/root/repo/src/baselines/difference_digest.cpp" "src/CMakeFiles/graphene_baselines.dir/baselines/difference_digest.cpp.o" "gcc" "src/CMakeFiles/graphene_baselines.dir/baselines/difference_digest.cpp.o.d"
+  "/root/repo/src/baselines/xthin.cpp" "src/CMakeFiles/graphene_baselines.dir/baselines/xthin.cpp.o" "gcc" "src/CMakeFiles/graphene_baselines.dir/baselines/xthin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphene_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_iblt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

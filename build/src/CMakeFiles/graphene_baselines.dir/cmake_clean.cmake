@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_baselines.dir/baselines/bloom_only.cpp.o"
+  "CMakeFiles/graphene_baselines.dir/baselines/bloom_only.cpp.o.d"
+  "CMakeFiles/graphene_baselines.dir/baselines/compact_blocks.cpp.o"
+  "CMakeFiles/graphene_baselines.dir/baselines/compact_blocks.cpp.o.d"
+  "CMakeFiles/graphene_baselines.dir/baselines/difference_digest.cpp.o"
+  "CMakeFiles/graphene_baselines.dir/baselines/difference_digest.cpp.o.d"
+  "CMakeFiles/graphene_baselines.dir/baselines/xthin.cpp.o"
+  "CMakeFiles/graphene_baselines.dir/baselines/xthin.cpp.o.d"
+  "libgraphene_baselines.a"
+  "libgraphene_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bloom/bloom_filter.cpp" "src/CMakeFiles/graphene_bloom.dir/bloom/bloom_filter.cpp.o" "gcc" "src/CMakeFiles/graphene_bloom.dir/bloom/bloom_filter.cpp.o.d"
+  "/root/repo/src/bloom/bloom_math.cpp" "src/CMakeFiles/graphene_bloom.dir/bloom/bloom_math.cpp.o" "gcc" "src/CMakeFiles/graphene_bloom.dir/bloom/bloom_math.cpp.o.d"
+  "/root/repo/src/bloom/cuckoo_filter.cpp" "src/CMakeFiles/graphene_bloom.dir/bloom/cuckoo_filter.cpp.o" "gcc" "src/CMakeFiles/graphene_bloom.dir/bloom/cuckoo_filter.cpp.o.d"
+  "/root/repo/src/bloom/golomb_set.cpp" "src/CMakeFiles/graphene_bloom.dir/bloom/golomb_set.cpp.o" "gcc" "src/CMakeFiles/graphene_bloom.dir/bloom/golomb_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphene_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_bloom.dir/bloom/bloom_filter.cpp.o"
+  "CMakeFiles/graphene_bloom.dir/bloom/bloom_filter.cpp.o.d"
+  "CMakeFiles/graphene_bloom.dir/bloom/bloom_math.cpp.o"
+  "CMakeFiles/graphene_bloom.dir/bloom/bloom_math.cpp.o.d"
+  "CMakeFiles/graphene_bloom.dir/bloom/cuckoo_filter.cpp.o"
+  "CMakeFiles/graphene_bloom.dir/bloom/cuckoo_filter.cpp.o.d"
+  "CMakeFiles/graphene_bloom.dir/bloom/golomb_set.cpp.o"
+  "CMakeFiles/graphene_bloom.dir/bloom/golomb_set.cpp.o.d"
+  "libgraphene_bloom.a"
+  "libgraphene_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

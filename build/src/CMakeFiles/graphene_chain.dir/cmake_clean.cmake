@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_chain.dir/chain/block.cpp.o"
+  "CMakeFiles/graphene_chain.dir/chain/block.cpp.o.d"
+  "CMakeFiles/graphene_chain.dir/chain/mempool.cpp.o"
+  "CMakeFiles/graphene_chain.dir/chain/mempool.cpp.o.d"
+  "CMakeFiles/graphene_chain.dir/chain/merkle.cpp.o"
+  "CMakeFiles/graphene_chain.dir/chain/merkle.cpp.o.d"
+  "CMakeFiles/graphene_chain.dir/chain/transaction.cpp.o"
+  "CMakeFiles/graphene_chain.dir/chain/transaction.cpp.o.d"
+  "CMakeFiles/graphene_chain.dir/chain/workload.cpp.o"
+  "CMakeFiles/graphene_chain.dir/chain/workload.cpp.o.d"
+  "libgraphene_chain.a"
+  "libgraphene_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

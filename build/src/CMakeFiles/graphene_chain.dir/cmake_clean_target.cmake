@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgraphene_chain.a"
+)

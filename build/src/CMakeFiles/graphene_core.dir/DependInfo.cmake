@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graphene/bounds.cpp" "src/CMakeFiles/graphene_core.dir/graphene/bounds.cpp.o" "gcc" "src/CMakeFiles/graphene_core.dir/graphene/bounds.cpp.o.d"
+  "/root/repo/src/graphene/mempool_sync.cpp" "src/CMakeFiles/graphene_core.dir/graphene/mempool_sync.cpp.o" "gcc" "src/CMakeFiles/graphene_core.dir/graphene/mempool_sync.cpp.o.d"
+  "/root/repo/src/graphene/messages.cpp" "src/CMakeFiles/graphene_core.dir/graphene/messages.cpp.o" "gcc" "src/CMakeFiles/graphene_core.dir/graphene/messages.cpp.o.d"
+  "/root/repo/src/graphene/params.cpp" "src/CMakeFiles/graphene_core.dir/graphene/params.cpp.o" "gcc" "src/CMakeFiles/graphene_core.dir/graphene/params.cpp.o.d"
+  "/root/repo/src/graphene/receiver.cpp" "src/CMakeFiles/graphene_core.dir/graphene/receiver.cpp.o" "gcc" "src/CMakeFiles/graphene_core.dir/graphene/receiver.cpp.o.d"
+  "/root/repo/src/graphene/sender.cpp" "src/CMakeFiles/graphene_core.dir/graphene/sender.cpp.o" "gcc" "src/CMakeFiles/graphene_core.dir/graphene/sender.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphene_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_iblt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_core.dir/graphene/bounds.cpp.o"
+  "CMakeFiles/graphene_core.dir/graphene/bounds.cpp.o.d"
+  "CMakeFiles/graphene_core.dir/graphene/mempool_sync.cpp.o"
+  "CMakeFiles/graphene_core.dir/graphene/mempool_sync.cpp.o.d"
+  "CMakeFiles/graphene_core.dir/graphene/messages.cpp.o"
+  "CMakeFiles/graphene_core.dir/graphene/messages.cpp.o.d"
+  "CMakeFiles/graphene_core.dir/graphene/params.cpp.o"
+  "CMakeFiles/graphene_core.dir/graphene/params.cpp.o.d"
+  "CMakeFiles/graphene_core.dir/graphene/receiver.cpp.o"
+  "CMakeFiles/graphene_core.dir/graphene/receiver.cpp.o.d"
+  "CMakeFiles/graphene_core.dir/graphene/sender.cpp.o"
+  "CMakeFiles/graphene_core.dir/graphene/sender.cpp.o.d"
+  "libgraphene_core.a"
+  "libgraphene_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iblt/hypergraph.cpp" "src/CMakeFiles/graphene_iblt.dir/iblt/hypergraph.cpp.o" "gcc" "src/CMakeFiles/graphene_iblt.dir/iblt/hypergraph.cpp.o.d"
+  "/root/repo/src/iblt/iblt.cpp" "src/CMakeFiles/graphene_iblt.dir/iblt/iblt.cpp.o" "gcc" "src/CMakeFiles/graphene_iblt.dir/iblt/iblt.cpp.o.d"
+  "/root/repo/src/iblt/kv_iblt.cpp" "src/CMakeFiles/graphene_iblt.dir/iblt/kv_iblt.cpp.o" "gcc" "src/CMakeFiles/graphene_iblt.dir/iblt/kv_iblt.cpp.o.d"
+  "/root/repo/src/iblt/param_search.cpp" "src/CMakeFiles/graphene_iblt.dir/iblt/param_search.cpp.o" "gcc" "src/CMakeFiles/graphene_iblt.dir/iblt/param_search.cpp.o.d"
+  "/root/repo/src/iblt/param_table.cpp" "src/CMakeFiles/graphene_iblt.dir/iblt/param_table.cpp.o" "gcc" "src/CMakeFiles/graphene_iblt.dir/iblt/param_table.cpp.o.d"
+  "/root/repo/src/iblt/pingpong.cpp" "src/CMakeFiles/graphene_iblt.dir/iblt/pingpong.cpp.o" "gcc" "src/CMakeFiles/graphene_iblt.dir/iblt/pingpong.cpp.o.d"
+  "/root/repo/src/iblt/strata_estimator.cpp" "src/CMakeFiles/graphene_iblt.dir/iblt/strata_estimator.cpp.o" "gcc" "src/CMakeFiles/graphene_iblt.dir/iblt/strata_estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphene_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_iblt.dir/iblt/hypergraph.cpp.o"
+  "CMakeFiles/graphene_iblt.dir/iblt/hypergraph.cpp.o.d"
+  "CMakeFiles/graphene_iblt.dir/iblt/iblt.cpp.o"
+  "CMakeFiles/graphene_iblt.dir/iblt/iblt.cpp.o.d"
+  "CMakeFiles/graphene_iblt.dir/iblt/kv_iblt.cpp.o"
+  "CMakeFiles/graphene_iblt.dir/iblt/kv_iblt.cpp.o.d"
+  "CMakeFiles/graphene_iblt.dir/iblt/param_search.cpp.o"
+  "CMakeFiles/graphene_iblt.dir/iblt/param_search.cpp.o.d"
+  "CMakeFiles/graphene_iblt.dir/iblt/param_table.cpp.o"
+  "CMakeFiles/graphene_iblt.dir/iblt/param_table.cpp.o.d"
+  "CMakeFiles/graphene_iblt.dir/iblt/pingpong.cpp.o"
+  "CMakeFiles/graphene_iblt.dir/iblt/pingpong.cpp.o.d"
+  "CMakeFiles/graphene_iblt.dir/iblt/strata_estimator.cpp.o"
+  "CMakeFiles/graphene_iblt.dir/iblt/strata_estimator.cpp.o.d"
+  "libgraphene_iblt.a"
+  "libgraphene_iblt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_iblt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for graphene_iblt.
+# This may be replaced when dependencies are built.

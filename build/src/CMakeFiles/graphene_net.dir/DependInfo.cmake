@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel.cpp" "src/CMakeFiles/graphene_net.dir/net/channel.cpp.o" "gcc" "src/CMakeFiles/graphene_net.dir/net/channel.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/CMakeFiles/graphene_net.dir/net/message.cpp.o" "gcc" "src/CMakeFiles/graphene_net.dir/net/message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphene_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_chain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

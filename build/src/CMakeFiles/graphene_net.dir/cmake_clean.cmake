@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_net.dir/net/channel.cpp.o"
+  "CMakeFiles/graphene_net.dir/net/channel.cpp.o.d"
+  "CMakeFiles/graphene_net.dir/net/message.cpp.o"
+  "CMakeFiles/graphene_net.dir/net/message.cpp.o.d"
+  "libgraphene_net.a"
+  "libgraphene_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

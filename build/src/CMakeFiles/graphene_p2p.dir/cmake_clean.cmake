@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_p2p.dir/p2p/propagation.cpp.o"
+  "CMakeFiles/graphene_p2p.dir/p2p/propagation.cpp.o.d"
+  "CMakeFiles/graphene_p2p.dir/p2p/topology.cpp.o"
+  "CMakeFiles/graphene_p2p.dir/p2p/topology.cpp.o.d"
+  "libgraphene_p2p.a"
+  "libgraphene_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_reconcile.dir/reconcile/set_reconciler.cpp.o"
+  "CMakeFiles/graphene_reconcile.dir/reconcile/set_reconciler.cpp.o.d"
+  "libgraphene_reconcile.a"
+  "libgraphene_reconcile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_reconcile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for graphene_reconcile.
+# This may be replaced when dependencies are built.

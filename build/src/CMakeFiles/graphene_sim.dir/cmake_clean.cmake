@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/graphene_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/graphene_sim.dir/sim/scenario.cpp.o"
+  "CMakeFiles/graphene_sim.dir/sim/scenario.cpp.o.d"
+  "CMakeFiles/graphene_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/graphene_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/graphene_sim.dir/sim/table.cpp.o"
+  "CMakeFiles/graphene_sim.dir/sim/table.cpp.o.d"
+  "libgraphene_sim.a"
+  "libgraphene_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bytes.cpp" "src/CMakeFiles/graphene_util.dir/util/bytes.cpp.o" "gcc" "src/CMakeFiles/graphene_util.dir/util/bytes.cpp.o.d"
+  "/root/repo/src/util/hash.cpp" "src/CMakeFiles/graphene_util.dir/util/hash.cpp.o" "gcc" "src/CMakeFiles/graphene_util.dir/util/hash.cpp.o.d"
+  "/root/repo/src/util/hex.cpp" "src/CMakeFiles/graphene_util.dir/util/hex.cpp.o" "gcc" "src/CMakeFiles/graphene_util.dir/util/hex.cpp.o.d"
+  "/root/repo/src/util/random.cpp" "src/CMakeFiles/graphene_util.dir/util/random.cpp.o" "gcc" "src/CMakeFiles/graphene_util.dir/util/random.cpp.o.d"
+  "/root/repo/src/util/sha256.cpp" "src/CMakeFiles/graphene_util.dir/util/sha256.cpp.o" "gcc" "src/CMakeFiles/graphene_util.dir/util/sha256.cpp.o.d"
+  "/root/repo/src/util/siphash.cpp" "src/CMakeFiles/graphene_util.dir/util/siphash.cpp.o" "gcc" "src/CMakeFiles/graphene_util.dir/util/siphash.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/graphene_util.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/graphene_util.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/varint.cpp" "src/CMakeFiles/graphene_util.dir/util/varint.cpp.o" "gcc" "src/CMakeFiles/graphene_util.dir/util/varint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_util.dir/util/bytes.cpp.o"
+  "CMakeFiles/graphene_util.dir/util/bytes.cpp.o.d"
+  "CMakeFiles/graphene_util.dir/util/hash.cpp.o"
+  "CMakeFiles/graphene_util.dir/util/hash.cpp.o.d"
+  "CMakeFiles/graphene_util.dir/util/hex.cpp.o"
+  "CMakeFiles/graphene_util.dir/util/hex.cpp.o.d"
+  "CMakeFiles/graphene_util.dir/util/random.cpp.o"
+  "CMakeFiles/graphene_util.dir/util/random.cpp.o.d"
+  "CMakeFiles/graphene_util.dir/util/sha256.cpp.o"
+  "CMakeFiles/graphene_util.dir/util/sha256.cpp.o.d"
+  "CMakeFiles/graphene_util.dir/util/siphash.cpp.o"
+  "CMakeFiles/graphene_util.dir/util/siphash.cpp.o.d"
+  "CMakeFiles/graphene_util.dir/util/stats.cpp.o"
+  "CMakeFiles/graphene_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/graphene_util.dir/util/varint.cpp.o"
+  "CMakeFiles/graphene_util.dir/util/varint.cpp.o.d"
+  "libgraphene_util.a"
+  "libgraphene_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

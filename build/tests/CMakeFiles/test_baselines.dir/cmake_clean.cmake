@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines.dir/baselines/test_bloom_only.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_bloom_only.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_compact_blocks.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_compact_blocks.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_difference_digest.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_difference_digest.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_xthin.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_xthin.cpp.o.d"
+  "test_baselines"
+  "test_baselines.pdb"
+  "test_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

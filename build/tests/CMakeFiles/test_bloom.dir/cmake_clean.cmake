@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bloom.dir/bloom/test_bloom_filter.cpp.o"
+  "CMakeFiles/test_bloom.dir/bloom/test_bloom_filter.cpp.o.d"
+  "CMakeFiles/test_bloom.dir/bloom/test_bloom_math.cpp.o"
+  "CMakeFiles/test_bloom.dir/bloom/test_bloom_math.cpp.o.d"
+  "CMakeFiles/test_bloom.dir/bloom/test_cuckoo_filter.cpp.o"
+  "CMakeFiles/test_bloom.dir/bloom/test_cuckoo_filter.cpp.o.d"
+  "CMakeFiles/test_bloom.dir/bloom/test_golomb_set.cpp.o"
+  "CMakeFiles/test_bloom.dir/bloom/test_golomb_set.cpp.o.d"
+  "test_bloom"
+  "test_bloom.pdb"
+  "test_bloom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chain.dir/chain/test_block.cpp.o"
+  "CMakeFiles/test_chain.dir/chain/test_block.cpp.o.d"
+  "CMakeFiles/test_chain.dir/chain/test_mempool.cpp.o"
+  "CMakeFiles/test_chain.dir/chain/test_mempool.cpp.o.d"
+  "CMakeFiles/test_chain.dir/chain/test_merkle.cpp.o"
+  "CMakeFiles/test_chain.dir/chain/test_merkle.cpp.o.d"
+  "CMakeFiles/test_chain.dir/chain/test_transaction.cpp.o"
+  "CMakeFiles/test_chain.dir/chain/test_transaction.cpp.o.d"
+  "CMakeFiles/test_chain.dir/chain/test_workload.cpp.o"
+  "CMakeFiles/test_chain.dir/chain/test_workload.cpp.o.d"
+  "test_chain"
+  "test_chain.pdb"
+  "test_chain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

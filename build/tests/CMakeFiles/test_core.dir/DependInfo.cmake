@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graphene/test_bounds.cpp" "tests/CMakeFiles/test_core.dir/graphene/test_bounds.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/graphene/test_bounds.cpp.o.d"
+  "/root/repo/tests/graphene/test_config_variants.cpp" "tests/CMakeFiles/test_core.dir/graphene/test_config_variants.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/graphene/test_config_variants.cpp.o.d"
+  "/root/repo/tests/graphene/test_fuzz_messages.cpp" "tests/CMakeFiles/test_core.dir/graphene/test_fuzz_messages.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/graphene/test_fuzz_messages.cpp.o.d"
+  "/root/repo/tests/graphene/test_mempool_sync.cpp" "tests/CMakeFiles/test_core.dir/graphene/test_mempool_sync.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/graphene/test_mempool_sync.cpp.o.d"
+  "/root/repo/tests/graphene/test_messages.cpp" "tests/CMakeFiles/test_core.dir/graphene/test_messages.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/graphene/test_messages.cpp.o.d"
+  "/root/repo/tests/graphene/test_params.cpp" "tests/CMakeFiles/test_core.dir/graphene/test_params.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/graphene/test_params.cpp.o.d"
+  "/root/repo/tests/graphene/test_protocol1.cpp" "tests/CMakeFiles/test_core.dir/graphene/test_protocol1.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/graphene/test_protocol1.cpp.o.d"
+  "/root/repo/tests/graphene/test_protocol2.cpp" "tests/CMakeFiles/test_core.dir/graphene/test_protocol2.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/graphene/test_protocol2.cpp.o.d"
+  "/root/repo/tests/graphene/test_receiver_edges.cpp" "tests/CMakeFiles/test_core.dir/graphene/test_receiver_edges.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/graphene/test_receiver_edges.cpp.o.d"
+  "/root/repo/tests/graphene/test_security.cpp" "tests/CMakeFiles/test_core.dir/graphene/test_security.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/graphene/test_security.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphene_reconcile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_iblt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

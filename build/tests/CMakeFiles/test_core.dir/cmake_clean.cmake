@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/graphene/test_bounds.cpp.o"
+  "CMakeFiles/test_core.dir/graphene/test_bounds.cpp.o.d"
+  "CMakeFiles/test_core.dir/graphene/test_config_variants.cpp.o"
+  "CMakeFiles/test_core.dir/graphene/test_config_variants.cpp.o.d"
+  "CMakeFiles/test_core.dir/graphene/test_fuzz_messages.cpp.o"
+  "CMakeFiles/test_core.dir/graphene/test_fuzz_messages.cpp.o.d"
+  "CMakeFiles/test_core.dir/graphene/test_mempool_sync.cpp.o"
+  "CMakeFiles/test_core.dir/graphene/test_mempool_sync.cpp.o.d"
+  "CMakeFiles/test_core.dir/graphene/test_messages.cpp.o"
+  "CMakeFiles/test_core.dir/graphene/test_messages.cpp.o.d"
+  "CMakeFiles/test_core.dir/graphene/test_params.cpp.o"
+  "CMakeFiles/test_core.dir/graphene/test_params.cpp.o.d"
+  "CMakeFiles/test_core.dir/graphene/test_protocol1.cpp.o"
+  "CMakeFiles/test_core.dir/graphene/test_protocol1.cpp.o.d"
+  "CMakeFiles/test_core.dir/graphene/test_protocol2.cpp.o"
+  "CMakeFiles/test_core.dir/graphene/test_protocol2.cpp.o.d"
+  "CMakeFiles/test_core.dir/graphene/test_receiver_edges.cpp.o"
+  "CMakeFiles/test_core.dir/graphene/test_receiver_edges.cpp.o.d"
+  "CMakeFiles/test_core.dir/graphene/test_security.cpp.o"
+  "CMakeFiles/test_core.dir/graphene/test_security.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

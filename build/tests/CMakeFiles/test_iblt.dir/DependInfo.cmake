@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/iblt/test_hypergraph.cpp" "tests/CMakeFiles/test_iblt.dir/iblt/test_hypergraph.cpp.o" "gcc" "tests/CMakeFiles/test_iblt.dir/iblt/test_hypergraph.cpp.o.d"
+  "/root/repo/tests/iblt/test_iblt.cpp" "tests/CMakeFiles/test_iblt.dir/iblt/test_iblt.cpp.o" "gcc" "tests/CMakeFiles/test_iblt.dir/iblt/test_iblt.cpp.o.d"
+  "/root/repo/tests/iblt/test_kv_iblt.cpp" "tests/CMakeFiles/test_iblt.dir/iblt/test_kv_iblt.cpp.o" "gcc" "tests/CMakeFiles/test_iblt.dir/iblt/test_kv_iblt.cpp.o.d"
+  "/root/repo/tests/iblt/test_param_search.cpp" "tests/CMakeFiles/test_iblt.dir/iblt/test_param_search.cpp.o" "gcc" "tests/CMakeFiles/test_iblt.dir/iblt/test_param_search.cpp.o.d"
+  "/root/repo/tests/iblt/test_param_table.cpp" "tests/CMakeFiles/test_iblt.dir/iblt/test_param_table.cpp.o" "gcc" "tests/CMakeFiles/test_iblt.dir/iblt/test_param_table.cpp.o.d"
+  "/root/repo/tests/iblt/test_pingpong.cpp" "tests/CMakeFiles/test_iblt.dir/iblt/test_pingpong.cpp.o" "gcc" "tests/CMakeFiles/test_iblt.dir/iblt/test_pingpong.cpp.o.d"
+  "/root/repo/tests/iblt/test_pingpong_multi.cpp" "tests/CMakeFiles/test_iblt.dir/iblt/test_pingpong_multi.cpp.o" "gcc" "tests/CMakeFiles/test_iblt.dir/iblt/test_pingpong_multi.cpp.o.d"
+  "/root/repo/tests/iblt/test_strata_estimator.cpp" "tests/CMakeFiles/test_iblt.dir/iblt/test_strata_estimator.cpp.o" "gcc" "tests/CMakeFiles/test_iblt.dir/iblt/test_strata_estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphene_reconcile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_iblt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iblt.dir/iblt/test_hypergraph.cpp.o"
+  "CMakeFiles/test_iblt.dir/iblt/test_hypergraph.cpp.o.d"
+  "CMakeFiles/test_iblt.dir/iblt/test_iblt.cpp.o"
+  "CMakeFiles/test_iblt.dir/iblt/test_iblt.cpp.o.d"
+  "CMakeFiles/test_iblt.dir/iblt/test_kv_iblt.cpp.o"
+  "CMakeFiles/test_iblt.dir/iblt/test_kv_iblt.cpp.o.d"
+  "CMakeFiles/test_iblt.dir/iblt/test_param_search.cpp.o"
+  "CMakeFiles/test_iblt.dir/iblt/test_param_search.cpp.o.d"
+  "CMakeFiles/test_iblt.dir/iblt/test_param_table.cpp.o"
+  "CMakeFiles/test_iblt.dir/iblt/test_param_table.cpp.o.d"
+  "CMakeFiles/test_iblt.dir/iblt/test_pingpong.cpp.o"
+  "CMakeFiles/test_iblt.dir/iblt/test_pingpong.cpp.o.d"
+  "CMakeFiles/test_iblt.dir/iblt/test_pingpong_multi.cpp.o"
+  "CMakeFiles/test_iblt.dir/iblt/test_pingpong_multi.cpp.o.d"
+  "CMakeFiles/test_iblt.dir/iblt/test_strata_estimator.cpp.o"
+  "CMakeFiles/test_iblt.dir/iblt/test_strata_estimator.cpp.o.d"
+  "test_iblt"
+  "test_iblt.pdb"
+  "test_iblt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iblt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p2p.dir/p2p/test_propagation.cpp.o"
+  "CMakeFiles/test_p2p.dir/p2p/test_propagation.cpp.o.d"
+  "CMakeFiles/test_p2p.dir/p2p/test_topology.cpp.o"
+  "CMakeFiles/test_p2p.dir/p2p/test_topology.cpp.o.d"
+  "test_p2p"
+  "test_p2p.pdb"
+  "test_p2p[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

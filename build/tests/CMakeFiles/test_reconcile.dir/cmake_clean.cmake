@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reconcile.dir/reconcile/test_set_reconciler.cpp.o"
+  "CMakeFiles/test_reconcile.dir/reconcile/test_set_reconciler.cpp.o.d"
+  "test_reconcile"
+  "test_reconcile.pdb"
+  "test_reconcile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reconcile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

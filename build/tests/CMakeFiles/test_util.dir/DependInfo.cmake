@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_bytes.cpp" "tests/CMakeFiles/test_util.dir/util/test_bytes.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_bytes.cpp.o.d"
+  "/root/repo/tests/util/test_hash.cpp" "tests/CMakeFiles/test_util.dir/util/test_hash.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_hash.cpp.o.d"
+  "/root/repo/tests/util/test_hex.cpp" "tests/CMakeFiles/test_util.dir/util/test_hex.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_hex.cpp.o.d"
+  "/root/repo/tests/util/test_random.cpp" "tests/CMakeFiles/test_util.dir/util/test_random.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_random.cpp.o.d"
+  "/root/repo/tests/util/test_sha256.cpp" "tests/CMakeFiles/test_util.dir/util/test_sha256.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_sha256.cpp.o.d"
+  "/root/repo/tests/util/test_siphash.cpp" "tests/CMakeFiles/test_util.dir/util/test_siphash.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_siphash.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_varint.cpp" "tests/CMakeFiles/test_util.dir/util/test_varint.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_varint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphene_reconcile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_iblt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphene_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/test_bytes.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_bytes.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_hash.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_hash.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_hex.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_hex.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_random.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_random.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_sha256.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_sha256.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_siphash.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_siphash.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_stats.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_varint.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_varint.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

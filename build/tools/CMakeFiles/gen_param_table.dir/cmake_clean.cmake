@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_param_table.dir/gen_param_table.cpp.o"
+  "CMakeFiles/gen_param_table.dir/gen_param_table.cpp.o.d"
+  "gen_param_table"
+  "gen_param_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_param_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
