@@ -12,6 +12,7 @@
 int main() {
   using namespace graphene;
   const std::uint64_t base_trials = sim::trials_from_env(2000);
+  const std::unique_ptr<std::ofstream> runs_jsonl = sim::open_runs_jsonl_from_env();
   std::cout << "=== Fig. 15: Protocol 1 decode failure rate (bound 1/240 ~ "
             << sim::format_prob(1.0 / 240.0) << ") ===\n\n";
 
@@ -26,7 +27,7 @@ int main() {
       spec.extra_txns = static_cast<std::uint64_t>(mult * static_cast<double>(n));
       const sim::TrialStats stats =
           sim::run_trials(spec, trials, /*seed=*/0xf16015 + n + static_cast<std::uint64_t>(mult * 10),
-                          {}, /*protocol1_only=*/true);
+                          {}, /*protocol1_only=*/true, runs_jsonl.get());
       table.add_row({sim::format_double(mult, 1), std::to_string(stats.decode_failures),
                      std::to_string(stats.trials),
                      sim::format_prob(static_cast<double>(stats.decode_failures) /

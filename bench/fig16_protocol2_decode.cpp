@@ -13,6 +13,7 @@
 int main() {
   using namespace graphene;
   const std::uint64_t base_trials = sim::trials_from_env(1000);
+  const std::unique_ptr<std::ofstream> runs_jsonl = sim::open_runs_jsonl_from_env();
   std::cout << "=== Fig. 16: Protocol 2 decode failure, with/without ping-pong ===\n\n";
 
   core::ProtocolConfig with_pp;
@@ -31,8 +32,10 @@ int main() {
       spec.block_fraction_in_mempool = frac;
       const std::uint64_t seed =
           0xf16016 + n * 31 + static_cast<std::uint64_t>(frac * 100);
-      const sim::TrialStats no_pp = sim::run_trials(spec, trials, seed, without_pp);
-      const sim::TrialStats pp = sim::run_trials(spec, trials, seed, with_pp);
+      const sim::TrialStats no_pp = sim::run_trials(spec, trials, seed, without_pp,
+                                                    false, runs_jsonl.get());
+      const sim::TrialStats pp =
+          sim::run_trials(spec, trials, seed, with_pp, false, runs_jsonl.get());
       table.add_row(
           {sim::format_double(frac, 1),
            sim::format_prob(static_cast<double>(no_pp.decode_failures) /

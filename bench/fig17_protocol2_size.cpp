@@ -12,6 +12,7 @@
 int main() {
   using namespace graphene;
   const std::uint64_t base_trials = sim::trials_from_env(50);
+  const std::unique_ptr<std::ofstream> runs_jsonl = sim::open_runs_jsonl_from_env();
   std::cout << "=== Fig. 17: Protocol 2 cost by message type vs Compact Blocks ===\n\n";
 
   for (const std::uint64_t n : sim::paper_block_sizes()) {
@@ -25,7 +26,8 @@ int main() {
       spec.extra_txns = n;
       spec.block_fraction_in_mempool = frac;
       const sim::TrialStats stats = sim::run_trials(
-          spec, trials, 0xf16017 + n + static_cast<std::uint64_t>(frac * 100));
+          spec, trials, 0xf16017 + n + static_cast<std::uint64_t>(frac * 100), {},
+          false, runs_jsonl.get());
 
       // Compact Blocks: base encoding + index request for missing txns.
       const auto missing = static_cast<std::uint64_t>((1.0 - frac) * static_cast<double>(n));

@@ -12,7 +12,7 @@ constexpr std::uint32_t kMaxHashCount = 64;
 
 BloomFilter::BloomFilter(std::uint64_t expected_items, double target_fpr, std::uint64_t seed,
                          HashStrategy strategy)
-    : seed_(seed), strategy_(strategy) {
+    : seed_(seed), target_fpr_(target_fpr < 1.0 ? target_fpr : 1.0), strategy_(strategy) {
   n_bits_ = optimal_bits(expected_items, target_fpr);
   if (n_bits_ > 0) {
     k_ = optimal_hash_count(n_bits_, expected_items == 0 ? 1 : expected_items);
@@ -53,12 +53,17 @@ void BloomFilter::insert(util::ByteView txid) {
 }
 
 bool BloomFilter::contains(util::ByteView txid) const {
-  if (n_bits_ == 0) return true;
+  ++queries_;
+  if (n_bits_ == 0) {
+    ++hits_;
+    return true;
+  }
   std::uint64_t pos[kMaxHashCount];
   probe_positions(txid, pos);
   for (std::uint32_t i = 0; i < k_; ++i) {
     if ((bits_[pos[i] / 64] & (1ULL << (pos[i] % 64))) == 0) return false;
   }
+  ++hits_;
   return true;
 }
 

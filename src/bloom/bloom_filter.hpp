@@ -54,6 +54,24 @@ class BloomFilter {
     return expected_fpr(n_bits_, k_, inserted_);
   }
 
+  /// FPR the filter was constructed for; 1.0 for the degenerate filter and
+  /// for deserialized filters (the target is not on the wire). Telemetry
+  /// compares this against the observed hit rate.
+  [[nodiscard]] double target_fpr() const noexcept { return target_fpr_; }
+
+  /// Lifetime query statistics, updated by contains(). Counters are plain
+  /// (not atomic): a filter is queried from one thread at a time in this
+  /// codebase, and the hot path must stay two increments cheap.
+  [[nodiscard]] std::uint64_t query_count() const noexcept { return queries_; }
+  [[nodiscard]] std::uint64_t hit_count() const noexcept { return hits_; }
+  /// Fraction of queries that matched. Over a query stream dominated by
+  /// non-members this converges on the observed FPR.
+  [[nodiscard]] double observed_hit_rate() const noexcept {
+    return queries_ == 0 ? 0.0
+                         : static_cast<double>(hits_) / static_cast<double>(queries_);
+  }
+  void reset_query_stats() const noexcept { queries_ = hits_ = 0; }
+
   /// Wire format: varint(bit count) | u8(k, high bit = strategy) | u64(seed)
   /// | ceil(bits/8) payload bytes.
   [[nodiscard]] util::Bytes serialize() const;
@@ -68,6 +86,9 @@ class BloomFilter {
   std::uint32_t k_ = 1;
   std::uint64_t seed_ = 0;
   std::uint64_t inserted_ = 0;
+  double target_fpr_ = 1.0;
+  mutable std::uint64_t queries_ = 0;
+  mutable std::uint64_t hits_ = 0;
   HashStrategy strategy_ = HashStrategy::kSplitDigest;
 };
 

@@ -1,0 +1,20 @@
+#include "graphene/errors.hpp"
+
+namespace graphene::core {
+
+std::string ProtocolError::format(const std::string& stage, const std::string& what,
+                                  const ErrorContext& ctx) {
+  std::string out = "Receiver::" + stage + ": " + what;
+  out += " [have_block_msg=";
+  out += ctx.have_block_msg ? "true" : "false";
+  out += " n=" + std::to_string(ctx.n);
+  out += " m=" + std::to_string(ctx.m);
+  out += " z=" + std::to_string(ctx.z);
+  out += " x*=" + std::to_string(ctx.x_star);
+  out += " y*=" + std::to_string(ctx.y_star);
+  out += " b=" + std::to_string(ctx.b);
+  out += "]";
+  return out;
+}
+
+}  // namespace graphene::core

@@ -11,6 +11,10 @@
 
 #include "iblt/iblt.hpp"
 
+namespace graphene::obs {
+class Registry;
+}  // namespace graphene::obs
+
 namespace graphene::core {
 
 struct ProtocolConfig {
@@ -27,6 +31,10 @@ struct ProtocolConfig {
   /// Joint decoding of I and J when J alone leaves a 2-core (§4.2). Off only
   /// for the Fig. 16 ablation.
   bool enable_pingpong = true;
+  /// Telemetry sink for counters, stage timings, and trace spans (see
+  /// src/obs/). Null (the default) disables instrumentation at the cost of
+  /// one branch per stage; not owned, must outlive the engines using it.
+  obs::Registry* obs = nullptr;
 };
 
 /// Chosen Protocol 1 parameters for relaying n block txns to a receiver

@@ -1,14 +1,30 @@
 #include "graphene/receiver.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 
 #include "bloom/bloom_math.hpp"
 #include "chain/merkle.hpp"
+#include "graphene/errors.hpp"
 #include "graphene/sender.hpp"  // derive_short_id
 #include "iblt/pingpong.hpp"
+#include "obs/obs.hpp"
 
 namespace graphene::core {
+
+namespace {
+
+/// Label value for the per-outcome decode counters.
+const char* status_label(ReceiveStatus status) noexcept {
+  switch (status) {
+    case ReceiveStatus::kDecoded: return "decoded";
+    case ReceiveStatus::kNeedsProtocol2: return "needs_protocol2";
+    case ReceiveStatus::kNeedsRepair: return "needs_repair";
+    case ReceiveStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 Receiver::Receiver(const chain::Mempool& mempool, ProtocolConfig cfg)
     : mempool_(&mempool), cfg_(cfg) {}
@@ -25,6 +41,7 @@ void Receiver::index_candidate(const chain::TxId& id) {
 }
 
 ReceiveOutcome Receiver::receive_block(const GrapheneBlockMsg& msg) {
+  obs::Registry* reg = obs::enabled(cfg_.obs);
   msg_ = msg;
   have_block_msg_ = true;
   sid_to_txid_.clear();
@@ -33,56 +50,130 @@ ReceiveOutcome Receiver::receive_block(const GrapheneBlockMsg& msg) {
   received_txns_.clear();
   pending_unresolved_.clear();
 
-  // Step 4: the candidate set Z = mempool transactions passing S.
-  for (const chain::TxId& id : mempool_->ids()) {
-    if (msg.filter_s.contains(util::ByteView(id.data(), id.size()))) {
-      index_candidate(id);
+  {
+    // Step 4: the candidate set Z = mempool transactions passing S.
+    obs::ScopedSpan span(reg, "p1_candidates");
+    const std::uint64_t queries_before = msg.filter_s.query_count();
+    const std::uint64_t hits_before = msg.filter_s.hit_count();
+    for (const chain::TxId& id : mempool_->ids()) {
+      if (msg.filter_s.contains(util::ByteView(id.data(), id.size()))) {
+        index_candidate(id);
+      }
     }
+    z_ = candidates_.size();
+    span.attr("m", mempool_->size());
+    span.attr("n", msg.n);
+    span.attr("z", z_);
+    span.attr("target_fpr", msg.filter_s.target_fpr());
+    span.attr("filter_queries", msg.filter_s.query_count() - queries_before);
+    span.attr("filter_hits", msg.filter_s.hit_count() - hits_before);
   }
 
-  // I′ over Z with the sender's parameters, then I ⊖ I′.
-  iblt::Iblt i_prime(iblt::IbltParams{msg.iblt_i.hash_count(), msg.iblt_i.cell_count()},
-                     msg.iblt_i.seed());
-  for (const chain::TxId& id : candidates_) i_prime.insert(sid(id));
-
-  const iblt::DecodeResult dec = msg.iblt_i.subtract(i_prime).decode();
   ReceiveOutcome out;
-  if (dec.malformed) {
-    out.status = ReceiveStatus::kFailed;
-    return out;
-  }
-  if (!dec.success || !dec.positives.empty()) {
-    // Either the IBLT kept a 2-core, or the block contains transactions the
-    // receiver does not hold (positives carry only short IDs) — Protocol 2.
-    out.status = ReceiveStatus::kNeedsProtocol2;
-    return out;
-  }
-  for (const std::uint64_t s : dec.negatives) {
-    if (ambiguous_sids_.count(s) > 0) {
-      out.status = ReceiveStatus::kNeedsProtocol2;
-      return out;
+  {
+    obs::ScopedSpan span(reg, "p1_peel");
+    // I′ over Z with the sender's parameters, then I ⊖ I′.
+    iblt::Iblt i_prime(iblt::IbltParams{msg.iblt_i.hash_count(), msg.iblt_i.cell_count()},
+                       msg.iblt_i.seed());
+    for (const chain::TxId& id : candidates_) i_prime.insert(sid(id));
+
+    const iblt::DecodeResult dec = msg.iblt_i.subtract(i_prime).decode();
+    span.attr("cells", msg.iblt_i.cell_count());
+    span.attr("k", msg.iblt_i.hash_count());
+    span.attr("peel_iterations", dec.peel_iterations);
+    span.attr("peeled", dec.peeled());
+    span.attr("residual_cells", dec.residual_cells);
+    span.attr("success", dec.success ? 1 : 0);
+    span.attr("malformed", dec.malformed ? 1 : 0);
+    if (reg != nullptr) {
+      reg->histogram("graphene_peel_iterations", {{"iblt", "i"}})
+          .observe(dec.peel_iterations);
     }
-    const auto it = sid_to_txid_.find(s);
-    if (it == sid_to_txid_.end()) {
+
+    if (dec.malformed) {
+      out.status = ReceiveStatus::kFailed;
+    } else if (!dec.success || !dec.positives.empty()) {
+      // Either the IBLT kept a 2-core, or the block contains transactions the
+      // receiver does not hold (positives carry only short IDs) — Protocol 2.
       out.status = ReceiveStatus::kNeedsProtocol2;
-      return out;
+    } else {
+      out.status = ReceiveStatus::kDecoded;  // provisional; negatives next
+      for (const std::uint64_t s : dec.negatives) {
+        if (ambiguous_sids_.count(s) > 0) {
+          out.status = ReceiveStatus::kNeedsProtocol2;
+          break;
+        }
+        const auto it = sid_to_txid_.find(s);
+        if (it == sid_to_txid_.end()) {
+          out.status = ReceiveStatus::kNeedsProtocol2;
+          break;
+        }
+        candidates_.erase(it->second);
+      }
     }
-    candidates_.erase(it->second);
   }
 
-  ReceiveOutcome fin = finalize({}, /*used_pingpong=*/false);
-  if (fin.status != ReceiveStatus::kDecoded) fin.status = ReceiveStatus::kNeedsProtocol2;
-  return fin;
+  if (out.status == ReceiveStatus::kDecoded) {
+    out = finalize({}, /*used_pingpong=*/false);
+    if (out.status != ReceiveStatus::kDecoded) out.status = ReceiveStatus::kNeedsProtocol2;
+  }
+  if (reg != nullptr) {
+    reg->counter("graphene_p1_decode_total", {{"result", status_label(out.status)}})
+        .inc();
+  }
+  return out;
+}
+
+ErrorContext Receiver::error_context() const noexcept {
+  ErrorContext ctx;
+  ctx.have_block_msg = have_block_msg_;
+  ctx.n = msg_.n;
+  ctx.m = mempool_->size();
+  ctx.z = z_;
+  ctx.x_star = params2_.x_star;
+  ctx.y_star = params2_.y_star;
+  ctx.b = params2_.b;
+  return ctx;
+}
+
+void Receiver::raise(const char* stage, const char* what) const {
+  const ErrorContext ctx = error_context();
+  if (obs::Registry* reg = obs::enabled(cfg_.obs)) {
+    obs::ScopedSpan span(reg, "error");
+    span.attr("have_block_msg", ctx.have_block_msg ? 1 : 0);
+    span.attr("n", ctx.n);
+    span.attr("m", ctx.m);
+    span.attr("z", ctx.z);
+    span.attr("x_star", ctx.x_star);
+    span.attr("y_star", ctx.y_star);
+    span.attr("b", ctx.b);
+    reg->counter("graphene_protocol_errors_total", {{"stage", stage}}).inc();
+  }
+  throw ProtocolError(stage, what, ctx);
 }
 
 GrapheneRequestMsg Receiver::build_request() {
+  obs::Registry* reg = obs::enabled(cfg_.obs);
   if (!have_block_msg_) {
-    throw std::logic_error("Receiver::build_request: no block message received");
+    raise("build_request", "no block message received");
   }
   const std::uint64_t z = candidates_.size();
   const double f_s =
       bloom::expected_fpr(msg_.filter_s.bit_count(), msg_.filter_s.hash_count(), msg_.n);
-  params2_ = optimize_protocol2(z, mempool_->size(), msg_.n, f_s, cfg_);
+  {
+    // Theorem-2/3 bound computation plus the b-optimization of §3.3.2.
+    obs::ScopedSpan span(reg, "thm_bounds");
+    params2_ = optimize_protocol2(z, mempool_->size(), msg_.n, f_s, cfg_);
+    span.attr("z", z);
+    span.attr("m", mempool_->size());
+    span.attr("n", msg_.n);
+    span.attr("f_s", f_s);
+    span.attr("x_star", params2_.x_star);
+    span.attr("y_star", params2_.y_star);
+    span.attr("b", params2_.b);
+    span.attr("fpr_r", params2_.fpr);
+    span.attr("reversed", params2_.reversed ? 1 : 0);
+  }
 
   GrapheneRequestMsg req;
   req.z = z;
@@ -90,18 +181,29 @@ GrapheneRequestMsg Receiver::build_request() {
   req.y_star = params2_.y_star;
   req.fpr_r = params2_.fpr;
   req.reversed = params2_.reversed;
-  req.filter_r =
-      bloom::BloomFilter(std::max<std::uint64_t>(z, 1), params2_.fpr,
-                         /*seed=*/msg_.shortid_salt ^ 0x42d551f17e1dULL);
-  for (const chain::TxId& id : candidates_) {
-    req.filter_r.insert(util::ByteView(id.data(), id.size()));
+  {
+    obs::ScopedSpan span(reg, "rfilter_build");
+    req.filter_r =
+        bloom::BloomFilter(std::max<std::uint64_t>(z, 1), params2_.fpr,
+                           /*seed=*/msg_.shortid_salt ^ 0x42d551f17e1dULL);
+    for (const chain::TxId& id : candidates_) {
+      req.filter_r.insert(util::ByteView(id.data(), id.size()));
+    }
+    span.attr("items", z);
+    span.attr("bits", req.filter_r.bit_count());
+  }
+  if (reg != nullptr) {
+    reg->histogram("graphene_bloom_r_bytes").observe(req.filter_r.serialized_size());
   }
   return req;
 }
 
 ReceiveOutcome Receiver::complete(const GrapheneResponseMsg& resp) {
+  obs::Registry* reg = obs::enabled(cfg_.obs);
   ReceiveOutcome out;
   if (!have_block_msg_) return out;  // kFailed: nothing to complete
+  obs::ScopedSpan p2_span(reg, "p2_peel");
+  p2_span.attr("missing", resp.missing.size());
 
   // In the reversed (m ≈ n) path, filter F prunes candidates the sender's
   // block does not contain before the new transactions are added.
@@ -129,6 +231,15 @@ ReceiveOutcome Receiver::complete(const GrapheneResponseMsg& resp) {
 
   iblt::DecodeResult dec = diff_j.decode();
   bool used_pingpong = false;
+  p2_span.attr("j_cells", resp.iblt_j.cell_count());
+  p2_span.attr("peel_iterations", dec.peel_iterations);
+  p2_span.attr("peeled", dec.peeled());
+  p2_span.attr("residual_cells", dec.residual_cells);
+  p2_span.attr("success", dec.success ? 1 : 0);
+  if (reg != nullptr) {
+    reg->histogram("graphene_peel_iterations", {{"iblt", "j"}})
+        .observe(dec.peel_iterations);
+  }
 
   if (dec.malformed) {
     out.status = ReceiveStatus::kFailed;
@@ -137,12 +248,22 @@ ReceiveOutcome Receiver::complete(const GrapheneResponseMsg& resp) {
   if (!dec.success && have_block_msg_ && cfg_.enable_pingpong) {
     // Ping-pong (§4.2): rebuild I′ over the *current* candidates so both
     // differences describe the same set pair, then decode jointly.
+    obs::ScopedSpan pp_span(reg, "pingpong");
     iblt::Iblt i_prime(
         iblt::IbltParams{msg_.iblt_i.hash_count(), msg_.iblt_i.cell_count()},
         msg_.iblt_i.seed());
     for (const chain::TxId& id : candidates_) i_prime.insert(sid(id));
     const iblt::PingPongResult pp =
         iblt::pingpong_decode(diff_j, msg_.iblt_i.subtract(i_prime));
+    pp_span.attr("rounds", pp.rounds);
+    pp_span.attr("success", pp.success ? 1 : 0);
+    pp_span.attr("malformed", pp.malformed ? 1 : 0);
+    if (reg != nullptr) {
+      reg->histogram("graphene_pingpong_rounds").observe(pp.rounds);
+      reg->counter("graphene_pingpong_total",
+                   {{"result", pp.success ? "rescued" : "failed"}})
+          .inc();
+    }
     if (pp.malformed) {
       out.status = ReceiveStatus::kFailed;
       return out;
@@ -181,7 +302,12 @@ ReceiveOutcome Receiver::complete(const GrapheneResponseMsg& resp) {
     unresolved.push_back(s);
   }
 
-  return finalize(std::move(unresolved), used_pingpong);
+  out = finalize(std::move(unresolved), used_pingpong);
+  if (reg != nullptr) {
+    reg->counter("graphene_p2_decode_total", {{"result", status_label(out.status)}})
+        .inc();
+  }
+  return out;
 }
 
 RepairRequestMsg Receiver::build_repair() const {
@@ -191,11 +317,16 @@ RepairRequestMsg Receiver::build_repair() const {
 }
 
 ReceiveOutcome Receiver::complete_repair(const RepairResponseMsg& resp) {
+  obs::ScopedSpan span(obs::enabled(cfg_.obs), "repair");
+  span.attr("requested", pending_unresolved_.size());
+  span.attr("received", resp.txns.size());
   for (const chain::Transaction& tx : resp.txns) {
     received_txns_.emplace(tx.id, tx);
     index_candidate(tx.id);
   }
-  return finalize({}, /*used_pingpong=*/false);
+  const ReceiveOutcome out = finalize({}, /*used_pingpong=*/false);
+  span.attr("decoded", out.status == ReceiveStatus::kDecoded ? 1 : 0);
+  return out;
 }
 
 ReceiveOutcome Receiver::finalize(std::vector<std::uint64_t> unresolved, bool used_pingpong) {

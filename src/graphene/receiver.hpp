@@ -16,6 +16,7 @@
 #include <unordered_set>
 
 #include "chain/mempool.hpp"
+#include "graphene/errors.hpp"
 #include "graphene/messages.hpp"
 #include "graphene/params.hpp"
 
@@ -64,10 +65,18 @@ class Receiver {
     return params2_;
   }
 
+  /// Candidate-set size |Z| observed right after filtering the mempool
+  /// through S — the Protocol 2 sizing input and the error-context `z`.
+  [[nodiscard]] std::uint64_t observed_z() const noexcept { return z_; }
+
  private:
   ReceiveOutcome finalize(std::vector<std::uint64_t> unresolved, bool used_pingpong);
   void index_candidate(const chain::TxId& id);
   [[nodiscard]] std::uint64_t sid(const chain::TxId& id) const noexcept;
+  /// Snapshot of the protocol position for errors and trace records.
+  [[nodiscard]] ErrorContext error_context() const noexcept;
+  /// Records an `error` trace span + counter, then throws ProtocolError.
+  [[noreturn]] void raise(const char* stage, const char* what) const;
 
   const chain::Mempool* mempool_;
   ProtocolConfig cfg_;
@@ -76,6 +85,7 @@ class Receiver {
   GrapheneBlockMsg msg_{};
   Protocol2Params params2_{};
   bool have_block_msg_ = false;
+  std::uint64_t z_ = 0;
 
   /// Candidate block membership: short id → txid, plus txn storage for
   /// transactions that arrived over the wire rather than from the mempool.

@@ -6,6 +6,7 @@
 #include "bloom/bloom_math.hpp"
 #include "graphene/bounds.hpp"
 #include "iblt/param_table.hpp"
+#include "obs/obs.hpp"
 
 namespace graphene::core {
 
@@ -28,25 +29,58 @@ Sender::Sender(chain::Block block, std::uint64_t salt, ProtocolConfig cfg)
 }
 
 GrapheneBlockMsg Sender::encode(std::uint64_t receiver_mempool_count) const {
+  obs::Registry* reg = obs::enabled(cfg_.obs);
   const std::uint64_t n = block_.tx_count();
-  last_params_ = optimize_protocol1(n, std::max(receiver_mempool_count, n), cfg_);
+  const std::uint64_t m = std::max(receiver_mempool_count, n);
+  {
+    obs::ScopedSpan span(reg, "p1_optimize");
+    last_params_ = optimize_protocol1(n, m, cfg_);
+    span.attr("n", n);
+    span.attr("m", m);
+    span.attr("a", last_params_.a);
+    span.attr("a_star", last_params_.a_star);
+    span.attr("fpr_s", last_params_.fpr);
+    span.attr("bloom_bytes", last_params_.bloom_bytes);
+    span.attr("iblt_bytes", last_params_.iblt_bytes);
+  }
 
   GrapheneBlockMsg msg;
   msg.header = block_.header();
   msg.n = n;
   msg.shortid_salt = salt_;
 
-  msg.filter_s = bloom::BloomFilter(n, last_params_.fpr, /*seed=*/salt_ ^ 0x5eedf00d);
-  for (const chain::Transaction& tx : block_.transactions()) {
-    msg.filter_s.insert(util::ByteView(tx.id.data(), tx.id.size()));
+  {
+    obs::ScopedSpan span(reg, "sfilter_build");
+    msg.filter_s = bloom::BloomFilter(n, last_params_.fpr, /*seed=*/salt_ ^ 0x5eedf00d);
+    for (const chain::Transaction& tx : block_.transactions()) {
+      msg.filter_s.insert(util::ByteView(tx.id.data(), tx.id.size()));
+    }
+    span.attr("items", n);
+    span.attr("bits", msg.filter_s.bit_count());
+    span.attr("hashes", msg.filter_s.hash_count());
+    span.attr("target_fpr", msg.filter_s.target_fpr());
   }
 
-  msg.iblt_i = iblt::Iblt(last_params_.iblt, /*seed=*/salt_);
-  for (const std::uint64_t sid : short_ids_) msg.iblt_i.insert(sid);
+  {
+    obs::ScopedSpan span(reg, "iblt_build");
+    msg.iblt_i = iblt::Iblt(last_params_.iblt, /*seed=*/salt_);
+    for (const std::uint64_t sid : short_ids_) msg.iblt_i.insert(sid);
+    span.attr("items", short_ids_.size());
+    span.attr("cells", msg.iblt_i.cell_count());
+    span.attr("k", msg.iblt_i.hash_count());
+  }
+
+  if (reg != nullptr) {
+    reg->counter("graphene_encode_total").inc();
+    reg->histogram("graphene_bloom_s_bytes").observe(msg.filter_s.serialized_size());
+    reg->histogram("graphene_iblt_i_bytes").observe(msg.iblt_i.serialized_size());
+  }
   return msg;
 }
 
 GrapheneResponseMsg Sender::serve(const GrapheneRequestMsg& request) const {
+  obs::Registry* reg = obs::enabled(cfg_.obs);
+  obs::ScopedSpan serve_span(reg, "p2_serve");
   GrapheneResponseMsg resp;
   const std::uint64_t n = block_.tx_count();
 
@@ -65,6 +99,7 @@ GrapheneResponseMsg Sender::serve(const GrapheneRequestMsg& request) const {
   std::uint64_t j_items = request.b + request.y_star;
 
   if (request.reversed) {
+    obs::ScopedSpan fb_span(reg, "p2_fallback");
     // §3.3.2 m ≈ n path: re-derive the bounds with the roles of block and
     // mempool swapped, and compensate R's false positives with filter F.
     const std::uint64_t z_s = passed.size();
@@ -95,21 +130,42 @@ GrapheneResponseMsg Sender::serve(const GrapheneRequestMsg& request) const {
     }
     resp.filter_f = std::move(filter_f);
     j_items = best_b + y_s;
+    fb_span.attr("z_s", z_s);
+    fb_span.attr("x_s", x_s);
+    fb_span.attr("y_s", y_s);
+    fb_span.attr("b", best_b);
+    fb_span.attr("fpr_f", f_f);
   }
 
   resp.iblt_j = iblt::Iblt(iblt::lookup_params(j_items, cfg_.fail_denom),
                            /*seed=*/salt_ + 1);
   for (const std::uint64_t sid : short_ids_) resp.iblt_j.insert(sid);
+
+  serve_span.attr("n", n);
+  serve_span.attr("z", request.z);
+  serve_span.attr("passed", passed.size());
+  serve_span.attr("missing", resp.missing.size());
+  serve_span.attr("j_items", j_items);
+  serve_span.attr("j_cells", resp.iblt_j.cell_count());
+  serve_span.attr("reversed", request.reversed ? 1 : 0);
+  if (reg != nullptr) {
+    reg->counter("graphene_p2_serve_total").inc();
+    reg->histogram("graphene_missing_txns").observe(resp.missing.size());
+    reg->histogram("graphene_iblt_j_bytes").observe(resp.iblt_j.serialized_size());
+  }
   return resp;
 }
 
 RepairResponseMsg Sender::serve_repair(const RepairRequestMsg& request) const {
+  obs::ScopedSpan span(obs::enabled(cfg_.obs), "repair_serve");
   RepairResponseMsg resp;
   resp.txns.reserve(request.short_ids.size());
   for (const std::uint64_t sid : request.short_ids) {
     const auto it = by_short_id_.find(sid);
     if (it != by_short_id_.end()) resp.txns.push_back(*it->second);
   }
+  span.attr("requested", request.short_ids.size());
+  span.attr("served", resp.txns.size());
   return resp;
 }
 

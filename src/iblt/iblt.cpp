@@ -101,6 +101,7 @@ DecodeResult Iblt::decode() const {
   while (!queue.empty()) {
     const std::uint64_t idx = queue.front();
     queue.pop_front();
+    ++result.peel_iterations;
     if (!pure(cells[idx])) continue;  // May have changed since enqueue.
 
     const std::uint64_t key = cells[idx].key_sum;
@@ -127,9 +128,9 @@ DecodeResult Iblt::decode() const {
   }
 
   for (const Cell& c : cells) {
-    if (c.count != 0 || c.key_sum != 0 || c.check_sum != 0) return result;
+    if (c.count != 0 || c.key_sum != 0 || c.check_sum != 0) ++result.residual_cells;
   }
-  result.success = true;
+  result.success = result.residual_cells == 0;
   return result;
 }
 

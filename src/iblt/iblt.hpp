@@ -31,6 +31,16 @@ struct DecodeResult {
   bool malformed = false;
   std::vector<std::uint64_t> positives;
   std::vector<std::uint64_t> negatives;
+  /// Peeling-loop iterations (queue pops examined), for telemetry — tracks
+  /// the real work done, including re-checks of cells that went impure.
+  std::uint64_t peel_iterations = 0;
+  /// Items successfully peeled (|positives| + |negatives|).
+  [[nodiscard]] std::uint64_t peeled() const noexcept {
+    return positives.size() + negatives.size();
+  }
+  /// Non-zero cells remaining after peeling stopped: 0 on success, the
+  /// 2-core size (in cells) on failure. Untouched when malformed.
+  std::uint64_t residual_cells = 0;
 };
 
 class Iblt {

@@ -1,0 +1,18 @@
+// Monotonic clock shared by timers and trace spans.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace graphene::obs {
+
+/// Nanoseconds on the process-wide monotonic clock. The absolute value is
+/// only meaningful relative to other calls in the same process.
+[[nodiscard]] inline std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace graphene::obs

@@ -1,0 +1,93 @@
+// Minimal JSON writer/parser for telemetry export.
+//
+// The telemetry layer emits machine-readable snapshots (`Registry::to_json`)
+// and per-run trace lines (`runs.jsonl`); this header provides the small
+// amount of JSON plumbing that requires — escaping, a streaming writer, and
+// a strict recursive-descent parser used by tests and tools to round-trip
+// the exports. Deliberately zero-dependency (no third-party JSON library).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace graphene::obs::json {
+
+/// Appends `s` to `out` with JSON string escaping (quotes not included).
+void escape_to(std::string& out, std::string_view s);
+
+/// Formats a double the way JSON expects: integral values without a trailing
+/// ".0" explosion, non-finite values as null (JSON has no NaN/Inf).
+void number_to(std::string& out, double v);
+
+/// Parsed JSON value (strict subset: no comments, no trailing commas).
+class Value {
+ public:
+  enum class Type : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  [[nodiscard]] bool is_null() const noexcept { return type == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept { return type == Type::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return type == Type::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return type == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return type == Type::kObject; }
+
+  /// Object member access; throws std::out_of_range when absent.
+  [[nodiscard]] const Value& at(const std::string& key) const { return object.at(key); }
+  [[nodiscard]] bool contains(const std::string& key) const {
+    return object.find(key) != object.end();
+  }
+};
+
+struct ParseError : std::runtime_error {
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parses one complete JSON document; throws ParseError on malformed input
+/// or trailing garbage.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Incremental writer producing compact (no-whitespace) JSON. Usage:
+///
+///   Writer w;
+///   w.begin_object();
+///   w.key("stage"); w.string("encode");
+///   w.key("ns"); w.number(123);
+///   w.end_object();
+///   std::string line = w.take();
+class Writer {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view k);
+  void string(std::string_view v);
+  void number(double v);
+  void number(std::uint64_t v);
+  void boolean(bool v);
+  void null();
+
+  [[nodiscard]] std::string take() { return std::move(out_); }
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::vector<bool> needs_comma_;
+  bool after_key_ = false;
+};
+
+}  // namespace graphene::obs::json

@@ -1,0 +1,191 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "obs/json.hpp"
+
+namespace graphene::obs {
+
+void Histogram::observe(std::uint64_t v) noexcept {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur && !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::min() const noexcept {
+  const std::uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == UINT64_MAX ? 0 : v;
+}
+
+std::uint64_t Histogram::max() const noexcept {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t c = count();
+  return c == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(c);
+}
+
+std::size_t Histogram::bucket_index(std::uint64_t v) noexcept {
+  return v == 0 ? 0 : static_cast<std::size_t>(64 - std::countl_zero(v));
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t i) noexcept {
+  if (i == 0) return 0;
+  if (i >= 64) return UINT64_MAX;
+  return (std::uint64_t{1} << i) - 1;
+}
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += bucket_count(i);
+    if (seen >= rank) return std::min(bucket_upper(i), max());
+  }
+  return max();
+}
+
+Registry::Key Registry::make_key(std::string_view name, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return Key{std::string(name), std::move(labels)};
+}
+
+Counter& Registry::counter(std::string_view name, const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[make_key(name, labels)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(std::string_view name, const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[make_key(name, labels)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(std::string_view name, const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[make_key(name, labels)];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+const Counter* Registry::find_counter(std::string_view name, const Labels& labels) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(make_key(name, labels));
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* Registry::find_gauge(std::string_view name, const Labels& labels) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(make_key(name, labels));
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* Registry::find_histogram(std::string_view name,
+                                          const Labels& labels) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(make_key(name, labels));
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+
+void write_key_header(json::Writer& w, const Registry* /*tag*/, const std::string& name,
+                      const Labels& labels) {
+  w.key("name");
+  w.string(name);
+  w.key("labels");
+  w.begin_object();
+  for (const auto& [k, v] : labels) {
+    w.key(k);
+    w.string(v);
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::string Registry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  json::Writer w;
+  w.begin_object();
+
+  w.key("counters");
+  w.begin_array();
+  for (const auto& [key, c] : counters_) {
+    w.begin_object();
+    write_key_header(w, this, key.name, key.labels);
+    w.key("value");
+    w.number(c->value());
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("gauges");
+  w.begin_array();
+  for (const auto& [key, g] : gauges_) {
+    w.begin_object();
+    write_key_header(w, this, key.name, key.labels);
+    w.key("value");
+    w.number(g->value());
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("histograms");
+  w.begin_array();
+  for (const auto& [key, h] : histograms_) {
+    w.begin_object();
+    write_key_header(w, this, key.name, key.labels);
+    w.key("count");
+    w.number(h->count());
+    w.key("sum");
+    w.number(h->sum());
+    w.key("min");
+    w.number(h->min());
+    w.key("max");
+    w.number(h->max());
+    w.key("buckets");
+    w.begin_array();
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h->bucket_count(i);
+      if (n == 0) continue;
+      w.begin_object();
+      w.key("le");
+      w.number(Histogram::bucket_upper(i));
+      w.key("count");
+      w.number(n);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  return w.take();
+}
+
+void Registry::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  trace_.clear();
+}
+
+}  // namespace graphene::obs

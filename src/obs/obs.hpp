@@ -1,0 +1,102 @@
+// Umbrella header for the telemetry subsystem, plus ScopedSpan — the one
+// primitive protocol code uses to instrument a stage.
+//
+// Instrumentation contract:
+//   * every engine takes an optional `obs::Registry*` (via ProtocolConfig or
+//     a setter); nullptr means telemetry is off and costs one branch;
+//   * building with -DGRAPHENE_OBS=OFF (GRAPHENE_OBS_ENABLED=0) compiles the
+//     instrumentation bodies out entirely, for overhead-proof builds;
+//   * each protocol stage opens a ScopedSpan which (a) appends a TraceSpan
+//     to the registry's TraceSink and (b) feeds the `graphene_stage_ns`
+//     histogram family labeled by stage.
+//
+// Stage names emitted by the pipeline, in protocol order:
+//   p1_optimize, sfilter_build, iblt_build   (Sender::encode)
+//   p1_candidates, p1_peel                   (Receiver::receive_block)
+//   thm_bounds, rfilter_build                (Receiver::build_request)
+//   p2_serve, p2_fallback                    (Sender::serve)
+//   p2_peel, pingpong                        (Receiver::complete)
+//   repair                                   (Receiver::complete_repair)
+//   error                                    (diagnostic context on throws)
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+#include "obs/clock.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+
+namespace graphene::obs {
+
+#if GRAPHENE_OBS_ENABLED
+
+/// RAII protocol-stage recorder. With a null registry every member is a
+/// cheap early-out; with GRAPHENE_OBS_ENABLED=0 the class itself becomes an
+/// empty shell (below) and the optimizer deletes the call sites.
+class ScopedSpan {
+ public:
+  ScopedSpan(Registry* reg, std::string_view stage) : reg_(reg) {
+    if (reg_ == nullptr) return;
+    span_.stage = stage;
+    span_.start_ns = monotonic_ns();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a numeric attribute (sizing input, outcome, byte count).
+  template <typename T>
+  void attr(std::string_view key, T value) {
+    if (reg_ == nullptr) return;
+    span_.attrs.emplace_back(std::string(key), static_cast<double>(value));
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return reg_ != nullptr; }
+  [[nodiscard]] Registry* registry() const noexcept { return reg_; }
+
+  ~ScopedSpan() {
+    if (reg_ == nullptr) return;
+    span_.dur_ns = monotonic_ns() - span_.start_ns;
+    reg_->histogram("graphene_stage_ns", {{"stage", span_.stage}})
+        .observe(span_.dur_ns);
+    reg_->trace().record(std::move(span_));
+  }
+
+ private:
+  Registry* reg_;
+  TraceSpan span_;
+};
+
+#else  // GRAPHENE_OBS_ENABLED == 0: instrumentation compiles to nothing.
+
+class ScopedSpan {
+ public:
+  ScopedSpan(Registry*, std::string_view) noexcept {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  template <typename T>
+  void attr(std::string_view, T) noexcept {}
+  [[nodiscard]] bool enabled() const noexcept { return false; }
+  [[nodiscard]] Registry* registry() const noexcept { return nullptr; }
+};
+
+#endif  // GRAPHENE_OBS_ENABLED
+
+/// Gate for manual instrumentation blocks: returns the registry when
+/// telemetry is compiled in, a constant nullptr (letting the optimizer drop
+/// the block) when it is not. Call sites write
+///   if (obs::Registry* reg = obs::enabled(cfg.obs)) { ... }
+[[nodiscard]] inline Registry* enabled(Registry* reg) noexcept {
+#if GRAPHENE_OBS_ENABLED
+  return reg;
+#else
+  (void)reg;
+  return nullptr;
+#endif
+}
+
+}  // namespace graphene::obs
+

@@ -1,0 +1,34 @@
+// RAII scope timer feeding a (nanosecond) Histogram.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+
+namespace graphene::obs {
+
+/// Records the enclosing scope's wall time into a Histogram (in ns) on
+/// destruction. A null histogram makes the timer a no-op — instrumented code
+/// passes `reg ? &reg->histogram(...) : nullptr` and pays one branch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h) noexcept
+      : h_(h), start_(h != nullptr ? monotonic_ns() : 0) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (h_ != nullptr) h_->observe(monotonic_ns() - start_);
+  }
+
+  /// Elapsed time so far; 0 for the disabled timer.
+  [[nodiscard]] std::uint64_t elapsed_ns() const noexcept {
+    return h_ != nullptr ? monotonic_ns() - start_ : 0;
+  }
+
+ private:
+  Histogram* h_;
+  std::uint64_t start_;
+};
+
+}  // namespace graphene::obs

@@ -1,0 +1,79 @@
+#include "obs/trace.hpp"
+
+#include "obs/json.hpp"
+
+namespace graphene::obs {
+
+double TraceSpan::attr(std::string_view key, double fallback) const noexcept {
+  for (const auto& [k, v] : attrs) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+std::string TraceSpan::to_json() const {
+  json::Writer w;
+  w.begin_object();
+  w.key("seq");
+  w.number(seq);
+  w.key("stage");
+  w.string(stage);
+  w.key("start_ns");
+  w.number(start_ns);
+  w.key("dur_ns");
+  w.number(dur_ns);
+  for (const auto& [k, v] : attrs) {
+    w.key(k);
+    w.number(v);
+  }
+  w.end_object();
+  return w.take();
+}
+
+void TraceSink::record(TraceSpan span) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  span.seq = next_seq_++;
+  spans_.push_back(std::move(span));
+}
+
+std::vector<TraceSpan> TraceSink::spans() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<std::string> TraceSink::stages() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(spans_.size());
+  for (const TraceSpan& s : spans_) out.push_back(s.stage);
+  return out;
+}
+
+bool TraceSink::find(std::string_view stage, TraceSpan* out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const TraceSpan& s : spans_) {
+    if (s.stage == stage) {
+      if (out != nullptr) *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t TraceSink::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void TraceSink::write_jsonl(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const TraceSpan& s : spans_) out << s.to_json() << '\n';
+}
+
+void TraceSink::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  next_seq_ = 0;
+}
+
+}  // namespace graphene::obs

@@ -1,0 +1,62 @@
+// Structured run traces: one TraceSpan per protocol stage, collected by a
+// TraceSink and exported as JSON Lines.
+//
+// A span records the stage name, when it started, how long it took, and a
+// flat set of numeric attributes (sizing inputs, decode outcomes, byte
+// counts). The per-run span sequence is the primary diagnostic artifact:
+// a failed IBLT decode can be correlated with the Theorem-1 inputs that
+// sized it by reading the preceding `p1_optimize` span of the same run.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace graphene::obs {
+
+/// One protocol stage. Attribute keys must not collide with the reserved
+/// top-level keys ("seq", "stage", "start_ns", "dur_ns").
+struct TraceSpan {
+  std::uint64_t seq = 0;  ///< assigned by the sink; total order per sink
+  std::string stage;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::vector<std::pair<std::string, double>> attrs;
+
+  /// Attribute lookup; NaN-free telemetry means 0.0 is the safe default.
+  [[nodiscard]] double attr(std::string_view key, double fallback = 0.0) const noexcept;
+
+  /// Compact single-line JSON object with attributes flattened in.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Thread-safe append-only collection of spans.
+class TraceSink {
+ public:
+  void record(TraceSpan span);
+
+  [[nodiscard]] std::vector<TraceSpan> spans() const;
+  /// Stage names in record order — what the integration tests assert on.
+  [[nodiscard]] std::vector<std::string> stages() const;
+  /// First span with the given stage name, if any.
+  [[nodiscard]] bool find(std::string_view stage, TraceSpan* out = nullptr) const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// One JSON object per line, in record order.
+  void write_jsonl(std::ostream& out) const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace graphene::obs

@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include <cstdlib>
+
 namespace graphene::sim {
 
 namespace {
@@ -61,14 +63,127 @@ GrapheneRun run_graphene_protocol1_only(const Scenario& scenario, std::uint64_t 
   return run_impl(scenario, salt, cfg, /*protocol1_only=*/true);
 }
 
+void write_run_jsonl(std::ostream& out, const GrapheneRun& run, const Scenario& scenario,
+                     std::uint64_t trial, std::uint64_t salt, const obs::Registry& reg) {
+  obs::json::Writer w;
+  w.begin_object();
+  w.key("trial");
+  w.number(trial);
+  w.key("salt");
+  w.number(salt);
+  w.key("n");
+  w.number(scenario.n);
+  w.key("m");
+  w.number(scenario.m);
+
+  w.key("decoded");
+  w.boolean(run.decoded);
+  w.key("p1_decoded");
+  w.boolean(run.p1_decoded);
+  w.key("used_protocol2");
+  w.boolean(run.used_protocol2);
+  w.key("used_repair");
+  w.boolean(run.used_repair);
+  w.key("used_pingpong");
+  w.boolean(run.used_pingpong);
+
+  w.key("bytes");
+  w.begin_object();
+  w.key("getdata");
+  w.number(static_cast<std::uint64_t>(run.getdata_bytes));
+  w.key("bloom_s");
+  w.number(static_cast<std::uint64_t>(run.bloom_s_bytes));
+  w.key("iblt_i");
+  w.number(static_cast<std::uint64_t>(run.iblt_i_bytes));
+  w.key("bloom_r");
+  w.number(static_cast<std::uint64_t>(run.bloom_r_bytes));
+  w.key("iblt_j");
+  w.number(static_cast<std::uint64_t>(run.iblt_j_bytes));
+  w.key("bloom_f");
+  w.number(static_cast<std::uint64_t>(run.bloom_f_bytes));
+  w.key("missing_txn");
+  w.number(static_cast<std::uint64_t>(run.missing_txn_bytes));
+  w.key("repair");
+  w.number(static_cast<std::uint64_t>(run.repair_bytes));
+  w.key("encoding");
+  w.number(static_cast<std::uint64_t>(run.encoding_bytes()));
+  w.key("total");
+  w.number(static_cast<std::uint64_t>(run.total_bytes()));
+  w.end_object();
+
+  // Observed vs target FPR of filter S, with ground truth from the scenario:
+  // every block transaction the receiver holds passes S (no false
+  // negatives), so false positives = z − |block ∩ mempool|.
+  obs::TraceSpan cand;
+  if (reg.trace().find("p1_candidates", &cand)) {
+    std::uint64_t in_mempool = 0;
+    for (const chain::TxId& id : scenario.block.tx_ids()) {
+      if (scenario.receiver_mempool.contains(id)) ++in_mempool;
+    }
+    const auto z = static_cast<std::uint64_t>(cand.attr("z"));
+    const std::uint64_t fp = z > in_mempool ? z - in_mempool : 0;
+    const std::uint64_t negatives =
+        scenario.m > in_mempool ? scenario.m - in_mempool : 0;
+    w.key("fpr_s_target");
+    w.number(cand.attr("target_fpr"));
+    w.key("fp_observed");
+    w.number(fp);
+    w.key("fpr_s_observed");
+    w.number(negatives > 0 ? static_cast<double>(fp) / static_cast<double>(negatives)
+                           : 0.0);
+  }
+
+  w.key("spans");
+  w.begin_array();
+  for (const obs::TraceSpan& span : reg.trace().spans()) {
+    w.begin_object();
+    w.key("seq");
+    w.number(span.seq);
+    w.key("stage");
+    w.string(span.stage);
+    w.key("dur_ns");
+    w.number(span.dur_ns);
+    for (const auto& [k, v] : span.attrs) {
+      w.key(k);
+      w.number(v);
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  out << w.str() << '\n';
+}
+
+std::unique_ptr<std::ofstream> open_runs_jsonl_from_env() {
+  const char* path = std::getenv("GRAPHENE_RUNS_JSONL");
+  if (path == nullptr || *path == '\0') return nullptr;
+  auto out = std::make_unique<std::ofstream>(path, std::ios::app);
+  if (!out->is_open()) return nullptr;
+  return out;
+}
+
 TrialStats run_trials(const ScenarioSpec& spec, std::uint64_t trials, std::uint64_t seed,
-                      const core::ProtocolConfig& cfg, bool protocol1_only) {
+                      const core::ProtocolConfig& cfg, bool protocol1_only,
+                      std::ostream* runs_jsonl) {
   TrialStats stats;
   stats.trials = trials;
   util::Rng rng(seed);
   for (std::uint64_t t = 0; t < trials; ++t) {
     const Scenario scenario = chain::make_scenario(spec, rng);
-    const GrapheneRun run = run_impl(scenario, rng.next(), cfg, protocol1_only);
+    const std::uint64_t salt = rng.next();
+    GrapheneRun run;
+    if (runs_jsonl != nullptr) {
+      // Fresh registry per run: the span sequence then describes exactly one
+      // relay, which is what a runs.jsonl record promises.
+      obs::Registry reg;
+      core::ProtocolConfig traced = cfg;
+      traced.obs = &reg;
+      run = run_impl(scenario, salt, traced, protocol1_only);
+      write_run_jsonl(*runs_jsonl, run, scenario, t, salt, reg);
+    } else {
+      run = run_impl(scenario, salt, cfg, protocol1_only);
+    }
     stats.p1_decode_failures += run.p1_decoded ? 0 : 1;
     stats.decode_failures += run.decoded ? 0 : 1;
     stats.pingpong_rescues += run.used_pingpong && run.decoded ? 1 : 0;

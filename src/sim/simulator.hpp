@@ -2,9 +2,14 @@
 // behind every figure-reproducing benchmark.
 #pragma once
 
+#include <fstream>
+#include <memory>
+#include <ostream>
+
 #include "graphene/params.hpp"
 #include "graphene/receiver.hpp"
 #include "graphene/sender.hpp"
+#include "obs/obs.hpp"
 #include "sim/scenario.hpp"
 
 namespace graphene::sim {
@@ -67,7 +72,26 @@ struct TrialStats {
 };
 
 /// Repeats `spec` for `trials` independently-seeded runs.
+///
+/// When `runs_jsonl` is non-null every run is executed with a fresh
+/// telemetry Registry and appended to the stream as one structured JSON
+/// record (see write_run_jsonl) — the machine-readable alternative to the
+/// benches' stdout tables.
 TrialStats run_trials(const ScenarioSpec& spec, std::uint64_t trials, std::uint64_t seed,
-                      const core::ProtocolConfig& cfg = {}, bool protocol1_only = false);
+                      const core::ProtocolConfig& cfg = {}, bool protocol1_only = false,
+                      std::ostream* runs_jsonl = nullptr);
+
+/// Writes one run as a single JSON line: scenario shape, outcome flags, the
+/// byte decomposition, observed-vs-target FPR of filter S (ground truth from
+/// the scenario), and the full span sequence with stage timings and
+/// peel-iteration counts. `reg` must be the registry the run executed with.
+void write_run_jsonl(std::ostream& out, const GrapheneRun& run, const Scenario& scenario,
+                     std::uint64_t trial, std::uint64_t salt, const obs::Registry& reg);
+
+/// Opens the path named by GRAPHENE_RUNS_JSONL for appending run records;
+/// null when the variable is unset. Benches pass the result straight to
+/// run_trials so `GRAPHENE_RUNS_JSONL=runs.jsonl ./bench_fig17...` captures
+/// every run without touching the printed tables.
+[[nodiscard]] std::unique_ptr<std::ofstream> open_runs_jsonl_from_env();
 
 }  // namespace graphene::sim

@@ -15,6 +15,42 @@ TEST(ReceiverEdges, BuildRequestBeforeReceiveThrows) {
   EXPECT_THROW((void)receiver.build_request(), std::logic_error);
 }
 
+TEST(ReceiverEdges, BuildRequestErrorCarriesDiagnosticContext) {
+  chain::Mempool pool;
+  Receiver receiver(pool);
+  try {
+    (void)receiver.build_request();
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.stage(), "build_request");
+    EXPECT_FALSE(e.context().have_block_msg);
+    EXPECT_EQ(e.context().z, 0u);
+    // what() embeds the formatted snapshot for plain log consumers.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("have_block_msg=false"), std::string::npos) << what;
+    EXPECT_NE(what.find("z=0"), std::string::npos) << what;
+  }
+}
+
+TEST(ReceiverEdges, ErrorContextReflectsObservedState) {
+  // After a real Protocol-1 failure path the context snapshots the observed
+  // z and the Theorem-2/3 bounds from the last request.
+  util::Rng rng(77);
+  chain::ScenarioSpec spec;
+  spec.block_txns = 200;
+  spec.extra_txns = 200;
+  spec.block_fraction_in_mempool = 0.7;
+  const chain::Scenario s = chain::make_scenario(spec, rng);
+
+  Sender sender(s.block, 123);
+  Receiver receiver(s.receiver_mempool);
+  const ReceiveOutcome out = receiver.receive_block(sender.encode(s.m));
+  ASSERT_EQ(out.status, ReceiveStatus::kNeedsProtocol2);
+  const GrapheneRequestMsg req = receiver.build_request();
+  EXPECT_EQ(receiver.observed_z(), req.z);
+  EXPECT_EQ(receiver.last_request_params().y_star, req.y_star);
+}
+
 TEST(ReceiverEdges, CompleteBeforeReceiveFailsClosed) {
   chain::Mempool pool;
   Receiver receiver(pool);

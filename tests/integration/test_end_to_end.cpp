@@ -9,6 +9,7 @@
 #include "graphene/receiver.hpp"
 #include "graphene/sender.hpp"
 #include "net/channel.hpp"
+#include "obs/obs.hpp"
 #include "sim/scenario.hpp"
 #include "sim/simulator.hpp"
 
@@ -123,6 +124,78 @@ TEST(EndToEnd, RepeatedRelaysFromSameSenderState) {
     const auto out = receiver.receive_block(sender.encode(s1.m));
     EXPECT_EQ(out.status, core::ReceiveStatus::kDecoded);
   }
+}
+
+TEST(EndToEnd, Protocol1RunEmitsExpectedSpanSequence) {
+  // Telemetry contract: a clean Protocol-1 relay produces exactly the
+  // sender's three encode stages followed by the receiver's two decode
+  // stages, and the per-outcome counter records the decode.
+#if !GRAPHENE_OBS_ENABLED
+  GTEST_SKIP() << "telemetry compiled out (GRAPHENE_OBS=OFF)";
+#endif
+  util::Rng rng(6);
+  chain::ScenarioSpec spec;
+  spec.block_txns = 500;
+  spec.extra_txns = 1000;
+  const chain::Scenario s = chain::make_scenario(spec, rng);
+
+  obs::Registry reg;
+  core::ProtocolConfig cfg;
+  cfg.obs = &reg;
+  core::Sender sender(s.block, 99, cfg);
+  core::Receiver receiver(s.receiver_mempool, cfg);
+  const auto out = receiver.receive_block(sender.encode(s.receiver_mempool.size()));
+  ASSERT_EQ(out.status, core::ReceiveStatus::kDecoded);
+
+  const std::vector<std::string> expected = {"p1_optimize", "sfilter_build",
+                                             "iblt_build", "p1_candidates", "p1_peel"};
+  EXPECT_EQ(reg.trace().stages(), expected);
+
+  obs::TraceSpan peel;
+  ASSERT_TRUE(reg.trace().find("p1_peel", &peel));
+  EXPECT_DOUBLE_EQ(peel.attr("success"), 1.0);
+  EXPECT_DOUBLE_EQ(peel.attr("residual_cells"), 0.0);
+
+  obs::TraceSpan cand;
+  ASSERT_TRUE(reg.trace().find("p1_candidates", &cand));
+  EXPECT_GE(cand.attr("z"), static_cast<double>(spec.block_txns));
+  EXPECT_DOUBLE_EQ(cand.attr("m"), static_cast<double>(s.receiver_mempool.size()));
+
+  const obs::Counter* decoded =
+      reg.find_counter("graphene_p1_decode_total", {{"result", "decoded"}});
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->value(), 1u);
+}
+
+TEST(EndToEnd, Protocol2RunEmitsRequestAndPeelSpans) {
+  // Drive a receiver that is missing block transactions; the trace must walk
+  // through the Protocol 2 stages in order.
+#if !GRAPHENE_OBS_ENABLED
+  GTEST_SKIP() << "telemetry compiled out (GRAPHENE_OBS=OFF)";
+#endif
+  util::Rng rng(7);
+  chain::ScenarioSpec spec;
+  spec.block_txns = 300;
+  spec.extra_txns = 300;
+  spec.block_fraction_in_mempool = 0.8;
+  const chain::Scenario s = chain::make_scenario(spec, rng);
+
+  obs::Registry reg;
+  core::ProtocolConfig cfg;
+  cfg.obs = &reg;
+  core::Sender sender(s.block, 44, cfg);
+  core::Receiver receiver(s.receiver_mempool, cfg);
+  auto out = receiver.receive_block(sender.encode(s.receiver_mempool.size()));
+  ASSERT_EQ(out.status, core::ReceiveStatus::kNeedsProtocol2);
+  out = receiver.complete(sender.serve(receiver.build_request()));
+
+  for (const char* stage : {"thm_bounds", "rfilter_build", "p2_serve", "p2_peel"}) {
+    EXPECT_TRUE(reg.trace().find(stage)) << stage;
+  }
+  obs::TraceSpan bounds;
+  ASSERT_TRUE(reg.trace().find("thm_bounds", &bounds));
+  EXPECT_GT(bounds.attr("y_star"), 0.0);
+  EXPECT_GT(bounds.attr("b"), 0.0);
 }
 
 TEST(EndToEnd, MempoolSyncThenBlockRelay) {

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
+#include "obs/obs.hpp"
+
 namespace graphene::sim {
 namespace {
 
@@ -76,6 +81,47 @@ TEST(Simulator, TrialsAggregateConsistently) {
               stats.mean_encoding_bytes * 0.05 + 40.0);
   // Protocol 2 can only rescue Protocol 1 failures, never add new ones.
   EXPECT_LE(stats.decode_failures, stats.p1_decode_failures);
+}
+
+TEST(Simulator, RunsJsonlRecordsOneParsableLinePerTrial) {
+  ScenarioSpec spec;
+  spec.block_txns = 100;
+  spec.extra_txns = 200;
+  std::ostringstream jsonl;
+  const TrialStats stats = run_trials(spec, 5, /*seed=*/21, {}, false, &jsonl);
+  EXPECT_EQ(stats.trials, 5u);
+
+  std::istringstream lines(jsonl.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    const obs::json::Value doc = obs::json::parse(line);
+    EXPECT_EQ(doc.at("trial").number, static_cast<double>(count));
+    EXPECT_DOUBLE_EQ(doc.at("n").number, 100.0);
+    EXPECT_TRUE(doc.at("decoded").is_bool());
+    EXPECT_GT(doc.at("bytes").at("total").number, 0.0);
+#if GRAPHENE_OBS_ENABLED
+    // Span sequence and per-stage detail only exist when telemetry is
+    // compiled in; the byte decomposition above is always present.
+    const obs::json::Value& spans = doc.at("spans");
+    ASSERT_GE(spans.array.size(), 5u);
+    EXPECT_EQ(spans.array[0].at("stage").string, "p1_optimize");
+    bool saw_peel = false;
+    for (const obs::json::Value& span : spans.array) {
+      if (span.at("stage").string == "p1_peel") {
+        saw_peel = true;
+        EXPECT_TRUE(span.contains("peel_iterations"));
+      }
+    }
+    EXPECT_TRUE(saw_peel);
+    EXPECT_TRUE(doc.contains("fpr_s_observed"));
+    EXPECT_TRUE(doc.contains("fpr_s_target"));
+    EXPECT_LE(doc.at("fpr_s_observed").number, 1.0);
+    EXPECT_GE(doc.at("fpr_s_observed").number, 0.0);
+#endif
+    ++count;
+  }
+  EXPECT_EQ(count, 5);
 }
 
 TEST(Simulator, DeterministicForFixedSeed) {
