@@ -16,8 +16,7 @@ namespace {
 graphene::reconcile::ItemDigest cert_digest(std::uint64_t serial) {
   // Real deployments hash the certificate; the serial stands in here.
   const std::string s = "certificate-serial-" + std::to_string(serial);
-  return graphene::reconcile::digest_of(graphene::util::ByteView(
-      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  return graphene::reconcile::digest_of(graphene::util::str_bytes(s));
 }
 
 }  // namespace

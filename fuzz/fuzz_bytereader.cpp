@@ -1,0 +1,65 @@
+// Exercises util::ByteReader and the CompactSize codec with an arbitrary
+// operation stream: the first bytes select reader operations, the rest is
+// the buffer under read. Every operation must either return or throw
+// DeserializeError — no out-of-bounds read, no position desync.
+#include <cstdlib>
+
+#include "harness.hpp"
+#include "util/varint.hpp"
+
+using graphene::util::ByteReader;
+using graphene::util::Bytes;
+using graphene::util::DeserializeError;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size < 2) return 0;
+  const std::size_t script_len = std::min<std::size_t>(data[0], size - 1);
+  const std::uint8_t* script = data + 1;
+  ByteReader r(graphene::fuzz::view(data + 1 + script_len, size - 1 - script_len));
+
+  try {
+    for (std::size_t i = 0; i < script_len; ++i) {
+      const std::size_t before = r.remaining();
+      switch (script[i] % 8) {
+        case 0: (void)r.u8(); break;
+        case 1: (void)r.u16(); break;
+        case 2: (void)r.u32(); break;
+        case 3: (void)r.u64(); break;
+        case 4: (void)r.i32(); break;
+        case 5: (void)graphene::util::read_varint(r); break;
+        case 6: {
+          const Bytes raw = r.raw(script[i] / 8);
+          if (raw.size() != script[i] / 8u) std::abort();
+          break;
+        }
+        case 7: {
+          const std::uint64_t v = graphene::util::read_varint_bounded(
+              r, /*max=*/1u << 20, "fuzz length");
+          if (v > (1u << 20)) std::abort();
+          break;
+        }
+        default: break;
+      }
+      // A successful read must consume bytes (position monotonicity).
+      if (r.remaining() > before) std::abort();
+    }
+  } catch (const DeserializeError&) {
+    // Sanctioned failure: truncated or non-canonical input.
+  }
+
+  // Round-trip: any varint that decodes must re-encode to the same bytes.
+  ByteReader vr(graphene::fuzz::view(data + 1, size - 1));
+  try {
+    const std::size_t avail = vr.remaining();
+    const std::uint64_t v = graphene::util::read_varint(vr);
+    const std::size_t used = avail - vr.remaining();
+    graphene::util::ByteWriter w;
+    graphene::util::write_varint(w, v);
+    if (w.size() != used || graphene::util::varint_size(v) != used) std::abort();
+    for (std::size_t i = 0; i < used; ++i) {
+      if (w.bytes()[i] != data[1 + i]) std::abort();
+    }
+  } catch (const DeserializeError&) {
+  }
+  return 0;
+}

@@ -1,0 +1,14 @@
+// bloom::CuckooFilter::deserialize over hostile bytes.
+#include "bloom/cuckoo_filter.hpp"
+#include "harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  graphene::util::ByteReader r(graphene::fuzz::view(data, size));
+  try {
+    const auto filter = graphene::bloom::CuckooFilter::deserialize(r);
+    const std::uint8_t probe[32] = {0xaa, 0xbb};
+    (void)filter.contains(graphene::util::ByteView(probe, sizeof(probe)));
+  } catch (const graphene::util::DeserializeError&) {
+  }
+  return 0;
+}

@@ -1,0 +1,15 @@
+// bloom::GolombSet::deserialize over hostile bytes. The Rice-coded bit
+// stream is fully decoded at parse time; accepted sets are also queried.
+#include "bloom/golomb_set.hpp"
+#include "harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  graphene::util::ByteReader r(graphene::fuzz::view(data, size));
+  try {
+    const auto set = graphene::bloom::GolombSet::deserialize(r);
+    const std::uint8_t probe[32] = {0x01, 0x02, 0x03};
+    (void)set.contains(graphene::util::ByteView(probe, sizeof(probe)));
+  } catch (const graphene::util::DeserializeError&) {
+  }
+  return 0;
+}

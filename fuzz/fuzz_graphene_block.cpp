@@ -1,0 +1,19 @@
+// core::GrapheneBlockMsg::deserialize (Protocol 1, step 3) over hostile
+// bytes: header + n + salt + Bloom filter S + IBLT I.
+#include <cstdlib>
+
+#include "graphene/messages.hpp"
+#include "harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  graphene::util::ByteReader r(graphene::fuzz::view(data, size));
+  try {
+    const auto msg = graphene::core::GrapheneBlockMsg::deserialize(r);
+    // A parsed message must serialize back to a parseable message.
+    const graphene::util::Bytes wire = msg.serialize();
+    graphene::util::ByteReader r2{graphene::util::ByteView(wire)};
+    if (graphene::core::GrapheneBlockMsg::deserialize(r2).serialize() != wire) std::abort();
+  } catch (const graphene::util::DeserializeError&) {
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+// core::GrapheneRequestMsg::deserialize (Protocol 2, step 2) over hostile
+// bytes: z, b, y*, fpr, reversal flag, Bloom filter R.
+#include <cstdlib>
+
+#include "graphene/messages.hpp"
+#include "harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  graphene::util::ByteReader r(graphene::fuzz::view(data, size));
+  try {
+    const auto msg = graphene::core::GrapheneRequestMsg::deserialize(r);
+    const graphene::util::Bytes wire = msg.serialize();
+    graphene::util::ByteReader r2{graphene::util::ByteView(wire)};
+    if (graphene::core::GrapheneRequestMsg::deserialize(r2).serialize() != wire) std::abort();
+  } catch (const graphene::util::DeserializeError&) {
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+// core::GrapheneResponseMsg::deserialize (Protocol 2, steps 3–4) over
+// hostile bytes: missing transactions, IBLT J, optional filter F.
+#include <cstdlib>
+
+#include "graphene/messages.hpp"
+#include "harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  graphene::util::ByteReader r(graphene::fuzz::view(data, size));
+  try {
+    const auto msg = graphene::core::GrapheneResponseMsg::deserialize(r);
+    (void)msg.missing_tx_bytes();
+    const graphene::util::Bytes wire = msg.serialize();
+    graphene::util::ByteReader r2{graphene::util::ByteView(wire)};
+    if (graphene::core::GrapheneResponseMsg::deserialize(r2).serialize() != wire) std::abort();
+  } catch (const graphene::util::DeserializeError&) {
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// iblt::Iblt::deserialize over hostile bytes. Accepted tables are peeled —
+// decode() must terminate on any cell contents (the §6.1 endless-decode
+// defense) — and must round-trip byte-exactly.
+#include <cstdlib>
+
+#include "harness.hpp"
+#include "iblt/iblt.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  graphene::util::ByteReader r(graphene::fuzz::view(data, size));
+  try {
+    const auto iblt = graphene::iblt::Iblt::deserialize(r);
+
+    // decode() must terminate on any cell contents; a peeling blowup shows
+    // up as a hang under the fuzzer's timeout. success/malformed are both
+    // acceptable outcomes for hostile bytes.
+    const auto decoded = iblt.decode();
+    if (decoded.success && decoded.residual_cells != 0) std::abort();
+
+    const graphene::util::Bytes wire = iblt.serialize();
+    graphene::util::ByteReader r2{graphene::util::ByteView(wire)};
+    if (graphene::iblt::Iblt::deserialize(r2).serialize() != wire) std::abort();
+  } catch (const graphene::util::DeserializeError&) {
+  }
+  return 0;
+}

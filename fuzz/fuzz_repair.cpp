@@ -1,0 +1,26 @@
+// Repair-round messages (DESIGN.md §6): the first input byte routes between
+// RepairRequestMsg (short IDs) and RepairResponseMsg (full transactions).
+#include <cstdlib>
+
+#include "graphene/messages.hpp"
+#include "harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return 0;
+  graphene::util::ByteReader r(graphene::fuzz::view(data + 1, size - 1));
+  try {
+    if (data[0] % 2 == 0) {
+      const auto msg = graphene::core::RepairRequestMsg::deserialize(r);
+      const graphene::util::Bytes wire = msg.serialize();
+      graphene::util::ByteReader r2{graphene::util::ByteView(wire)};
+      if (graphene::core::RepairRequestMsg::deserialize(r2).serialize() != wire) std::abort();
+    } else {
+      const auto msg = graphene::core::RepairResponseMsg::deserialize(r);
+      const graphene::util::Bytes wire = msg.serialize();
+      graphene::util::ByteReader r2{graphene::util::ByteView(wire)};
+      if (graphene::core::RepairResponseMsg::deserialize(r2).serialize() != wire) std::abort();
+    }
+  } catch (const graphene::util::DeserializeError&) {
+  }
+  return 0;
+}

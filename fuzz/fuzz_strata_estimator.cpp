@@ -1,0 +1,13 @@
+// iblt::StrataEstimator::deserialize over hostile bytes (a vector of IBLTs;
+// stresses repeated nested deserialization).
+#include "harness.hpp"
+#include "iblt/strata_estimator.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  graphene::util::ByteReader r(graphene::fuzz::view(data, size));
+  try {
+    (void)graphene::iblt::StrataEstimator::deserialize(r);
+  } catch (const graphene::util::DeserializeError&) {
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Common scaffolding for the fuzz harnesses.
+//
+// Every harness defines LLVMFuzzerTestOneInput, the libFuzzer entry point.
+// Under clang the target links -fsanitize=fuzzer and libFuzzer drives it;
+// under toolchains without libFuzzer (gcc), standalone_main.cpp supplies a
+// main() that replays corpus files through the same entry point, so the
+// harnesses stay runnable — and CI-checkable — on either compiler.
+//
+// Contract: a harness may only let util::DeserializeError,
+// core::ProtocolError, and std::invalid_argument escape *caught*; any other
+// escape (bad_alloc from an unbounded resize, length_error, an assert, a
+// sanitizer report) is a finding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace graphene::fuzz {
+
+inline util::ByteView view(const std::uint8_t* data, std::size_t size) {
+  return {data, size};
+}
+
+}  // namespace graphene::fuzz

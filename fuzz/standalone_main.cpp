@@ -1,0 +1,142 @@
+// Corpus replayer + mutation fuzzer for toolchains without libFuzzer.
+//
+// Usage: fuzz_<target> [-mutate=N] [-seed=S] <file-or-directory>...
+//
+// Replays every corpus file (recursing into directories) through
+// LLVMFuzzerTestOneInput, then — with -mutate=N — runs N additional inputs
+// derived from random corpus files by byte flips, truncations, splices, and
+// length-field nudges. Not coverage-guided, but the corpus seeds start deep
+// inside the accepting paths, so mutations exercise every reject branch of
+// the deserializers.
+//
+// Every input is written to .fuzz-last-input.bin before it runs and the file
+// is removed on clean exit, so any crash — signal or unhandled exception —
+// leaves its reproducer on disk for minimization (see docs/FUZZING.md).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+
+namespace {
+
+using Input = std::vector<std::uint8_t>;
+
+constexpr const char* kLastInputFile = ".fuzz-last-input.bin";
+
+Input slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void dump(const Input& data) {
+  std::FILE* out = std::fopen(kLastInputFile, "wb");
+  if (out != nullptr) {
+    if (!data.empty()) std::fwrite(data.data(), 1, data.size(), out);
+    std::fclose(out);
+  }
+}
+
+Input mutate(const Input& base, const std::vector<Input>& corpus, std::mt19937_64& rng) {
+  Input out = base;
+  const auto pick = [&](std::size_t bound) -> std::size_t {
+    return bound == 0 ? 0 : rng() % bound;
+  };
+  const int rounds = 1 + static_cast<int>(pick(4));
+  for (int i = 0; i < rounds; ++i) {
+    switch (pick(6)) {
+      case 0:  // flip bits
+        if (!out.empty()) out[pick(out.size())] ^= static_cast<std::uint8_t>(1 + pick(255));
+        break;
+      case 1:  // truncate
+        if (!out.empty()) out.resize(pick(out.size()));
+        break;
+      case 2: {  // insert junk
+        const std::size_t at = pick(out.size() + 1);
+        const std::size_t len = 1 + pick(16);
+        Input junk(len);
+        for (auto& b : junk) b = static_cast<std::uint8_t>(rng());
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(at), junk.begin(), junk.end());
+        break;
+      }
+      case 3: {  // overwrite a window with 0x00/0xff (length-field extremes)
+        if (out.empty()) break;
+        const std::size_t at = pick(out.size());
+        const std::size_t len = std::min(out.size() - at, 1 + pick(9));
+        std::memset(out.data() + at, pick(2) != 0u ? 0xff : 0x00, len);
+        break;
+      }
+      case 4: {  // splice a window from another corpus entry
+        const Input& other = corpus[pick(corpus.size())];
+        if (other.empty() || out.empty()) break;
+        const std::size_t src = pick(other.size());
+        const std::size_t dst = pick(out.size());
+        const std::size_t len = std::min({other.size() - src, out.size() - dst, 1 + pick(32)});
+        std::memcpy(out.data() + dst, other.data() + src, len);
+        break;
+      }
+      case 5:  // duplicate the tail (stresses trailing-collection counts)
+        if (!out.empty()) {
+          const std::size_t at = pick(out.size());
+          out.insert(out.end(), out.begin() + static_cast<std::ptrdiff_t>(at), out.end());
+          if (out.size() > (1u << 20)) out.resize(1u << 20);
+        }
+        break;
+      default: break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t mutations = 0;
+  std::uint64_t seed = 0x5eedf822;
+  std::vector<Input> corpus;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg.rfind("-mutate=", 0) == 0) {
+      mutations = std::strtoull(arg.c_str() + 8, nullptr, 10);
+      continue;
+    }
+    if (arg.rfind("-seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 6, nullptr, 10);
+      continue;
+    }
+    if (arg.rfind('-', 0) == 0) continue;  // ignore libFuzzer-style flags
+    const std::filesystem::path path(arg);
+    if (std::filesystem::is_directory(path)) {
+      for (const auto& entry : std::filesystem::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file()) corpus.push_back(slurp(entry.path()));
+      }
+    } else if (std::filesystem::is_regular_file(path)) {
+      corpus.push_back(slurp(path));
+    }
+  }
+
+  for (const Input& input : corpus) {
+    dump(input);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+
+  std::mt19937_64 rng(seed);
+  if (mutations > 0 && corpus.empty()) corpus.emplace_back();  // fuzz from nothing
+  for (std::size_t i = 0; i < mutations; ++i) {
+    const Input input = mutate(corpus[rng() % corpus.size()], corpus, rng);
+    dump(input);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+
+  std::remove(kLastInputFile);
+  std::printf("standalone fuzz driver: replayed %zu input(s), %zu mutation(s), no findings\n",
+              corpus.size(), mutations);
+  return 0;
+}

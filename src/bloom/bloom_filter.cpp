@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "util/varint.hpp"
+#include "util/wire_limits.hpp"
 
 namespace graphene::bloom {
 
@@ -86,7 +87,10 @@ std::size_t BloomFilter::serialized_size() const noexcept {
 
 BloomFilter BloomFilter::deserialize(util::ByteReader& reader) {
   BloomFilter f;
-  f.n_bits_ = util::read_varint(reader);
+  // Capped before any arithmetic: an unchecked 2^64-range bit count would
+  // wrap `(n_bits_ + 7) / 8` to a tiny payload while `(n_bits_ + 63) / 64`
+  // still drives a huge allocation.
+  f.n_bits_ = util::read_varint_bounded(reader, util::wire::kMaxBloomBits, "BloomFilter bits");
   const std::uint8_t kByte = reader.u8();
   f.k_ = kByte & 0x7f;
   f.strategy_ = (kByte & 0x80) ? HashStrategy::kRehash : HashStrategy::kSplitDigest;

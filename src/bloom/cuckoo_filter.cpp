@@ -5,6 +5,7 @@
 
 #include "util/random.hpp"
 #include "util/varint.hpp"
+#include "util/wire_limits.hpp"
 
 namespace graphene::bloom {
 
@@ -163,7 +164,8 @@ std::size_t CuckooFilter::serialized_size() const noexcept {
 
 CuckooFilter CuckooFilter::deserialize(util::ByteReader& reader) {
   CuckooFilter f(0, 1.0);
-  f.buckets_ = util::read_varint(reader);
+  f.buckets_ =
+      util::read_varint_bounded(reader, util::wire::kMaxCuckooBuckets, "CuckooFilter buckets");
   f.fp_bits_ = reader.u8();
   if (f.buckets_ != 0 && (f.buckets_ & (f.buckets_ - 1)) != 0) {
     throw util::DeserializeError("CuckooFilter: bucket count not a power of two");
@@ -175,13 +177,20 @@ CuckooFilter CuckooFilter::deserialize(util::ByteReader& reader) {
     throw util::DeserializeError("CuckooFilter: bucket count exceeds buffer");
   }
   f.seed_ = reader.u64();
-  const std::uint64_t stash_count = util::read_varint(reader);
+  const std::uint64_t stash_count =
+      util::read_varint_bounded(reader, util::wire::kMaxWireCollection, "CuckooFilter stash");
   if (stash_count > reader.remaining() / 2) {
     throw util::DeserializeError("CuckooFilter: stash exceeds buffer");
   }
   f.stash_.resize(stash_count);
   for (auto& fp : f.stash_) fp = reader.u16();
 
+  // Tight payload bound: 4 fingerprints of fp_bits_ each per bucket. The
+  // product cannot overflow (buckets <= 2^28, fp_bits <= 16).
+  const std::uint64_t payload_bits = f.buckets_ * kBucketSize * f.fp_bits_;
+  if ((payload_bits + 7) / 8 > reader.remaining()) {
+    throw util::DeserializeError("CuckooFilter: bucket count exceeds buffer");
+  }
   f.table_.assign(f.buckets_, Slots{});
   std::uint64_t acc = 0;
   std::uint32_t acc_bits = 0;

@@ -5,6 +5,7 @@
 
 #include "util/hash.hpp"
 #include "util/varint.hpp"
+#include "util/wire_limits.hpp"
 
 namespace graphene::bloom {
 
@@ -168,13 +169,19 @@ std::size_t GolombSet::serialized_size() const noexcept {
 
 GolombSet GolombSet::deserialize(util::ByteReader& reader) {
   GolombSet g;
-  g.n_ = util::read_varint(reader);
+  g.n_ = util::read_varint_bounded(reader, util::wire::kMaxGolombItems, "GolombSet items");
   g.rice_param_ = reader.u8();
   if (g.rice_param_ < 1 || g.rice_param_ > 40) {
     throw util::DeserializeError("GolombSet: invalid rice parameter");
   }
   g.seed_ = reader.u64();
-  g.bit_count_ = util::read_varint(reader);
+  g.bit_count_ = util::read_varint_bounded(reader, util::wire::kMaxGolombBits, "GolombSet bits");
+  // Each coded item consumes at least rice_param_ + 1 bits (its remainder
+  // plus the unary terminator), so an item count the stream cannot back is
+  // rejected before decode_all() reserves storage for it.
+  if (g.n_ > g.bit_count_ / (g.rice_param_ + 1u)) {
+    throw util::DeserializeError("GolombSet: item count exceeds coded stream");
+  }
   const std::size_t payload = static_cast<std::size_t>((g.bit_count_ + 7) / 8);
   if (payload > reader.remaining()) {
     throw util::DeserializeError("GolombSet: bit count exceeds buffer");

@@ -3,12 +3,33 @@
 #include <algorithm>
 
 #include "util/varint.hpp"
+#include "util/wire_limits.hpp"
 
 namespace graphene::core {
 
 namespace {
 // id (32) + u32 size field.
 constexpr std::size_t kTxFixedOverhead = 36;
+
+/// Reads an optional-field presence flag; only the canonical encodings 0 and
+/// 1 are accepted, so every message has exactly one wire form.
+bool read_presence_flag(util::ByteReader& reader, const char* what) {
+  const std::uint8_t flag = reader.u8();
+  if (flag > 1) {
+    throw util::DeserializeError(std::string(what) + ": invalid presence flag " +
+                                 std::to_string(flag));
+  }
+  return flag == 1;
+}
+
+/// An FPR echoed over the wire must be a real probability: NaN or a value
+/// outside (0, 1] would poison the sender's Theorem 2/3 bound arithmetic.
+double checked_fpr(double fpr, const char* what) {
+  if (!(fpr > 0.0 && fpr <= 1.0)) {
+    throw util::DeserializeError(std::string(what) + ": fpr not in (0, 1]");
+  }
+  return fpr;
+}
 }  // namespace
 
 void write_full_tx(util::ByteWriter& w, const chain::Transaction& tx) {
@@ -47,7 +68,8 @@ util::Bytes GrapheneBlockMsg::serialize() const {
 GrapheneBlockMsg GrapheneBlockMsg::deserialize(util::ByteReader& reader) {
   GrapheneBlockMsg msg;
   msg.header = chain::BlockHeader::deserialize(reader);
-  msg.n = util::read_varint(reader);
+  msg.n = util::read_varint_bounded(reader, util::wire::kMaxBlockTxCount,
+                                    "GrapheneBlockMsg n");
   msg.shortid_salt = reader.u64();
   msg.filter_s = bloom::BloomFilter::deserialize(reader);
   msg.iblt_i = iblt::Iblt::deserialize(reader);
@@ -70,12 +92,18 @@ util::Bytes GrapheneRequestMsg::serialize() const {
 
 GrapheneRequestMsg GrapheneRequestMsg::deserialize(util::ByteReader& reader) {
   GrapheneRequestMsg msg;
-  msg.z = util::read_varint(reader);
-  msg.b = util::read_varint(reader);
-  msg.y_star = util::read_varint(reader);
+  msg.z = util::read_varint_bounded(reader, util::wire::kMaxWireCollection,
+                                    "GrapheneRequestMsg z");
+  // b and y* size the IBLT the sender builds in response (b + y* cells), so
+  // they are capped before they can reach an allocator.
+  msg.b = util::read_varint_bounded(reader, util::wire::kMaxSizingParam,
+                                    "GrapheneRequestMsg b");
+  msg.y_star = util::read_varint_bounded(reader, util::wire::kMaxSizingParam,
+                                         "GrapheneRequestMsg y_star");
   const std::uint64_t fpr_bits = reader.u64();
   std::memcpy(&msg.fpr_r, &fpr_bits, sizeof(msg.fpr_r));
-  msg.reversed = reader.u8() != 0;
+  msg.fpr_r = checked_fpr(msg.fpr_r, "GrapheneRequestMsg");
+  msg.reversed = read_presence_flag(reader, "GrapheneRequestMsg reversed");
   msg.filter_r = bloom::BloomFilter::deserialize(reader);
   return msg;
 }
@@ -92,14 +120,17 @@ util::Bytes GrapheneResponseMsg::serialize() const {
 
 GrapheneResponseMsg GrapheneResponseMsg::deserialize(util::ByteReader& reader) {
   GrapheneResponseMsg msg;
-  const std::uint64_t count = util::read_varint(reader);
+  const std::uint64_t count = util::read_varint_bounded(
+      reader, util::wire::kMaxWireCollection, "GrapheneResponseMsg count");
   if (count > reader.remaining() / kTxFixedOverhead) {
     throw util::DeserializeError("GrapheneResponseMsg: transaction count exceeds buffer");
   }
   msg.missing.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) msg.missing.push_back(read_full_tx(reader));
   msg.iblt_j = iblt::Iblt::deserialize(reader);
-  if (reader.u8() != 0) msg.filter_f = bloom::BloomFilter::deserialize(reader);
+  if (read_presence_flag(reader, "GrapheneResponseMsg filter_f")) {
+    msg.filter_f = bloom::BloomFilter::deserialize(reader);
+  }
   return msg;
 }
 
@@ -118,7 +149,8 @@ util::Bytes RepairRequestMsg::serialize() const {
 
 RepairRequestMsg RepairRequestMsg::deserialize(util::ByteReader& reader) {
   RepairRequestMsg msg;
-  const std::uint64_t count = util::read_varint(reader);
+  const std::uint64_t count = util::read_varint_bounded(
+      reader, util::wire::kMaxWireCollection, "RepairRequestMsg count");
   if (count > reader.remaining() / 8) {
     throw util::DeserializeError("RepairRequestMsg: id count exceeds buffer");
   }
@@ -136,7 +168,8 @@ util::Bytes RepairResponseMsg::serialize() const {
 
 RepairResponseMsg RepairResponseMsg::deserialize(util::ByteReader& reader) {
   RepairResponseMsg msg;
-  const std::uint64_t count = util::read_varint(reader);
+  const std::uint64_t count = util::read_varint_bounded(
+      reader, util::wire::kMaxWireCollection, "RepairResponseMsg count");
   if (count > reader.remaining() / kTxFixedOverhead) {
     throw util::DeserializeError("RepairResponseMsg: transaction count exceeds buffer");
   }

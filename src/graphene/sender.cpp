@@ -5,8 +5,10 @@
 
 #include "bloom/bloom_math.hpp"
 #include "graphene/bounds.hpp"
+#include "graphene/errors.hpp"
 #include "iblt/param_table.hpp"
 #include "obs/obs.hpp"
+#include "util/wire_limits.hpp"
 
 namespace graphene::core {
 
@@ -81,6 +83,22 @@ GrapheneBlockMsg Sender::encode(std::uint64_t receiver_mempool_count) const {
 GrapheneResponseMsg Sender::serve(const GrapheneRequestMsg& request) const {
   obs::Registry* reg = obs::enabled(cfg_.obs);
   obs::ScopedSpan serve_span(reg, "p2_serve");
+
+  // Belt-and-braces revalidation of the sizing parameters: deserialize caps
+  // them on the wire, but serve() is also reachable with an in-memory
+  // request, and b + y* sizes the IBLT J allocated below.
+  if (request.b > util::wire::kMaxSizingParam ||
+      request.y_star > util::wire::kMaxSizingParam ||
+      request.z > util::wire::kMaxWireCollection ||
+      !(request.fpr_r > 0.0 && request.fpr_r <= 1.0)) {
+    ErrorContext ctx;
+    ctx.n = block_.tx_count();
+    ctx.z = request.z;
+    ctx.y_star = request.y_star;
+    ctx.b = request.b;
+    throw ProtocolError("p2_serve", "request sizing parameters out of range", ctx);
+  }
+
   GrapheneResponseMsg resp;
   const std::uint64_t n = block_.tx_count();
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "util/varint.hpp"
+#include "util/wire_limits.hpp"
 
 namespace graphene::iblt {
 
@@ -12,6 +13,19 @@ namespace {
 constexpr std::uint32_t kMinHashCount = 2;
 constexpr std::uint32_t kMaxHashCount = 16;
 constexpr std::uint64_t kCheckSalt = 0xc0ffee3141592653ULL;
+
+// Cell counts come off the wire attacker-controlled (a hostile table can
+// carry INT32_MIN), so count arithmetic must wrap two's-complement instead
+// of being signed-overflow UB. Peeling termination never depends on the
+// count value — the `seen` map bounds it — so wraparound is safe.
+std::int32_t wrap_add(std::int32_t a, std::int32_t b) noexcept {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) +
+                                   static_cast<std::uint32_t>(b));
+}
+std::int32_t wrap_sub(std::int32_t a, std::int32_t b) noexcept {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) -
+                                   static_cast<std::uint32_t>(b));
+}
 }  // namespace
 
 Iblt::Iblt(IbltParams params, std::uint64_t seed) : k_(params.k), seed_(seed) {
@@ -48,7 +62,7 @@ void Iblt::update(std::uint64_t key, std::int32_t delta) {
   const std::uint32_t check = check_hash(key);
   for (std::uint32_t i = 0; i < k_; ++i) {
     Cell& cell = cells_[pos[i]];
-    cell.count += delta;
+    cell.count = wrap_add(cell.count, delta);
     cell.key_sum ^= key;
     cell.check_sum ^= check;
   }
@@ -66,7 +80,7 @@ Iblt Iblt::subtract(const Iblt& other) const {
   }
   Iblt out = *this;
   for (std::size_t i = 0; i < cells_.size(); ++i) {
-    out.cells_[i].count -= other.cells_[i].count;
+    out.cells_[i].count = wrap_sub(out.cells_[i].count, other.cells_[i].count);
     out.cells_[i].key_sum ^= other.cells_[i].key_sum;
     out.cells_[i].check_sum ^= other.cells_[i].check_sum;
   }
@@ -120,7 +134,7 @@ DecodeResult Iblt::decode() const {
     positions(key, pos);
     for (std::uint32_t i = 0; i < k_; ++i) {
       Cell& cell = cells[pos[i]];
-      cell.count -= sign;
+      cell.count = wrap_sub(cell.count, static_cast<std::int32_t>(sign));
       cell.key_sum ^= key;
       cell.check_sum ^= check;
       if (pure(cell)) queue.push_back(pos[i]);
@@ -156,17 +170,19 @@ std::size_t Iblt::serialized_size_for(std::uint64_t cells) noexcept {
 }
 
 Iblt Iblt::deserialize(util::ByteReader& reader) {
-  const std::uint64_t cells = util::read_varint(reader);
+  const std::uint64_t cells =
+      util::read_varint_bounded(reader, util::wire::kMaxIbltCells, "Iblt cells");
   const std::uint32_t k = reader.u8();
   if (k < kMinHashCount || k > kMaxHashCount) {
     throw util::DeserializeError("Iblt: invalid hash count");
   }
-  if (cells % k != 0) {
-    throw util::DeserializeError("Iblt: cell count not divisible by hash count");
+  if (cells == 0 || cells % k != 0) {
+    throw util::DeserializeError("Iblt: cell count not a positive multiple of hash count");
   }
-  // Bound the claimed size by the bytes actually present: hostile input must
-  // not drive a huge allocation.
-  if (cells > (reader.remaining() + 8) / kCellBytes + 1) {
+  // Bound the claimed size by the bytes actually present (8 for the seed,
+  // then kCellBytes per cell): hostile input must not drive an allocation
+  // larger than the buffer backing it.
+  if (reader.remaining() < 8 || cells > (reader.remaining() - 8) / kCellBytes) {
     throw util::DeserializeError("Iblt: cell count exceeds buffer");
   }
   const std::uint64_t seed = reader.u64();

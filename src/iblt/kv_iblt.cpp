@@ -5,12 +5,24 @@
 #include <unordered_set>
 
 #include "util/varint.hpp"
+#include "util/wire_limits.hpp"
 
 namespace graphene::iblt {
 
 namespace {
 constexpr std::uint64_t kCheckSalt = 0x1b17ab1e5a17ed00ULL;
 constexpr std::uint32_t kMaxHashCount = 16;
+
+// Deserialized cell counts are attacker-controlled; wrap instead of
+// overflowing (see the identical helpers in iblt.cpp).
+std::int32_t wrap_add(std::int32_t a, std::int32_t b) noexcept {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) +
+                                   static_cast<std::uint32_t>(b));
+}
+std::int32_t wrap_sub(std::int32_t a, std::int32_t b) noexcept {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) -
+                                   static_cast<std::uint32_t>(b));
+}
 }  // namespace
 
 KvIblt::KvIblt(std::uint32_t k, std::uint64_t cells, std::uint64_t seed)
@@ -42,7 +54,7 @@ void KvIblt::update(std::uint64_t key, std::uint64_t value, std::int32_t delta) 
   const std::uint32_t check = check_hash(key);
   for (std::uint32_t i = 0; i < k_; ++i) {
     Cell& cell = cells_[pos[i]];
-    cell.count += delta;
+    cell.count = wrap_add(cell.count, delta);
     cell.key_sum ^= key;
     cell.value_sum ^= value;
     cell.check_sum ^= check;
@@ -75,7 +87,7 @@ KvIblt KvIblt::subtract(const KvIblt& other) const {
   }
   KvIblt out = *this;
   for (std::size_t i = 0; i < cells_.size(); ++i) {
-    out.cells_[i].count -= other.cells_[i].count;
+    out.cells_[i].count = wrap_sub(out.cells_[i].count, other.cells_[i].count);
     out.cells_[i].key_sum ^= other.cells_[i].key_sum;
     out.cells_[i].value_sum ^= other.cells_[i].value_sum;
     out.cells_[i].check_sum ^= other.cells_[i].check_sum;
@@ -115,7 +127,7 @@ KvDecodeResult KvIblt::decode() const {
     positions(entry.key, pos);
     for (std::uint32_t i = 0; i < k_; ++i) {
       Cell& cell = cells[pos[i]];
-      cell.count -= sign;
+      cell.count = wrap_sub(cell.count, static_cast<std::int32_t>(sign));
       cell.key_sum ^= entry.key;
       cell.value_sum ^= entry.value;
       cell.check_sum ^= check;
@@ -147,13 +159,17 @@ util::Bytes KvIblt::serialize() const {
 }
 
 KvIblt KvIblt::deserialize(util::ByteReader& reader) {
-  const std::uint64_t cells = util::read_varint(reader);
+  const std::uint64_t cells =
+      util::read_varint_bounded(reader, util::wire::kMaxIbltCells, "KvIblt cells");
   const std::uint32_t k = reader.u8();
   if (k < 2 || k > kMaxHashCount) {
     throw util::DeserializeError("KvIblt: invalid hash count");
   }
-  if (cells % k != 0 || cells > reader.remaining() / kCellBytes + 1) {
-    throw util::DeserializeError("KvIblt: invalid cell count");
+  if (cells == 0 || cells % k != 0) {
+    throw util::DeserializeError("KvIblt: cell count not a positive multiple of hash count");
+  }
+  if (reader.remaining() < 8 || cells > (reader.remaining() - 8) / kCellBytes) {
+    throw util::DeserializeError("KvIblt: cell count exceeds buffer");
   }
   const std::uint64_t seed = reader.u64();
   KvIblt out(k, cells, seed);

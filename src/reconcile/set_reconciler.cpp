@@ -7,6 +7,7 @@
 #include "iblt/param_table.hpp"
 #include "iblt/pingpong.hpp"
 #include "util/varint.hpp"
+#include "util/wire_limits.hpp"
 
 namespace graphene::reconcile {
 
@@ -45,7 +46,8 @@ util::Bytes Offer::serialize() const {
 
 Offer Offer::deserialize(util::ByteReader& reader) {
   Offer o;
-  o.count = util::read_varint(reader);
+  o.count = util::read_varint_bounded(reader, util::wire::kMaxWireCollection,
+                                      "reconcile::Offer count");
   o.salt = reader.u64();
   o.set_checksum = reader.u64();
   o.filter = bloom::BloomFilter::deserialize(reader);
@@ -73,12 +75,22 @@ util::Bytes Request::serialize() const {
 
 Request Request::deserialize(util::ByteReader& reader) {
   Request r;
-  r.candidate_count = util::read_varint(reader);
-  r.b = util::read_varint(reader);
-  r.y_star = util::read_varint(reader);
+  r.candidate_count = util::read_varint_bounded(reader, util::wire::kMaxWireCollection,
+                                                "reconcile::Request candidates");
+  r.b = util::read_varint_bounded(reader, util::wire::kMaxSizingParam,
+                                  "reconcile::Request b");
+  r.y_star = util::read_varint_bounded(reader, util::wire::kMaxSizingParam,
+                                       "reconcile::Request y_star");
   const std::uint64_t bits = reader.u64();
   std::memcpy(&r.fpr_r, &bits, sizeof(r.fpr_r));
-  r.reversed = reader.u8() != 0;
+  if (!(r.fpr_r > 0.0 && r.fpr_r <= 1.0)) {
+    throw util::DeserializeError("reconcile::Request: fpr not in (0, 1]");
+  }
+  const std::uint8_t reversed_flag = reader.u8();
+  if (reversed_flag > 1) {
+    throw util::DeserializeError("reconcile::Request: invalid reversed flag");
+  }
+  r.reversed = reversed_flag == 1;
   r.filter = bloom::BloomFilter::deserialize(reader);
   return r;
 }
@@ -95,14 +107,19 @@ util::Bytes Response::serialize() const {
 
 Response Response::deserialize(util::ByteReader& reader) {
   Response r;
-  const std::uint64_t count = util::read_varint(reader);
+  const std::uint64_t count = util::read_varint_bounded(
+      reader, util::wire::kMaxWireCollection, "reconcile::Response count");
   if (count > reader.remaining() / 32) {
     throw util::DeserializeError("reconcile::Response: item count exceeds buffer");
   }
   r.missing.resize(count);
   for (ItemDigest& d : r.missing) reader.raw_into(d.data(), d.size());
   r.correction = iblt::Iblt::deserialize(reader);
-  if (reader.u8() != 0) r.compensation = bloom::BloomFilter::deserialize(reader);
+  const std::uint8_t compensation_flag = reader.u8();
+  if (compensation_flag > 1) {
+    throw util::DeserializeError("reconcile::Response: invalid presence flag");
+  }
+  if (compensation_flag == 1) r.compensation = bloom::BloomFilter::deserialize(reader);
   return r;
 }
 
@@ -115,7 +132,8 @@ util::Bytes FetchRequest::serialize() const {
 
 FetchRequest FetchRequest::deserialize(util::ByteReader& reader) {
   FetchRequest r;
-  const std::uint64_t count = util::read_varint(reader);
+  const std::uint64_t count = util::read_varint_bounded(
+      reader, util::wire::kMaxWireCollection, "reconcile::FetchRequest count");
   if (count > reader.remaining() / 8) {
     throw util::DeserializeError("reconcile::FetchRequest: count exceeds buffer");
   }
@@ -133,7 +151,8 @@ util::Bytes FetchResponse::serialize() const {
 
 FetchResponse FetchResponse::deserialize(util::ByteReader& reader) {
   FetchResponse r;
-  const std::uint64_t count = util::read_varint(reader);
+  const std::uint64_t count = util::read_varint_bounded(
+      reader, util::wire::kMaxWireCollection, "reconcile::FetchResponse count");
   if (count > reader.remaining() / 32) {
     throw util::DeserializeError("reconcile::FetchResponse: count exceeds buffer");
   }

@@ -34,6 +34,15 @@ std::uint64_t read_varint(ByteReader& r) {
   return v;
 }
 
+std::uint64_t read_varint_bounded(ByteReader& r, std::uint64_t max, const char* field) {
+  const std::uint64_t v = read_varint(r);
+  if (v > max) {
+    throw DeserializeError(std::string(field) + ": length " + std::to_string(v) +
+                           " exceeds wire limit " + std::to_string(max));
+  }
+  return v;
+}
+
 std::size_t varint_size(std::uint64_t v) noexcept {
   if (v < 0xfd) return 1;
   if (v <= 0xffff) return 3;

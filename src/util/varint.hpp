@@ -18,6 +18,11 @@ void write_varint(ByteWriter& w, std::uint64_t v);
 /// non-canonical (oversized) encoding.
 std::uint64_t read_varint(ByteReader& r);
 
+/// Reads a CompactSize length field and rejects values above `max` before the
+/// caller can feed them to an allocator or a `(v + 7) / 8`-style computation
+/// that would overflow. `field` names the offending field in the error.
+std::uint64_t read_varint_bounded(ByteReader& r, std::uint64_t max, const char* field);
+
 /// Size in bytes that write_varint would produce.
 [[nodiscard]] std::size_t varint_size(std::uint64_t v) noexcept;
 

@@ -1,0 +1,48 @@
+// Hard caps on every length field read from the wire.
+//
+// A length prefix in a message an adversarial peer controls must never be
+// trusted before it is checked twice: once against these absolute protocol
+// limits (so a 2^60 cell count can't drive a multi-gigabyte allocation or an
+// integer overflow in a `(bits + 7) / 8` computation), and once against the
+// bytes actually remaining in the buffer (so the decoder fails fast instead
+// of looping over a count the payload can't back). The limits are sized an
+// order of magnitude above anything the simulator produces at paper scale
+// (§5 uses blocks up to 10^5 transactions and mempools to 10^7), so honest
+// traffic never trips them.
+//
+// Deserializers throw util::DeserializeError when a limit is exceeded; the
+// error names the field so a rejected message is attributable in traces.
+#pragma once
+
+#include <cstdint>
+
+namespace graphene::util::wire {
+
+/// Bloom filter: 2^32 bits = 512 MiB of payload, far above the ~10 MiB a
+/// 10^7-entry mempool filter needs at the paper's lowest FPRs.
+inline constexpr std::uint64_t kMaxBloomBits = 1ULL << 32;
+
+/// IBLT / KvIblt: 2^24 cells is a 256 MiB table; difference IBLTs in the
+/// paper stay under 10^4 cells even for mempool sync.
+inline constexpr std::uint64_t kMaxIbltCells = 1ULL << 24;
+
+/// Golomb-coded set: item count and coded bit length.
+inline constexpr std::uint64_t kMaxGolombItems = 1ULL << 28;
+inline constexpr std::uint64_t kMaxGolombBits = 1ULL << 35;
+
+/// Cuckoo filter bucket count (4 slots per bucket).
+inline constexpr std::uint64_t kMaxCuckooBuckets = 1ULL << 28;
+
+/// Announced transactions per block (`n` in grblk). Bitcoin-scale blocks
+/// carry ~10^4; the paper's largest experiments use 10^5.
+inline constexpr std::uint64_t kMaxBlockTxCount = 1ULL << 24;
+
+/// Collection counts inside one message (missing txns, repair short IDs).
+inline constexpr std::uint64_t kMaxWireCollection = 1ULL << 24;
+
+/// Protocol 2 sizing parameters (b, y*) echoed back by the receiver; the
+/// sender builds an IBLT of b + y* cells, so both must be bounded before
+/// they meet an allocator. Theorem 2/3 bounds stay far below this.
+inline constexpr std::uint64_t kMaxSizingParam = kMaxIbltCells;
+
+}  // namespace graphene::util::wire

@@ -1,0 +1,267 @@
+// Byte-fixture regressions for hardening findings on the untrusted wire
+// surface. Each fixture is the minimized hostile input for a bug class that
+// the deserializers now reject up front:
+//
+//   * length-field overflow — a varint near 2^64 made `(v + 7) / 8` wrap to
+//     a tiny payload check while `(v + 63) / 64` still drove a huge
+//     allocation (BloomFilter; the same shape existed in GolombSet);
+//   * unbounded allocation — counts far beyond any real message reached
+//     reserve()/assign() before any buffer-size comparison;
+//   * non-canonical encodings — presence flags above 1 and zero-cell IBLTs
+//     parsed into states no serializer emits, breaking the
+//     deserialize(serialize(x)) == x fuzz invariant;
+//   * poisoned parameters — NaN / out-of-range FPRs flowed into the
+//     sender's Theorem 2/3 bound arithmetic, and oversized b/y* sized the
+//     response IBLT directly.
+//
+// If any of these starts parsing again, a fuzz harness will also find it —
+// this suite just fails faster and points at the exact fixture.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "bloom/bloom_filter.hpp"
+#include "bloom/cuckoo_filter.hpp"
+#include "bloom/golomb_set.hpp"
+#include "graphene/errors.hpp"
+#include "graphene/messages.hpp"
+#include "graphene/sender.hpp"
+#include "iblt/iblt.hpp"
+#include "iblt/kv_iblt.hpp"
+#include "sim/scenario.hpp"
+#include "util/bytes.hpp"
+#include "util/random.hpp"
+#include "util/varint.hpp"
+#include "util/wire_limits.hpp"
+
+namespace graphene {
+namespace {
+
+void put_u64(util::Bytes& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+template <typename T>
+void expect_rejected(const util::Bytes& wire, const char* why) {
+  util::ByteReader r{util::ByteView(wire)};
+  EXPECT_THROW((void)T::deserialize(r), util::DeserializeError) << why;
+}
+
+// ---------------------------------------------------------------------------
+// BloomFilter: bit count 2^64-7 wraps (v+7)/8 to 0, so the payload check
+// passed on an 8-byte tail while bits_.assign((v+63)/64, 0) attempted a
+// ~2^58-word allocation. Must now die at the varint cap, before arithmetic.
+TEST(WireRegression, BloomFilterHugeBitCountRejected) {
+  util::Bytes wire = {0xff};  // 9-byte varint marker
+  put_u64(wire, std::numeric_limits<std::uint64_t>::max() - 6);  // n_bits = 2^64 - 7
+  wire.push_back(0x04);  // k = 4
+  put_u64(wire, 0);      // seed
+  expect_rejected<bloom::BloomFilter>(wire, "wrapping bit count");
+}
+
+TEST(WireRegression, BloomFilterJustOverCapRejectedAndCapRoundTrips) {
+  // 2^32 bits (the cap) is still parseable in principle; 2^32 + 1 is not.
+  util::Bytes wire = {0xff};
+  put_u64(wire, (1ULL << 32) + 1);
+  wire.push_back(0x04);
+  put_u64(wire, 0);
+  expect_rejected<bloom::BloomFilter>(wire, "bit count just over cap");
+
+  // And a genuine filter still round-trips, so the cap is not over-eager.
+  bloom::BloomFilter f(100, 0.01, 7);
+  const util::Bytes ok = f.serialize();
+  util::ByteReader r{util::ByteView(ok)};
+  EXPECT_EQ(bloom::BloomFilter::deserialize(r).serialize(), ok);
+}
+
+// ---------------------------------------------------------------------------
+// GolombSet: the item count drove values.reserve(n) in decode_all() with no
+// relation to the coded stream, and a near-2^64 bit count had the same
+// (v+7)/8 wrap as the Bloom filter.
+TEST(WireRegression, GolombSetItemCountBeyondStreamRejected) {
+  util::Bytes wire;
+  wire.push_back(0xfe);  // 5-byte varint: n = 2^28 items (at the cap)
+  for (int i = 0; i < 4; ++i) wire.push_back(i == 3 ? 0x10 : 0x00);
+  wire.push_back(0x14);  // rice = 20 → every item needs ≥ 21 bits
+  put_u64(wire, 0);      // seed
+  wire.push_back(0x40);  // bit_count = 64: backs at most 3 items
+  put_u64(wire, 0);      // 8 payload bytes
+  expect_rejected<bloom::GolombSet>(wire, "item count unpayable by stream");
+}
+
+TEST(WireRegression, GolombSetHugeBitCountRejected) {
+  util::Bytes wire = {0x02, 0x14};  // n = 2, rice = 20
+  put_u64(wire, 0);                 // seed
+  wire.push_back(0xff);             // bit_count = 2^64 - 7 (wraps (v+7)/8)
+  put_u64(wire, std::numeric_limits<std::uint64_t>::max() - 6);
+  expect_rejected<bloom::GolombSet>(wire, "wrapping bit count");
+}
+
+// ---------------------------------------------------------------------------
+// IBLT: a zero cell count deserialized into a table no constructor can
+// produce (the ctor rounds 0 up to k), breaking re-serialization canonicity;
+// a huge count reached cells_.assign() before any buffer comparison.
+TEST(WireRegression, IbltZeroCellsRejected) {
+  util::Bytes wire = {0x00, 0x04};  // cells = 0, k = 4
+  put_u64(wire, 0);                 // seed
+  expect_rejected<iblt::Iblt>(wire, "zero cells");
+}
+
+TEST(WireRegression, IbltCellCountNotMultipleOfKRejected) {
+  util::Bytes wire = {0x05, 0x04};  // cells = 5, k = 4
+  put_u64(wire, 0);
+  wire.resize(wire.size() + 5 * iblt::Iblt::kCellBytes, 0x00);
+  expect_rejected<iblt::Iblt>(wire, "cells % k != 0");
+}
+
+TEST(WireRegression, IbltHugeCellCountRejectedBeforeAllocation) {
+  util::Bytes wire;
+  wire.push_back(0xff);               // cells = 2^32 (over the 2^24 cap)
+  put_u64(wire, 1ULL << 32);
+  wire.push_back(0x04);
+  put_u64(wire, 0);
+  expect_rejected<iblt::Iblt>(wire, "cell count over cap");
+}
+
+TEST(WireRegression, KvIbltZeroCellsRejected) {
+  util::Bytes wire = {0x00, 0x04};
+  put_u64(wire, 0);
+  expect_rejected<iblt::KvIblt>(wire, "zero cells");
+}
+
+// Found by fuzz_iblt under UBSan: a wire cell carrying count INT32_MIN sat
+// on one of a peelable key's positions, so peeling computed INT32_MIN - 1 —
+// signed overflow. Count arithmetic now wraps (two's-complement), which is
+// harmless: peeling termination is bounded by the seen-key map, not counts.
+//
+// The fixture is a genuine one-item table whose second key-cell count is
+// patched to INT32_MIN at its exact wire offset.
+util::Bytes one_item_iblt_wire_with_patched_count(std::int32_t patched) {
+  iblt::Iblt t(iblt::IbltParams{2, 8}, /*seed=*/5);
+  t.insert(0x1234567890abcdefULL);
+  util::Bytes wire = t.serialize();
+  // Layout: varint(8) | u8(k) | u64(seed) | 8 × (i32 count, u64 key, u32 chk).
+  constexpr std::size_t kHeader = 1 + 1 + 8;
+  bool first = true;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::size_t off = kHeader + i * iblt::Iblt::kCellBytes;
+    if (wire[off] == 1) {  // count == 1 (LE), one of the key's two cells
+      if (first) {
+        first = false;
+        continue;  // leave the first pure so peeling starts
+      }
+      for (int b = 0; b < 4; ++b) {
+        wire[off + static_cast<std::size_t>(b)] =
+            static_cast<std::uint8_t>(static_cast<std::uint32_t>(patched) >> (8 * b));
+      }
+      return wire;
+    }
+  }
+  ADD_FAILURE() << "expected two cells with count 1";
+  return wire;
+}
+
+TEST(WireRegression, IbltDecodeSurvivesInt32MinCellCount) {
+  const util::Bytes wire =
+      one_item_iblt_wire_with_patched_count(std::numeric_limits<std::int32_t>::min());
+  util::ByteReader r{util::ByteView(wire)};
+  const iblt::Iblt hostile = iblt::Iblt::deserialize(r);
+  const iblt::DecodeResult decoded = hostile.decode();  // UB before the fix
+  EXPECT_FALSE(decoded.success);  // the patched cell can never zero out
+}
+
+TEST(WireRegression, IbltSubtractSurvivesInt32MinCellCount) {
+  const util::Bytes patched =
+      one_item_iblt_wire_with_patched_count(std::numeric_limits<std::int32_t>::min());
+  iblt::Iblt t(iblt::IbltParams{2, 8}, /*seed=*/5);
+  t.insert(0x1234567890abcdefULL);
+  util::ByteReader r{util::ByteView(patched)};
+  const iblt::Iblt hostile = iblt::Iblt::deserialize(r);
+  (void)hostile.subtract(t).decode();  // INT32_MIN - 1: UB before the fix
+  (void)t.subtract(hostile).decode();  // 1 - INT32_MIN: likewise
+}
+
+// ---------------------------------------------------------------------------
+// CuckooFilter: bucket and stash counts reached assign()/resize() unbounded.
+TEST(WireRegression, CuckooFilterHugeBucketCountRejected) {
+  util::Bytes wire;
+  wire.push_back(0xfe);  // buckets = 2^30 (power of two, but over the 2^28 cap)
+  for (int i = 0; i < 4; ++i) wire.push_back(i == 3 ? 0x40 : 0x00);
+  wire.push_back(0x08);  // fp_bits = 8
+  put_u64(wire, 0);      // seed
+  expect_rejected<bloom::CuckooFilter>(wire, "bucket count over cap");
+}
+
+// ---------------------------------------------------------------------------
+// Presence flags: any nonzero byte used to read as "present", so flag = 2
+// produced a message whose re-serialization (flag = 1) differed from its
+// wire image. Canonical form is now enforced.
+TEST(WireRegression, ResponsePresenceFlagTwoRejected) {
+  util::ByteWriter w;
+  util::write_varint(w, 0);                        // no missing transactions
+  w.raw(util::ByteView(iblt::Iblt(iblt::IbltParams{4, 8}, 3).serialize()));
+  w.u8(2);                                         // non-canonical flag
+  expect_rejected<core::GrapheneResponseMsg>(w.take(), "presence flag 2");
+}
+
+TEST(WireRegression, RequestReversedFlagTwoRejected) {
+  util::ByteWriter w;
+  util::write_varint(w, 10);  // z
+  util::write_varint(w, 1);   // b
+  util::write_varint(w, 1);   // y*
+  const double fpr = 0.1;
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &fpr, sizeof(bits));
+  w.u64(bits);
+  w.u8(2);                    // reversed must be 0 or 1
+  w.raw(util::ByteView(bloom::BloomFilter(10, 0.1, 1).serialize()));
+  expect_rejected<core::GrapheneRequestMsg>(w.take(), "reversed flag 2");
+}
+
+// ---------------------------------------------------------------------------
+// FPR poisoning: NaN compares false against every bound, so an attacker's
+// NaN fpr_r sailed through `fpr <= 0 || fpr > 1`-style checks written the
+// naive way and reached the sender's log()-based sizing.
+TEST(WireRegression, RequestNanFprRejected) {
+  util::Bytes wire = {0x0a, 0x01, 0x01};           // z = 10, b = 1, y* = 1
+  put_u64(wire, 0x7ff8000000000000ULL);            // quiet NaN
+  wire.push_back(0x00);
+  expect_rejected<core::GrapheneRequestMsg>(wire, "NaN fpr");
+}
+
+TEST(WireRegression, RequestZeroFprRejected) {
+  util::Bytes wire = {0x0a, 0x01, 0x01};
+  put_u64(wire, 0);                                // +0.0: not a usable FPR
+  wire.push_back(0x00);
+  expect_rejected<core::GrapheneRequestMsg>(wire, "fpr = 0");
+}
+
+// ---------------------------------------------------------------------------
+// Sender::serve sizes the response IBLT as b + y* items. Wire parsing caps
+// both, but a request built in-process (or a future message type that
+// forgets the cap) must hit the sender's own revalidation, not an allocator.
+TEST(WireRegression, SenderRejectsOversizedRequestParameters) {
+  util::Rng rng(42);
+  chain::ScenarioSpec spec;
+  spec.block_txns = 50;
+  spec.extra_txns = 50;
+  const chain::Scenario s = chain::make_scenario(spec, rng);
+  const core::Sender sender(s.block, /*salt=*/1);
+
+  core::GrapheneRequestMsg req;
+  req.z = 100;
+  req.fpr_r = 0.1;
+  req.filter_r = bloom::BloomFilter(100, 0.1, 2);
+  req.b = std::numeric_limits<std::uint64_t>::max() - 5;  // b + y* wraps
+  req.y_star = 10;
+  EXPECT_THROW((void)sender.serve(req), core::ProtocolError);
+
+  req.b = 1;
+  req.y_star = util::wire::kMaxSizingParam + 1;
+  EXPECT_THROW((void)sender.serve(req), core::ProtocolError);
+}
+
+}  // namespace
+}  // namespace graphene

@@ -10,8 +10,7 @@ namespace graphene::util {
 namespace {
 
 std::string hash_hex(const std::string& input) {
-  const Sha256Digest d = sha256(ByteView(reinterpret_cast<const std::uint8_t*>(input.data()),
-                                         input.size()));
+  const Sha256Digest d = sha256(str_bytes(input));
   return to_hex(ByteView(d.data(), d.size()));
 }
 
@@ -35,7 +34,7 @@ TEST(Sha256, MillionAs) {
   Sha256 h;
   const std::string chunk(1000, 'a');
   for (int i = 0; i < 1000; ++i) {
-    h.update(ByteView(reinterpret_cast<const std::uint8_t*>(chunk.data()), chunk.size()));
+    h.update(str_bytes(chunk));
   }
   EXPECT_EQ(to_hex(ByteView(h.finalize().data(), 32)),
             "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
@@ -46,7 +45,7 @@ TEST(Sha256, BlockBoundaryLengths) {
   // boundary. One-shot and byte-at-a-time hashing must agree at each.
   for (const std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u}) {
     const std::string s(len, 'q');
-    const auto d1 = sha256(ByteView(reinterpret_cast<const std::uint8_t*>(s.data()), len));
+    const auto d1 = sha256(str_bytes(s));
     Sha256 incremental;
     for (char ch : s) incremental.update(&ch, 1);
     EXPECT_EQ(d1, incremental.finalize()) << "length " << len;
@@ -59,8 +58,7 @@ TEST(Sha256, IncrementalMatchesOneShot) {
   h.update(input.data(), 10);
   h.update(input.data() + 10, input.size() - 10);
   const auto incremental = h.finalize();
-  const auto oneshot =
-      sha256(ByteView(reinterpret_cast<const std::uint8_t*>(input.data()), input.size()));
+  const auto oneshot = sha256(str_bytes(input));
   EXPECT_EQ(incremental, oneshot);
 }
 

@@ -1,0 +1,181 @@
+// Seeds the fuzz corpus with real serialized messages.
+//
+// Usage: gen_fuzz_corpus <corpus-root>
+//
+// Emits, per harness, a handful of wire buffers produced by the actual
+// serializers at several protocol scales — the same bytes the simulator
+// would put on a socket — so coverage-guided fuzzing starts from deep in
+// the accepting paths instead of rediscovering the framing byte by byte.
+// The outputs are deterministic (fixed seeds); regenerate and re-commit
+// whenever a wire format changes.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "bloom/cuckoo_filter.hpp"
+#include "bloom/golomb_set.hpp"
+#include "chain/transaction.hpp"
+#include "graphene/messages.hpp"
+#include "iblt/strata_estimator.hpp"
+#include "util/random.hpp"
+#include "util/varint.hpp"
+
+namespace {
+
+using namespace graphene;
+
+std::filesystem::path g_root;
+
+void emit(const std::string& harness, const std::string& name, const util::Bytes& bytes) {
+  const std::filesystem::path dir = g_root / harness;
+  std::filesystem::create_directories(dir);
+  // fwrite takes void*, which std::uint8_t* converts to implicitly — no cast.
+  std::FILE* out = std::fopen((dir / (name + ".bin")).string().c_str(), "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "gen_fuzz_corpus: cannot open %s\n",
+                 (dir / (name + ".bin")).string().c_str());
+    std::exit(1);
+  }
+  if (!bytes.empty()) std::fwrite(bytes.data(), 1, bytes.size(), out);
+  std::fclose(out);
+}
+
+util::Bytes prefix_byte(std::uint8_t b, const util::Bytes& rest) {
+  util::Bytes out;
+  out.reserve(1 + rest.size());
+  out.push_back(b);
+  out.insert(out.end(), rest.begin(), rest.end());
+  return out;
+}
+
+bloom::BloomFilter sample_filter(util::Rng& rng, std::uint64_t items, double fpr) {
+  bloom::BloomFilter f(items, fpr, rng.next());
+  for (std::uint64_t i = 0; i < items; ++i) {
+    const auto id = chain::make_random_transaction(rng).id;
+    f.insert(util::ByteView(id.data(), id.size()));
+  }
+  return f;
+}
+
+iblt::Iblt sample_iblt(util::Rng& rng, std::uint32_t k, std::uint64_t cells,
+                       std::uint64_t items) {
+  iblt::Iblt t(iblt::IbltParams{k, cells}, rng.next());
+  for (std::uint64_t i = 0; i < items; ++i) t.insert(rng.next());
+  return t;
+}
+
+std::vector<chain::Transaction> sample_txs(util::Rng& rng, std::size_t count) {
+  std::vector<chain::Transaction> txs;
+  txs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    chain::Transaction tx = chain::make_random_transaction(rng);
+    tx.size_bytes = 150 + static_cast<std::uint32_t>(rng.below(400));
+    txs.push_back(tx);
+  }
+  return txs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root>\n", argv[0]);
+    return 2;
+  }
+  g_root = argv[1];
+  util::Rng rng(0x5eedc0de);
+
+  // bytereader: an op script length, script bytes, then varint-rich payload.
+  {
+    util::ByteWriter w;
+    w.u8(6);
+    for (int op : {0, 5, 2, 7, 6, 3}) w.u8(static_cast<std::uint8_t>(op));
+    util::write_varint(w, 0xfc);
+    util::write_varint(w, 0xfd);
+    util::write_varint(w, 0x10000);
+    util::write_varint(w, 0x100000000ULL);
+    w.u64(rng.next());
+    emit("fuzz_bytereader", "seed-varints", w.take());
+  }
+
+  // Standalone structures at three representative scales each.
+  for (const auto& [tag, items] :
+       {std::pair<const char*, std::uint64_t>{"small", 20},
+        {"medium", 500},
+        {"large", 5000}}) {
+    emit("fuzz_bloom_filter", std::string("seed-") + tag,
+         sample_filter(rng, items, 0.02).serialize());
+    emit("fuzz_iblt", std::string("seed-") + tag,
+         sample_iblt(rng, 4, items / 4 + 8, items / 10 + 2).serialize());
+  }
+  emit("fuzz_bloom_filter", "seed-degenerate", bloom::BloomFilter(0, 1.0).serialize());
+
+  {
+    std::vector<util::Bytes> digests;
+    for (int i = 0; i < 200; ++i) {
+      const auto id = chain::make_random_transaction(rng).id;
+      digests.emplace_back(id.begin(), id.end());
+    }
+    emit("fuzz_golomb_set", "seed-200", bloom::GolombSet(digests, 0.01, rng.next()).serialize());
+  }
+  {
+    bloom::CuckooFilter cf(300, 0.02, rng.next());
+    for (int i = 0; i < 250; ++i) {
+      const auto id = chain::make_random_transaction(rng).id;
+      cf.insert(util::ByteView(id.data(), id.size()));
+    }
+    emit("fuzz_cuckoo_filter", "seed-300", cf.serialize());
+  }
+  {
+    iblt::StrataEstimator est(/*universe_hint=*/1u << 16);
+    for (int i = 0; i < 400; ++i) est.insert(rng.next());
+    emit("fuzz_strata_estimator", "seed-400", est.serialize());
+  }
+
+  // Protocol messages, as a sender/receiver pair would emit them.
+  for (const auto& [tag, n] : {std::pair<const char*, std::size_t>{"small", 30},
+                               {"medium", 400}}) {
+    const auto txs = sample_txs(rng, n);
+
+    core::GrapheneBlockMsg blk;
+    blk.n = n;
+    blk.shortid_salt = rng.next();
+    blk.filter_s = sample_filter(rng, n, 0.005);
+    blk.iblt_i = sample_iblt(rng, 4, n / 5 + 8, n / 20 + 2);
+    emit("fuzz_graphene_block", std::string("seed-") + tag, blk.serialize());
+
+    core::GrapheneRequestMsg req;
+    req.z = n + 40;
+    req.b = 6;
+    req.y_star = 12;
+    req.fpr_r = 0.05;
+    req.reversed = (n > 100);
+    req.filter_r = sample_filter(rng, n + 40, 0.05);
+    emit("fuzz_graphene_request", std::string("seed-") + tag, req.serialize());
+
+    core::GrapheneResponseMsg resp;
+    resp.missing = sample_txs(rng, 4);
+    resp.iblt_j = sample_iblt(rng, 4, 24, 5);
+    if (n > 100) resp.filter_f = sample_filter(rng, n, 0.1);
+    emit("fuzz_graphene_response", std::string("seed-") + tag, resp.serialize());
+
+    core::RepairRequestMsg rreq;
+    for (std::size_t i = 0; i < n / 10 + 1; ++i) rreq.short_ids.push_back(rng.next());
+    emit("fuzz_repair", std::string("seed-req-") + tag, prefix_byte(0, rreq.serialize()));
+
+    core::RepairResponseMsg rresp;
+    rresp.txns = sample_txs(rng, n / 10 + 1);
+    emit("fuzz_repair", std::string("seed-resp-") + tag, prefix_byte(1, rresp.serialize()));
+  }
+
+  // roundtrip consumes a parameter stream, not wire bytes: raw entropy seeds.
+  {
+    util::ByteWriter w;
+    for (int i = 0; i < 64; ++i) w.u64(rng.next());
+    emit("fuzz_roundtrip", "seed-params", w.take());
+  }
+
+  std::printf("corpus written under %s\n", g_root.string().c_str());
+  return 0;
+}

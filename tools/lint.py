@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Repo-specific banned-pattern lint for the untrusted wire surface.
+
+Rules (each with the reasoning that motivated it):
+
+  1. raw-reinterpret-cast: `reinterpret_cast` is allowed only in src/util/,
+     where the one sanctioned helper (util::str_bytes) lives. Everywhere
+     else a pointer reinterpretation is either a ByteView construction that
+     should go through that helper or a type-pun that breaks under strict
+     aliasing.
+
+  2. unbounded-wire-length: inside src/, deserializers must read length
+     fields with util::read_varint_bounded (which enforces the hard caps in
+     util/wire_limits.hpp *before* any arithmetic on the value). A plain
+     util::read_varint in a file that defines a deserialize() is exactly
+     the integer-overflow / unbounded-allocation pattern this PR removed,
+     so it is banned outside util/ itself.
+
+  3. unchecked-resize-from-reader: a container resize/reserve/assign whose
+     argument comes straight off the reader on the same line
+     (reader.u8()/u16()/u32()/u64()/read_varint) skips both the cap and
+     the buffer bound. Lengths must land in a named, validated variable
+     first.
+
+Usage: tools/lint.py [--list] [paths...]   (default: every tracked C++ file)
+Exits non-zero with file:line diagnostics on any hit.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+CPP_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".inc"}
+
+RE_REINTERPRET = re.compile(r"\breinterpret_cast\s*<")
+RE_PLAIN_READ_VARINT = re.compile(r"(?<![a-zA-Z0-9_])read_varint\s*\(")
+RE_DESERIALIZE_DEF = re.compile(r"\bdeserialize\s*\(")
+RE_RESIZE_FROM_READER = re.compile(
+    r"\.(?:resize|reserve|assign)\s*\(\s*[^;]*"
+    r"(?:\breader\.(?:u8|u16|u32|u64)\s*\(|\bread_varint(?:_bounded)?\s*\()"
+)
+
+
+def tracked_cpp_files():
+    out = subprocess.run(
+        ["git", "ls-files"], cwd=REPO_ROOT, capture_output=True, text=True, check=True
+    ).stdout
+    return [
+        Path(p)
+        for p in out.splitlines()
+        if Path(p).suffix in CPP_SUFFIXES
+    ]
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Good-enough single-line scrub: drops // comments and string literals
+    so documentation mentioning a banned token does not trip the lint."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    return line.split("//", 1)[0]
+
+
+def lint_file(rel: Path):
+    findings = []
+    text = (REPO_ROOT / rel).read_text(encoding="utf-8", errors="replace")
+    lines = text.splitlines()
+    in_util = rel.parts[:2] == ("src", "util")
+    in_src = rel.parts[:1] == ("src",)
+    has_deserializer = any(RE_DESERIALIZE_DEF.search(strip_comments_and_strings(l))
+                           for l in lines)
+
+    in_block_comment = False
+    for lineno, raw in enumerate(lines, 1):
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        if "/*" in line and "*/" not in line[line.find("/*"):]:
+            line = line[: line.find("/*")]
+            in_block_comment = True
+        code = strip_comments_and_strings(line)
+
+        if not in_util and RE_REINTERPRET.search(code):
+            findings.append(
+                (lineno, "raw-reinterpret-cast",
+                 "reinterpret_cast outside src/util/ — use util::str_bytes "
+                 "or a ByteReader/ByteWriter primitive")
+            )
+        if in_src and not in_util and has_deserializer \
+                and RE_PLAIN_READ_VARINT.search(code) \
+                and "read_varint_bounded" not in code:
+            findings.append(
+                (lineno, "unbounded-wire-length",
+                 "plain read_varint in a deserializing translation unit — "
+                 "use util::read_varint_bounded with a wire_limits.hpp cap")
+            )
+        if in_src and RE_RESIZE_FROM_READER.search(code):
+            findings.append(
+                (lineno, "unchecked-resize-from-reader",
+                 "container sized directly from reader output — bind the "
+                 "length to a validated variable first")
+            )
+    return findings
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    list_only = "--list" in argv
+    files = [Path(a) for a in args] if args else tracked_cpp_files()
+
+    if list_only:
+        for f in files:
+            print(f)
+        return 0
+
+    total = 0
+    for rel in files:
+        if not (REPO_ROOT / rel).is_file():
+            continue
+        for lineno, rule, msg in lint_file(rel):
+            print(f"{rel}:{lineno}: [{rule}] {msg}")
+            total += 1
+    if total:
+        print(f"lint.py: {total} finding(s)", file=sys.stderr)
+        return 1
+    print(f"lint.py: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over the library, fuzz, and tool
+# sources using the compile database.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir] [--allow-missing]
+#
+#   build-dir        directory holding compile_commands.json (default: build;
+#                    configure with any generator — CMAKE_EXPORT_COMPILE_COMMANDS
+#                    is always on for this project)
+#   --allow-missing  exit 0 with a notice when clang-tidy is not installed
+#                    (for developer machines; CI installs it and enforces)
+#
+# WarningsAsErrors: '*' in .clang-tidy makes any diagnostic fatal, so "new
+# warnings" cannot land: the tree must stay at zero.
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir="$repo_root/build"
+allow_missing=0
+for arg in "$@"; do
+  case "$arg" in
+    --allow-missing) allow_missing=1 ;;
+    *) build_dir=$(cd "$arg" && pwd) ;;
+  esac
+done
+
+tidy_bin=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$tidy_bin" >/dev/null 2>&1; then
+  if [ "$allow_missing" = 1 ]; then
+    echo "run_clang_tidy: $tidy_bin not installed, skipping (--allow-missing)"
+    exit 0
+  fi
+  echo "run_clang_tidy: $tidy_bin not found; install clang-tidy or pass --allow-missing" >&2
+  exit 1
+fi
+
+db="$build_dir/compile_commands.json"
+if [ ! -f "$db" ]; then
+  echo "run_clang_tidy: $db missing; configure cmake first (any options)" >&2
+  exit 1
+fi
+
+# Sources with entries in the compile database, library + fuzz + tools only:
+# tests and bench follow gtest/benchmark idioms the config is not tuned for.
+mapfile -t sources < <(cd "$repo_root" && git ls-files 'src/**/*.cpp' 'fuzz/*.cpp' 'tools/*.cpp')
+
+echo "run_clang_tidy: $(${tidy_bin} --version | head -1 | sed 's/^ *//')"
+echo "run_clang_tidy: checking ${#sources[@]} files"
+
+fail=0
+for src in "${sources[@]}"; do
+  # Skip files that have no compile entry (e.g. fuzzers in a non-fuzz build).
+  if ! grep -q "$src" "$db"; then
+    continue
+  fi
+  if ! "$tidy_bin" -p "$build_dir" --quiet "$repo_root/$src"; then
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "run_clang_tidy: FAILED — fix the diagnostics above (config: .clang-tidy)" >&2
+  exit 1
+fi
+echo "run_clang_tidy: clean"

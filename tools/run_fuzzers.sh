@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Smoke-fuzz every harness over the checked-in corpus.
+#
+# Usage: tools/run_fuzzers.sh <build-dir> [seconds-per-target]
+#
+# With a libFuzzer build (clang) each target explores for the given budget
+# (-max_total_time); with the standalone driver (gcc) each target replays
+# the corpus and then runs a fixed batch of mutations, time-boxed by the
+# same budget. Any crash/OOM/timeout fails the script.
+set -euo pipefail
+
+build_dir=${1:?usage: tools/run_fuzzers.sh <build-dir> [seconds-per-target]}
+build_dir=$(cd "$build_dir" && pwd)
+budget=${2:-5}
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+corpus_root="$repo_root/fuzz/corpus"
+
+targets=$(find "$build_dir/fuzz" -maxdepth 1 -name 'fuzz_*' -type f -perm -u+x | sort)
+if [ -z "$targets" ]; then
+  echo "run_fuzzers: no fuzz targets under $build_dir/fuzz" >&2
+  echo "run_fuzzers: configure with -DGRAPHENE_BUILD_FUZZERS=ON" >&2
+  exit 1
+fi
+
+# Detect driver flavor once: libFuzzer binaries answer -help=1.
+flavor=standalone
+if "$(echo "$targets" | head -1)" -help=1 2>/dev/null | grep -q max_total_time; then
+  flavor=libfuzzer
+fi
+echo "run_fuzzers: driver=$flavor budget=${budget}s/target"
+
+status=0
+for target in $targets; do
+  name=$(basename "$target")
+  corpus="$corpus_root/$name"
+  if [ ! -d "$corpus" ]; then
+    echo "run_fuzzers: WARNING no corpus for $name (run gen_fuzz_corpus), fuzzing from nothing" >&2
+    corpus=""
+  fi
+  workdir=$(mktemp -d)
+  echo "=== $name"
+  if [ "$flavor" = libfuzzer ]; then
+    # -rss_limit_mb guards the unbounded-allocation class explicitly.
+    (cd "$workdir" && "$target" -max_total_time="$budget" -timeout=10 -rss_limit_mb=2048 \
+        ${corpus:+"$corpus"}) || status=1
+  else
+    # The standalone driver is not time-boxed internally; a generous batch
+    # of mutations stays well inside the budget, and `timeout` catches
+    # hangs the same way libFuzzer's -timeout would.
+    (cd "$workdir" && timeout "$((budget * 4 + 30))" \
+        "$target" -mutate=$((budget * 2000)) ${corpus:+"$corpus"}) || status=1
+  fi
+  if [ $status -ne 0 ]; then
+    if [ -f "$workdir/.fuzz-last-input.bin" ]; then
+      cp "$workdir/.fuzz-last-input.bin" "$repo_root/crash-$name.bin"
+      echo "run_fuzzers: FAILED $name — reproducer saved to crash-$name.bin" >&2
+    else
+      echo "run_fuzzers: FAILED $name" >&2
+    fi
+    rm -rf "$workdir"
+    exit $status
+  fi
+  rm -rf "$workdir"
+done
+echo "run_fuzzers: all targets clean"
