@@ -30,20 +30,23 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(scenario.m));
 
   core::Sender sender(scenario.block, rng.next());
+  // One Receiver per node; one session per relayed block. Sessions are
+  // independent, so a node can drive several (one per peer) concurrently.
   core::Receiver receiver(scenario.receiver_mempool);
+  core::ReceiveSession session = receiver.session();
   net::Channel channel;
 
   // Protocol 1 attempt.
-  const core::GrapheneBlockMsg block_msg = sender.encode(scenario.m);
+  const core::GrapheneBlockMsg block_msg = sender.encode(scenario.m).msg;
   channel.send(net::Direction::kSenderToReceiver,
                net::Message{net::MessageType::kGrapheneBlock, block_msg.serialize()});
-  core::ReceiveOutcome outcome = receiver.receive_block(block_msg);
+  core::ReceiveOutcome outcome = session.receive_block(block_msg);
   std::printf("protocol 1: %s\n",
               outcome.status == core::ReceiveStatus::kDecoded ? "decoded" : "needs protocol 2");
 
   // Protocol 2 recovery.
   if (outcome.status == core::ReceiveStatus::kNeedsProtocol2) {
-    const core::GrapheneRequestMsg req = receiver.build_request();
+    const core::GrapheneRequestMsg req = session.build_request();
     channel.send(net::Direction::kReceiverToSender,
                  net::Message{net::MessageType::kGrapheneRequest, req.serialize()});
     std::printf("protocol 2 request: filter R = %zu B (b=%llu, y*=%llu%s)\n",
@@ -58,13 +61,13 @@ int main(int argc, char** argv) {
                 resp.missing.size(), resp.missing_tx_bytes(),
                 resp.iblt_j.serialized_size());
 
-    outcome = receiver.complete(resp);
+    outcome = session.complete(resp);
     if (outcome.used_pingpong) std::printf("ping-pong decoding engaged (section 4.2)\n");
   }
 
   // Short-ID repair round, if some block transactions are still unknown.
   if (outcome.status == core::ReceiveStatus::kNeedsRepair) {
-    const core::RepairRequestMsg rep = receiver.build_repair();
+    const core::RepairRequestMsg rep = session.build_repair();
     channel.send(net::Direction::kReceiverToSender,
                  net::Message{net::MessageType::kGetData, rep.serialize()});
     const core::RepairResponseMsg rep_resp = sender.serve_repair(rep);
@@ -72,7 +75,7 @@ int main(int argc, char** argv) {
                  net::Message{net::MessageType::kBlockTxn, rep_resp.serialize()});
     std::printf("repair round: fetched %zu transactions by short ID\n",
                 rep_resp.txns.size());
-    outcome = receiver.complete_repair(rep_resp);
+    outcome = session.complete_repair(rep_resp);
   }
 
   if (outcome.status != core::ReceiveStatus::kDecoded) {

@@ -20,6 +20,8 @@ int main(int argc, char** argv) {
   std::printf("peer A: %zu txns | peer B: %zu txns | %llu in common\n", pair.a.size(),
               pair.b.size(), static_cast<unsigned long long>(common));
 
+  // sync_mempools drives a fresh core::ReceiveSession under the hood; see
+  // examples/block_relay.cpp for the explicit session flow.
   net::Channel channel;
   const core::MempoolSyncResult result =
       core::sync_mempools(pair.a, pair.b, /*salt=*/rng.next(), {}, &channel);

@@ -33,13 +33,14 @@ int main() {
 
   // Step 1-2 (inv/getdata with the receiver's mempool count) are implicit;
   // step 3 builds Bloom filter S and IBLT I, jointly size-optimized.
-  const core::GrapheneBlockMsg msg = sender.encode(scenario.m);
+  const core::GrapheneBlockMsg msg = sender.encode(scenario.m).msg;
   std::printf("Graphene block message: Bloom filter S = %zu B, IBLT I = %zu B\n",
               msg.filter_s.serialized_size(), msg.iblt_i.serialized_size());
 
   // --- Receiver side ------------------------------------------------------
   core::Receiver receiver(scenario.receiver_mempool);
-  const core::ReceiveOutcome outcome = receiver.receive_block(msg);
+  core::ReceiveSession session = receiver.session();  // one session per relay
+  const core::ReceiveOutcome outcome = session.receive_block(msg);
 
   if (outcome.status == core::ReceiveStatus::kDecoded) {
     std::printf("decoded %zu transactions; Merkle root %s\n", outcome.block_ids.size(),

@@ -35,9 +35,9 @@ MempoolSyncResult sync_mempools(chain::Mempool& sender_pool, chain::Mempool& rec
   // The sender's entire mempool plays the role of the block.
   chain::Block pseudo_block(chain::BlockHeader{}, sender_pool.transactions());
   Sender sender(pseudo_block, salt, cfg);
-  Receiver receiver(receiver_pool, cfg);
+  ReceiveSession receiver(receiver_pool, cfg);
 
-  GrapheneBlockMsg offer = sender.encode(receiver_pool.size());
+  GrapheneBlockMsg offer = sender.encode(receiver_pool.size()).msg;
 
   // H: receiver transactions that fail S — provably absent from the sender.
   std::vector<chain::Transaction> to_sender;

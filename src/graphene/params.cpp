@@ -6,6 +6,7 @@
 
 #include "bloom/bloom_math.hpp"
 #include "graphene/bounds.hpp"
+#include "iblt/param_cache.hpp"
 #include "iblt/param_table.hpp"
 
 namespace graphene::core {
@@ -47,7 +48,7 @@ Protocol1Params optimize_protocol1(std::uint64_t n, std::uint64_t m,
     best.fpr = 1.0;
     best.a = 0;
     best.a_star = 1;
-    best.iblt = iblt::lookup_params(best.a_star, cfg.fail_denom);
+    best.iblt = iblt::cached_params(cfg.param_cache, best.a_star, cfg.fail_denom);
     best.bloom_bytes = bloom::serialized_bytes(n, 1.0);
     best.iblt_bytes = iblt::Iblt::serialized_size_for(best.iblt.cells);
     return best;
@@ -66,7 +67,7 @@ Protocol1Params optimize_protocol1(std::uint64_t n, std::uint64_t m,
     const double a_eff =
         std::max(static_cast<double>(p.a), eff * static_cast<double>(diff));
     p.a_star = bound_a_star(a_eff, cfg.beta);
-    p.iblt = iblt::lookup_params(p.a_star, cfg.fail_denom);
+    p.iblt = iblt::cached_params(cfg.param_cache, p.a_star, cfg.fail_denom);
     p.bloom_bytes = bloom::serialized_bytes(n, p.fpr);
     p.iblt_bytes = iblt::Iblt::serialized_size_for(p.iblt.cells);
     return p;
@@ -102,7 +103,7 @@ Protocol2Params optimize_protocol2(std::uint64_t z, std::uint64_t m, std::uint64
     best.b = static_cast<std::uint64_t>(std::max(
         1.0, std::ceil(cfg.near_equal_fpr * static_cast<double>(std::max<std::uint64_t>(
                                                 1, n - std::min(n, best.x_star))))));
-    best.iblt = iblt::lookup_params(best.b + best.y_star, cfg.fail_denom);
+    best.iblt = iblt::cached_params(cfg.param_cache, best.b + best.y_star, cfg.fail_denom);
     best.bloom_bytes = bloom::serialized_bytes(z, best.fpr);
     best.iblt_bytes = iblt::Iblt::serialized_size_for(best.iblt.cells);
     return best;
@@ -112,7 +113,7 @@ Protocol2Params optimize_protocol2(std::uint64_t z, std::uint64_t m, std::uint64
     Protocol2Params p = best;
     p.b = std::clamp<std::uint64_t>(b, 1, missing);
     p.fpr = std::min(1.0, static_cast<double>(p.b) / static_cast<double>(missing));
-    p.iblt = iblt::lookup_params(p.b + p.y_star, cfg.fail_denom);
+    p.iblt = iblt::cached_params(cfg.param_cache, p.b + p.y_star, cfg.fail_denom);
     p.bloom_bytes = bloom::serialized_bytes(z, p.fpr);
     p.iblt_bytes = iblt::Iblt::serialized_size_for(p.iblt.cells);
     return p;

@@ -15,6 +15,14 @@ namespace graphene::obs {
 class Registry;
 }  // namespace graphene::obs
 
+namespace graphene::util {
+class ThreadPool;
+}  // namespace graphene::util
+
+namespace graphene::iblt {
+class ParamCache;
+}  // namespace graphene::iblt
+
 namespace graphene::core {
 
 struct ProtocolConfig {
@@ -35,6 +43,16 @@ struct ProtocolConfig {
   /// src/obs/). Null (the default) disables instrumentation at the cost of
   /// one branch per stage; not owned, must outlive the engines using it.
   obs::Registry* obs = nullptr;
+  /// Shared worker pool for parallel Algorithm 1 searches and the
+  /// simulator's trial fan-out (see docs/CONCURRENCY.md). Null runs
+  /// everything serially with identical results; not owned, must outlive
+  /// the engines using it. Share ONE pool per process — every engine
+  /// holding this config reaches the same workers.
+  util::ThreadPool* pool = nullptr;
+  /// Shared memoization of param-table lookups; safe to share across
+  /// concurrently-driven sessions. Null falls back to direct lookups; not
+  /// owned, must outlive the engines using it.
+  iblt::ParamCache* param_cache = nullptr;
 };
 
 /// Chosen Protocol 1 parameters for relaying n block txns to a receiver

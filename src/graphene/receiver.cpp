@@ -26,21 +26,45 @@ const char* status_label(ReceiveStatus status) noexcept {
 
 }  // namespace
 
-Receiver::Receiver(const chain::Mempool& mempool, ProtocolConfig cfg)
+ReceiveSession::ReceiveSession(const chain::Mempool& mempool, ProtocolConfig cfg)
     : mempool_(&mempool), cfg_(cfg) {}
 
-std::uint64_t Receiver::sid(const chain::TxId& id) const noexcept {
+Receiver::Receiver(const chain::Mempool& mempool, ProtocolConfig cfg)
+    : mempool_(&mempool), cfg_(cfg), current_(mempool, cfg) {}
+
+ReceiveOutcome Receiver::receive_block(const GrapheneBlockMsg& msg) {
+  current_ = session();  // fresh state per relayed block
+  return current_.receive_block(msg);
+}
+
+GrapheneRequestMsg Receiver::build_request() { return current_.build_request(); }
+
+ReceiveOutcome Receiver::complete(const GrapheneResponseMsg& resp) {
+  return current_.complete(resp);
+}
+
+RepairRequestMsg Receiver::build_repair() const { return current_.build_repair(); }
+
+ReceiveOutcome Receiver::complete_repair(const RepairResponseMsg& resp) {
+  return current_.complete_repair(resp);
+}
+
+std::vector<chain::Transaction> Receiver::block_transactions() const {
+  return current_.block_transactions();
+}
+
+std::uint64_t ReceiveSession::sid(const chain::TxId& id) const noexcept {
   return derive_short_id(id, msg_.shortid_salt, cfg_);
 }
 
-void Receiver::index_candidate(const chain::TxId& id) {
+void ReceiveSession::index_candidate(const chain::TxId& id) {
   const std::uint64_t s = sid(id);
   const auto [it, inserted] = sid_to_txid_.emplace(s, id);
   if (!inserted && it->second != id) ambiguous_sids_.insert(s);
   candidates_.insert(id);
 }
 
-ReceiveOutcome Receiver::receive_block(const GrapheneBlockMsg& msg) {
+ReceiveOutcome ReceiveSession::receive_block(const GrapheneBlockMsg& msg) {
   obs::Registry* reg = obs::enabled(cfg_.obs);
   msg_ = msg;
   have_block_msg_ = true;
@@ -124,7 +148,7 @@ ReceiveOutcome Receiver::receive_block(const GrapheneBlockMsg& msg) {
   return out;
 }
 
-ErrorContext Receiver::error_context() const noexcept {
+ErrorContext ReceiveSession::error_context() const noexcept {
   ErrorContext ctx;
   ctx.have_block_msg = have_block_msg_;
   ctx.n = msg_.n;
@@ -136,7 +160,7 @@ ErrorContext Receiver::error_context() const noexcept {
   return ctx;
 }
 
-void Receiver::raise(const char* stage, const char* what) const {
+void ReceiveSession::raise(const char* stage, const char* what) const {
   const ErrorContext ctx = error_context();
   if (obs::Registry* reg = obs::enabled(cfg_.obs)) {
     obs::ScopedSpan span(reg, "error");
@@ -152,7 +176,7 @@ void Receiver::raise(const char* stage, const char* what) const {
   throw ProtocolError(stage, what, ctx);
 }
 
-GrapheneRequestMsg Receiver::build_request() {
+GrapheneRequestMsg ReceiveSession::build_request() {
   obs::Registry* reg = obs::enabled(cfg_.obs);
   if (!have_block_msg_) {
     raise("build_request", "no block message received");
@@ -198,7 +222,7 @@ GrapheneRequestMsg Receiver::build_request() {
   return req;
 }
 
-ReceiveOutcome Receiver::complete(const GrapheneResponseMsg& resp) {
+ReceiveOutcome ReceiveSession::complete(const GrapheneResponseMsg& resp) {
   obs::Registry* reg = obs::enabled(cfg_.obs);
   ReceiveOutcome out;
   if (!have_block_msg_) return out;  // kFailed: nothing to complete
@@ -310,13 +334,13 @@ ReceiveOutcome Receiver::complete(const GrapheneResponseMsg& resp) {
   return out;
 }
 
-RepairRequestMsg Receiver::build_repair() const {
+RepairRequestMsg ReceiveSession::build_repair() const {
   RepairRequestMsg req;
   req.short_ids = pending_unresolved_;
   return req;
 }
 
-ReceiveOutcome Receiver::complete_repair(const RepairResponseMsg& resp) {
+ReceiveOutcome ReceiveSession::complete_repair(const RepairResponseMsg& resp) {
   obs::ScopedSpan span(obs::enabled(cfg_.obs), "repair");
   span.attr("requested", pending_unresolved_.size());
   span.attr("received", resp.txns.size());
@@ -329,7 +353,7 @@ ReceiveOutcome Receiver::complete_repair(const RepairResponseMsg& resp) {
   return out;
 }
 
-ReceiveOutcome Receiver::finalize(std::vector<std::uint64_t> unresolved, bool used_pingpong) {
+ReceiveOutcome ReceiveSession::finalize(std::vector<std::uint64_t> unresolved, bool used_pingpong) {
   ReceiveOutcome out;
   out.used_pingpong = used_pingpong;
   if (!unresolved.empty()) {
@@ -353,7 +377,7 @@ ReceiveOutcome Receiver::finalize(std::vector<std::uint64_t> unresolved, bool us
   return out;
 }
 
-std::vector<chain::Transaction> Receiver::block_transactions() const {
+std::vector<chain::Transaction> ReceiveSession::block_transactions() const {
   std::vector<chain::Transaction> out;
   out.reserve(candidates_.size());
   for (const chain::TxId& id : candidates_) {

@@ -1,6 +1,6 @@
 // Receiver-side protocol engine (Protocols 1 and 2, §3.1–§3.2).
 //
-// Drives the full state machine:
+// ReceiveSession drives the full state machine for ONE relayed block:
 //
 //   receive_block  → Decoded | NeedsProtocol2 | Failed
 //   build_request  → GrapheneRequestMsg              (Protocol 2 step 1–2)
@@ -10,6 +10,13 @@
 // Ping-pong decoding (§4.2) engages automatically in complete(): when J ⊖ J′
 // leaves a 2-core, the receiver rebuilds I′ over the updated candidate set
 // and decodes both differences jointly.
+//
+// Receiver is the long-lived per-node object: it holds the mempool binding
+// and configuration and mints a fresh ReceiveSession per relay. Sessions
+// from one Receiver are independent, so distinct peers' relays can be
+// driven concurrently from pool threads. Receiver also keeps the legacy
+// one-block-at-a-time methods as a facade over an internal session; see the
+// deprecation note below.
 #pragma once
 
 #include <unordered_map>
@@ -41,9 +48,13 @@ struct ReceiveOutcome {
   bool used_pingpong = false;
 };
 
-class Receiver {
+/// Decode state for one relayed block, from Protocol 1 through Protocol 2
+/// and the repair round. Create one per relay (Receiver::session()); never
+/// share one instance across threads — instead give each concurrent relay
+/// its own session, which is safe because sessions only read the mempool.
+class ReceiveSession {
  public:
-  explicit Receiver(const chain::Mempool& mempool, ProtocolConfig cfg = {});
+  explicit ReceiveSession(const chain::Mempool& mempool, ProtocolConfig cfg = {});
 
   /// Protocol 1 step 4. On kDecoded the block is fully recovered.
   ReceiveOutcome receive_block(const GrapheneBlockMsg& msg);
@@ -61,7 +72,9 @@ class Receiver {
   /// All transactions recovered for the block (valid after kDecoded).
   [[nodiscard]] std::vector<chain::Transaction> block_transactions() const;
 
-  [[nodiscard]] const Protocol2Params& last_request_params() const noexcept {
+  /// Parameters chosen by build_request() — exposed for the benchmarks that
+  /// decompose message sizes (Fig. 17).
+  [[nodiscard]] const Protocol2Params& request_params() const noexcept {
     return params2_;
   }
 
@@ -94,6 +107,44 @@ class Receiver {
   std::unordered_set<chain::TxId, chain::TxIdHasher> candidates_;
   std::unordered_map<chain::TxId, chain::Transaction, chain::TxIdHasher> received_txns_;
   std::vector<std::uint64_t> pending_unresolved_;
+};
+
+/// Long-lived per-node receiver: binds a mempool + config and mints
+/// ReceiveSessions.
+///
+/// The pass-through protocol methods below drive a single implicit internal
+/// session and are DEPRECATED: they exist so existing single-relay callers
+/// keep working, but they serialize all relays through one state machine.
+/// New code — and any code decoding blocks from several peers at once —
+/// should call session() and drive the returned object instead.
+class Receiver {
+ public:
+  explicit Receiver(const chain::Mempool& mempool, ProtocolConfig cfg = {});
+
+  /// Mints an independent decode session for one relayed block. Safe to
+  /// call from multiple threads; each session is then driven by its owner.
+  [[nodiscard]] ReceiveSession session() const {
+    return ReceiveSession(*mempool_, cfg_);
+  }
+
+  /// Deprecated facade over an internal session (resets it per block).
+  ReceiveOutcome receive_block(const GrapheneBlockMsg& msg);
+  [[nodiscard]] GrapheneRequestMsg build_request();
+  ReceiveOutcome complete(const GrapheneResponseMsg& resp);
+  [[nodiscard]] RepairRequestMsg build_repair() const;
+  ReceiveOutcome complete_repair(const RepairResponseMsg& resp);
+  [[nodiscard]] std::vector<chain::Transaction> block_transactions() const;
+  [[nodiscard]] const Protocol2Params& last_request_params() const noexcept {
+    return current_.request_params();
+  }
+  [[nodiscard]] std::uint64_t observed_z() const noexcept {
+    return current_.observed_z();
+  }
+
+ private:
+  const chain::Mempool* mempool_;
+  ProtocolConfig cfg_;
+  ReceiveSession current_;
 };
 
 }  // namespace graphene::core

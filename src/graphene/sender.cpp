@@ -6,6 +6,7 @@
 #include "bloom/bloom_math.hpp"
 #include "graphene/bounds.hpp"
 #include "graphene/errors.hpp"
+#include "iblt/param_cache.hpp"
 #include "iblt/param_table.hpp"
 #include "obs/obs.hpp"
 #include "util/wire_limits.hpp"
@@ -30,30 +31,31 @@ Sender::Sender(chain::Block block, std::uint64_t salt, ProtocolConfig cfg)
   }
 }
 
-GrapheneBlockMsg Sender::encode(std::uint64_t receiver_mempool_count) const {
+EncodeResult Sender::encode(std::uint64_t receiver_mempool_count) const {
   obs::Registry* reg = obs::enabled(cfg_.obs);
   const std::uint64_t n = block_.tx_count();
   const std::uint64_t m = std::max(receiver_mempool_count, n);
+  EncodeResult out;
   {
     obs::ScopedSpan span(reg, "p1_optimize");
-    last_params_ = optimize_protocol1(n, m, cfg_);
+    out.params = optimize_protocol1(n, m, cfg_);
     span.attr("n", n);
     span.attr("m", m);
-    span.attr("a", last_params_.a);
-    span.attr("a_star", last_params_.a_star);
-    span.attr("fpr_s", last_params_.fpr);
-    span.attr("bloom_bytes", last_params_.bloom_bytes);
-    span.attr("iblt_bytes", last_params_.iblt_bytes);
+    span.attr("a", out.params.a);
+    span.attr("a_star", out.params.a_star);
+    span.attr("fpr_s", out.params.fpr);
+    span.attr("bloom_bytes", out.params.bloom_bytes);
+    span.attr("iblt_bytes", out.params.iblt_bytes);
   }
 
-  GrapheneBlockMsg msg;
+  GrapheneBlockMsg& msg = out.msg;
   msg.header = block_.header();
   msg.n = n;
   msg.shortid_salt = salt_;
 
   {
     obs::ScopedSpan span(reg, "sfilter_build");
-    msg.filter_s = bloom::BloomFilter(n, last_params_.fpr, /*seed=*/salt_ ^ 0x5eedf00d);
+    msg.filter_s = bloom::BloomFilter(n, out.params.fpr, /*seed=*/salt_ ^ 0x5eedf00d);
     for (const chain::Transaction& tx : block_.transactions()) {
       msg.filter_s.insert(util::ByteView(tx.id.data(), tx.id.size()));
     }
@@ -65,7 +67,7 @@ GrapheneBlockMsg Sender::encode(std::uint64_t receiver_mempool_count) const {
 
   {
     obs::ScopedSpan span(reg, "iblt_build");
-    msg.iblt_i = iblt::Iblt(last_params_.iblt, /*seed=*/salt_);
+    msg.iblt_i = iblt::Iblt(out.params.iblt, /*seed=*/salt_);
     for (const std::uint64_t sid : short_ids_) msg.iblt_i.insert(sid);
     span.attr("items", short_ids_.size());
     span.attr("cells", msg.iblt_i.cell_count());
@@ -77,7 +79,7 @@ GrapheneBlockMsg Sender::encode(std::uint64_t receiver_mempool_count) const {
     reg->histogram("graphene_bloom_s_bytes").observe(msg.filter_s.serialized_size());
     reg->histogram("graphene_iblt_i_bytes").observe(msg.iblt_i.serialized_size());
   }
-  return msg;
+  return out;
 }
 
 GrapheneResponseMsg Sender::serve(const GrapheneRequestMsg& request) const {
@@ -133,7 +135,7 @@ GrapheneResponseMsg Sender::serve(const GrapheneRequestMsg& request) const {
     for (std::uint64_t b = 1; b <= denom; b = (b < 128 ? b + 1 : b + b / 8)) {
       const double f_f = std::min(1.0, static_cast<double>(b) / static_cast<double>(denom));
       const std::size_t total = bloom::serialized_bytes(z_s, f_f) +
-                                iblt::iblt_bytes(b + y_s, cfg_.fail_denom);
+                                iblt::cached_iblt_bytes(cfg_.param_cache, b + y_s, cfg_.fail_denom);
       if (total < best_total) {
         best_total = total;
         best_b = b;
@@ -155,7 +157,7 @@ GrapheneResponseMsg Sender::serve(const GrapheneRequestMsg& request) const {
     fb_span.attr("fpr_f", f_f);
   }
 
-  resp.iblt_j = iblt::Iblt(iblt::lookup_params(j_items, cfg_.fail_denom),
+  resp.iblt_j = iblt::Iblt(iblt::cached_params(cfg_.param_cache, j_items, cfg_.fail_denom),
                            /*seed=*/salt_ + 1);
   for (const std::uint64_t sid : short_ids_) resp.iblt_j.insert(sid);
 

@@ -9,6 +9,15 @@
 
 namespace graphene::core {
 
+/// Result of one Protocol 1 encode: the wire message plus the parameters it
+/// was sized with. Returning both (instead of stashing the params on the
+/// Sender) keeps encode() a pure const call, so one Sender can serve many
+/// receivers from pool threads concurrently.
+struct EncodeResult {
+  GrapheneBlockMsg msg;
+  Protocol1Params params;
+};
+
 class Sender {
  public:
   /// `salt` keys the block's short IDs; a real deployment derives it per
@@ -16,8 +25,9 @@ class Sender {
   Sender(chain::Block block, std::uint64_t salt, ProtocolConfig cfg = {});
 
   /// Protocol 1, step 3: builds S and I for a receiver holding
-  /// `receiver_mempool_count` transactions.
-  [[nodiscard]] GrapheneBlockMsg encode(std::uint64_t receiver_mempool_count) const;
+  /// `receiver_mempool_count` transactions. Thread-safe: distinct peers may
+  /// be encoded for concurrently from one Sender.
+  [[nodiscard]] EncodeResult encode(std::uint64_t receiver_mempool_count) const;
 
   /// Protocol 2, steps 3–4: answers a repair request (handles both the
   /// normal and the m ≈ n reversed path).
@@ -30,17 +40,12 @@ class Sender {
   [[nodiscard]] const chain::Block& block() const noexcept { return block_; }
   [[nodiscard]] std::uint64_t salt() const noexcept { return salt_; }
 
-  /// Parameters chosen by the most recent encode() — exposed for the
-  /// benchmarks that decompose message sizes (Fig. 17).
-  [[nodiscard]] const Protocol1Params& last_params() const noexcept { return last_params_; }
-
  private:
   chain::Block block_;
   std::uint64_t salt_;
   ProtocolConfig cfg_;
   std::vector<std::uint64_t> short_ids_;  // aligned with block_.transactions()
   std::unordered_map<std::uint64_t, const chain::Transaction*> by_short_id_;
-  mutable Protocol1Params last_params_{};
 };
 
 /// Short-ID derivation shared by sender and receiver: SipHash-keyed under

@@ -1,0 +1,66 @@
+#include "iblt/param_cache.hpp"
+
+#include <iterator>
+#include <mutex>
+
+namespace graphene::iblt {
+
+std::uint64_t ParamCache::key(std::uint64_t j, std::uint32_t fail_denom) noexcept {
+  // Canonical key: j in the high bits, the index of the snapped denominator
+  // in the low two. Collision-free by construction (j < 2^62 in practice).
+  const std::uint32_t denom = snap_fail_denom(fail_denom);
+  std::uint64_t denom_index = 0;
+  for (std::size_t i = 0; i < std::size(kFailDenoms); ++i) {
+    if (kFailDenoms[i] == denom) denom_index = i;
+  }
+  return (j << 2) | denom_index;
+}
+
+IbltParams ParamCache::params(std::uint64_t j, std::uint32_t fail_denom) {
+  const std::uint64_t k = key(j, fail_denom);
+  {
+    const std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = map_.find(k);
+    if (it != map_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  // Compute outside the lock: lookup_params is pure, so a racing miss on the
+  // same key just recomputes the identical value.
+  const IbltParams p = lookup_params(j, fail_denom);
+  {
+    const std::unique_lock<std::shared_mutex> lock(mu_);
+    map_.emplace(k, p);
+  }
+  return p;
+}
+
+std::size_t ParamCache::bytes(std::uint64_t j, std::uint32_t fail_denom) {
+  return Iblt::serialized_size_for(params(j, fail_denom).cells);
+}
+
+std::size_t ParamCache::entries() const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  return map_.size();
+}
+
+void ParamCache::clear() {
+  const std::unique_lock<std::shared_mutex> lock(mu_);
+  map_.clear();
+}
+
+IbltParams cached_params(ParamCache* cache, std::uint64_t j,
+                         std::uint32_t fail_denom) {
+  return cache != nullptr ? cache->params(j, fail_denom)
+                          : lookup_params(j, fail_denom);
+}
+
+std::size_t cached_iblt_bytes(ParamCache* cache, std::uint64_t j,
+                              std::uint32_t fail_denom) {
+  return cache != nullptr ? cache->bytes(j, fail_denom)
+                          : iblt_bytes(j, fail_denom);
+}
+
+}  // namespace graphene::iblt

@@ -6,6 +6,13 @@
 // observed success proportion separates from p (or a trial cap is reached).
 // Monotonicity of the decode rate in c justifies the binary search; an outer
 // loop tries each k in [k_min, k_max] and keeps the smallest table.
+//
+// Parallelism: pass SearchOptions::pool to spread trial batches across a
+// util::ThreadPool. The batch schedule is fixed up front and every batch
+// seeds its own Rng from (root draw, batch index), so decisions — and hence
+// the returned parameters — are bit-identical for any worker count,
+// including the serial pool == nullptr path. Each call consumes exactly one
+// draw from the caller's Rng per search regardless of parallelism.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +20,10 @@
 
 #include "iblt/iblt.hpp"
 #include "util/random.hpp"
+
+namespace graphene::util {
+class ThreadPool;
+}  // namespace graphene::util
 
 namespace graphene::iblt {
 
@@ -27,28 +38,46 @@ struct SearchOptions {
   std::uint64_t batch = 64;
   /// z for the Wilson interval (1.96 ≈ 95%).
   double z = 1.96;
+  /// Optional worker pool for trial batches; nullptr runs serially. Results
+  /// are identical either way (not owned).
+  util::ThreadPool* pool = nullptr;
 };
 
-/// Result of a search for a single k.
+/// Result of the inner binary search at a fixed k.
+struct CellSearchResult {
+  /// Smallest passing cell count, or nullopt if even cmax_factor*j fails.
+  std::optional<std::uint64_t> cells;
+  /// False when any decision along the search path hit max_trials without
+  /// the Wilson CI separating from p — the answer is then a point-estimate
+  /// call, not a statistically certified one. Raise max_trials to fix.
+  bool certified = true;
+};
+
+/// Result of a full search across k.
 struct SearchResult {
   IbltParams params;
   /// Point estimate of the decode rate at the returned size.
   double decode_rate = 0.0;
+  /// AND of CellSearchResult::certified over every k tried (see above).
+  bool certified = true;
 };
 
 /// Smallest c (multiple of k) such that j items decode with probability ≥ p
-/// for a fixed k. Returns nullopt if even cmax_factor*j cells fail.
-[[nodiscard]] std::optional<std::uint64_t> search_cells(std::uint64_t j, std::uint32_t k,
-                                                        double p, util::Rng& rng,
-                                                        const SearchOptions& opts = {});
+/// for a fixed k. `cells` is nullopt if even cmax_factor*j cells fail.
+[[nodiscard]] CellSearchResult search_cells(std::uint64_t j, std::uint32_t k,
+                                            double p, util::Rng& rng,
+                                            const SearchOptions& opts = {});
 
 /// Full Algorithm 1 with the outer k loop: smallest (k, c) meeting rate p.
 [[nodiscard]] SearchResult search_params(std::uint64_t j, double p, util::Rng& rng,
                                          const SearchOptions& opts = {});
 
 /// Measures the decode rate of a (j, k, c) configuration by direct sampling;
-/// exposed for tests and the Fig. 7 benchmark.
+/// exposed for tests and the Fig. 7 benchmark. Consumes one draw from `rng`;
+/// trials are chunked with per-chunk derived seeds, so the estimate is
+/// identical with and without a pool.
 [[nodiscard]] double measure_decode_rate(std::uint64_t j, std::uint32_t k, std::uint64_t c,
-                                         std::uint64_t trials, util::Rng& rng);
+                                         std::uint64_t trials, util::Rng& rng,
+                                         util::ThreadPool* pool = nullptr);
 
 }  // namespace graphene::iblt

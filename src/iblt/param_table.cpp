@@ -15,18 +15,6 @@ constexpr TableEntry kParamTable[] = {
 /// Safety margin applied when extrapolating beyond the generated grid.
 constexpr double kExtrapolationMargin = 1.10;
 
-std::uint32_t snap_denom(std::uint32_t fail_denom) {
-  // Snap *up*: a stricter failure rate than requested is always acceptable.
-  std::uint32_t snapped = kFailDenoms[std::size(kFailDenoms) - 1];
-  for (std::uint32_t d : kFailDenoms) {
-    if (d >= fail_denom) {
-      snapped = d;
-      break;
-    }
-  }
-  return snapped;
-}
-
 const TableEntry* find_entry(std::uint64_t j, std::uint32_t denom) {
   const TableEntry* best = nullptr;
   for (const TableEntry& e : kParamTable) {
@@ -47,8 +35,20 @@ const TableEntry* largest_entry(std::uint32_t denom) {
 
 }  // namespace
 
+std::uint32_t snap_fail_denom(std::uint32_t fail_denom) noexcept {
+  // Snap *up*: a stricter failure rate than requested is always acceptable.
+  std::uint32_t snapped = kFailDenoms[std::size(kFailDenoms) - 1];
+  for (std::uint32_t d : kFailDenoms) {
+    if (d >= fail_denom) {
+      snapped = d;
+      break;
+    }
+  }
+  return snapped;
+}
+
 IbltParams lookup_params(std::uint64_t j, std::uint32_t fail_denom) {
-  const std::uint32_t denom = snap_denom(fail_denom);
+  const std::uint32_t denom = snap_fail_denom(fail_denom);
   if (j == 0) j = 1;
   if (const TableEntry* e = find_entry(j, denom)) {
     return IbltParams{e->k, e->cells};

@@ -42,9 +42,9 @@ std::size_t relay_once(const chain::Block& block, const chain::Mempool& mempool,
     }
     case RelayProtocol::kGraphene: {
       core::Sender sender(block, rng.next());
-      core::Receiver receiver(mempool);
+      core::ReceiveSession receiver(mempool);
       std::size_t bytes = 0;
-      const core::GrapheneBlockMsg msg = sender.encode(mempool.size());
+      const core::GrapheneBlockMsg msg = sender.encode(mempool.size()).msg;
       bytes += msg.filter_s.serialized_size() + msg.iblt_i.serialized_size() +
                chain::BlockHeader::kWireSize;
       core::ReceiveOutcome out = receiver.receive_block(msg);

@@ -4,6 +4,7 @@
 
 #include "bloom/bloom_math.hpp"
 #include "graphene/bounds.hpp"
+#include "iblt/param_cache.hpp"
 #include "iblt/param_table.hpp"
 #include "iblt/pingpong.hpp"
 #include "util/varint.hpp"
@@ -214,7 +215,7 @@ Response Host::serve(const Request& request) const {
     for (std::uint64_t b = 1; b <= denom; b = (b < 128 ? b + 1 : b + b / 8)) {
       const double f_f = std::min(1.0, static_cast<double>(b) / static_cast<double>(denom));
       const std::size_t total = bloom::serialized_bytes(z_s, f_f) +
-                                iblt::iblt_bytes(b + y_s, cfg_.fail_denom);
+                                iblt::cached_iblt_bytes(cfg_.param_cache, b + y_s, cfg_.fail_denom);
       if (total < best_total) {
         best_total = total;
         best_b = b;
@@ -227,7 +228,8 @@ Response Host::serve(const Request& request) const {
     j_items = best_b + y_s;
   }
 
-  resp.correction = iblt::Iblt(iblt::lookup_params(j_items, cfg_.fail_denom), salt_ + 1);
+  resp.correction =
+      iblt::Iblt(iblt::cached_params(cfg_.param_cache, j_items, cfg_.fail_denom), salt_ + 1);
   for (const ItemDigest& d : items_) resp.correction.insert(short_id_of(d, salt_, cfg_));
   return resp;
 }

@@ -1,6 +1,10 @@
 #include "sim/simulator.hpp"
 
 #include <cstdlib>
+#include <vector>
+
+#include "iblt/param_cache.hpp"
+#include "util/thread_pool.hpp"
 
 namespace graphene::sim {
 
@@ -10,14 +14,14 @@ GrapheneRun run_impl(const Scenario& scenario, std::uint64_t salt,
                      const core::ProtocolConfig& cfg, bool protocol1_only) {
   GrapheneRun run;
   core::Sender sender(scenario.block, salt, cfg);
-  core::Receiver receiver(scenario.receiver_mempool, cfg);
+  core::ReceiveSession session(scenario.receiver_mempool, cfg);
 
   run.getdata_bytes = kGetdataBytes;
-  const core::GrapheneBlockMsg msg = sender.encode(scenario.receiver_mempool.size());
+  const core::GrapheneBlockMsg msg = sender.encode(scenario.receiver_mempool.size()).msg;
   run.bloom_s_bytes = msg.filter_s.serialized_size();
   run.iblt_i_bytes = msg.iblt_i.serialized_size();
 
-  core::ReceiveOutcome out = receiver.receive_block(msg);
+  core::ReceiveOutcome out = session.receive_block(msg);
   run.p1_decoded = out.status == core::ReceiveStatus::kDecoded;
   if (run.p1_decoded || protocol1_only) {
     run.decoded = run.p1_decoded;
@@ -26,7 +30,7 @@ GrapheneRun run_impl(const Scenario& scenario, std::uint64_t salt,
 
   if (out.status == core::ReceiveStatus::kNeedsProtocol2) {
     run.used_protocol2 = true;
-    const core::GrapheneRequestMsg req = receiver.build_request();
+    const core::GrapheneRequestMsg req = session.build_request();
     run.bloom_r_bytes = req.filter_r.serialized_size();
 
     const core::GrapheneResponseMsg resp = sender.serve(req);
@@ -34,17 +38,17 @@ GrapheneRun run_impl(const Scenario& scenario, std::uint64_t salt,
     if (resp.filter_f) run.bloom_f_bytes = resp.filter_f->serialized_size();
     run.missing_txn_bytes += resp.missing_tx_bytes();
 
-    out = receiver.complete(resp);
+    out = session.complete(resp);
     run.used_pingpong = out.used_pingpong;
   }
 
   if (out.status == core::ReceiveStatus::kNeedsRepair) {
     run.used_repair = true;
-    const core::RepairRequestMsg rep = receiver.build_repair();
+    const core::RepairRequestMsg rep = session.build_repair();
     run.repair_bytes += rep.serialize().size();
     const core::RepairResponseMsg rep_resp = sender.serve_repair(rep);
     run.missing_txn_bytes += rep_resp.serialize().size();
-    out = receiver.complete_repair(rep_resp);
+    out = session.complete_repair(rep_resp);
   }
 
   run.decoded = out.status == core::ReceiveStatus::kDecoded;
@@ -168,22 +172,45 @@ TrialStats run_trials(const ScenarioSpec& spec, std::uint64_t trials, std::uint6
                       std::ostream* runs_jsonl) {
   TrialStats stats;
   stats.trials = trials;
-  util::Rng rng(seed);
-  for (std::uint64_t t = 0; t < trials; ++t) {
-    const Scenario scenario = chain::make_scenario(spec, rng);
-    const std::uint64_t salt = rng.next();
-    GrapheneRun run;
-    if (runs_jsonl != nullptr) {
-      // Fresh registry per run: the span sequence then describes exactly one
-      // relay, which is what a runs.jsonl record promises.
+
+  // One parameter cache for the whole batch unless the caller shares one
+  // already; trials hit the same (a*, b+y*) keys constantly.
+  iblt::ParamCache local_cache;
+  core::ProtocolConfig shared = cfg;
+  if (shared.param_cache == nullptr) shared.param_cache = &local_cache;
+
+  // Every trial derives its own RNG stream from (seed, trial index), so the
+  // scenario/salt draws are identical whether trials run serially, on a
+  // pool, or with JSONL capture enabled.
+  const util::Rng root(seed);
+  std::vector<GrapheneRun> runs(trials);
+  if (runs_jsonl != nullptr) {
+    // JSONL capture stays serial: records append to one stream, and a fresh
+    // registry per run keeps each record's span sequence describing exactly
+    // one relay, which is what a runs.jsonl record promises.
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      util::Rng trial_rng = root.split(t);
+      const Scenario scenario = chain::make_scenario(spec, trial_rng);
+      const std::uint64_t salt = trial_rng.next();
       obs::Registry reg;
-      core::ProtocolConfig traced = cfg;
+      core::ProtocolConfig traced = shared;
       traced.obs = &reg;
-      run = run_impl(scenario, salt, traced, protocol1_only);
-      write_run_jsonl(*runs_jsonl, run, scenario, t, salt, reg);
-    } else {
-      run = run_impl(scenario, salt, cfg, protocol1_only);
+      runs[t] = run_impl(scenario, salt, traced, protocol1_only);
+      write_run_jsonl(*runs_jsonl, runs[t], scenario, t, salt, reg);
     }
+  } else {
+    util::parallel_for(shared.pool, trials, [&](std::uint64_t t) {
+      util::Rng trial_rng = root.split(t);
+      const Scenario scenario = chain::make_scenario(spec, trial_rng);
+      const std::uint64_t salt = trial_rng.next();
+      runs[t] = run_impl(scenario, salt, shared, protocol1_only);
+    });
+  }
+
+  // Fold sequentially in trial order so the running means are bit-identical
+  // for every worker count.
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const GrapheneRun& run = runs[t];
     stats.p1_decode_failures += run.p1_decoded ? 0 : 1;
     stats.decode_failures += run.decoded ? 0 : 1;
     stats.pingpong_rescues += run.used_pingpong && run.decoded ? 1 : 0;

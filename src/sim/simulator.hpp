@@ -73,10 +73,15 @@ struct TrialStats {
 
 /// Repeats `spec` for `trials` independently-seeded runs.
 ///
-/// When `runs_jsonl` is non-null every run is executed with a fresh
-/// telemetry Registry and appended to the stream as one structured JSON
-/// record (see write_run_jsonl) — the machine-readable alternative to the
-/// benches' stdout tables.
+/// Each trial derives its RNG stream from (seed, trial index), and trials
+/// run across cfg.pool when one is set — results are identical for any
+/// worker count. cfg.param_cache is shared across the batch (a local cache
+/// is used when the caller didn't provide one).
+///
+/// When `runs_jsonl` is non-null every run is executed serially with a
+/// fresh telemetry Registry and appended to the stream as one structured
+/// JSON record (see write_run_jsonl) — the machine-readable alternative to
+/// the benches' stdout tables.
 TrialStats run_trials(const ScenarioSpec& spec, std::uint64_t trials, std::uint64_t seed,
                       const core::ProtocolConfig& cfg = {}, bool protocol1_only = false,
                       std::ostream* runs_jsonl = nullptr);

@@ -27,6 +27,19 @@ class Rng {
     if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
   }
 
+  /// Deterministically derives an independent child stream for worker
+  /// `stream`. Pure function of the current state and `stream` — it does
+  /// NOT advance this generator — so a parent seeded identically always
+  /// yields the same children no matter how many threads consume them.
+  /// Statistical independence comes from the splitmix64 avalanche over all
+  /// four state words; correlated parent/child sequences would need ~2^64
+  /// draws to matter.
+  [[nodiscard]] Rng split(std::uint64_t stream) const noexcept {
+    std::uint64_t s = mix64(stream ^ 0xa0761d6478bd642fULL);
+    for (const std::uint64_t word : state_) s = mix64(s ^ word);
+    return Rng(s);
+  }
+
   /// Next 64 uniformly random bits.
   std::uint64_t next() noexcept {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;

@@ -1,0 +1,112 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace graphene::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared state of one parallel_for call. Helper tasks hold a shared_ptr so
+/// a task scheduled after the loop already completed still finds live (and
+/// immediately exhausted) state.
+struct ForState {
+  explicit ForState(std::uint64_t n, const std::function<void(std::uint64_t)>& f)
+      : count(n), fn(f) {}
+
+  const std::uint64_t count;
+  const std::function<void(std::uint64_t)>& fn;
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<std::uint64_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;  // first failure; guarded by mu
+
+  /// Claims and runs indices until the range is exhausted.
+  void drain() {
+    for (;;) {
+      const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+        const std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void parallel_for(ThreadPool* pool, std::uint64_t count,
+                  const std::function<void(std::uint64_t)>& fn) {
+  if (count == 0) return;
+  if (pool == nullptr || pool->size() == 0 || count == 1) {
+    for (std::uint64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>(count, fn);
+  const std::uint64_t helpers =
+      std::min<std::uint64_t>(pool->size(), count - 1);
+  for (std::uint64_t h = 0; h < helpers; ++h) {
+    pool->post([state] { state->drain(); });
+  }
+  state->drain();
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) >= count;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace graphene::util

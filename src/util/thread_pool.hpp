@@ -1,0 +1,69 @@
+// Fixed-size worker pool plus a structured parallel-for, the concurrency
+// substrate behind Algorithm 1's trial batches and the simulator's Monte
+// Carlo loops.
+//
+// Design constraints (rationale in docs/CONCURRENCY.md):
+//
+//  * Determinism lives in the WORK DECOMPOSITION, not in the pool.
+//    parallel_for runs fn(i) over a fixed index range; callers key all
+//    randomness off the index (util::Rng::split or an index-derived seed),
+//    so results are identical for any worker count — including zero.
+//
+//  * The calling thread participates. parallel_for never parks waiting for
+//    a pool slot: the caller drains the same index counter as the workers,
+//    so nested calls, zero-thread pools, and fully-busy pools all complete
+//    without deadlock.
+//
+//  * One pool per process is the intended shape. Sender, Receiver,
+//    SetReconciler, and the simulator all reach it through
+//    core::ProtocolConfig::pool; oversubscribing with one pool per
+//    subsystem defeats the point.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace graphene::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` sizes to hardware_concurrency (at least 1 worker).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues fire-and-forget work. Tasks must not throw (parallel_for
+  /// wraps its chunks so user exceptions are captured and rethrown there).
+  void post(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;  // guarded by mu_
+  bool stop_ = false;                        // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(0) … fn(count-1) across the pool and the calling thread; returns
+/// once every index has completed. `pool == nullptr` (or an exhausted pool)
+/// degrades to a plain loop on the caller. The first exception thrown by fn
+/// is rethrown on the caller after all indices finish or are claimed.
+///
+/// fn must be safe to call concurrently for distinct indices; index
+/// execution order is unspecified, so deterministic callers must make fn(i)
+/// depend only on i and write to per-index slots.
+void parallel_for(ThreadPool* pool, std::uint64_t count,
+                  const std::function<void(std::uint64_t)>& fn);
+
+}  // namespace graphene::util

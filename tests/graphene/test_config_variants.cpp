@@ -49,7 +49,7 @@ TEST_P(BetaSweep, ProtocolDecodesAcrossAssuranceLevels) {
     const chain::Scenario s = chain::make_scenario(spec, rng);
     Sender sender(s.block, rng.next(), cfg);
     Receiver receiver(s.receiver_mempool, cfg);
-    ReceiveOutcome out = receiver.receive_block(sender.encode(s.m));
+    ReceiveOutcome out = receiver.receive_block(sender.encode(s.m).msg);
     if (out.status == ReceiveStatus::kNeedsProtocol2) {
       out = receiver.complete(sender.serve(receiver.build_request()));
     }
@@ -80,7 +80,7 @@ TEST(ConfigVariants, SenderAndReceiverMustAgreeOnKeying) {
   unkeyed.keyed_short_ids = false;
   Sender sender(s.block, 42, keyed);
   Receiver receiver(s.receiver_mempool, unkeyed);
-  const ReceiveOutcome out = receiver.receive_block(sender.encode(s.m));
+  const ReceiveOutcome out = receiver.receive_block(sender.encode(s.m).msg);
   EXPECT_NE(out.status, ReceiveStatus::kDecoded);
 }
 
@@ -99,7 +99,7 @@ TEST(ConfigVariants, NearEqualFprRangeFromPaperAllWork) {
     ASSERT_EQ(s.m, s.n);
     Sender sender(s.block, rng.next(), cfg);
     Receiver receiver(s.receiver_mempool, cfg);
-    ReceiveOutcome out = receiver.receive_block(sender.encode(s.m));
+    ReceiveOutcome out = receiver.receive_block(sender.encode(s.m).msg);
     ASSERT_EQ(out.status, ReceiveStatus::kNeedsProtocol2) << fpr;
     out = receiver.complete(sender.serve(receiver.build_request()));
     if (out.status == ReceiveStatus::kNeedsRepair) {

@@ -28,7 +28,7 @@ TEST_P(Protocol1Sweep, DecodesWhenReceiverHasWholeBlock) {
 
     Sender sender(s.block, /*salt=*/rng.next());
     Receiver receiver(s.receiver_mempool);
-    const GrapheneBlockMsg msg = sender.encode(s.receiver_mempool.size());
+    const GrapheneBlockMsg msg = sender.encode(s.receiver_mempool.size()).msg;
     const ReceiveOutcome out = receiver.receive_block(msg);
     decoded += out.status == ReceiveStatus::kDecoded ? 1 : 0;
     if (out.status == ReceiveStatus::kDecoded) {
@@ -55,7 +55,7 @@ TEST(Protocol1, DecodedTransactionsAreRecoverable) {
   const chain::Scenario s = chain::make_scenario(spec, rng);
   Sender sender(s.block, 42);
   Receiver receiver(s.receiver_mempool);
-  const ReceiveOutcome out = receiver.receive_block(sender.encode(s.m));
+  const ReceiveOutcome out = receiver.receive_block(sender.encode(s.m).msg);
   ASSERT_EQ(out.status, ReceiveStatus::kDecoded);
   const auto txs = receiver.block_transactions();
   ASSERT_EQ(txs.size(), 100u);
@@ -73,7 +73,7 @@ TEST(Protocol1, MissingTransactionsForceProtocol2) {
   const chain::Scenario s = chain::make_scenario(spec, rng);
   Sender sender(s.block, 43);
   Receiver receiver(s.receiver_mempool);
-  const ReceiveOutcome out = receiver.receive_block(sender.encode(s.m));
+  const ReceiveOutcome out = receiver.receive_block(sender.encode(s.m).msg);
   EXPECT_NE(out.status, ReceiveStatus::kDecoded);
 }
 
@@ -84,7 +84,7 @@ TEST(Protocol1, EncodingSmallerThanCompactBlocksAt2000) {
   spec.extra_txns = 2000;
   const chain::Scenario s = chain::make_scenario(spec, rng);
   Sender sender(s.block, 44);
-  const GrapheneBlockMsg msg = sender.encode(s.m);
+  const GrapheneBlockMsg msg = sender.encode(s.m).msg;
   const std::size_t graphene_bytes =
       msg.filter_s.serialized_size() + msg.iblt_i.serialized_size();
   EXPECT_LT(graphene_bytes, 6u * 2000u);
@@ -100,7 +100,7 @@ TEST(Protocol1, UnkeyedShortIdsAlsoWork) {
   const chain::Scenario s = chain::make_scenario(spec, rng);
   Sender sender(s.block, 45, cfg);
   Receiver receiver(s.receiver_mempool, cfg);
-  const ReceiveOutcome out = receiver.receive_block(sender.encode(s.m));
+  const ReceiveOutcome out = receiver.receive_block(sender.encode(s.m).msg);
   EXPECT_EQ(out.status, ReceiveStatus::kDecoded);
 }
 
@@ -113,23 +113,22 @@ TEST(Protocol1, EmptyMempoolBeyondBlockStillDecodes) {
   const chain::Scenario s = chain::make_scenario(spec, rng);
   Sender sender(s.block, 46);
   Receiver receiver(s.receiver_mempool);
-  const GrapheneBlockMsg msg = sender.encode(s.m);
+  const GrapheneBlockMsg msg = sender.encode(s.m).msg;
   EXPECT_TRUE(msg.filter_s.matches_everything());
   const ReceiveOutcome out = receiver.receive_block(msg);
   EXPECT_EQ(out.status, ReceiveStatus::kDecoded);
 }
 
-TEST(Protocol1, SenderParamsExposedAfterEncode) {
+TEST(Protocol1, EncodeResultParamsMatchMessageSizes) {
   util::Rng rng(6);
   chain::ScenarioSpec spec;
   spec.block_txns = 500;
   spec.extra_txns = 1500;
   const chain::Scenario s = chain::make_scenario(spec, rng);
   Sender sender(s.block, 47);
-  const GrapheneBlockMsg msg = sender.encode(s.m);
-  const Protocol1Params& p = sender.last_params();
-  EXPECT_EQ(p.bloom_bytes, msg.filter_s.serialized_size());
-  EXPECT_EQ(p.iblt_bytes, msg.iblt_i.serialized_size());
+  const EncodeResult enc = sender.encode(s.m);
+  EXPECT_EQ(enc.params.bloom_bytes, enc.msg.filter_s.serialized_size());
+  EXPECT_EQ(enc.params.iblt_bytes, enc.msg.iblt_i.serialized_size());
 }
 
 }  // namespace

@@ -11,8 +11,8 @@ namespace {
 ReceiveOutcome run_full(const chain::Scenario& s, std::uint64_t salt,
                         const ProtocolConfig& cfg = {}) {
   Sender sender(s.block, salt, cfg);
-  Receiver receiver(s.receiver_mempool, cfg);
-  ReceiveOutcome out = receiver.receive_block(sender.encode(s.receiver_mempool.size()));
+  ReceiveSession receiver(s.receiver_mempool, cfg);
+  ReceiveOutcome out = receiver.receive_block(sender.encode(s.receiver_mempool.size()).msg);
   if (out.status == ReceiveStatus::kNeedsProtocol2) {
     const GrapheneRequestMsg req = receiver.build_request();
     out = receiver.complete(sender.serve(req));
@@ -69,8 +69,8 @@ TEST(Protocol2, NearEqualPoolsUseReversedPath) {
   ASSERT_EQ(s.m, s.n);
 
   Sender sender(s.block, 99);
-  Receiver receiver(s.receiver_mempool);
-  ReceiveOutcome out = receiver.receive_block(sender.encode(s.m));
+  ReceiveSession receiver(s.receiver_mempool);
+  ReceiveOutcome out = receiver.receive_block(sender.encode(s.m).msg);
   ASSERT_EQ(out.status, ReceiveStatus::kNeedsProtocol2);
 
   const GrapheneRequestMsg req = receiver.build_request();
@@ -96,8 +96,8 @@ TEST(Protocol2, ReversedPathIbltSmallerThanBlock) {
   spec.block_fraction_in_mempool = 0.5;
   const chain::Scenario s = chain::make_scenario(spec, rng);
   Sender sender(s.block, 100);
-  Receiver receiver(s.receiver_mempool);
-  ASSERT_EQ(receiver.receive_block(sender.encode(s.m)).status,
+  ReceiveSession receiver(s.receiver_mempool);
+  ASSERT_EQ(receiver.receive_block(sender.encode(s.m).msg).status,
             ReceiveStatus::kNeedsProtocol2);
   const GrapheneRequestMsg req = receiver.build_request();
   const GrapheneResponseMsg resp = sender.serve(req);
@@ -112,8 +112,8 @@ TEST(Protocol2, MissingTransactionsAreDeliveredInFull) {
   spec.block_fraction_in_mempool = 0.8;
   const chain::Scenario s = chain::make_scenario(spec, rng);
   Sender sender(s.block, 101);
-  Receiver receiver(s.receiver_mempool);
-  ASSERT_EQ(receiver.receive_block(sender.encode(s.m)).status,
+  ReceiveSession receiver(s.receiver_mempool);
+  ASSERT_EQ(receiver.receive_block(sender.encode(s.m).msg).status,
             ReceiveStatus::kNeedsProtocol2);
   const GrapheneRequestMsg req = receiver.build_request();
   const GrapheneResponseMsg resp = sender.serve(req);
@@ -133,11 +133,11 @@ TEST(Protocol2, RequestParamsMatchOptimizer) {
   spec.block_fraction_in_mempool = 0.7;
   const chain::Scenario s = chain::make_scenario(spec, rng);
   Sender sender(s.block, 102);
-  Receiver receiver(s.receiver_mempool);
-  ASSERT_EQ(receiver.receive_block(sender.encode(s.m)).status,
+  ReceiveSession receiver(s.receiver_mempool);
+  ASSERT_EQ(receiver.receive_block(sender.encode(s.m).msg).status,
             ReceiveStatus::kNeedsProtocol2);
   const GrapheneRequestMsg req = receiver.build_request();
-  const Protocol2Params& p = receiver.last_request_params();
+  const Protocol2Params& p = receiver.request_params();
   EXPECT_EQ(req.b, p.b);
   EXPECT_EQ(req.y_star, p.y_star);
   EXPECT_EQ(req.filter_r.serialized_size(), p.bloom_bytes);
@@ -157,8 +157,8 @@ TEST(Protocol2, PingPongEngagesOnUndersizedJ) {
     spec.block_fraction_in_mempool = 0.98;
     const chain::Scenario s = chain::make_scenario(spec, rng);
     Sender sender(s.block, rng.next());
-    Receiver receiver(s.receiver_mempool);
-    if (receiver.receive_block(sender.encode(s.m)).status !=
+    ReceiveSession receiver(s.receiver_mempool);
+    if (receiver.receive_block(sender.encode(s.m).msg).status !=
         ReceiveStatus::kNeedsProtocol2) {
       continue;
     }

@@ -44,7 +44,7 @@ TEST(ReceiverEdges, ErrorContextReflectsObservedState) {
 
   Sender sender(s.block, 123);
   Receiver receiver(s.receiver_mempool);
-  const ReceiveOutcome out = receiver.receive_block(sender.encode(s.m));
+  const ReceiveOutcome out = receiver.receive_block(sender.encode(s.m).msg);
   ASSERT_EQ(out.status, ReceiveStatus::kNeedsProtocol2);
   const GrapheneRequestMsg req = receiver.build_request();
   EXPECT_EQ(receiver.observed_z(), req.z);
@@ -69,7 +69,7 @@ TEST(ReceiverEdges, ReceiverIsReusableAcrossBlocks) {
   Receiver receiver(s1.receiver_mempool);
   {
     Sender sender(s1.block, rng.next());
-    EXPECT_EQ(receiver.receive_block(sender.encode(s1.m)).status,
+    EXPECT_EQ(receiver.receive_block(sender.encode(s1.m).msg).status,
               ReceiveStatus::kDecoded);
   }
   // A second, different block against the same receiver object: per-block
@@ -80,7 +80,7 @@ TEST(ReceiverEdges, ReceiverIsReusableAcrossBlocks) {
   for (const chain::Transaction& tx : s2.block.transactions()) merged.insert(tx);
   Receiver receiver2(merged);
   Sender sender2(s2.block, rng.next());
-  EXPECT_EQ(receiver2.receive_block(sender2.encode(merged.size())).status,
+  EXPECT_EQ(receiver2.receive_block(sender2.encode(merged.size()).msg).status,
             ReceiveStatus::kDecoded);
 }
 
@@ -92,7 +92,7 @@ TEST(ReceiverEdges, SingleTransactionBlock) {
   const chain::Scenario s = chain::make_scenario(spec, rng);
   Sender sender(s.block, rng.next());
   Receiver receiver(s.receiver_mempool);
-  const ReceiveOutcome out = receiver.receive_block(sender.encode(s.m));
+  const ReceiveOutcome out = receiver.receive_block(sender.encode(s.m).msg);
   EXPECT_EQ(out.status, ReceiveStatus::kDecoded);
   EXPECT_EQ(out.block_ids.size(), 1u);
 }
@@ -108,7 +108,7 @@ TEST(ReceiverEdges, ReceiverUnderstatesMempoolCount) {
   const chain::Scenario s = chain::make_scenario(spec, rng);
   Sender sender(s.block, rng.next());
   Receiver receiver(s.receiver_mempool);
-  ReceiveOutcome out = receiver.receive_block(sender.encode(s.m / 2));  // lie: m/2
+  ReceiveOutcome out = receiver.receive_block(sender.encode(s.m / 2).msg);  // lie: m/2
   if (out.status == ReceiveStatus::kNeedsProtocol2) {
     out = receiver.complete(sender.serve(receiver.build_request()));
   }
@@ -133,7 +133,7 @@ TEST(ReceiverEdges, SpamFilteredBlockRecoversViaProtocol2) {
 
     Sender sender(s.block, rng.next());
     Receiver receiver(s.receiver_mempool);
-    ReceiveOutcome out = receiver.receive_block(sender.encode(s.m));
+    ReceiveOutcome out = receiver.receive_block(sender.encode(s.m).msg);
     EXPECT_NE(out.status, ReceiveStatus::kDecoded);  // missing low-fee txns
     if (out.status == ReceiveStatus::kNeedsProtocol2) {
       out = receiver.complete(sender.serve(receiver.build_request()));
@@ -154,7 +154,7 @@ TEST(ReceiverEdges, HugeMempoolSmallBlock) {
   const chain::Scenario s = chain::make_scenario(spec, rng);
   Sender sender(s.block, rng.next());
   Receiver receiver(s.receiver_mempool);
-  const GrapheneBlockMsg msg = sender.encode(s.m);
+  const GrapheneBlockMsg msg = sender.encode(s.m).msg;
   const ReceiveOutcome out = receiver.receive_block(msg);
   EXPECT_EQ(out.status, ReceiveStatus::kDecoded);
   // Even with m = 400n the encoding stays compact.

@@ -17,7 +17,7 @@ TEST(Security, MalformedIbltInBlockMessageIsRejectedNotLooped) {
   spec.extra_txns = 100;
   const chain::Scenario s = chain::make_scenario(spec, rng);
   Sender sender(s.block, 7);
-  GrapheneBlockMsg msg = sender.encode(s.m);
+  GrapheneBlockMsg msg = sender.encode(s.m).msg;
 
   // Craft a k−1 insertion directly in the wire IBLT: decode at the receiver
   // must terminate (status anything but a hang) — §6.1.
@@ -88,7 +88,7 @@ TEST(Security, TruncatedCollisionInMempoolStillUsuallyDecodes) {
 
     Sender sender(s.block, rng.next(), cfg);
     Receiver receiver(s.receiver_mempool, cfg);
-    ReceiveOutcome out = receiver.receive_block(sender.encode(s.receiver_mempool.size()));
+    ReceiveOutcome out = receiver.receive_block(sender.encode(s.receiver_mempool.size()).msg);
     if (out.status == ReceiveStatus::kNeedsProtocol2) {
       out = receiver.complete(sender.serve(receiver.build_request()));
     }
@@ -109,7 +109,7 @@ TEST(Security, MerkleValidationCatchesWrongCandidateSet) {
   spec.extra_txns = 50;
   const chain::Scenario s = chain::make_scenario(spec, rng);
   Sender sender(s.block, 8);
-  GrapheneBlockMsg msg = sender.encode(s.m);
+  GrapheneBlockMsg msg = sender.encode(s.m).msg;
   msg.header.merkle_root[0] ^= 0xff;
 
   Receiver receiver(s.receiver_mempool);

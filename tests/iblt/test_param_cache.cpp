@@ -1,0 +1,97 @@
+#include "iblt/param_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "iblt/param_table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace graphene::iblt {
+namespace {
+
+TEST(ParamCache, MatchesDirectLookup) {
+  ParamCache cache;
+  for (const std::uint64_t j : {1ull, 10ull, 100ull, 1000ull, 100000ull}) {
+    for (const std::uint32_t denom : {24u, 240u, 2400u}) {
+      const IbltParams direct = lookup_params(j, denom);
+      const IbltParams cached = cache.params(j, denom);
+      EXPECT_EQ(cached.k, direct.k) << "j=" << j << " denom=" << denom;
+      EXPECT_EQ(cached.cells, direct.cells) << "j=" << j << " denom=" << denom;
+      EXPECT_EQ(cache.bytes(j, denom), iblt_bytes(j, denom));
+    }
+  }
+}
+
+TEST(ParamCache, CountsHitsAndMisses) {
+  ParamCache cache;
+  (void)cache.params(50);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  (void)cache.params(50);
+  (void)cache.bytes(50);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(ParamCache, CanonicalizesFailDenom) {
+  // Denominators snap up to the shipped grid, so every spelling of the same
+  // effective rate shares one cache entry.
+  ParamCache cache;
+  (void)cache.params(50, 240);
+  (void)cache.params(50, 100);  // snaps to 240
+  (void)cache.params(50, 239);  // snaps to 240
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(snap_fail_denom(100), 240u);
+  EXPECT_EQ(snap_fail_denom(240), 240u);
+  EXPECT_EQ(snap_fail_denom(241), 2400u);
+  EXPECT_EQ(snap_fail_denom(1000000), 2400u);  // beyond grid: strictest shipped
+}
+
+TEST(ParamCache, ClearDropsEntriesKeepsCounters) {
+  ParamCache cache;
+  (void)cache.params(10);
+  (void)cache.params(10);
+  cache.clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.hits(), 1u);
+  (void)cache.params(10);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(ParamCache, NullCacheHelpersFallBackToDirect) {
+  const IbltParams direct = lookup_params(77, 240);
+  const IbltParams via = cached_params(nullptr, 77, 240);
+  EXPECT_EQ(via.k, direct.k);
+  EXPECT_EQ(via.cells, direct.cells);
+  EXPECT_EQ(cached_iblt_bytes(nullptr, 77, 240), iblt_bytes(77, 240));
+
+  ParamCache cache;
+  EXPECT_EQ(cached_params(&cache, 77, 240).cells, direct.cells);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(ParamCache, ConcurrentHitMissInsertIsRaceFree) {
+  // TSan target: many threads hammer overlapping key sets so shared-lock
+  // hits, exclusive-lock inserts, and racing same-key misses all interleave.
+  const char* stress = std::getenv("GRAPHENE_STRESS");
+  const std::uint64_t rounds = (stress != nullptr && *stress == '1') ? 20000 : 2000;
+  ParamCache cache;
+  util::ThreadPool pool(8);
+  util::parallel_for(&pool, rounds, [&](std::uint64_t i) {
+    const std::uint64_t j = 1 + (i % 97);
+    const std::uint32_t denom = kFailDenoms[i % 3];
+    const IbltParams p = cache.params(j, denom);
+    const IbltParams direct = lookup_params(j, denom);
+    ASSERT_EQ(p.k, direct.k);
+    ASSERT_EQ(p.cells, direct.cells);
+    ASSERT_EQ(cache.bytes(j, denom), iblt_bytes(j, denom));
+  });
+  EXPECT_EQ(cache.entries(), 97u * 3u);
+  EXPECT_EQ(cache.hits() + cache.misses(), 2 * rounds);
+}
+
+}  // namespace
+}  // namespace graphene::iblt

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "iblt/hypergraph.hpp"
+#include "util/thread_pool.hpp"
 
 namespace graphene::iblt {
 namespace {
@@ -16,26 +17,27 @@ SearchOptions fast_options() {
 
 TEST(ParamSearch, ZeroItemsTrivial) {
   util::Rng rng(1);
-  const auto c = search_cells(0, 4, 0.95, rng, fast_options());
-  ASSERT_TRUE(c.has_value());
-  EXPECT_EQ(*c, 4u);
+  const auto r = search_cells(0, 4, 0.95, rng, fast_options());
+  ASSERT_TRUE(r.cells.has_value());
+  EXPECT_EQ(*r.cells, 4u);
+  EXPECT_TRUE(r.certified);
 }
 
 TEST(ParamSearch, ReturnsMultipleOfK) {
   util::Rng rng(2);
   for (const std::uint32_t k : {3u, 4u, 5u}) {
-    const auto c = search_cells(25, k, 0.95, rng, fast_options());
-    ASSERT_TRUE(c.has_value());
-    EXPECT_EQ(*c % k, 0u) << "k=" << k;
+    const auto r = search_cells(25, k, 0.95, rng, fast_options());
+    ASSERT_TRUE(r.cells.has_value());
+    EXPECT_EQ(*r.cells % k, 0u) << "k=" << k;
   }
 }
 
 TEST(ParamSearch, FoundSizeMeetsRate) {
   util::Rng rng(3);
   const double p = 0.95;
-  const auto c = search_cells(30, 4, p, rng, fast_options());
-  ASSERT_TRUE(c.has_value());
-  const double rate = measure_decode_rate(30, 4, *c, 4000, rng);
+  const auto r = search_cells(30, 4, p, rng, fast_options());
+  ASSERT_TRUE(r.cells.has_value());
+  const double rate = measure_decode_rate(30, 4, *r.cells, 4000, rng);
   EXPECT_GE(rate, p - 0.03);
 }
 
@@ -45,10 +47,10 @@ TEST(ParamSearch, OneStepSmallerMissesRate) {
   util::Rng rng(4);
   const double p = 0.99;
   const std::uint32_t k = 4;
-  const auto c = search_cells(40, k, p, rng, fast_options());
-  ASSERT_TRUE(c.has_value());
-  ASSERT_GT(*c, k);
-  const double smaller_rate = measure_decode_rate(40, k, *c - k, 8000, rng);
+  const auto r = search_cells(40, k, p, rng, fast_options());
+  ASSERT_TRUE(r.cells.has_value());
+  ASSERT_GT(*r.cells, k);
+  const double smaller_rate = measure_decode_rate(40, k, *r.cells - k, 8000, rng);
   EXPECT_LT(smaller_rate, p + 0.005);
 }
 
@@ -56,16 +58,16 @@ TEST(ParamSearch, HigherTargetRateNeedsMoreCells) {
   util::Rng rng(5);
   const auto c_low = search_cells(50, 4, 0.90, rng, fast_options());
   const auto c_high = search_cells(50, 4, 0.999, rng, fast_options());
-  ASSERT_TRUE(c_low && c_high);
-  EXPECT_LT(*c_low, *c_high);
+  ASSERT_TRUE(c_low.cells && c_high.cells);
+  EXPECT_LT(*c_low.cells, *c_high.cells);
 }
 
 TEST(ParamSearch, MoreItemsNeedMoreCells) {
   util::Rng rng(6);
   const auto c10 = search_cells(10, 4, 0.95, rng, fast_options());
   const auto c100 = search_cells(100, 4, 0.95, rng, fast_options());
-  ASSERT_TRUE(c10 && c100);
-  EXPECT_LT(*c10, *c100);
+  ASSERT_TRUE(c10.cells && c100.cells);
+  EXPECT_LT(*c10.cells, *c100.cells);
 }
 
 TEST(ParamSearch, FullSearchPicksSmallestAcrossK) {
@@ -79,8 +81,8 @@ TEST(ParamSearch, FullSearchPicksSmallestAcrossK) {
   EXPECT_LE(best.params.k, opts.k_max);
   // No individual k should beat the chosen size materially.
   for (std::uint32_t k = opts.k_min; k <= opts.k_max; ++k) {
-    const auto c = search_cells(60, k, 0.95, rng, opts);
-    if (c) EXPECT_GE(*c + 2 * k, best.params.cells) << "k=" << k;
+    const auto r = search_cells(60, k, 0.95, rng, opts);
+    if (r.cells) EXPECT_GE(*r.cells + 2 * k, best.params.cells) << "k=" << k;
   }
   EXPECT_GT(best.decode_rate, 0.9);
 }
@@ -89,11 +91,74 @@ TEST(ParamSearch, HedgeFactorIsReasonable) {
   // Literature: peeling thresholds put c/j in roughly [1.2, 3] for mid-size
   // j at moderate rates.
   util::Rng rng(8);
-  const auto c = search_cells(100, 4, 0.95, rng, fast_options());
-  ASSERT_TRUE(c.has_value());
-  const double tau = static_cast<double>(*c) / 100.0;
+  const auto r = search_cells(100, 4, 0.95, rng, fast_options());
+  ASSERT_TRUE(r.cells.has_value());
+  const double tau = static_cast<double>(*r.cells) / 100.0;
   EXPECT_GT(tau, 1.0);
   EXPECT_LT(tau, 3.0);
+}
+
+TEST(ParamSearch, UncertifiedWhenTrialCapTooSmall) {
+  // One trial per decision: a single Bernoulli sample cannot separate a
+  // Wilson CI from an interior p, so every decision falls through to the
+  // point-estimate exit and the result must be flagged uncertified.
+  util::Rng rng(9);
+  SearchOptions opts = fast_options();
+  opts.max_trials = 1;
+  opts.batch = 1;
+  const auto r = search_cells(30, 4, 0.5, rng, opts);
+  EXPECT_FALSE(r.certified);
+
+  util::Rng rng2(9);
+  const SearchResult full = search_params(30, 0.5, rng2, opts);
+  EXPECT_FALSE(full.certified);
+}
+
+TEST(ParamSearch, CertifiedPropagatesFromFullSearch) {
+  // At p = 0.5 the decode-rate curve is steep around the threshold, so
+  // every binary-search decision separates well before the cap with this
+  // seed; deterministic given the seed, so this cannot flake.
+  util::Rng rng(10);
+  SearchOptions opts = fast_options();
+  opts.max_trials = 20000;
+  const SearchResult best = search_params(25, 0.5, rng, opts);
+  ASSERT_NE(best.params.cells, 0u);
+  EXPECT_TRUE(best.certified);
+}
+
+TEST(ParamSearch, ParallelSearchMatchesSerialForAnyWorkerCount) {
+  // The tentpole determinism guarantee: identical results for 1, 2, and 8
+  // workers (and the no-pool serial path) under a fixed seed.
+  const auto run = [](util::ThreadPool* pool) {
+    util::Rng rng(42);
+    SearchOptions opts;
+    opts.k_min = 3;
+    opts.k_max = 6;
+    opts.max_trials = 4000;
+    opts.batch = 64;
+    opts.pool = pool;
+    return search_params(50, 0.95, rng, opts);
+  };
+
+  const SearchResult serial = run(nullptr);
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    util::ThreadPool pool(workers);
+    const SearchResult parallel = run(&pool);
+    EXPECT_EQ(parallel.params.k, serial.params.k) << workers << " workers";
+    EXPECT_EQ(parallel.params.cells, serial.params.cells) << workers << " workers";
+    EXPECT_EQ(parallel.decode_rate, serial.decode_rate) << workers << " workers";
+    EXPECT_EQ(parallel.certified, serial.certified) << workers << " workers";
+  }
+}
+
+TEST(ParamSearch, MeasureDecodeRateMatchesAcrossPools) {
+  const auto run = [](util::ThreadPool* pool) {
+    util::Rng rng(11);
+    return measure_decode_rate(60, 4, 120, 3000, rng, pool);
+  };
+  const double serial = run(nullptr);
+  util::ThreadPool pool(4);
+  EXPECT_EQ(run(&pool), serial);
 }
 
 }  // namespace

@@ -22,7 +22,7 @@ core::ReceiveOutcome relay_over_wire(const chain::Scenario& s, std::uint64_t sal
                                      net::Channel& channel,
                                      const core::ProtocolConfig& cfg = {}) {
   core::Sender sender(s.block, salt, cfg);
-  core::Receiver receiver(s.receiver_mempool, cfg);
+  core::ReceiveSession receiver(s.receiver_mempool, cfg);
 
   const auto roundtrip = [&](auto msg, net::Direction dir, net::MessageType type) {
     const net::Message& sent = channel.send(dir, net::Message{type, msg.serialize()});
@@ -33,7 +33,7 @@ core::ReceiveOutcome relay_over_wire(const chain::Scenario& s, std::uint64_t sal
   };
 
   core::ReceiveOutcome out = receiver.receive_block(
-      roundtrip(sender.encode(s.receiver_mempool.size()),
+      roundtrip(sender.encode(s.receiver_mempool.size()).msg,
                 net::Direction::kSenderToReceiver, net::MessageType::kGrapheneBlock));
   if (out.status == core::ReceiveStatus::kNeedsProtocol2) {
     const auto req = roundtrip(receiver.build_request(),
@@ -120,8 +120,8 @@ TEST(EndToEnd, RepeatedRelaysFromSameSenderState) {
 
   core::Sender sender(s1.block, 5);
   for (int i = 0; i < 3; ++i) {
-    core::Receiver receiver(s1.receiver_mempool);
-    const auto out = receiver.receive_block(sender.encode(s1.m));
+    core::ReceiveSession receiver(s1.receiver_mempool);
+    const auto out = receiver.receive_block(sender.encode(s1.m).msg);
     EXPECT_EQ(out.status, core::ReceiveStatus::kDecoded);
   }
 }
@@ -143,8 +143,8 @@ TEST(EndToEnd, Protocol1RunEmitsExpectedSpanSequence) {
   core::ProtocolConfig cfg;
   cfg.obs = &reg;
   core::Sender sender(s.block, 99, cfg);
-  core::Receiver receiver(s.receiver_mempool, cfg);
-  const auto out = receiver.receive_block(sender.encode(s.receiver_mempool.size()));
+  core::ReceiveSession receiver(s.receiver_mempool, cfg);
+  const auto out = receiver.receive_block(sender.encode(s.receiver_mempool.size()).msg);
   ASSERT_EQ(out.status, core::ReceiveStatus::kDecoded);
 
   const std::vector<std::string> expected = {"p1_optimize", "sfilter_build",
@@ -184,8 +184,8 @@ TEST(EndToEnd, Protocol2RunEmitsRequestAndPeelSpans) {
   core::ProtocolConfig cfg;
   cfg.obs = &reg;
   core::Sender sender(s.block, 44, cfg);
-  core::Receiver receiver(s.receiver_mempool, cfg);
-  auto out = receiver.receive_block(sender.encode(s.receiver_mempool.size()));
+  core::ReceiveSession receiver(s.receiver_mempool, cfg);
+  auto out = receiver.receive_block(sender.encode(s.receiver_mempool.size()).msg);
   ASSERT_EQ(out.status, core::ReceiveStatus::kNeedsProtocol2);
   out = receiver.complete(sender.serve(receiver.build_request()));
 

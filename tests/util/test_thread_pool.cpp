@@ -1,0 +1,104 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace graphene::util {
+namespace {
+
+// These tests target the TSan CI leg: they exercise the pool's queue
+// handoff, parallel_for's caller participation, and the completion wakeup
+// under real contention. GRAPHENE_STRESS=1 scales the iteration counts up.
+
+std::uint64_t stress_multiplier() {
+  const char* s = std::getenv("GRAPHENE_STRESS");
+  return (s != nullptr && *s == '1') ? 20 : 1;
+}
+
+TEST(ThreadPool, RunsPostedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3u);
+    for (int i = 0; i < 100; ++i) {
+      pool.post([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor drains the queue before joining
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ZeroRequestsHardwareSize) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  const std::uint64_t count = 10000 * stress_multiplier();
+  ThreadPool pool(4);
+  std::vector<std::atomic<std::uint32_t>> hits(count);
+  parallel_for(&pool, count, [&](std::uint64_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForNullPoolRunsInline) {
+  std::vector<std::uint64_t> order;
+  parallel_for(nullptr, 5, [&](std::uint64_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(&pool, 0, [](std::uint64_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // The caller participates in draining, so nesting completes even when
+  // every pool worker is already busy with outer iterations.
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> total{0};
+  parallel_for(&pool, 8, [&](std::uint64_t) {
+    parallel_for(&pool, 8, [&](std::uint64_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 64u);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(&pool, 100,
+                   [](std::uint64_t i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ManyConcurrentParallelForsFromPoolThreads) {
+  // Several parallel_for calls sharing one pool, launched from pool threads
+  // themselves — the shape Sender/Receiver sessions produce when several
+  // peers are served at once.
+  ThreadPool pool(4);
+  const std::uint64_t outer = 16 * stress_multiplier();
+  std::vector<std::uint64_t> sums(outer, 0);
+  parallel_for(&pool, outer, [&](std::uint64_t o) {
+    std::atomic<std::uint64_t> local{0};
+    parallel_for(&pool, 64, [&](std::uint64_t i) {
+      local.fetch_add(i, std::memory_order_relaxed);
+    });
+    sums[o] = local.load();
+  });
+  for (const std::uint64_t s : sums) EXPECT_EQ(s, 64u * 63u / 2);
+}
+
+}  // namespace
+}  // namespace graphene::util
