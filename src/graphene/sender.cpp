@@ -91,6 +91,7 @@ GrapheneResponseMsg Sender::serve(const GrapheneRequestMsg& request) const {
   // request, and b + y* sizes the IBLT J allocated below.
   if (request.b > util::wire::kMaxSizingParam ||
       request.y_star > util::wire::kMaxSizingParam ||
+      request.b + request.y_star > util::wire::kMaxIbltCells ||
       request.z > util::wire::kMaxWireCollection ||
       !(request.fpr_r > 0.0 && request.fpr_r <= 1.0)) {
     ErrorContext ctx;

@@ -24,6 +24,7 @@
 #include <unordered_map>
 
 #include "iblt/iblt.hpp"
+#include "iblt/param_search.hpp"
 #include "iblt/param_table.hpp"
 
 namespace graphene::iblt {
@@ -42,6 +43,18 @@ class ParamCache {
   /// the cached IbltParams, so both queries share one entry per key.
   [[nodiscard]] std::size_t bytes(std::uint64_t j, std::uint32_t fail_denom = 240);
 
+  /// Cached equivalent of search_params(j, p, rng, opts) — Algorithm 1 is
+  /// orders of magnitude more expensive than a table lookup, so its results
+  /// are memoized too, keyed on (j, p quantized to 1e-6). The full
+  /// SearchResult is stored: the `certified` flag survives cache hits, so a
+  /// point-estimate answer (trial cap hit before the Wilson CI separated)
+  /// stays visibly uncertified no matter how callers reach it. Callers
+  /// sharing one cache must use consistent SearchOptions; `rng` is consumed
+  /// only on a miss (racing misses may both consume — both store equivalent
+  /// results).
+  [[nodiscard]] SearchResult search(std::uint64_t j, double p, util::Rng& rng,
+                                    const SearchOptions& opts = {});
+
   /// Telemetry. Counters are monotonically increasing and approximate under
   /// concurrency (relaxed); entries() takes a shared lock.
   [[nodiscard]] std::uint64_t hits() const noexcept {
@@ -57,9 +70,11 @@ class ParamCache {
 
  private:
   static std::uint64_t key(std::uint64_t j, std::uint32_t fail_denom) noexcept;
+  static std::uint64_t search_key(std::uint64_t j, double p) noexcept;
 
   mutable std::shared_mutex mu_;
-  std::unordered_map<std::uint64_t, IbltParams> map_;  // guarded by mu_
+  std::unordered_map<std::uint64_t, IbltParams> map_;        // guarded by mu_
+  std::unordered_map<std::uint64_t, SearchResult> search_map_;  // guarded by mu_
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
 };

@@ -1,18 +1,60 @@
 // Monotonic clock shared by timers and trace spans.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
 namespace graphene::obs {
 
+namespace detail {
+/// Fake-clock override: kNoFakeClock means "use the real clock". A single
+/// atomic keeps reads lock-free and race-free under TSan.
+inline constexpr std::uint64_t kNoFakeClock = ~std::uint64_t{0};
+inline std::atomic<std::uint64_t>& fake_clock_ns() noexcept {
+  static std::atomic<std::uint64_t> value{kNoFakeClock};
+  return value;
+}
+}  // namespace detail
+
 /// Nanoseconds on the process-wide monotonic clock. The absolute value is
-/// only meaningful relative to other calls in the same process.
+/// only meaningful relative to other calls in the same process. While a
+/// ScopedFakeClock is alive, returns the fake time instead — tests that
+/// assert on durations must use it; asserting on real elapsed time is the
+/// classic flake (see docs/TESTING.md).
 [[nodiscard]] inline std::uint64_t monotonic_ns() noexcept {
+  const std::uint64_t fake = detail::fake_clock_ns().load(std::memory_order_relaxed);
+  if (fake != detail::kNoFakeClock) return fake;
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+
+/// RAII fake clock for deterministic timing tests: while alive, monotonic_ns()
+/// returns exactly the value last set via advance()/set(). Not reentrant —
+/// one per process at a time (tests run timers single-threaded; the atomic
+/// only guards against background threads *reading* the clock).
+class ScopedFakeClock {
+ public:
+  explicit ScopedFakeClock(std::uint64_t start_ns = 1) noexcept {
+    detail::fake_clock_ns().store(start_ns, std::memory_order_relaxed);
+  }
+  ~ScopedFakeClock() {
+    detail::fake_clock_ns().store(detail::kNoFakeClock, std::memory_order_relaxed);
+  }
+  ScopedFakeClock(const ScopedFakeClock&) = delete;
+  ScopedFakeClock& operator=(const ScopedFakeClock&) = delete;
+
+  void set(std::uint64_t now_ns) noexcept {
+    detail::fake_clock_ns().store(now_ns, std::memory_order_relaxed);
+  }
+  void advance(std::uint64_t delta_ns) noexcept {
+    detail::fake_clock_ns().fetch_add(delta_ns, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t now() const noexcept {
+    return detail::fake_clock_ns().load(std::memory_order_relaxed);
+  }
+};
 
 }  // namespace graphene::obs

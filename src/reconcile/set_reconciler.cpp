@@ -4,6 +4,7 @@
 
 #include "bloom/bloom_math.hpp"
 #include "graphene/bounds.hpp"
+#include "graphene/errors.hpp"
 #include "iblt/param_cache.hpp"
 #include "iblt/param_table.hpp"
 #include "iblt/pingpong.hpp"
@@ -188,6 +189,24 @@ Offer Host::make_offer(std::uint64_t client_count) const {
 }
 
 Response Host::serve(const Request& request) const {
+  // Revalidate the sizing parameters even though the deserializer caps each
+  // field: serve() is also reachable with an in-memory request, and
+  // b + y_star sizes the correction IBLT allocated below — two fields at
+  // their individual caps would otherwise allocate a multi-hundred-MB table.
+  if (request.b > util::wire::kMaxSizingParam ||
+      request.y_star > util::wire::kMaxSizingParam ||
+      request.b + request.y_star > util::wire::kMaxIbltCells ||
+      request.candidate_count > util::wire::kMaxWireCollection ||
+      !(request.fpr_r > 0.0 && request.fpr_r <= 1.0)) {
+    core::ErrorContext ctx;
+    ctx.n = items_.size();
+    ctx.z = request.candidate_count;
+    ctx.y_star = request.y_star;
+    ctx.b = request.b;
+    throw core::ProtocolError("reconcile_serve",
+                              "request sizing parameters out of range", ctx);
+  }
+
   Response resp;
   const std::uint64_t n = items_.size();
 

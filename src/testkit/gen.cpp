@@ -1,0 +1,137 @@
+#include "testkit/gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "chain/transaction.hpp"
+
+namespace graphene::testkit {
+
+namespace {
+
+/// Log-uniform integer in [lo, hi]: protocol behavior changes with the
+/// order of magnitude of n, not its value, so uniform sampling would spend
+/// almost every trial on large blocks.
+std::uint64_t log_uniform(util::Rng& rng, std::uint64_t lo, std::uint64_t hi) {
+  lo = std::max<std::uint64_t>(lo, 1);
+  if (hi <= lo) return lo;
+  const double llo = std::log(static_cast<double>(lo));
+  const double lhi = std::log(static_cast<double>(hi) + 1.0);
+  const auto v = static_cast<std::uint64_t>(std::exp(llo + (lhi - llo) * rng.uniform()));
+  return std::clamp(v, lo, hi);
+}
+
+}  // namespace
+
+GenCase gen_case(util::Rng& rng, const ScenarioDims& dims) {
+  GenCase c;
+  c.spec.block_txns = log_uniform(rng, dims.min_block_txns, dims.max_block_txns);
+  const double mult = rng.uniform() * dims.max_extra_multiple;
+  c.spec.extra_txns =
+      static_cast<std::uint64_t>(mult * static_cast<double>(c.spec.block_txns));
+  const double span = dims.max_fraction - dims.min_fraction;
+  c.spec.block_fraction_in_mempool = dims.min_fraction + span * rng.uniform();
+  if (dims.max_sender_extra > 0) {
+    c.spec.sender_extra_txns = rng.below(dims.max_sender_extra + 1);
+  }
+  c.salt = rng.next();
+  c.scenario_seed = rng.next();
+  return c;
+}
+
+chain::Scenario build_scenario(const GenCase& c) {
+  util::Rng rng(c.scenario_seed);
+  return chain::make_scenario(c.spec, rng);
+}
+
+std::vector<GenCase> shrink_case(const GenCase& c) {
+  std::vector<GenCase> out;
+  const auto push = [&](chain::ScenarioSpec spec) {
+    GenCase s = c;
+    s.spec = spec;
+    out.push_back(s);
+  };
+  if (c.spec.block_txns > 1) {
+    chain::ScenarioSpec s = c.spec;
+    s.block_txns /= 2;
+    push(s);
+  }
+  if (c.spec.extra_txns > 0) {
+    chain::ScenarioSpec s = c.spec;
+    s.extra_txns /= 2;
+    push(s);
+    s = c.spec;
+    s.extra_txns = 0;
+    push(s);
+  }
+  if (c.spec.block_fraction_in_mempool < 1.0) {
+    chain::ScenarioSpec s = c.spec;
+    s.block_fraction_in_mempool =
+        std::min(1.0, 0.5 * (c.spec.block_fraction_in_mempool + 1.0));
+    push(s);
+  }
+  if (c.spec.sender_extra_txns > 0) {
+    chain::ScenarioSpec s = c.spec;
+    s.sender_extra_txns = 0;
+    push(s);
+  }
+  return out;
+}
+
+std::string describe_case(const GenCase& c) {
+  std::string s = "{n=" + std::to_string(c.spec.block_txns) +
+                  " extra=" + std::to_string(c.spec.extra_txns) +
+                  " fraction=" + std::to_string(c.spec.block_fraction_in_mempool);
+  if (c.spec.sender_extra_txns > 0) {
+    s += " sender_extra=" + std::to_string(c.spec.sender_extra_txns);
+  }
+  s += " salt=" + std::to_string(c.salt) +
+       " scenario_seed=" + std::to_string(c.scenario_seed) + "}";
+  return s;
+}
+
+chain::Transaction gen_transaction(util::Rng& rng, std::uint32_t min_size,
+                                   std::uint32_t max_size) {
+  chain::Transaction tx = chain::make_random_transaction(rng);
+  if (max_size > min_size) {
+    tx.size_bytes =
+        min_size + static_cast<std::uint32_t>(rng.below(max_size - min_size + 1));
+  } else {
+    tx.size_bytes = min_size;
+  }
+  tx.fee_per_kb = rng.below(10'000);
+  return tx;
+}
+
+util::Bytes gen_wire_bytes(util::Rng& rng, std::size_t max_len, const util::Bytes* base) {
+  if (base != nullptr && !base->empty() && rng.chance(0.75)) {
+    util::Bytes out = *base;
+    switch (rng.below(3)) {
+      case 0:  // truncate
+        out.resize(rng.below(out.size() + 1));
+        break;
+      case 1: {  // flip 1–4 random bits
+        const std::uint64_t flips = 1 + rng.below(4);
+        for (std::uint64_t i = 0; i < flips; ++i) {
+          out[rng.below(out.size())] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+        }
+        break;
+      }
+      default: {  // splice random bytes over a random window
+        const std::size_t at = rng.below(out.size());
+        const std::size_t len = std::min<std::size_t>(out.size() - at, 1 + rng.below(16));
+        for (std::size_t i = 0; i < len; ++i) {
+          out[at + i] = static_cast<std::uint8_t>(rng.next());
+        }
+        break;
+      }
+    }
+    if (out.size() > max_len) out.resize(max_len);
+    return out;
+  }
+  util::Bytes out(rng.below(max_len + 1));
+  rng.fill(out);
+  return out;
+}
+
+}  // namespace graphene::testkit

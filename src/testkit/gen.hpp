@@ -1,0 +1,78 @@
+// Seeded, shrinking generators for property-based protocol tests.
+//
+// Every generator is a pure function of a util::Rng, and every property
+// trial derives its Rng from (suite seed, trial index) via util::Rng::split —
+// so a failure anywhere in a statistical sweep reproduces from the two
+// numbers printed in the failure message, on any platform.
+//
+// Shrinking is domain-aware rather than byte-level: a failing scenario spec
+// shrinks toward fewer block transactions, fewer extras, and full overlap
+// (the trivially-decodable corner), so the counterexample a gate prints is
+// close to minimal in the (m, n, x, y) lattice the paper's theorems are
+// stated over.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/workload.hpp"
+#include "util/random.hpp"
+
+namespace graphene::testkit {
+
+/// Bounds of the (m, n, x, y) lattice a property sweeps. n is the block
+/// size; extras y = m − x are sampled as a multiple of n; overlap x is
+/// sampled as a fraction of n.
+struct ScenarioDims {
+  std::uint64_t min_block_txns = 1;
+  std::uint64_t max_block_txns = 2000;
+  /// Receiver extras as a multiple of the block size: y ∈ [0, max_mult·n].
+  double max_extra_multiple = 5.0;
+  /// Overlap fraction x/n range.
+  double min_fraction = 0.0;
+  double max_fraction = 1.0;
+  /// Extras in the sender's own pool (kept small; it only affects serve()).
+  std::uint64_t max_sender_extra = 0;
+};
+
+/// One generated protocol instance: the spec that shaped it plus the salt
+/// the sender keys short IDs with. The Scenario itself is rebuilt on demand
+/// (deterministically) from (spec, seed) so shrink candidates stay cheap.
+struct GenCase {
+  chain::ScenarioSpec spec{};
+  std::uint64_t salt = 0;
+  /// Stream seed this case's scenario materializes from.
+  std::uint64_t scenario_seed = 0;
+};
+
+/// Samples a spec uniformly over `dims` (log-uniform in block size so small
+/// and large blocks are both exercised), plus a salt and scenario stream.
+[[nodiscard]] GenCase gen_case(util::Rng& rng, const ScenarioDims& dims);
+
+/// Materializes the deterministic scenario for a generated case.
+[[nodiscard]] chain::Scenario build_scenario(const GenCase& c);
+
+/// Shrink candidates for a failing case, ordered most-aggressive first:
+/// halve the block, halve the extras, push the overlap fraction toward 1,
+/// drop sender extras. Every candidate is strictly simpler, so the greedy
+/// shrink loop terminates.
+[[nodiscard]] std::vector<GenCase> shrink_case(const GenCase& c);
+
+/// Human-readable one-liner for gate failure messages.
+[[nodiscard]] std::string describe_case(const GenCase& c);
+
+/// Random transaction with bounded synthetic size/fee — the per-item
+/// generator behind gen_case, exposed for tests that build sets directly.
+[[nodiscard]] chain::Transaction gen_transaction(util::Rng& rng,
+                                                 std::uint32_t min_size = 100,
+                                                 std::uint32_t max_size = 1000);
+
+/// Arbitrary-but-bounded wire bytes for deserializer properties: length in
+/// [0, max_len], contents either pure noise or a mutated copy of `base`
+/// (truncate / flip / splice) when one is given. Mutating real encodings
+/// reaches far deeper into deserializers than noise alone.
+[[nodiscard]] util::Bytes gen_wire_bytes(util::Rng& rng, std::size_t max_len,
+                                         const util::Bytes* base = nullptr);
+
+}  // namespace graphene::testkit

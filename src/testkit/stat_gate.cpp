@@ -1,0 +1,51 @@
+#include "testkit/stat_gate.hpp"
+
+#include <cstdlib>
+
+namespace graphene::testkit {
+
+std::uint64_t stress_scale() {
+  const char* s = std::getenv("GRAPHENE_STRESS");
+  if (s == nullptr || *s == '\0') return 1;
+  const long v = std::strtol(s, nullptr, 10);
+  return v > 1 ? static_cast<std::uint64_t>(v) : 10;
+}
+
+GateResult StatGate::run(
+    const std::function<bool(util::Rng&, std::uint64_t)>& trial) const {
+  GateResult r;
+  r.trials = spec_.trials * stress_scale();
+  const util::Rng root(spec_.seed);
+  constexpr std::size_t kMaxRecordedFailures = 16;
+  for (std::uint64_t i = 0; i < r.trials; ++i) {
+    util::Rng rng = root.split(i);
+    if (trial(rng, i)) {
+      ++r.successes;
+    } else if (r.failing_trials.size() < kMaxRecordedFailures) {
+      r.failing_trials.push_back(i);
+    }
+  }
+  r.observed = static_cast<double>(r.successes) / static_cast<double>(r.trials);
+  r.cp_upper = util::clopper_pearson_upper(r.successes, r.trials, spec_.confidence);
+  r.cp_lower = util::clopper_pearson_lower(r.successes, r.trials, spec_.confidence);
+  r.passed = r.cp_upper >= spec_.min_rate;
+
+  std::string& m = r.message;
+  m = "StatGate[" + spec_.name + "] " + (r.passed ? "PASS" : "FAIL") + ": " +
+      std::to_string(r.successes) + "/" + std::to_string(r.trials) +
+      " = " + std::to_string(r.observed) + ", CP" +
+      std::to_string(spec_.confidence) + " interval [" + std::to_string(r.cp_lower) +
+      ", " + std::to_string(r.cp_upper) + "], required rate >= " +
+      std::to_string(spec_.min_rate) + "\n  reproduce: seed=" +
+      std::to_string(spec_.seed) + " (trial i runs on Rng(seed).split(i))";
+  if (!r.failing_trials.empty()) {
+    m += "\n  failing trials:";
+    for (const std::uint64_t i : r.failing_trials) {
+      m += ' ';
+      m += std::to_string(i);
+    }
+  }
+  return r;
+}
+
+}  // namespace graphene::testkit

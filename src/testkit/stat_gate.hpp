@@ -1,0 +1,123 @@
+// Statistical assertion gate for probabilistic guarantees.
+//
+// Graphene's theorems promise rates, not outcomes: Theorem 1 promises IBLT
+// decode success with probability ≥ β, Theorems 2/3 promise bound violations
+// with probability ≤ 1−β. A point-example test cannot pin a rate — a
+// regression from 239/240 to 0.9 still passes most single runs. A StatGate
+// runs N seeded trials and converts (successes, N) into a verdict with the
+// exact one-sided Clopper–Pearson interval:
+//
+//   FAIL  iff  clopper_pearson_upper(successes, N, confidence) < min_rate
+//
+// i.e. the gate fails only when the data is statistically incompatible with
+// the promised rate, so the false-alarm probability of a healthy build is at
+// most 1 − confidence per gate, while a real regression of a few percent is
+// caught with near certainty at default trial counts.
+//
+// Reproduction: trial i runs on Rng(seed).split(i). A failed gate prints the
+// suite seed, every failing trial index, and (when the trial exposes its
+// generated case) the greedily shrunk counterexample.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace graphene::testkit {
+
+/// Trial-count scale factor from the environment: GRAPHENE_STRESS multiplies
+/// defaults by 10 (or by its numeric value when > 1); GRAPHENE_FAST leaves
+/// gates alone — statistical power is the point, so gates never shrink.
+[[nodiscard]] std::uint64_t stress_scale();
+
+struct StatGateSpec {
+  std::string name;           ///< printed in the verdict, e.g. "thm1_decode"
+  std::uint64_t trials = 200; ///< base count, multiplied by stress_scale()
+  double min_rate = 0.5;      ///< promised lower bound on the success rate
+  double confidence = 0.999;  ///< one-sided CP confidence of the verdict
+  std::uint64_t seed = 0x97a9e5ULL;  ///< suite seed (always printed)
+};
+
+struct GateResult {
+  bool passed = false;
+  std::uint64_t trials = 0;
+  std::uint64_t successes = 0;
+  double observed = 0.0;   ///< successes / trials
+  double cp_upper = 1.0;   ///< one-sided Clopper–Pearson upper bound
+  double cp_lower = 0.0;   ///< one-sided lower bound (diagnostic only)
+  /// Failure indices (capped); trial i reproduces from Rng(seed).split(i).
+  std::vector<std::uint64_t> failing_trials;
+  /// Full human-readable verdict: rates, interval, seed, counterexample.
+  std::string message;
+};
+
+class StatGate {
+ public:
+  explicit StatGate(StatGateSpec spec) : spec_(std::move(spec)) {}
+
+  /// Runs `trial(rng, index)` spec.trials × stress_scale() times; trial
+  /// returns true on success. The verdict is assembled afterwards.
+  GateResult run(const std::function<bool(util::Rng&, std::uint64_t)>& trial) const;
+
+  /// Property form with shrinking: `generate(rng)` draws a case, `check`
+  /// decides it (it receives a child rng for any extra randomness), `shrink`
+  /// proposes simpler cases and `describe` renders one. On gate failure the
+  /// first failing case is re-checked through the shrink lattice and the
+  /// smallest still-failing case lands in the message.
+  template <typename Case>
+  GateResult run_cases(
+      const std::function<Case(util::Rng&)>& generate,
+      const std::function<bool(const Case&, util::Rng&)>& check,
+      const std::function<std::vector<Case>(const Case&)>& shrink,
+      const std::function<std::string(const Case&)>& describe) const {
+    Case first_failure{};
+    bool have_failure = false;
+    GateResult r = run([&](util::Rng& rng, std::uint64_t) {
+      Case c = generate(rng);
+      util::Rng check_rng = rng.split(0x5eed);
+      const bool ok = check(c, check_rng);
+      if (!ok && !have_failure) {
+        first_failure = c;
+        have_failure = true;
+      }
+      return ok;
+    });
+    if (!r.passed && have_failure) {
+      // Greedy shrink: accept the first simpler candidate that still fails;
+      // each accepted step strictly shrinks the case, so this terminates.
+      Case current = first_failure;
+      bool progressed = true;
+      while (progressed) {
+        progressed = false;
+        for (const Case& cand : shrink(current)) {
+          util::Rng cand_rng = util::Rng(spec_.seed).split(0x5eed);
+          if (!check(cand, cand_rng)) {
+            current = cand;
+            progressed = true;
+            break;
+          }
+        }
+      }
+      r.message += "\n  shrunk counterexample: " + describe(current) +
+                   "\n  original failure:      " + describe(first_failure);
+    }
+    return r;
+  }
+
+  [[nodiscard]] const StatGateSpec& spec() const noexcept { return spec_; }
+
+ private:
+  StatGateSpec spec_;
+};
+
+}  // namespace graphene::testkit
+
+/// GTest glue: assert a gate result, printing the full verdict on failure.
+#define GRAPHENE_EXPECT_GATE(result)                      \
+  EXPECT_TRUE((result).passed) << (result).message
+#define GRAPHENE_ASSERT_GATE(result)                      \
+  ASSERT_TRUE((result).passed) << (result).message

@@ -19,6 +19,69 @@ double chernoff_upper_tail(double delta, double mu) noexcept {
   return std::exp(log_tail);
 }
 
+double log_binomial_cdf(std::uint64_t k, std::uint64_t n, double p) noexcept {
+  if (k >= n || p <= 0.0) return 0.0;  // probability 1
+  if (p >= 1.0) return -1e300;         // probability 0 (log scale)
+  // Accumulate pmf terms in log space with a running log-sum-exp anchored at
+  // the largest term seen so far. n in the gate use case is ≤ ~10^5, so the
+  // linear scan is cheap and exact to double precision.
+  const double logp = std::log(p);
+  const double logq = std::log1p(-p);
+  double log_term = static_cast<double>(n) * logq;  // pmf at i = 0
+  double log_sum = log_term;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    // pmf(i) / pmf(i-1) = (n-i+1)/i * p/q
+    log_term += std::log(static_cast<double>(n - i + 1)) -
+                std::log(static_cast<double>(i)) + logp - logq;
+    const double hi = std::max(log_sum, log_term);
+    log_sum = hi + std::log(std::exp(log_sum - hi) + std::exp(log_term - hi));
+  }
+  return std::min(log_sum, 0.0);
+}
+
+namespace {
+
+/// Bisection helper: smallest/largest p with the exact tail condition. The
+/// Clopper–Pearson bounds are the roots of the binomial tail in p; 100
+/// bisection steps pin them far below double noise for any n.
+template <typename Cond>
+double bisect(double lo, double hi, Cond cond) noexcept {
+  for (int i = 0; i < 100; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (cond(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double clopper_pearson_lower(std::uint64_t successes, std::uint64_t trials,
+                             double confidence) noexcept {
+  if (trials == 0 || successes == 0) return 0.0;
+  const double alpha = std::clamp(1.0 - confidence, 1e-12, 1.0);
+  // The bound solves Pr[X ≥ s | p] = α. The tail is increasing in p, and
+  // Pr[X ≥ s] ≥ α ⇔ CDF(s−1) ≤ 1−α, which stays stable in log space.
+  return bisect(0.0, 1.0, [&](double p) {
+    return log_binomial_cdf(successes - 1, trials, p) <= std::log1p(-alpha);
+  });
+}
+
+double clopper_pearson_upper(std::uint64_t successes, std::uint64_t trials,
+                             double confidence) noexcept {
+  if (trials == 0) return 1.0;
+  if (successes >= trials) return 1.0;
+  const double alpha = std::clamp(1.0 - confidence, 1e-12, 1.0);
+  const double log_alpha = std::log(alpha);
+  // Smallest p with Pr[X ≤ s] ≤ α.
+  return bisect(0.0, 1.0, [&](double p) {
+    return log_binomial_cdf(successes, trials, p) <= log_alpha;
+  });
+}
+
 Interval wilson_interval(std::uint64_t successes, std::uint64_t trials, double z) noexcept {
   if (trials == 0) return {0.5, 0.5};
   const double n = static_cast<double>(trials);

@@ -32,6 +32,21 @@ struct Interval {
 [[nodiscard]] Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
                                        double z = 1.96) noexcept;
 
+/// Exact one-sided Clopper–Pearson bounds for a binomial proportion: with
+/// probability ≥ `confidence` the true success rate is ≥ the lower bound
+/// (resp. ≤ the upper bound). Computed by bisection on the exact binomial
+/// tail in log space — no incomplete-beta dependency — so the bounds are
+/// conservative for any (successes, trials), including 0 and trials.
+/// testkit::StatGate uses these to turn "N trials, s successes" into a
+/// CI-gateable verdict about a theorem's promised rate.
+[[nodiscard]] double clopper_pearson_lower(std::uint64_t successes, std::uint64_t trials,
+                                           double confidence = 0.99) noexcept;
+[[nodiscard]] double clopper_pearson_upper(std::uint64_t successes, std::uint64_t trials,
+                                           double confidence = 0.99) noexcept;
+
+/// log Pr[Bin(n, p) ≤ k] evaluated stably by summing pmf terms in log space.
+[[nodiscard]] double log_binomial_cdf(std::uint64_t k, std::uint64_t n, double p) noexcept;
+
 /// Mean of a Binomial(n, p) — trivially n*p, named for readability at call
 /// sites that mirror the paper's formulas.
 [[nodiscard]] inline double binomial_mean(double n, double p) noexcept { return n * p; }

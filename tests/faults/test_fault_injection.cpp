@@ -1,0 +1,235 @@
+// Protocol robustness under an adversarial link.
+//
+// Property: for ANY seeded fault schedule (drop / truncate / duplicate /
+// reorder / bitflip) the Sender/ReceiveSession pair terminates in a bounded
+// number of steps with one of: a decoded block that matches the sender's
+// (Merkle-checked), a typed error (core::ProtocolError or
+// util::DeserializeError), or a clean abort after bounded retries. Never a
+// hang, a crash, or a silently wrong block. The driver below is the bounded
+// retry loop a real peer would run; every trial reproduces from the gate
+// seed.
+#include <gtest/gtest.h>
+
+#include "graphene/receiver.hpp"
+#include "graphene/sender.hpp"
+#include "testkit/faulty_channel.hpp"
+#include "testkit/gen.hpp"
+#include "testkit/stat_gate.hpp"
+#include "util/wire_limits.hpp"
+
+namespace graphene {
+namespace {
+
+enum class End : std::uint8_t {
+  kDecodedCorrect,  ///< kDecoded with Merkle pass and the sender's exact ids
+  kTypedError,      ///< ProtocolError / DeserializeError / kFailed outcome
+  kAborted,         ///< link never delivered a parseable message in bounds
+  kWrongBlock,      ///< the one outcome that must never happen
+};
+
+constexpr int kMaxAttemptsPerStep = 3;
+
+/// Sends `msg` through the channel until one delivered buffer parses as a
+/// `Msg`, retransmitting on silence up to kMaxAttemptsPerStep, flushing
+/// held-back messages before giving up. Parse failures of individual
+/// buffers are tolerated (a real peer skips garbage frames); returns
+/// nullopt when the link stayed dead.
+template <typename Msg>
+std::optional<Msg> deliver(testkit::FaultyChannel& ch, net::Direction dir,
+                           net::MessageType type, const Msg& msg) {
+  const util::Bytes encoded = msg.serialize();
+  for (int attempt = 0; attempt < kMaxAttemptsPerStep; ++attempt) {
+    std::vector<util::Bytes> buffers = ch.transmit(dir, type, encoded);
+    if (attempt + 1 == kMaxAttemptsPerStep) {
+      for (util::Bytes& held : ch.flush(dir)) buffers.push_back(std::move(held));
+    }
+    for (const util::Bytes& b : buffers) {
+      try {
+        util::ByteReader reader(b);
+        return Msg::deserialize(reader);
+      } catch (const util::DeserializeError&) {
+        // corrupted frame — skip it, maybe a later delivery parses
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+End run_through_faults(const testkit::GenCase& c, const testkit::FaultSpec& faults) {
+  const chain::Scenario s = testkit::build_scenario(c);
+  core::Sender sender(s.block, c.salt);
+  core::ReceiveSession session = core::Receiver(s.receiver_mempool).session();
+  testkit::FaultyChannel ch(faults);
+
+  const auto classify = [&](const core::ReceiveOutcome& out) {
+    if (out.status != core::ReceiveStatus::kDecoded) return End::kTypedError;
+    if (!out.merkle_ok || out.block_ids != s.block.tx_ids()) return End::kWrongBlock;
+    return End::kDecodedCorrect;
+  };
+
+  try {
+    const auto block = deliver(ch, net::Direction::kSenderToReceiver,
+                               net::MessageType::kGrapheneBlock,
+                               sender.encode(s.m).msg);
+    if (!block) return End::kAborted;
+    core::ReceiveOutcome out = session.receive_block(*block);
+
+    if (out.status == core::ReceiveStatus::kNeedsProtocol2) {
+      const auto request = deliver(ch, net::Direction::kReceiverToSender,
+                                   net::MessageType::kGrapheneRequest,
+                                   session.build_request());
+      if (!request) return End::kAborted;
+      const auto response = deliver(ch, net::Direction::kSenderToReceiver,
+                                    net::MessageType::kGrapheneResponse,
+                                    sender.serve(*request));
+      if (!response) return End::kAborted;
+      out = session.complete(*response);
+    }
+
+    if (out.status == core::ReceiveStatus::kNeedsRepair) {
+      const auto repair_req = deliver(ch, net::Direction::kReceiverToSender,
+                                      net::MessageType::kGetBlockTxn,
+                                      session.build_repair());
+      if (!repair_req) return End::kAborted;
+      const auto repair = deliver(ch, net::Direction::kSenderToReceiver,
+                                  net::MessageType::kBlockTxn,
+                                  sender.serve_repair(*repair_req));
+      if (!repair) return End::kAborted;
+      out = session.complete_repair(*repair);
+    }
+
+    return classify(out);
+  } catch (const core::ProtocolError&) {
+    return End::kTypedError;
+  } catch (const util::DeserializeError&) {
+    return End::kTypedError;
+  }
+}
+
+struct FaultProfile {
+  const char* name;
+  testkit::FaultSpec spec;
+};
+
+std::vector<FaultProfile> profiles() {
+  std::vector<FaultProfile> out;
+  {
+    testkit::FaultSpec f;
+    f.drop = 0.15;
+    out.push_back({"drop", f});
+  }
+  {
+    testkit::FaultSpec f;
+    f.truncate = 0.25;
+    out.push_back({"truncate", f});
+  }
+  {
+    testkit::FaultSpec f;
+    f.bitflip = 0.25;
+    out.push_back({"bitflip", f});
+  }
+  {
+    testkit::FaultSpec f;
+    f.duplicate = 0.3;
+    f.reorder = 0.3;
+    out.push_back({"dup_reorder", f});
+  }
+  {
+    testkit::FaultSpec f;
+    f.drop = 0.08;
+    f.duplicate = 0.15;
+    f.reorder = 0.15;
+    f.truncate = 0.12;
+    f.bitflip = 0.12;
+    out.push_back({"everything", f});
+  }
+  return out;
+}
+
+TEST(FaultInjection, ProtocolAlwaysTerminatesCleanly) {
+  for (const FaultProfile& profile : profiles()) {
+    testkit::StatGateSpec spec;
+    spec.name = std::string("faults_") + profile.name;
+    spec.trials = 60;
+    spec.min_rate = 0.0;  // the property is absolute; rate not at issue
+    std::uint64_t wrong = 0;
+    testkit::ScenarioDims dims;
+    dims.min_block_txns = 1;
+    dims.max_block_txns = 300;
+    dims.max_extra_multiple = 3.0;
+    const testkit::GateResult r =
+        testkit::StatGate(spec).run([&](util::Rng& rng, std::uint64_t i) {
+          const testkit::GenCase c = testkit::gen_case(rng, dims);
+          testkit::FaultSpec f = profile.spec;
+          f.seed = rng.split(0xfau).next() + i;
+          const End end = run_through_faults(c, f);
+          if (end == End::kWrongBlock) ++wrong;
+          return end != End::kWrongBlock;
+        });
+    GRAPHENE_ASSERT_GATE(r);
+    ASSERT_EQ(wrong, 0u) << "silent wrong block under profile " << profile.name;
+  }
+}
+
+TEST(FaultInjection, CleanLinkDecodesAtFullRate) {
+  // Control: the same driver with a fault-free schedule must essentially
+  // always land in kDecodedCorrect — proves the driver itself isn't the
+  // source of aborts in the faulted runs.
+  testkit::StatGateSpec spec;
+  spec.name = "faults_control";
+  spec.trials = 80;
+  spec.min_rate = 0.95;
+  testkit::ScenarioDims dims;
+  dims.min_block_txns = 1;
+  dims.max_block_txns = 300;
+  const testkit::GateResult r =
+      testkit::StatGate(spec).run([&](util::Rng& rng, std::uint64_t) {
+        const testkit::GenCase c = testkit::gen_case(rng, dims);
+        return run_through_faults(c, testkit::FaultSpec{}) == End::kDecodedCorrect;
+      });
+  GRAPHENE_EXPECT_GATE(r);
+}
+
+TEST(FaultInjection, HeavyLossStillNeverHangsOrCorrupts) {
+  testkit::StatGateSpec spec;
+  spec.name = "faults_heavy_loss";
+  spec.trials = 40;
+  spec.min_rate = 0.0;
+  testkit::ScenarioDims dims;
+  dims.max_block_txns = 100;
+  std::uint64_t aborted = 0;
+  const testkit::GateResult r =
+      testkit::StatGate(spec).run([&](util::Rng& rng, std::uint64_t) {
+        const testkit::GenCase c = testkit::gen_case(rng, dims);
+        testkit::FaultSpec f;
+        f.drop = 0.7;
+        f.seed = rng.next();
+        const End end = run_through_faults(c, f);
+        if (end == End::kAborted) ++aborted;
+        return end != End::kWrongBlock;
+      });
+  GRAPHENE_ASSERT_GATE(r);
+  // At 70% loss the bounded-retry driver must actually give up sometimes —
+  // otherwise the abort path is dead code and the property above is vacuous.
+  EXPECT_GT(aborted, 0u);
+}
+
+TEST(FaultInjection, SenderRejectsOversizedJointSizing) {
+  // The b + y* sum guard in Sender::serve: each field passes its individual
+  // wire cap but the pair would size an IBLT beyond kMaxIbltCells.
+  util::Rng rng(71);
+  chain::ScenarioSpec spec;
+  spec.block_txns = 50;
+  const chain::Scenario s = chain::make_scenario(spec, rng);
+  core::Sender sender(s.block, 7);
+  core::GrapheneRequestMsg req;
+  req.z = 10;
+  req.b = util::wire::kMaxSizingParam;
+  req.y_star = util::wire::kMaxSizingParam;
+  req.fpr_r = 0.1;
+  req.filter_r = bloom::BloomFilter(10, 0.1, 1);
+  EXPECT_THROW(sender.serve(req), core::ProtocolError);
+}
+
+}  // namespace
+}  // namespace graphene

@@ -1,0 +1,179 @@
+// Fault injection for the generic set reconciler (reconcile::Host/Client).
+//
+// Same property as the block-relay suite: under any seeded fault schedule
+// the one-way reconciliation terminates with either the host's exact set, a
+// typed error, or a bounded abort — never a hang or a silently wrong set
+// (the offer's xor-of-short-id checksum is the exactness guard).
+#include <gtest/gtest.h>
+
+#include "graphene/errors.hpp"
+#include "reconcile/set_reconciler.hpp"
+#include "testkit/faulty_channel.hpp"
+#include "testkit/gen.hpp"
+#include "testkit/stat_gate.hpp"
+#include "util/wire_limits.hpp"
+
+namespace graphene::reconcile {
+namespace {
+
+ItemSet random_set(util::Rng& rng, std::uint64_t count) {
+  ItemSet out;
+  out.reserve(count);
+  while (out.size() < count) {
+    ItemDigest d;
+    for (auto& byte : d) byte = static_cast<std::uint8_t>(rng.next());
+    out.insert(d);
+  }
+  return out;
+}
+
+enum class End : std::uint8_t { kExactSet, kTypedError, kAborted, kWrongSet };
+
+constexpr int kMaxAttemptsPerStep = 3;
+
+template <typename Msg>
+std::optional<Msg> deliver(testkit::FaultyChannel& ch, net::Direction dir, const Msg& msg) {
+  const util::Bytes encoded = msg.serialize();
+  for (int attempt = 0; attempt < kMaxAttemptsPerStep; ++attempt) {
+    std::vector<util::Bytes> buffers =
+        ch.transmit(dir, net::MessageType::kInv, encoded);
+    if (attempt + 1 == kMaxAttemptsPerStep) {
+      for (util::Bytes& held : ch.flush(dir)) buffers.push_back(std::move(held));
+    }
+    for (const util::Bytes& b : buffers) {
+      try {
+        util::ByteReader reader(b);
+        return Msg::deserialize(reader);
+      } catch (const util::DeserializeError&) {
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+End run_reconcile_through_faults(util::Rng& rng, const testkit::FaultSpec& faults) {
+  const std::uint64_t host_count = 1 + rng.below(300);
+  const std::uint64_t shared = rng.below(host_count + 1);
+  const ItemSet host_items = random_set(rng, host_count);
+  ItemSet client_items;
+  for (const ItemDigest& d : host_items) {
+    if (client_items.size() >= shared) break;
+    client_items.insert(d);
+  }
+  for (const ItemDigest& d : random_set(rng, rng.below(300))) client_items.insert(d);
+
+  const Host host(host_items, /*salt=*/rng.next());
+  Client client(client_items);
+  testkit::FaultyChannel ch(faults);
+
+  const auto classify = [&](const Outcome& out) {
+    if (out.status != Outcome::Status::kComplete) return End::kTypedError;
+    return out.host_set == host.items() ? End::kExactSet : End::kWrongSet;
+  };
+
+  try {
+    const auto offer = deliver(ch, net::Direction::kSenderToReceiver,
+                               host.make_offer(client_items.size()));
+    if (!offer) return End::kAborted;
+    Outcome out = client.absorb(*offer);
+
+    if (out.status == Outcome::Status::kNeedsRequest) {
+      const auto request =
+          deliver(ch, net::Direction::kReceiverToSender, client.make_request());
+      if (!request) return End::kAborted;
+      const auto response =
+          deliver(ch, net::Direction::kSenderToReceiver, host.serve(*request));
+      if (!response) return End::kAborted;
+      out = client.complete(*response);
+    }
+
+    if (out.status == Outcome::Status::kNeedsFetch) {
+      const auto fetch_req =
+          deliver(ch, net::Direction::kReceiverToSender, client.make_fetch());
+      if (!fetch_req) return End::kAborted;
+      const auto fetch =
+          deliver(ch, net::Direction::kSenderToReceiver, host.serve_fetch(*fetch_req));
+      if (!fetch) return End::kAborted;
+      out = client.complete_fetch(*fetch);
+    }
+
+    // Any state still short of kComplete after the protocol's rounds is a
+    // bounded, reported failure — the checksum refused to certify.
+    return classify(out);
+  } catch (const core::ProtocolError&) {
+    return End::kTypedError;
+  } catch (const util::DeserializeError&) {
+    return End::kTypedError;
+  }
+}
+
+TEST(ReconcileFaults, TerminatesWithExactSetOrTypedFailure) {
+  const double kProfiles[][5] = {
+      // drop, duplicate, reorder, truncate, bitflip
+      {0.15, 0.0, 0.0, 0.0, 0.0},
+      {0.0, 0.3, 0.3, 0.0, 0.0},
+      {0.0, 0.0, 0.0, 0.25, 0.25},
+      {0.08, 0.15, 0.15, 0.12, 0.12},
+  };
+  for (const auto& p : kProfiles) {
+    testkit::StatGateSpec spec;
+    spec.name = "reconcile_faults";
+    spec.trials = 50;
+    spec.min_rate = 0.0;
+    std::uint64_t wrong = 0;
+    const testkit::GateResult r =
+        testkit::StatGate(spec).run([&](util::Rng& rng, std::uint64_t) {
+          testkit::FaultSpec f;
+          f.drop = p[0];
+          f.duplicate = p[1];
+          f.reorder = p[2];
+          f.truncate = p[3];
+          f.bitflip = p[4];
+          f.seed = rng.next();
+          const End end = run_reconcile_through_faults(rng, f);
+          if (end == End::kWrongSet) ++wrong;
+          return end != End::kWrongSet;
+        });
+    GRAPHENE_ASSERT_GATE(r);
+    ASSERT_EQ(wrong, 0u);
+  }
+}
+
+TEST(ReconcileFaults, CleanLinkReconcilesExactly) {
+  testkit::StatGateSpec spec;
+  spec.name = "reconcile_control";
+  spec.trials = 60;
+  spec.min_rate = 0.95;
+  const testkit::GateResult r =
+      testkit::StatGate(spec).run([&](util::Rng& rng, std::uint64_t) {
+        return run_reconcile_through_faults(rng, testkit::FaultSpec{}) ==
+               End::kExactSet;
+      });
+  GRAPHENE_EXPECT_GATE(r);
+}
+
+TEST(ReconcileFaults, HostRejectsOversizedRequestSizing) {
+  // Regression guard for the Host::serve revalidation: a request whose
+  // fields pass the individual wire caps but whose b + y* would allocate an
+  // IBLT beyond kMaxIbltCells must throw a typed error, not allocate.
+  util::Rng rng(91);
+  const Host host(random_set(rng, 20), 5);
+  Request req;
+  req.candidate_count = 10;
+  req.b = util::wire::kMaxSizingParam;
+  req.y_star = util::wire::kMaxSizingParam;
+  req.fpr_r = 0.1;
+  req.filter = bloom::BloomFilter(10, 0.1, 1);
+  EXPECT_THROW(host.serve(req), core::ProtocolError);
+
+  Request nan_req;
+  nan_req.candidate_count = 10;
+  nan_req.b = 1;
+  nan_req.y_star = 1;
+  nan_req.fpr_r = 0.0;  // out of (0, 1]
+  nan_req.filter = bloom::BloomFilter(10, 0.1, 1);
+  EXPECT_THROW(host.serve(nan_req), core::ProtocolError);
+}
+
+}  // namespace
+}  // namespace graphene::reconcile

@@ -1,0 +1,196 @@
+// Theorem-level statistical CI gates.
+//
+// Each gate pins a rate the paper promises — not an example of it. Trials
+// are seeded (trial i runs on Rng(seed).split(i)) and the verdict uses the
+// exact one-sided Clopper–Pearson interval, so a pass is reproducible and a
+// failure is statistically meaningful, never a flake: a gate only fails when
+// the observed data is incompatible with the promised rate at the gate's
+// confidence (see src/testkit/stat_gate.hpp and docs/TESTING.md).
+#include <gtest/gtest.h>
+
+#include "graphene/bounds.hpp"
+#include "graphene/receiver.hpp"
+#include "graphene/sender.hpp"
+#include "iblt/hypergraph.hpp"
+#include "iblt/param_search.hpp"
+#include "iblt/param_table.hpp"
+#include "iblt/pingpong.hpp"
+#include "testkit/gen.hpp"
+#include "testkit/stat_gate.hpp"
+
+namespace graphene {
+namespace {
+
+constexpr double kBeta = 239.0 / 240.0;
+
+// --- Theorem 1: a* is a β-assurance bound on Bloom false positives --------
+
+TEST(TheoremGates, Theorem1AStarBoundHoldsAtRateBeta) {
+  testkit::StatGateSpec spec;
+  spec.name = "thm1_a_star";
+  spec.trials = 2000;
+  spec.min_rate = kBeta;
+  const testkit::GateResult r =
+      testkit::StatGate(spec).run([](util::Rng& rng, std::uint64_t) {
+        const std::uint64_t n = 1 + rng.below(2000);
+        const std::uint64_t m = n + 1 + rng.below(10000);
+        const double f_s = 0.001 + 0.2 * rng.uniform();
+        const double a = static_cast<double>(m - n) * f_s;
+        const std::uint64_t a_star = core::bound_a_star(a, kBeta);
+        const std::uint64_t realized = rng.binomial(m - n, f_s);
+        return realized <= a_star;
+      });
+  GRAPHENE_EXPECT_GATE(r);
+}
+
+// --- Theorem 1 end-to-end: Protocol 1 decodes at rate ≥ β when the
+// receiver holds the whole block. Failure sources compose (a* exceeded OR
+// the IBLT hits its 1/240 tail), so the promised rate is 1 − 2·(1 − β). ---
+
+TEST(TheoremGates, Theorem1Protocol1DecodeRate) {
+  testkit::StatGateSpec spec;
+  spec.name = "thm1_p1_decode";
+  spec.trials = 300;
+  spec.min_rate = 1.0 - 2.0 * (1.0 - kBeta);
+  testkit::ScenarioDims dims;
+  dims.min_block_txns = 2;
+  dims.max_block_txns = 600;
+  dims.max_extra_multiple = 4.0;
+  dims.min_fraction = 1.0;  // Theorem 1's regime: no missing block txns
+  dims.max_fraction = 1.0;
+  const testkit::GateResult r = testkit::StatGate(spec).run_cases<testkit::GenCase>(
+      [&](util::Rng& rng) { return testkit::gen_case(rng, dims); },
+      [](const testkit::GenCase& c, util::Rng&) {
+        const chain::Scenario s = testkit::build_scenario(c);
+        core::Sender sender(s.block, c.salt);
+        core::ReceiveSession session = core::Receiver(s.receiver_mempool).session();
+        const core::ReceiveOutcome out =
+            session.receive_block(sender.encode(s.m).msg);
+        if (out.status != core::ReceiveStatus::kDecoded) return false;
+        return out.merkle_ok && out.block_ids == s.block.tx_ids();
+      },
+      [](const testkit::GenCase& c) { return testkit::shrink_case(c); },
+      [](const testkit::GenCase& c) { return testkit::describe_case(c); });
+  GRAPHENE_EXPECT_GATE(r);
+}
+
+// --- Theorems 2 and 3: x* under- and y* over-estimate at rate ≥ β ---------
+
+TEST(TheoremGates, Theorem2XStarViolationRateAtMostDelta) {
+  testkit::StatGateSpec spec;
+  spec.name = "thm2_x_star";
+  spec.trials = 2000;
+  spec.min_rate = kBeta;
+  const testkit::GateResult r =
+      testkit::StatGate(spec).run([](util::Rng& rng, std::uint64_t) {
+        const std::uint64_t n = 1 + rng.below(2000);
+        const std::uint64_t x = rng.below(n + 1);  // true positives at receiver
+        const std::uint64_t m = x + rng.below(10000);
+        const double f_s = 0.001 + 0.2 * rng.uniform();
+        // z = true positives + Bloom false positives over the m − x others.
+        const std::uint64_t z = x + rng.binomial(m - x, f_s);
+        const std::uint64_t x_star = core::bound_x_star(z, m, n, f_s, kBeta);
+        return x_star <= x;
+      });
+  GRAPHENE_EXPECT_GATE(r);
+}
+
+TEST(TheoremGates, Theorem3YStarViolationRateAtMostDelta) {
+  testkit::StatGateSpec spec;
+  spec.name = "thm3_y_star";
+  spec.trials = 2000;
+  spec.min_rate = kBeta;
+  const testkit::GateResult r =
+      testkit::StatGate(spec).run([](util::Rng& rng, std::uint64_t) {
+        const std::uint64_t n = 1 + rng.below(2000);
+        const std::uint64_t x = rng.below(n + 1);
+        const std::uint64_t m = x + rng.below(10000);
+        const double f_s = 0.001 + 0.2 * rng.uniform();
+        const std::uint64_t y = rng.binomial(m - x, f_s);  // true false-positive count
+        const std::uint64_t z = x + y;
+        const std::uint64_t x_star = core::bound_x_star(z, m, n, f_s, kBeta);
+        const std::uint64_t y_star = core::bound_y_star(m, x_star, f_s, kBeta);
+        // Theorem 3 builds on Theorem 2: y* must cover y whenever x* held.
+        // Joint coverage is what Protocol 2 actually relies on.
+        return x_star > x || y_star >= y;
+      });
+  GRAPHENE_EXPECT_GATE(r);
+}
+
+// --- Algorithm 1 / the shipped table: (k, c) meets the decode-rate target -
+
+TEST(TheoremGates, ParamTableMeetsTargetDecodeRate) {
+  testkit::StatGateSpec spec;
+  spec.name = "alg1_table_rate";
+  spec.trials = 2000;
+  spec.min_rate = kBeta;  // table entries target failure ≤ 1/240
+  const testkit::GateResult r =
+      testkit::StatGate(spec).run([](util::Rng& rng, std::uint64_t) {
+        static constexpr std::uint64_t kJs[] = {2, 8, 25, 60, 120, 300};
+        const std::uint64_t j = kJs[rng.below(std::size(kJs))];
+        const iblt::IbltParams p = iblt::lookup_params(j, 240);
+        return iblt::hypergraph_decodes(j, p.k, p.cells, rng);
+      });
+  GRAPHENE_EXPECT_GATE(r);
+}
+
+TEST(TheoremGates, Algorithm1SearchMeetsRequestedRate) {
+  // Run the certified search once, then gate the decode rate of the (k, c)
+  // it returned at the rate it was asked for.
+  constexpr std::uint64_t kJ = 30;
+  constexpr double kP = 0.95;
+  util::Rng search_rng(0xa151);
+  iblt::SearchOptions opts;
+  opts.max_trials = 6000;
+  const iblt::SearchResult found = iblt::search_params(kJ, kP, search_rng, opts);
+  ASSERT_GT(found.params.cells, 0u);
+
+  testkit::StatGateSpec spec;
+  spec.name = "alg1_search_rate";
+  spec.trials = 1500;
+  spec.min_rate = kP;
+  const testkit::GateResult r =
+      testkit::StatGate(spec).run([&](util::Rng& rng, std::uint64_t) {
+        return iblt::hypergraph_decodes(kJ, found.params.k, found.params.cells, rng);
+      });
+  GRAPHENE_EXPECT_GATE(r);
+}
+
+// --- §4.2: ping-pong decoding beats a single IBLT ------------------------
+
+TEST(TheoremGates, PingPongImprovesOverSingleIblt) {
+  // Deliberately undersized tables (≈1.17 cells/item at k=3) put the single
+  // decode mid-range; Fig. 11 predicts joint failure ≈ (single failure)²
+  // with an equal-size sibling, so ping-pong must clear a visibly higher bar.
+  constexpr std::uint64_t kJ = 60;
+  const iblt::IbltParams params{3, 75};
+  std::uint64_t single_ok = 0, pp_ok = 0;
+  const std::uint64_t trials = 600 * testkit::stress_scale();
+
+  testkit::StatGateSpec spec;
+  spec.name = "pingpong_rescue";
+  spec.trials = 600;
+  spec.min_rate = 0.55;  // single alone sits well below this
+  const testkit::GateResult r =
+      testkit::StatGate(spec).run([&](util::Rng& rng, std::uint64_t) {
+        iblt::Iblt a(params, /*seed=*/rng.next());
+        iblt::Iblt b(params, /*seed=*/rng.next());
+        for (std::uint64_t i = 0; i < kJ; ++i) {
+          const std::uint64_t key = rng.next();
+          a.insert(key);
+          b.insert(key);
+        }
+        if (a.decode().success) ++single_ok;
+        const bool pp = iblt::pingpong_decode(a, b).success;
+        if (pp) ++pp_ok;
+        return pp;
+      });
+  GRAPHENE_EXPECT_GATE(r);
+  // Paired comparison over the same instances: the joint decode can only
+  // add successes, and at this sizing it must add a lot of them.
+  EXPECT_GT(pp_ok, single_ok) << "single=" << single_ok << " pp=" << pp_ok
+                              << " trials=" << trials;
+}
+
+}  // namespace
+}  // namespace graphene

@@ -271,5 +271,35 @@ TEST(ScopedTimer, ObservesElapsedNanoseconds) {
   EXPECT_EQ(disabled.elapsed_ns(), 0u);
 }
 
+TEST(ScopedTimer, FakeClockGivesExactDurations) {
+  // Real-clock duration asserts are the classic flaky test; the fake clock
+  // makes the observed value exact instead of "hopefully small".
+  ScopedFakeClock clock(/*start_ns=*/1000);
+  Histogram h;
+  {
+    ScopedTimer t(&h);
+    clock.advance(250);
+    EXPECT_EQ(t.elapsed_ns(), 250u);
+    clock.advance(4750);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 5000u);
+}
+
+TEST(FakeClock, OverridesAndRestoresMonotonicNs) {
+  const std::uint64_t real_before = monotonic_ns();
+  {
+    ScopedFakeClock clock(42);
+    EXPECT_EQ(monotonic_ns(), 42u);
+    clock.set(100);
+    EXPECT_EQ(monotonic_ns(), 100u);
+    clock.advance(11);
+    EXPECT_EQ(monotonic_ns(), 111u);
+    EXPECT_EQ(clock.now(), 111u);
+  }
+  // Destruction restores the real clock, which keeps moving forward.
+  EXPECT_GE(monotonic_ns(), real_before);
+}
+
 }  // namespace
 }  // namespace graphene::obs

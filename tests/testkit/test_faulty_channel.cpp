@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "testkit/faulty_channel.hpp"
+
+namespace graphene::testkit {
+namespace {
+
+util::Bytes bytes_of(std::initializer_list<std::uint8_t> v) { return util::Bytes(v); }
+
+TEST(FaultyChannel, CleanSpecIsAPassthrough) {
+  FaultyChannel ch(FaultSpec{});
+  for (int i = 0; i < 20; ++i) {
+    const util::Bytes payload = bytes_of({1, 2, 3, static_cast<std::uint8_t>(i)});
+    const auto out = ch.transmit(net::Direction::kSenderToReceiver,
+                                 net::MessageType::kGrapheneBlock, payload);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], payload);
+  }
+  EXPECT_EQ(ch.counts().sent, 20u);
+  EXPECT_EQ(ch.counts().delivered, 20u);
+  EXPECT_EQ(ch.counts().faults(), 0u);
+}
+
+TEST(FaultyChannel, DropOneLosesEverything) {
+  FaultSpec spec;
+  spec.drop = 1.0;
+  FaultyChannel ch(spec);
+  for (int i = 0; i < 10; ++i) {
+    const auto out = ch.transmit(net::Direction::kSenderToReceiver,
+                                 net::MessageType::kGrapheneBlock, bytes_of({1, 2}));
+    EXPECT_TRUE(out.empty());
+  }
+  EXPECT_EQ(ch.counts().dropped, 10u);
+  EXPECT_EQ(ch.counts().delivered, 0u);
+}
+
+TEST(FaultyChannel, DuplicateOneDeliversTwice) {
+  FaultSpec spec;
+  spec.duplicate = 1.0;
+  FaultyChannel ch(spec);
+  const auto out = ch.transmit(net::Direction::kSenderToReceiver,
+                               net::MessageType::kGrapheneBlock, bytes_of({9}));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], out[1]);
+  EXPECT_EQ(ch.counts().duplicated, 1u);
+}
+
+TEST(FaultyChannel, ReorderHoldsUntilNextTransmitInSameDirection) {
+  FaultSpec spec;
+  spec.reorder = 1.0;
+  FaultyChannel ch(spec);
+  // Every transmit is held; each delivery contains only the PREVIOUS
+  // message, so arrival order is shifted by one.
+  const auto first = ch.transmit(net::Direction::kSenderToReceiver,
+                                 net::MessageType::kGrapheneBlock, bytes_of({1}));
+  EXPECT_TRUE(first.empty());
+  const auto second = ch.transmit(net::Direction::kSenderToReceiver,
+                                  net::MessageType::kGrapheneBlock, bytes_of({2}));
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0], bytes_of({1}));
+  const auto flushed = ch.flush(net::Direction::kSenderToReceiver);
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_EQ(flushed[0], bytes_of({2}));
+  EXPECT_EQ(ch.counts().reordered, 2u);
+  EXPECT_EQ(ch.counts().delivered, 2u);
+}
+
+TEST(FaultyChannel, DirectionsHoldIndependently) {
+  FaultSpec spec;
+  spec.reorder = 1.0;
+  FaultyChannel ch(spec);
+  ASSERT_TRUE(ch.transmit(net::Direction::kSenderToReceiver,
+                          net::MessageType::kGrapheneBlock, bytes_of({1}))
+                  .empty());
+  // A transmit in the OTHER direction must not release the held message.
+  ASSERT_TRUE(ch.transmit(net::Direction::kReceiverToSender,
+                          net::MessageType::kGrapheneRequest, bytes_of({2}))
+                  .empty());
+  EXPECT_EQ(ch.flush(net::Direction::kSenderToReceiver).size(), 1u);
+  EXPECT_EQ(ch.flush(net::Direction::kReceiverToSender).size(), 1u);
+}
+
+TEST(FaultyChannel, TruncateNeverGrowsThePayload) {
+  FaultSpec spec;
+  spec.truncate = 1.0;
+  FaultyChannel ch(spec);
+  for (int i = 0; i < 50; ++i) {
+    util::Bytes payload(64);
+    const auto out = ch.transmit(net::Direction::kSenderToReceiver,
+                                 net::MessageType::kGrapheneBlock, payload);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_LE(out[0].size(), 64u);
+  }
+  EXPECT_EQ(ch.counts().truncated, 50u);
+}
+
+TEST(FaultyChannel, BitflipChangesBytesButNotLength) {
+  FaultSpec spec;
+  spec.bitflip = 1.0;
+  FaultyChannel ch(spec);
+  const util::Bytes payload(32, 0xAA);
+  const auto out = ch.transmit(net::Direction::kSenderToReceiver,
+                               net::MessageType::kGrapheneBlock, payload);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size(), payload.size());
+  EXPECT_NE(out[0], payload);
+}
+
+TEST(FaultyChannel, ScheduleIsDeterministicInTheSeed) {
+  FaultSpec spec;
+  spec.drop = 0.2;
+  spec.duplicate = 0.2;
+  spec.reorder = 0.2;
+  spec.truncate = 0.2;
+  spec.bitflip = 0.2;
+  spec.seed = 77;
+  const auto run = [&] {
+    FaultyChannel ch(spec);
+    std::vector<util::Bytes> all;
+    util::Rng payload_rng(5);
+    for (int i = 0; i < 100; ++i) {
+      util::Bytes p(1 + payload_rng.below(40));
+      payload_rng.fill(p);
+      for (auto& b : ch.transmit(net::Direction::kSenderToReceiver,
+                                 net::MessageType::kGrapheneBlock, p)) {
+        all.push_back(std::move(b));
+      }
+    }
+    for (auto& b : ch.flush(net::Direction::kSenderToReceiver)) all.push_back(std::move(b));
+    return std::make_pair(all, ch.counts());
+  };
+  const auto [a, ca] = run();
+  const auto [b, cb] = run();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(ca.dropped, cb.dropped);
+  EXPECT_EQ(ca.delivered, cb.delivered);
+  EXPECT_EQ(ca.faults(), cb.faults());
+  EXPECT_GT(ca.faults(), 0u);
+}
+
+TEST(FaultyChannel, ConservationSentEqualsDeliveredPlusDroppedPlusDupes) {
+  FaultSpec spec;
+  spec.drop = 0.3;
+  spec.duplicate = 0.3;
+  spec.reorder = 0.3;
+  spec.seed = 3;
+  FaultyChannel ch(spec);
+  for (int i = 0; i < 500; ++i) {
+    ch.transmit(net::Direction::kSenderToReceiver, net::MessageType::kGrapheneBlock,
+                bytes_of({1}));
+  }
+  ch.flush(net::Direction::kSenderToReceiver);
+  const FaultCounts& c = ch.counts();
+  EXPECT_EQ(c.delivered + c.dropped, c.sent + c.duplicated);
+}
+
+TEST(FaultyChannel, InnerChannelSeesEveryOriginalSend) {
+  net::Channel inner;
+  FaultSpec spec;
+  spec.drop = 1.0;  // the link loses everything...
+  FaultyChannel ch(spec, &inner);
+  const util::Bytes payload(10, 0x42);
+  ch.transmit(net::Direction::kSenderToReceiver, net::MessageType::kGrapheneBlock,
+              payload);
+  // ...but accounting still records what the sender put on the wire.
+  ASSERT_EQ(inner.message_count(), 1u);
+  EXPECT_EQ(inner.payload_bytes(net::Direction::kSenderToReceiver), payload.size());
+  EXPECT_EQ(ch.inner(), &inner);
+}
+
+}  // namespace
+}  // namespace graphene::testkit

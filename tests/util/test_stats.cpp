@@ -107,5 +107,78 @@ TEST(WilsonInterval, CoversTrueRate) {
   EXPECT_GT(static_cast<double>(covered) / kExperiments, 0.92);
 }
 
+TEST(LogBinomialCdf, MatchesExactSmallCases) {
+  // n = 4, p = 0.5: P(X ≤ k) = (1, 5, 11, 15, 16)/16.
+  const double cases[] = {1.0 / 16, 5.0 / 16, 11.0 / 16, 15.0 / 16, 1.0};
+  for (std::uint64_t k = 0; k <= 4; ++k) {
+    EXPECT_NEAR(std::exp(log_binomial_cdf(k, 4, 0.5)), cases[k], 1e-12) << "k=" << k;
+  }
+  // Degenerate p.
+  EXPECT_NEAR(std::exp(log_binomial_cdf(0, 10, 0.0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_binomial_cdf(9, 10, 1.0)), 0.0, 1e-12);
+}
+
+TEST(ClopperPearson, ZeroSuccessesUpperHasClosedForm) {
+  // P(X ≤ 0) = (1 − p)^n = α  ⟹  upper = 1 − α^(1/n).
+  for (const std::uint64_t n : {10ULL, 100ULL, 1000ULL}) {
+    const double alpha = 0.01;
+    const double expected = 1.0 - std::pow(alpha, 1.0 / static_cast<double>(n));
+    EXPECT_NEAR(clopper_pearson_upper(0, n, 1.0 - alpha), expected, 1e-6) << n;
+  }
+}
+
+TEST(ClopperPearson, AllSuccessesLowerHasClosedForm) {
+  // P(X ≥ n) = p^n = α  ⟹  lower = α^(1/n).
+  for (const std::uint64_t n : {10ULL, 100ULL, 1000ULL}) {
+    const double alpha = 0.01;
+    const double expected = std::pow(alpha, 1.0 / static_cast<double>(n));
+    EXPECT_NEAR(clopper_pearson_lower(n, n, 1.0 - alpha), expected, 1e-6) << n;
+  }
+}
+
+TEST(ClopperPearson, EdgeCasesAndOrdering) {
+  EXPECT_EQ(clopper_pearson_lower(0, 100), 0.0);
+  EXPECT_EQ(clopper_pearson_upper(100, 100), 1.0);
+  EXPECT_EQ(clopper_pearson_upper(0, 0), 1.0);
+  EXPECT_EQ(clopper_pearson_lower(0, 0), 0.0);
+  const double lo = clopper_pearson_lower(80, 100);
+  const double hi = clopper_pearson_upper(80, 100);
+  EXPECT_LT(lo, 0.8);
+  EXPECT_GT(hi, 0.8);
+  EXPECT_LT(lo, hi);
+}
+
+TEST(ClopperPearson, TightensWithMoreTrials) {
+  const double w100 = clopper_pearson_upper(90, 100) - clopper_pearson_lower(90, 100);
+  const double w10k =
+      clopper_pearson_upper(9000, 10000) - clopper_pearson_lower(9000, 10000);
+  EXPECT_LT(w10k, w100);
+}
+
+TEST(ClopperPearson, UpperBoundIsExactNotApproximate) {
+  // The defining property: at p = upper, P(X ≤ successes) = α exactly.
+  const std::uint64_t successes = 42, n = 200;
+  const double conf = 0.999;
+  const double upper = clopper_pearson_upper(successes, n, conf);
+  EXPECT_NEAR(std::exp(log_binomial_cdf(successes, n, upper)), 1.0 - conf,
+              (1.0 - conf) * 1e-3);
+}
+
+TEST(ClopperPearson, OneSidedCoverageHolds) {
+  // The one-sided 99% upper bound must sit above the true rate in ≥99% of
+  // experiments — the exact guarantee the StatGate verdict rule relies on.
+  Rng rng(123);
+  const double p = 0.9;
+  int covered = 0;
+  constexpr int kExperiments = 1000;
+  for (int e = 0; e < kExperiments; ++e) {
+    std::uint64_t successes = 0;
+    constexpr std::uint64_t kTrials = 300;
+    for (std::uint64_t t = 0; t < kTrials; ++t) successes += rng.chance(p) ? 1 : 0;
+    covered += clopper_pearson_upper(successes, kTrials, 0.99) >= p ? 1 : 0;
+  }
+  EXPECT_GE(covered, 980);
+}
+
 }  // namespace
 }  // namespace graphene::util
