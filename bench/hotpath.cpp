@@ -1,0 +1,401 @@
+// Data-plane hot-path timing: the receiver's mempool filter pass and the
+// IBLT build/subtract/decode pipeline, at mempool scales m ∈ {10k, 100k, 1M}.
+//
+// Four Bloom variants per scale:
+//   seed scalar  — a faithful replica of the pre-batch implementation
+//                  (per-item probe_positions with hardware `%`, one query at
+//                  a time), embedded here so the baseline can't drift;
+//   lib scalar   — today's BloomFilter::contains in a loop;
+//   batch        — contains_batch (tiled, prefetched, split-digest layout);
+//   blocked      — contains_batch over the cache-line-blocked layout.
+// And three IBLT builds: seed-replica scalar insert (per-probe seed mix and
+// hardware `%`), insert_batch, and pooled insert_all, plus subtract and
+// decode of a realistic difference.
+//
+// Every variant's results are cross-checked (hit counts per strategy, cell
+// bytes across build paths) and the process exits nonzero on any
+// divergence, so CI smoke runs double as a parity gate. Writes
+// BENCH_hotpath.json (overwritten each run); GRAPHENE_FAST=1 drops the 1M
+// scale for smoke runs.
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "bloom/bloom_math.hpp"
+#include "chain/transaction.hpp"
+#include "iblt/iblt.hpp"
+#include "obs/json.hpp"
+#include "util/hash.hpp"
+#include "util/random.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace graphene;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+/// Best-of-N wall time for `fn` (returns a checksum to keep work observable).
+template <typename Fn>
+double best_ms(int reps, std::uint64_t* checksum, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const Clock::time_point start = Clock::now();
+    *checksum = fn();
+    const double ms = ms_since(start);
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+// --- Seed-replica scalar Bloom filter -------------------------------------
+// The exact pre-optimization inner loop: enhanced double hashing over the
+// digest words with three hardware modulos per query plus one per extra
+// probe, scattered single-bit loads, no tiling, no prefetch.
+struct SeedBloom {
+  std::uint64_t n_bits = 0;
+  std::uint32_t k = 0;
+  std::uint64_t seed = 0;
+  std::vector<std::uint64_t> bits;
+
+  SeedBloom(std::uint64_t items, double fpr, std::uint64_t s) : seed(s) {
+    n_bits = bloom::optimal_bits(items, fpr);
+    k = bloom::optimal_hash_count(n_bits, items == 0 ? 1 : items);
+    bits.assign((n_bits + 63) / 64, 0);
+  }
+
+  // The seed's util::split_digest_words was an out-of-line byte loop;
+  // keep that exact cost in the baseline.
+  static std::array<std::uint64_t, 4> split_bytewise(util::ByteView digest) {
+    std::array<std::uint64_t, 4> words{};
+    const std::size_t n = digest.size() < 32 ? digest.size() : 32;
+    for (std::size_t i = 0; i < n; ++i) {
+      words[i / 8] |= static_cast<std::uint64_t>(digest[i]) << (8 * (i % 8));
+    }
+    return words;
+  }
+
+  void probe(util::ByteView id, std::uint64_t* out) const {
+    const auto words = split_bytewise(id);
+    std::uint64_t x = (words[0] ^ util::mix64(seed)) % n_bits;
+    std::uint64_t y = (words[1] ^ words[2]) % n_bits;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      out[i] = x;
+      x = (x + y) % n_bits;
+      y = (y + i + 1) % n_bits;
+    }
+  }
+
+  void insert(util::ByteView id) {
+    std::uint64_t pos[64];
+    probe(id, pos);
+    for (std::uint32_t i = 0; i < k; ++i) bits[pos[i] / 64] |= 1ULL << (pos[i] % 64);
+  }
+
+  [[nodiscard]] bool contains(util::ByteView id) const {
+    std::uint64_t pos[64];
+    probe(id, pos);
+    for (std::uint32_t i = 0; i < k; ++i) {
+      if ((bits[pos[i] / 64] & (1ULL << (pos[i] % 64))) == 0) return false;
+    }
+    return true;
+  }
+};
+
+// --- Seed-replica scalar IBLT insert --------------------------------------
+// Per-probe `mix64(seed + C·(i+1))` recomputation and a hardware `% stride`,
+// exactly as the pre-batch Iblt::update computed positions.
+struct SeedIblt {
+  /// The seed's cell layout: count first, so padding holes inflate it to 24
+  /// bytes — part of what the packed library layout buys back.
+  struct Cell {
+    std::int32_t count = 0;
+    std::uint64_t key_sum = 0;
+    std::uint32_t check_sum = 0;
+  };
+
+  std::uint32_t k;
+  std::uint64_t seed;
+  std::vector<Cell> cells;
+
+  SeedIblt(std::uint32_t k_in, std::uint64_t cell_count, std::uint64_t s)
+      : k(k_in), seed(s), cells(((cell_count + k_in - 1) / k_in) * k_in) {}
+
+  void insert(std::uint64_t key) {
+    const std::uint64_t stride = cells.size() / k;
+    const auto check =
+        static_cast<std::uint32_t>(util::mix64(key ^ 0xc0ffee3141592653ULL ^ seed));
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const std::uint64_t h =
+          util::mix64(key ^ util::mix64(seed + 0x9e3779b97f4a7c15ULL * (i + 1)));
+      Cell& cell = cells[static_cast<std::uint64_t>(i) * stride + h % stride];
+      cell.count = static_cast<std::int32_t>(static_cast<std::uint32_t>(cell.count) + 1u);
+      cell.key_sum ^= key;
+      cell.check_sum ^= check;
+    }
+  }
+};
+
+std::vector<chain::TxId> random_ids(std::size_t count, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<chain::TxId> ids(count);
+  for (chain::TxId& id : ids) {
+    for (int w = 0; w < 4; ++w) {
+      const std::uint64_t v = rng.next();
+      for (int b = 0; b < 8; ++b) {
+        id[static_cast<std::size_t>(8 * w + b)] = static_cast<std::uint8_t>(v >> (8 * b));
+      }
+    }
+  }
+  return ids;
+}
+
+bool g_parity_ok = true;
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::printf("  PARITY DIVERGENCE: %s\n", what);
+    g_parity_ok = false;
+  }
+}
+
+struct ScaleResult {
+  std::uint64_t m = 0, n = 0;
+  double filter_seed_ms = 0, filter_lib_ms = 0, filter_batch_ms = 0;
+  double filter_blocked_ms = 0, filter_pool_ms = 0;
+  double iblt_seed_ms = 0, iblt_batch_ms = 0, iblt_pool_ms = 0;
+  double subtract_ms = 0, subtract_pool_ms = 0, decode_ms = 0;
+};
+
+ScaleResult run_scale(std::uint64_t m, util::ThreadPool& pool, int reps) {
+  ScaleResult res;
+  res.m = m;
+  res.n = m / 10;
+  const std::uint64_t salt = 0xb10cf11e;
+  const double fpr = 0.02;
+
+  const std::vector<chain::TxId> block = random_ids(res.n, 0xb10c ^ m);
+  const std::vector<chain::TxId> mempool = random_ids(m, 0x3e37 ^ m);
+  std::vector<util::ByteView> views;
+  views.reserve(mempool.size());
+  for (const chain::TxId& id : mempool) views.emplace_back(id);
+
+  // --- Mempool filter pass ------------------------------------------------
+  SeedBloom seed_filter(res.n, fpr, salt);
+  bloom::BloomFilter lib_filter(res.n, fpr, salt);
+  bloom::BloomFilter blocked(res.n, fpr, salt, bloom::HashStrategy::kBlocked);
+  {
+    std::vector<util::ByteView> block_views;
+    block_views.reserve(block.size());
+    for (const chain::TxId& id : block) {
+      seed_filter.insert(util::ByteView(id));
+      block_views.emplace_back(id);
+    }
+    lib_filter.insert_batch(block_views.data(), block_views.size());
+    blocked.insert_batch(block_views.data(), block_views.size());
+  }
+  check(seed_filter.n_bits == lib_filter.bit_count() &&
+            seed_filter.k == lib_filter.hash_count(),
+        "seed replica and library sized differently");
+
+  std::uint64_t hits_seed = 0, hits_lib = 0, hits_batch = 0, hits_pool = 0,
+                hits_blocked = 0;
+  res.filter_seed_ms = best_ms(reps, &hits_seed, [&] {
+    std::uint64_t hits = 0;
+    for (const chain::TxId& id : mempool) hits += seed_filter.contains(util::ByteView(id)) ? 1 : 0;
+    return hits;
+  });
+  res.filter_lib_ms = best_ms(reps, &hits_lib, [&] {
+    std::uint64_t hits = 0;
+    for (const chain::TxId& id : mempool) hits += lib_filter.contains(util::ByteView(id)) ? 1 : 0;
+    return hits;
+  });
+  std::vector<std::uint8_t> out(m, 0);
+  res.filter_batch_ms = best_ms(reps, &hits_batch, [&] {
+    lib_filter.contains_batch(views.data(), views.size(), out.data());
+    std::uint64_t hits = 0;
+    for (const std::uint8_t b : out) hits += b;
+    return hits;
+  });
+  res.filter_blocked_ms = best_ms(reps, &hits_blocked, [&] {
+    blocked.contains_batch(views.data(), views.size(), out.data());
+    std::uint64_t hits = 0;
+    for (const std::uint8_t b : out) hits += b;
+    return hits;
+  });
+  res.filter_pool_ms = best_ms(reps, &hits_pool, [&] {
+    bloom::contains_all(blocked, views.data(), views.size(), out.data(), &pool);
+    std::uint64_t hits = 0;
+    for (const std::uint8_t b : out) hits += b;
+    return hits;
+  });
+  check(hits_seed == hits_lib, "library scalar diverged from seed replica");
+  check(hits_lib == hits_batch, "contains_batch diverged from scalar");
+  check(hits_blocked == hits_pool, "pooled contains_all diverged from batch");
+
+  // --- IBLT build / subtract / decode ------------------------------------
+  // Tables are sized to the full mempool, not the block: this is the
+  // difference-digest / strata-estimator / mempool-sync regime, where IBLTs
+  // scale with m and construction is the memory-bound hot loop. (Protocol 1's
+  // per-block I is tiny — a* cells — and never shows up in a profile.)
+  const std::uint64_t items = m;
+  const std::uint64_t cell_count = items / 2 + 8;
+  std::vector<std::uint64_t> sids_a(items), sids_b(items);
+  util::Rng sid_rng(0x51d ^ m);
+  for (std::uint64_t i = 0; i < items; ++i) sids_a[i] = sid_rng.next();
+  // b = a with the last 30 keys swapped out — a realistic small difference.
+  sids_b = sids_a;
+  const std::uint64_t delta = items < 30 ? items : 30;
+  for (std::uint64_t i = 0; i < delta; ++i) sids_b[items - 1 - i] = sid_rng.next();
+
+  std::uint64_t sink = 0;
+  res.iblt_seed_ms = best_ms(reps, &sink, [&] {
+    SeedIblt t(4, cell_count, salt);
+    for (const std::uint64_t key : sids_a) t.insert(key);
+    return static_cast<std::uint64_t>(t.cells[0].key_sum);
+  });
+  iblt::Iblt batch_table(iblt::IbltParams{4, cell_count}, salt);
+  res.iblt_batch_ms = best_ms(reps, &sink, [&] {
+    iblt::Iblt t(iblt::IbltParams{4, cell_count}, salt);
+    t.insert_batch(sids_a.data(), sids_a.size());
+    batch_table = t;
+    return static_cast<std::uint64_t>(t.cells_for_test()[0].key_sum);
+  });
+  iblt::Iblt pool_table(iblt::IbltParams{4, cell_count}, salt);
+  res.iblt_pool_ms = best_ms(reps, &sink, [&] {
+    iblt::Iblt t(iblt::IbltParams{4, cell_count}, salt);
+    t.insert_all(std::span<const std::uint64_t>(sids_a), &pool);
+    pool_table = t;
+    return static_cast<std::uint64_t>(t.cells_for_test()[0].key_sum);
+  });
+  {
+    SeedIblt seed_table(4, cell_count, salt);
+    for (const std::uint64_t key : sids_a) seed_table.insert(key);
+    const auto& lib_cells = batch_table.cells_for_test();
+    bool same = lib_cells.size() == seed_table.cells.size();
+    for (std::size_t i = 0; same && i < lib_cells.size(); ++i) {
+      same = lib_cells[i].count == seed_table.cells[i].count &&
+             lib_cells[i].key_sum == seed_table.cells[i].key_sum &&
+             lib_cells[i].check_sum == seed_table.cells[i].check_sum;
+    }
+    check(same, "insert_batch cells diverged from seed replica");
+    check(batch_table.serialize() == pool_table.serialize(),
+          "insert_all cells diverged from insert_batch");
+  }
+
+  iblt::Iblt other(iblt::IbltParams{4, cell_count}, salt);
+  other.insert_batch(sids_b.data(), sids_b.size());
+  iblt::Iblt diff(iblt::IbltParams{4, cell_count}, salt);
+  res.subtract_ms = best_ms(reps, &sink, [&] {
+    diff = batch_table.subtract(other);
+    return static_cast<std::uint64_t>(diff.cells_for_test()[0].key_sum);
+  });
+  res.subtract_pool_ms = best_ms(reps, &sink, [&] {
+    iblt::Iblt pooled = batch_table.subtract(other, &pool);
+    check(pooled.serialize() == diff.serialize(), "pooled subtract diverged");
+    return static_cast<std::uint64_t>(pooled.cells_for_test()[0].key_sum);
+  });
+  res.decode_ms = best_ms(reps, &sink, [&] {
+    const iblt::DecodeResult dec = diff.decode();
+    check(dec.success && dec.positives.size() == delta && dec.negatives.size() == delta,
+          "difference failed to decode");
+    return dec.peel_iterations;
+  });
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  const char* fast_env = std::getenv("GRAPHENE_FAST");
+  const bool fast = fast_env != nullptr && *fast_env == '1';
+  const int reps = fast ? 2 : 3;
+  std::vector<std::uint64_t> scales = fast
+                                          ? std::vector<std::uint64_t>{10'000, 50'000}
+                                          : std::vector<std::uint64_t>{10'000, 100'000,
+                                                                       1'000'000};
+  const std::size_t workers = std::max(1u, std::thread::hardware_concurrency());
+  util::ThreadPool pool(workers);
+
+  std::vector<ScaleResult> results;
+  for (const std::uint64_t m : scales) {
+    std::printf("m = %llu (n = %llu, %d reps, best-of)\n",
+                static_cast<unsigned long long>(m),
+                static_cast<unsigned long long>(m / 10), reps);
+    const ScaleResult r = run_scale(m, pool, reps);
+    std::printf("  filter pass   seed %9.2f ms | scalar %9.2f | batch %9.2f | "
+                "blocked %9.2f | +pool %9.2f  (%.2fx vs seed)\n",
+                r.filter_seed_ms, r.filter_lib_ms, r.filter_batch_ms,
+                r.filter_blocked_ms, r.filter_pool_ms,
+                r.filter_seed_ms / r.filter_blocked_ms);
+    std::printf("  iblt build    seed %9.2f ms | batch %9.2f | +pool %9.2f  (%.2fx vs seed)\n",
+                r.iblt_seed_ms, r.iblt_batch_ms, r.iblt_pool_ms,
+                r.iblt_seed_ms / r.iblt_batch_ms);
+    std::printf("  iblt subtract      %9.2f ms | +pool %9.2f ; decode %9.3f ms\n",
+                r.subtract_ms, r.subtract_pool_ms, r.decode_ms);
+    results.push_back(r);
+  }
+
+  std::ofstream json("BENCH_hotpath.json");
+  obs::json::Writer w;
+  w.begin_object();
+  w.key("workers");
+  w.number(static_cast<std::uint64_t>(workers));
+  w.key("reps");
+  w.number(static_cast<std::uint64_t>(reps));
+  w.key("fast");
+  w.boolean(fast);
+  w.key("scales");
+  w.begin_array();
+  for (const ScaleResult& r : results) {
+    w.begin_object();
+    w.key("m");
+    w.number(r.m);
+    w.key("n");
+    w.number(r.n);
+    w.key("filter_seed_ms");
+    w.number(r.filter_seed_ms);
+    w.key("filter_scalar_ms");
+    w.number(r.filter_lib_ms);
+    w.key("filter_batch_ms");
+    w.number(r.filter_batch_ms);
+    w.key("filter_blocked_ms");
+    w.number(r.filter_blocked_ms);
+    w.key("filter_pool_ms");
+    w.number(r.filter_pool_ms);
+    w.key("filter_speedup_vs_seed");
+    w.number(r.filter_seed_ms / r.filter_blocked_ms);
+    w.key("iblt_seed_build_ms");
+    w.number(r.iblt_seed_ms);
+    w.key("iblt_batch_build_ms");
+    w.number(r.iblt_batch_ms);
+    w.key("iblt_pool_build_ms");
+    w.number(r.iblt_pool_ms);
+    w.key("iblt_build_speedup_vs_seed");
+    w.number(r.iblt_seed_ms / r.iblt_batch_ms);
+    w.key("subtract_ms");
+    w.number(r.subtract_ms);
+    w.key("subtract_pool_ms");
+    w.number(r.subtract_pool_ms);
+    w.key("decode_ms");
+    w.number(r.decode_ms);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("parity_ok");
+  w.boolean(g_parity_ok);
+  w.end_object();
+  json << w.str() << '\n';
+  std::printf("\nwrote BENCH_hotpath.json — parity %s\n",
+              g_parity_ok ? "OK" : "DIVERGED");
+  return g_parity_ok ? 0 : 1;
+}

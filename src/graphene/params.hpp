@@ -11,6 +11,10 @@
 
 #include "iblt/iblt.hpp"
 
+namespace graphene::bloom {
+enum class HashStrategy : std::uint8_t;
+}  // namespace graphene::bloom
+
 namespace graphene::obs {
 class Registry;
 }  // namespace graphene::obs
@@ -53,6 +57,14 @@ struct ProtocolConfig {
   /// concurrently-driven sessions. Null falls back to direct lookups; not
   /// owned, must outlive the engines using it.
   iblt::ParamCache* param_cache = nullptr;
+  /// Probe layout of the Bloom filters the engines build (S, R, F). The
+  /// default 0 is bloom::HashStrategy::kSplitDigest — the §6.3 wire format
+  /// every peer understands. bloom::HashStrategy::kBlocked confines each
+  /// item's k probes to one 64-byte block, the fastest layout for the
+  /// receiver's m-sized mempool scan, at a small constant-factor FPR
+  /// penalty (quantified in docs/PERFORMANCE.md); it rides a previously
+  /// invalid range of the strategy byte, so only upgraded peers parse it.
+  bloom::HashStrategy bloom_strategy = bloom::HashStrategy{0};
 };
 
 /// Chosen Protocol 1 parameters for relaying n block txns to a receiver

@@ -8,6 +8,7 @@
 #include "graphene/sender.hpp"  // derive_short_id
 #include "iblt/pingpong.hpp"
 #include "obs/obs.hpp"
+#include "util/thread_pool.hpp"
 
 namespace graphene::core {
 
@@ -22,6 +23,20 @@ const char* status_label(ReceiveStatus status) noexcept {
     case ReceiveStatus::kFailed: return "failed";
   }
   return "unknown";
+}
+
+/// Batch-queries `filter` over `ids` (chunk-parallel when `pool` is set);
+/// out[i] = 1 iff ids[i] passes. The hit pattern is identical to querying
+/// one id at a time.
+std::vector<std::uint8_t> scan_ids(const bloom::BloomFilter& filter,
+                                   const std::vector<chain::TxId>& ids,
+                                   util::ThreadPool* pool) {
+  std::vector<util::ByteView> views;
+  views.reserve(ids.size());
+  for (const chain::TxId& id : ids) views.emplace_back(id.data(), id.size());
+  std::vector<std::uint8_t> hit(ids.size());
+  bloom::contains_all(filter, views.data(), views.size(), hit.data(), pool);
+  return hit;
 }
 
 }  // namespace
@@ -79,10 +94,13 @@ ReceiveOutcome ReceiveSession::receive_block(const GrapheneBlockMsg& msg) {
     obs::ScopedSpan span(reg, "p1_candidates");
     const std::uint64_t queries_before = msg.filter_s.query_count();
     const std::uint64_t hits_before = msg.filter_s.hit_count();
-    for (const chain::TxId& id : mempool_->ids()) {
-      if (msg.filter_s.contains(util::ByteView(id.data(), id.size()))) {
-        index_candidate(id);
-      }
+    // Membership runs through the batch scan (chunk-parallel with a pool);
+    // candidate indexing stays serial and in mempool order, so the session
+    // state matches the one-query-at-a-time loop exactly.
+    const std::vector<chain::TxId> ids = mempool_->ids();
+    const std::vector<std::uint8_t> hit = scan_ids(msg.filter_s, ids, cfg_.pool);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (hit[i] != 0) index_candidate(ids[i]);
     }
     z_ = candidates_.size();
     span.attr("m", mempool_->size());
@@ -99,9 +117,12 @@ ReceiveOutcome ReceiveSession::receive_block(const GrapheneBlockMsg& msg) {
     // I′ over Z with the sender's parameters, then I ⊖ I′.
     iblt::Iblt i_prime(iblt::IbltParams{msg.iblt_i.hash_count(), msg.iblt_i.cell_count()},
                        msg.iblt_i.seed());
-    for (const chain::TxId& id : candidates_) i_prime.insert(sid(id));
+    std::vector<std::uint64_t> sids;
+    sids.reserve(candidates_.size());
+    for (const chain::TxId& id : candidates_) sids.push_back(sid(id));
+    i_prime.insert_all(sids, cfg_.pool);
 
-    const iblt::DecodeResult dec = msg.iblt_i.subtract(i_prime).decode();
+    const iblt::DecodeResult dec = msg.iblt_i.subtract(i_prime, cfg_.pool).decode();
     span.attr("cells", msg.iblt_i.cell_count());
     span.attr("k", msg.iblt_i.hash_count());
     span.attr("peel_iterations", dec.peel_iterations);
@@ -209,10 +230,14 @@ GrapheneRequestMsg ReceiveSession::build_request() {
     obs::ScopedSpan span(reg, "rfilter_build");
     req.filter_r =
         bloom::BloomFilter(std::max<std::uint64_t>(z, 1), params2_.fpr,
-                           /*seed=*/msg_.shortid_salt ^ 0x42d551f17e1dULL);
+                           /*seed=*/msg_.shortid_salt ^ 0x42d551f17e1dULL,
+                           cfg_.bloom_strategy);
+    std::vector<util::ByteView> views;
+    views.reserve(candidates_.size());
     for (const chain::TxId& id : candidates_) {
-      req.filter_r.insert(util::ByteView(id.data(), id.size()));
+      views.emplace_back(id.data(), id.size());
     }
+    req.filter_r.insert_batch(views.data(), views.size());
     span.attr("items", z);
     span.attr("bits", req.filter_r.bit_count());
   }
@@ -232,12 +257,10 @@ ReceiveOutcome ReceiveSession::complete(const GrapheneResponseMsg& resp) {
   // In the reversed (m ≈ n) path, filter F prunes candidates the sender's
   // block does not contain before the new transactions are added.
   if (params2_.reversed && resp.filter_f.has_value()) {
-    for (auto it = candidates_.begin(); it != candidates_.end();) {
-      if (!resp.filter_f->contains(util::ByteView(it->data(), it->size()))) {
-        it = candidates_.erase(it);
-      } else {
-        ++it;
-      }
+    const std::vector<chain::TxId> cand(candidates_.begin(), candidates_.end());
+    const std::vector<std::uint8_t> hit = scan_ids(*resp.filter_f, cand, cfg_.pool);
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+      if (hit[i] == 0) candidates_.erase(cand[i]);
     }
   }
 
@@ -250,8 +273,13 @@ ReceiveOutcome ReceiveSession::complete(const GrapheneResponseMsg& resp) {
   // J′ over the updated candidate set; then J ⊖ J′.
   iblt::Iblt j_prime(iblt::IbltParams{resp.iblt_j.hash_count(), resp.iblt_j.cell_count()},
                      resp.iblt_j.seed());
-  for (const chain::TxId& id : candidates_) j_prime.insert(sid(id));
-  const iblt::Iblt diff_j = resp.iblt_j.subtract(j_prime);
+  {
+    std::vector<std::uint64_t> sids;
+    sids.reserve(candidates_.size());
+    for (const chain::TxId& id : candidates_) sids.push_back(sid(id));
+    j_prime.insert_all(sids, cfg_.pool);
+  }
+  const iblt::Iblt diff_j = resp.iblt_j.subtract(j_prime, cfg_.pool);
 
   iblt::DecodeResult dec = diff_j.decode();
   bool used_pingpong = false;
@@ -276,9 +304,12 @@ ReceiveOutcome ReceiveSession::complete(const GrapheneResponseMsg& resp) {
     iblt::Iblt i_prime(
         iblt::IbltParams{msg_.iblt_i.hash_count(), msg_.iblt_i.cell_count()},
         msg_.iblt_i.seed());
-    for (const chain::TxId& id : candidates_) i_prime.insert(sid(id));
+    std::vector<std::uint64_t> sids;
+    sids.reserve(candidates_.size());
+    for (const chain::TxId& id : candidates_) sids.push_back(sid(id));
+    i_prime.insert_all(sids, cfg_.pool);
     const iblt::PingPongResult pp =
-        iblt::pingpong_decode(diff_j, msg_.iblt_i.subtract(i_prime));
+        iblt::pingpong_decode(diff_j, msg_.iblt_i.subtract(i_prime, cfg_.pool));
     pp_span.attr("rounds", pp.rounds);
     pp_span.attr("success", pp.success ? 1 : 0);
     pp_span.attr("malformed", pp.malformed ? 1 : 0);

@@ -9,6 +9,7 @@
 #include "iblt/param_cache.hpp"
 #include "iblt/param_table.hpp"
 #include "obs/obs.hpp"
+#include "util/thread_pool.hpp"
 #include "util/wire_limits.hpp"
 
 namespace graphene::core {
@@ -53,26 +54,34 @@ EncodeResult Sender::encode(std::uint64_t receiver_mempool_count) const {
   msg.n = n;
   msg.shortid_salt = salt_;
 
-  {
-    obs::ScopedSpan span(reg, "sfilter_build");
-    msg.filter_s = bloom::BloomFilter(n, out.params.fpr, /*seed=*/salt_ ^ 0x5eedf00d);
-    for (const chain::Transaction& tx : block_.transactions()) {
-      msg.filter_s.insert(util::ByteView(tx.id.data(), tx.id.size()));
+  // The filter and IBLT builds are independent, so with a pool they run as
+  // two concurrent tasks (telemetry is thread-safe). With cfg_.pool null,
+  // parallel_for degrades to an in-order loop on the caller, preserving the
+  // serial span sequence the telemetry contract tests pin down.
+  util::parallel_for(cfg_.pool, 2, [&](std::uint64_t task) {
+    if (task == 0) {
+      obs::ScopedSpan span(reg, "sfilter_build");
+      msg.filter_s = bloom::BloomFilter(n, out.params.fpr, /*seed=*/salt_ ^ 0x5eedf00d,
+                                        cfg_.bloom_strategy);
+      std::vector<util::ByteView> ids;
+      ids.reserve(block_.tx_count());
+      for (const chain::Transaction& tx : block_.transactions()) {
+        ids.emplace_back(tx.id.data(), tx.id.size());
+      }
+      msg.filter_s.insert_batch(ids.data(), ids.size());
+      span.attr("items", n);
+      span.attr("bits", msg.filter_s.bit_count());
+      span.attr("hashes", msg.filter_s.hash_count());
+      span.attr("target_fpr", msg.filter_s.target_fpr());
+    } else {
+      obs::ScopedSpan span(reg, "iblt_build");
+      msg.iblt_i = iblt::Iblt(out.params.iblt, /*seed=*/salt_);
+      msg.iblt_i.insert_all(short_ids_, cfg_.pool);
+      span.attr("items", short_ids_.size());
+      span.attr("cells", msg.iblt_i.cell_count());
+      span.attr("k", msg.iblt_i.hash_count());
     }
-    span.attr("items", n);
-    span.attr("bits", msg.filter_s.bit_count());
-    span.attr("hashes", msg.filter_s.hash_count());
-    span.attr("target_fpr", msg.filter_s.target_fpr());
-  }
-
-  {
-    obs::ScopedSpan span(reg, "iblt_build");
-    msg.iblt_i = iblt::Iblt(out.params.iblt, /*seed=*/salt_);
-    for (const std::uint64_t sid : short_ids_) msg.iblt_i.insert(sid);
-    span.attr("items", short_ids_.size());
-    span.attr("cells", msg.iblt_i.cell_count());
-    span.attr("k", msg.iblt_i.hash_count());
-  }
+  });
 
   if (reg != nullptr) {
     reg->counter("graphene_encode_total").inc();
@@ -106,14 +115,26 @@ GrapheneResponseMsg Sender::serve(const GrapheneRequestMsg& request) const {
   const std::uint64_t n = block_.tx_count();
 
   // Step 3: transactions that do not pass R are certainly missing at the
-  // receiver; send them in full.
+  // receiver; send them in full. The membership pass runs through the
+  // chunked batch scan; the partition below stays serial and in block
+  // order, so resp.missing's wire bytes match the item-at-a-time loop.
   std::vector<const chain::Transaction*> passed;
   passed.reserve(n);
-  for (const chain::Transaction& tx : block_.transactions()) {
-    if (request.filter_r.contains(util::ByteView(tx.id.data(), tx.id.size()))) {
-      passed.push_back(&tx);
-    } else {
-      resp.missing.push_back(tx);
+  {
+    std::vector<util::ByteView> ids;
+    ids.reserve(block_.tx_count());
+    for (const chain::Transaction& tx : block_.transactions()) {
+      ids.emplace_back(tx.id.data(), tx.id.size());
+    }
+    std::vector<std::uint8_t> hit(ids.size());
+    bloom::contains_all(request.filter_r, ids.data(), ids.size(), hit.data(), cfg_.pool);
+    std::size_t i = 0;
+    for (const chain::Transaction& tx : block_.transactions()) {
+      if (hit[i++] != 0) {
+        passed.push_back(&tx);
+      } else {
+        resp.missing.push_back(tx);
+      }
     }
   }
 
@@ -145,10 +166,14 @@ GrapheneResponseMsg Sender::serve(const GrapheneRequestMsg& request) const {
 
     const double f_f =
         std::min(1.0, static_cast<double>(best_b) / static_cast<double>(denom));
-    bloom::BloomFilter filter_f(z_s, f_f, /*seed=*/salt_ ^ 0xfeedface);
+    bloom::BloomFilter filter_f(z_s, f_f, /*seed=*/salt_ ^ 0xfeedface,
+                                cfg_.bloom_strategy);
+    std::vector<util::ByteView> passed_ids;
+    passed_ids.reserve(passed.size());
     for (const chain::Transaction* tx : passed) {
-      filter_f.insert(util::ByteView(tx->id.data(), tx->id.size()));
+      passed_ids.emplace_back(tx->id.data(), tx->id.size());
     }
+    filter_f.insert_batch(passed_ids.data(), passed_ids.size());
     resp.filter_f = std::move(filter_f);
     j_items = best_b + y_s;
     fb_span.attr("z_s", z_s);
@@ -160,7 +185,7 @@ GrapheneResponseMsg Sender::serve(const GrapheneRequestMsg& request) const {
 
   resp.iblt_j = iblt::Iblt(iblt::cached_params(cfg_.param_cache, j_items, cfg_.fail_denom),
                            /*seed=*/salt_ + 1);
-  for (const std::uint64_t sid : short_ids_) resp.iblt_j.insert(sid);
+  resp.iblt_j.insert_all(short_ids_, cfg_.pool);
 
   serve_span.attr("n", n);
   serve_span.attr("z", request.z);

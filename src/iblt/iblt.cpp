@@ -1,9 +1,9 @@
 #include "iblt/iblt.hpp"
 
-#include <deque>
+#include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
 
+#include "util/thread_pool.hpp"
 #include "util/varint.hpp"
 #include "util/wire_limits.hpp"
 
@@ -13,11 +13,20 @@ namespace {
 constexpr std::uint32_t kMinHashCount = 2;
 constexpr std::uint32_t kMaxHashCount = 16;
 constexpr std::uint64_t kCheckSalt = 0xc0ffee3141592653ULL;
+/// Lookahead tile of insert_batch: positions and checksums for a tile are
+/// derived (and the target cells prefetched) before any cell is touched, so
+/// the latency of up to kTile*k cache-line fills overlaps.
+constexpr std::size_t kTile = 16;
+/// Below this many keys per shard, the cost of zeroing a partial table
+/// outweighs the parallel win; insert_all degrades to a serial batch.
+constexpr std::size_t kMinKeysPerShard = 4096;
+/// Cells per parallel_for chunk in the pool-aware subtract.
+constexpr std::size_t kSubtractChunkCells = std::size_t{1} << 14;
 
 // Cell counts come off the wire attacker-controlled (a hostile table can
 // carry INT32_MIN), so count arithmetic must wrap two's-complement instead
 // of being signed-overflow UB. Peeling termination never depends on the
-// count value — the `seen` map bounds it — so wraparound is safe.
+// count value — the `seen` set bounds it — so wraparound is safe.
 std::int32_t wrap_add(std::int32_t a, std::int32_t b) noexcept {
   return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) +
                                    static_cast<std::uint32_t>(b));
@@ -26,6 +35,64 @@ std::int32_t wrap_sub(std::int32_t a, std::int32_t b) noexcept {
   return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) -
                                    static_cast<std::uint32_t>(b));
 }
+
+inline void prefetch_write(const void* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 1, 1);
+#else
+  (void)p;
+#endif
+}
+
+/// Open-addressed set of peeled keys, replacing the unordered_map the §6.1
+/// duplicate-peel guard originally used: one flat power-of-two array probed
+/// linearly from mix64(key), no per-node allocation, one cache line per
+/// lookup at the ~0.66 max load factor enforced below. The empty slot is
+/// key 0, so a real zero key is tracked in a side flag.
+class SeenSet {
+ public:
+  explicit SeenSet(std::size_t expected) {
+    std::size_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;
+    slots_.assign(cap, 0);
+  }
+
+  /// Returns true when `key` was newly inserted, false when already present.
+  bool insert(std::uint64_t key) {
+    if (key == 0) {
+      if (has_zero_) return false;
+      has_zero_ = true;
+      return true;
+    }
+    if (3 * (size_ + 1) > 2 * slots_.size()) grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(util::mix64(key)) & mask;
+    while (slots_[i] != 0) {
+      if (slots_[i] == key) return false;
+      i = (i + 1) & mask;
+    }
+    slots_[i] = key;
+    ++size_;
+    return true;
+  }
+
+ private:
+  void grow() {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, 0);
+    const std::size_t mask = slots_.size() - 1;
+    for (std::uint64_t key : old) {
+      if (key == 0) continue;
+      std::size_t i = static_cast<std::size_t>(util::mix64(key)) & mask;
+      while (slots_[i] != 0) i = (i + 1) & mask;
+      slots_[i] = key;
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t size_ = 0;
+  bool has_zero_ = false;
+};
 }  // namespace
 
 Iblt::Iblt(IbltParams params, std::uint64_t seed) : k_(params.k), seed_(seed) {
@@ -36,6 +103,16 @@ Iblt::Iblt(IbltParams params, std::uint64_t seed) : k_(params.k), seed_(seed) {
   // Round up so each of the k partitions covers cells/k slots.
   cells = ((cells + k_ - 1) / k_) * k_;
   cells_.assign(cells, Cell{});
+  init_derived();
+}
+
+void Iblt::init_derived() noexcept {
+  if (cells_.empty()) return;
+  stride_ = cells_.size() / k_;
+  stride_div_ = util::FastMod64(stride_);
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    seed_mix_[i] = util::mix64(seed_ + 0x9e3779b97f4a7c15ULL * (i + 1));
+  }
 }
 
 void Iblt::positions(std::uint64_t key, std::uint64_t* out) const noexcept {
@@ -43,12 +120,13 @@ void Iblt::positions(std::uint64_t key, std::uint64_t* out) const noexcept {
   // k-partite hypergraph model used by the parameter search. Each partition
   // gets an *independent* full mix of (key, seed, i) — double hashing would
   // correlate positions across partitions and visibly depress the peeling
-  // threshold relative to the hypergraph model.
-  const std::uint64_t stride = cells_.size() / k_;
+  // threshold relative to the hypergraph model. The key-independent inner
+  // mix64(seed + C·(i+1)) is hoisted into seed_mix_ and the `% stride` runs
+  // through the exact invariant-divisor reduction; positions are
+  // bit-identical to the naive formulation.
   for (std::uint32_t i = 0; i < k_; ++i) {
-    const std::uint64_t h =
-        util::mix64(key ^ util::mix64(seed_ + 0x9e3779b97f4a7c15ULL * (i + 1)));
-    out[i] = static_cast<std::uint64_t>(i) * stride + h % stride;
+    const std::uint64_t h = util::mix64(key ^ seed_mix_[i]);
+    out[i] = static_cast<std::uint64_t>(i) * stride_ + stride_div_.mod(h);
   }
 }
 
@@ -68,21 +146,148 @@ void Iblt::update(std::uint64_t key, std::int32_t delta) {
   }
 }
 
+template <std::uint32_t K>
+void Iblt::insert_batch_fixed(const std::uint64_t* keys, std::size_t count) {
+  // Software pipeline through a ring of kDepth in-flight keys: positions and
+  // checksum for key j+kDepth are derived — and their cells prefetched —
+  // kDepth iterations before they are applied, so each of the (up to K)
+  // cache-line fills has several full hash chains of work to hide behind.
+  // A 1-deep pipeline only covers ~one mix64/fastmod chain, far short of a
+  // DRAM fill when the table outgrows the last-level cache. K is a
+  // compile-time constant, so every inner loop fully unrolls.
+  constexpr std::size_t kDepth = 8;  // power of 2: slot index is j & mask
+  Cell* cells = cells_.data();
+  const std::uint64_t stride = stride_;
+  const util::FastMod64 div = stride_div_;
+  std::uint64_t mix[K];
+  for (std::uint32_t i = 0; i < K; ++i) mix[i] = seed_mix_[i];
+  std::uint64_t ring[kDepth][K];
+  std::uint32_t checks[kDepth];
+  const auto derive = [&](std::uint64_t key, std::size_t slot) {
+    std::uint64_t* p = ring[slot];
+    std::uint64_t base = 0;
+    for (std::uint32_t i = 0; i < K; ++i, base += stride) {
+      p[i] = base + div.mod(util::mix64(key ^ mix[i]));
+      prefetch_write(&cells[p[i]]);
+    }
+    checks[slot] = check_hash(key);
+  };
+  const std::size_t lead = count < kDepth ? count : kDepth;
+  for (std::size_t j = 0; j < lead; ++j) derive(keys[j], j);
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::size_t slot = j & (kDepth - 1);
+    // Snapshot the slot before refilling it with key j+kDepth.
+    std::uint64_t q[K];
+    for (std::uint32_t i = 0; i < K; ++i) q[i] = ring[slot][i];
+    const std::uint32_t check = checks[slot];
+    const std::uint64_t key = keys[j];
+    if (j + kDepth < count) derive(keys[j + kDepth], slot);
+    for (std::uint32_t i = 0; i < K; ++i) {
+      Cell& cell = cells[q[i]];
+      cell.count = wrap_add(cell.count, 1);
+      cell.key_sum ^= key;
+      cell.check_sum ^= check;
+    }
+  }
+}
+
+void Iblt::insert_batch(const std::uint64_t* keys, std::size_t count) {
+  if (count == 0) return;
+  // Dispatch the common table arities to unrolled pipelines; positions and
+  // cell arithmetic are identical to insert() for every k.
+  switch (k_) {
+    case 2: insert_batch_fixed<2>(keys, count); return;
+    case 3: insert_batch_fixed<3>(keys, count); return;
+    case 4: insert_batch_fixed<4>(keys, count); return;
+    case 5: insert_batch_fixed<5>(keys, count); return;
+    case 6: insert_batch_fixed<6>(keys, count); return;
+    default: break;
+  }
+  std::uint64_t pos[kTile][kMaxHashCount];
+  std::uint32_t check[kTile];
+  std::size_t done = 0;
+  while (done < count) {
+    const std::size_t tile = std::min(kTile, count - done);
+    // Pass 1: derive every position in the tile and prefetch its cell, so
+    // the cache misses of pass 2 resolve while later hashes are computed.
+    for (std::size_t t = 0; t < tile; ++t) {
+      positions(keys[done + t], pos[t]);
+      check[t] = check_hash(keys[done + t]);
+      for (std::uint32_t i = 0; i < k_; ++i) {
+        prefetch_write(&cells_[pos[t][i]]);
+      }
+    }
+    // Pass 2: apply the updates; identical cell arithmetic and order to a
+    // plain insert() loop (count-add and XOR per target cell).
+    for (std::size_t t = 0; t < tile; ++t) {
+      const std::uint64_t key = keys[done + t];
+      for (std::uint32_t i = 0; i < k_; ++i) {
+        Cell& cell = cells_[pos[t][i]];
+        cell.count = wrap_add(cell.count, 1);
+        cell.key_sum ^= key;
+        cell.check_sum ^= check[t];
+      }
+    }
+    done += tile;
+  }
+}
+
+void Iblt::insert_all(std::span<const std::uint64_t> keys, util::ThreadPool* pool) {
+  const std::size_t workers = pool == nullptr ? 0 : pool->size();
+  std::size_t shards = std::min(workers + 1, keys.size() / kMinKeysPerShard);
+  if (workers == 0 || shards < 2) {
+    insert_batch(keys.data(), keys.size());
+    return;
+  }
+  // Each shard fills a private table over a contiguous key range; the merge
+  // below is count-add/XOR, both commutative and associative, so the final
+  // cells match a serial insert bit-for-bit regardless of shard count.
+  std::vector<Iblt> partials(shards, Iblt(IbltParams{k_, cells_.size()}, seed_));
+  const std::size_t chunk = (keys.size() + shards - 1) / shards;
+  util::parallel_for(pool, shards, [&](std::uint64_t s) {
+    const std::size_t begin = static_cast<std::size_t>(s) * chunk;
+    const std::size_t end = std::min(begin + chunk, keys.size());
+    partials[static_cast<std::size_t>(s)].insert_batch(keys.data() + begin, end - begin);
+  });
+  for (const Iblt& p : partials) merge_add(p);
+}
+
+void Iblt::merge_add(const Iblt& other) noexcept {
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].count = wrap_add(cells_[i].count, other.cells_[i].count);
+    cells_[i].key_sum ^= other.cells_[i].key_sum;
+    cells_[i].check_sum ^= other.cells_[i].check_sum;
+  }
+}
+
 void Iblt::cancel(std::uint64_t key, int sign) {
   update(key, sign > 0 ? -1 : +1);
   // cancel(+1) removes an item that this difference-IBLT counted positively,
   // which is the same cell arithmetic as erasing it once.
 }
 
-Iblt Iblt::subtract(const Iblt& other) const {
+Iblt Iblt::subtract(const Iblt& other, util::ThreadPool* pool) const {
   if (cells_.size() != other.cells_.size() || k_ != other.k_ || seed_ != other.seed_) {
     throw std::invalid_argument("Iblt::subtract: incompatible parameters");
   }
   Iblt out = *this;
-  for (std::size_t i = 0; i < cells_.size(); ++i) {
-    out.cells_[i].count = wrap_sub(out.cells_[i].count, other.cells_[i].count);
-    out.cells_[i].key_sum ^= other.cells_[i].key_sum;
-    out.cells_[i].check_sum ^= other.cells_[i].check_sum;
+  const std::size_t n = cells_.size();
+  auto body = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out.cells_[i].count = wrap_sub(out.cells_[i].count, other.cells_[i].count);
+      out.cells_[i].key_sum ^= other.cells_[i].key_sum;
+      out.cells_[i].check_sum ^= other.cells_[i].check_sum;
+    }
+  };
+  if (pool != nullptr && pool->size() > 0 && n >= 2 * kSubtractChunkCells) {
+    // Cells are independent, so any chunking yields the same table.
+    const std::uint64_t chunks = (n + kSubtractChunkCells - 1) / kSubtractChunkCells;
+    util::parallel_for(pool, chunks, [&](std::uint64_t c) {
+      const std::size_t begin = static_cast<std::size_t>(c) * kSubtractChunkCells;
+      body(begin, std::min(begin + kSubtractChunkCells, n));
+    });
+  } else {
+    body(0, n);
   }
   return out;
 }
@@ -102,25 +307,30 @@ DecodeResult Iblt::decode() const {
     return (c.count == 1 || c.count == -1) && check_hash(c.key_sum) == c.check_sum;
   };
 
-  std::deque<std::uint64_t> queue;
+  // FIFO worklist of candidate-pure cell indices: a flat vector drained by a
+  // head cursor, preserving the exact peel order of the deque it replaces
+  // without its per-block allocation. Total pushes are bounded (initial pure
+  // cells + k per peeled item), so the vector stays small.
+  std::vector<std::uint64_t> worklist;
+  worklist.reserve(cells.size() / 4 + 8);
   for (std::uint64_t i = 0; i < cells.size(); ++i) {
-    if (pure(cells[i])) queue.push_back(i);
+    if (pure(cells[i])) worklist.push_back(i);
   }
 
   // Tracks peeled items to defeat the malformed-IBLT endless loop (§6.1):
   // a well-formed difference IBLT never yields the same key twice.
-  std::unordered_map<std::uint64_t, int> seen;
+  SeenSet seen(cells.size());
 
   std::uint64_t pos[kMaxHashCount];
-  while (!queue.empty()) {
-    const std::uint64_t idx = queue.front();
-    queue.pop_front();
+  std::size_t head = 0;
+  while (head < worklist.size()) {
+    const std::uint64_t idx = worklist[head++];
     ++result.peel_iterations;
     if (!pure(cells[idx])) continue;  // May have changed since enqueue.
 
     const std::uint64_t key = cells[idx].key_sum;
     const int sign = cells[idx].count;
-    if (!seen.emplace(key, sign).second) {
+    if (!seen.insert(key)) {
       result.malformed = true;
       return result;
     }
@@ -137,7 +347,7 @@ DecodeResult Iblt::decode() const {
       cell.count = wrap_sub(cell.count, static_cast<std::int32_t>(sign));
       cell.key_sum ^= key;
       cell.check_sum ^= check;
-      if (pure(cell)) queue.push_back(pos[i]);
+      if (pure(cell)) worklist.push_back(pos[i]);
     }
   }
 

@@ -8,11 +8,17 @@
 // peels twice, which defeats the endless-decode-loop attack.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/bytes.hpp"
 #include "util/hash.hpp"
+
+namespace graphene::util {
+class ThreadPool;
+}  // namespace graphene::util
 
 namespace graphene::iblt {
 
@@ -57,9 +63,24 @@ class Iblt {
   void insert(std::uint64_t key) { update(key, +1); }
   void erase(std::uint64_t key) { update(key, -1); }
 
+  /// Inserts `count` keys; identical cell state to inserting each in order,
+  /// but pipelines position derivation with software prefetching of the
+  /// target cells — the batch primitive behind I′/J′ construction.
+  void insert_batch(const std::uint64_t* keys, std::size_t count);
+
+  /// Inserts all keys, fanning the work across `pool` for large batches:
+  /// each worker fills a private partial table over a key range and the
+  /// partials merge by count-add/XOR. Both operations are commutative and
+  /// associative, so the resulting cells are bit-identical to a serial
+  /// insert for ANY worker count (the PR-3 determinism contract). A null or
+  /// empty pool — or a small batch — degrades to insert_batch.
+  void insert_all(std::span<const std::uint64_t> keys, util::ThreadPool* pool = nullptr);
+
   /// Cell-wise subtraction (this − other). Both tables must share cell
-  /// count, k, and seed; throws std::invalid_argument otherwise.
-  [[nodiscard]] Iblt subtract(const Iblt& other) const;
+  /// count, k, and seed; throws std::invalid_argument otherwise. A non-null
+  /// pool splits the cell range across workers (cells are independent, so
+  /// the result is identical for any worker count).
+  [[nodiscard]] Iblt subtract(const Iblt& other, util::ThreadPool* pool = nullptr) const;
 
   /// Peels this table. Non-destructive (operates on a copy of the cells).
   [[nodiscard]] DecodeResult decode() const;
@@ -85,21 +106,42 @@ class Iblt {
   [[nodiscard]] static std::size_t serialized_size_for(std::uint64_t cells) noexcept;
 
   /// Test hook: direct cell access for corruption/attack tests.
+  ///
+  /// Field order packs the struct to 16 bytes (key_sum first avoids the
+  /// 4+4-byte padding holes of the count-first layout), shrinking the table
+  /// a third and keeping every cell inside one cache line. The wire format
+  /// is unaffected: serialize() writes count | key_sum | check_sum
+  /// explicitly.
   struct Cell {
-    std::int32_t count = 0;
     std::uint64_t key_sum = 0;
+    std::int32_t count = 0;
     std::uint32_t check_sum = 0;
   };
+  static_assert(sizeof(Cell) == 16, "Cell must stay one half cache line");
   [[nodiscard]] std::vector<Cell>& cells_for_test() noexcept { return cells_; }
 
  private:
   void update(std::uint64_t key, std::int32_t delta);
+  /// Unrolled, software-pipelined insert_batch body for a compile-time k.
+  template <std::uint32_t K>
+  void insert_batch_fixed(const std::uint64_t* keys, std::size_t count);
   void positions(std::uint64_t key, std::uint64_t* out) const noexcept;
   [[nodiscard]] std::uint32_t check_hash(std::uint64_t key) const noexcept;
+  /// Rebuilds the derived index state (per-hash seed mixes, invariant
+  /// divisor) after cells_/k_/seed_ change. Positions are bit-identical to
+  /// the naive per-call formulation; this just hoists the key-independent
+  /// half of the hash and strength-reduces the `% stride` divide.
+  void init_derived() noexcept;
+  /// Cell-wise this += other (count-add, XOR sums); parameter-compatibility
+  /// is the caller's responsibility. Used to fold parallel partial tables.
+  void merge_add(const Iblt& other) noexcept;
 
   std::vector<Cell> cells_;
   std::uint32_t k_ = 4;
   std::uint64_t seed_ = 0;
+  std::uint64_t stride_ = 0;                  ///< cells / k (partition width)
+  util::FastMod64 stride_div_;                ///< exact reduction by stride_
+  std::array<std::uint64_t, 16> seed_mix_{};  ///< mix64(seed + C·(i+1)) per hash
 };
 
 }  // namespace graphene::iblt

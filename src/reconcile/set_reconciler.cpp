@@ -8,6 +8,7 @@
 #include "iblt/param_cache.hpp"
 #include "iblt/param_table.hpp"
 #include "iblt/pingpong.hpp"
+#include "util/thread_pool.hpp"
 #include "util/varint.hpp"
 #include "util/wire_limits.hpp"
 
@@ -29,6 +30,32 @@ std::uint64_t short_id_of(const ItemDigest& d, std::uint64_t salt,
 util::ByteView view(const ItemDigest& d) noexcept {
   return util::ByteView(d.data(), d.size());
 }
+
+/// Snapshots an iteration of `items` (digest pointers stay valid — the
+/// containers are node- or array-backed and unmodified during a pass) plus
+/// the matching view array for the batch filter primitives.
+struct DigestPass {
+  std::vector<const ItemDigest*> digests;
+  std::vector<util::ByteView> views;
+
+  template <typename Container>
+  explicit DigestPass(const Container& items) {
+    digests.reserve(items.size());
+    views.reserve(items.size());
+    for (const ItemDigest& d : items) {
+      digests.push_back(&d);
+      views.push_back(view(d));
+    }
+  }
+
+  /// hit[i] = 1 iff views[i] passes `filter`; chunk-parallel with a pool.
+  [[nodiscard]] std::vector<std::uint8_t> scan(const bloom::BloomFilter& filter,
+                                               util::ThreadPool* pool) const {
+    std::vector<std::uint8_t> hit(views.size());
+    bloom::contains_all(filter, views.data(), views.size(), hit.data(), pool);
+    return hit;
+  }
+};
 
 }  // namespace
 
@@ -177,14 +204,18 @@ Offer Host::make_offer(std::uint64_t client_count) const {
   offer.count = n;
   offer.salt = salt_;
   offer.filter = bloom::BloomFilter(std::max<std::uint64_t>(n, 1), params.fpr,
-                                    salt_ ^ 0x0ffe12);
+                                    salt_ ^ 0x0ffe12, cfg_.bloom_strategy);
   offer.correction = iblt::Iblt(params.iblt, salt_);
-  for (const ItemDigest& d : items_) {
-    offer.filter.insert(view(d));
-    const std::uint64_t sid = short_id_of(d, salt_, cfg_);
-    offer.correction.insert(sid);
+  const DigestPass pass(items_);
+  offer.filter.insert_batch(pass.views.data(), pass.views.size());
+  std::vector<std::uint64_t> sids;
+  sids.reserve(n);
+  for (const ItemDigest* d : pass.digests) {
+    const std::uint64_t sid = short_id_of(*d, salt_, cfg_);
+    sids.push_back(sid);
     offer.set_checksum ^= util::mix64(sid);
   }
+  offer.correction.insert_all(sids, cfg_.pool);
   return offer;
 }
 
@@ -212,11 +243,15 @@ Response Host::serve(const Request& request) const {
 
   std::vector<const ItemDigest*> passed;
   passed.reserve(n);
-  for (const ItemDigest& d : items_) {
-    if (request.filter.contains(view(d))) {
-      passed.push_back(&d);
-    } else {
-      resp.missing.push_back(d);
+  const DigestPass pass(items_);
+  {
+    const std::vector<std::uint8_t> hit = pass.scan(request.filter, cfg_.pool);
+    for (std::size_t i = 0; i < pass.digests.size(); ++i) {
+      if (hit[i] != 0) {
+        passed.push_back(pass.digests[i]);
+      } else {
+        resp.missing.push_back(*pass.digests[i]);
+      }
     }
   }
 
@@ -241,15 +276,22 @@ Response Host::serve(const Request& request) const {
       }
     }
     const double f_f = std::min(1.0, static_cast<double>(best_b) / static_cast<double>(denom));
-    bloom::BloomFilter comp(std::max<std::uint64_t>(z_s, 1), f_f, salt_ ^ 0xc0ffee);
-    for (const ItemDigest* d : passed) comp.insert(view(*d));
+    bloom::BloomFilter comp(std::max<std::uint64_t>(z_s, 1), f_f, salt_ ^ 0xc0ffee,
+                            cfg_.bloom_strategy);
+    std::vector<util::ByteView> passed_views;
+    passed_views.reserve(passed.size());
+    for (const ItemDigest* d : passed) passed_views.push_back(view(*d));
+    comp.insert_batch(passed_views.data(), passed_views.size());
     resp.compensation = std::move(comp);
     j_items = best_b + y_s;
   }
 
   resp.correction =
       iblt::Iblt(iblt::cached_params(cfg_.param_cache, j_items, cfg_.fail_denom), salt_ + 1);
-  for (const ItemDigest& d : items_) resp.correction.insert(short_id_of(d, salt_, cfg_));
+  std::vector<std::uint64_t> sids;
+  sids.reserve(pass.digests.size());
+  for (const ItemDigest* d : pass.digests) sids.push_back(short_id_of(*d, salt_, cfg_));
+  resp.correction.insert_all(sids, cfg_.pool);
   return resp;
 }
 
@@ -274,6 +316,13 @@ std::uint64_t Client::sid(const ItemDigest& d) const noexcept {
   return short_id_of(d, offer_.salt, cfg_);
 }
 
+std::vector<std::uint64_t> Client::candidate_sids() const {
+  std::vector<std::uint64_t> sids;
+  sids.reserve(candidates_.size());
+  for (const ItemDigest& d : candidates_) sids.push_back(sid(d));
+  return sids;
+}
+
 void Client::index(const ItemDigest& d) {
   const std::uint64_t s = sid(d);
   const auto [it, inserted] = sid_to_digest_.emplace(s, d);
@@ -287,16 +336,20 @@ Outcome Client::absorb(const Offer& offer) {
   ambiguous_.clear();
   candidates_.clear();
 
-  for (const ItemDigest& d : *items_) {
-    if (offer.filter.contains(view(d))) index(d);
+  {
+    const DigestPass pass(*items_);
+    const std::vector<std::uint8_t> hit = pass.scan(offer.filter, cfg_.pool);
+    for (std::size_t i = 0; i < pass.digests.size(); ++i) {
+      if (hit[i] != 0) index(*pass.digests[i]);
+    }
   }
 
   iblt::Iblt mine(iblt::IbltParams{offer.correction.hash_count(),
                                    offer.correction.cell_count()},
                   offer.correction.seed());
-  for (const ItemDigest& d : candidates_) mine.insert(sid(d));
+  mine.insert_all(candidate_sids(), cfg_.pool);
 
-  const iblt::DecodeResult dec = offer.correction.subtract(mine).decode();
+  const iblt::DecodeResult dec = offer.correction.subtract(mine, cfg_.pool).decode();
   Outcome out;
   if (dec.malformed || !dec.success || !dec.positives.empty()) {
     out.status = dec.malformed ? Outcome::Status::kFailed : Outcome::Status::kNeedsRequest;
@@ -326,8 +379,9 @@ Request Client::make_request() {
   req.fpr_r = params2_.fpr;
   req.reversed = params2_.reversed;
   req.filter = bloom::BloomFilter(std::max<std::uint64_t>(z, 1), params2_.fpr,
-                                  offer_.salt ^ 0x4ece55);
-  for (const ItemDigest& d : candidates_) req.filter.insert(view(d));
+                                  offer_.salt ^ 0x4ece55, cfg_.bloom_strategy);
+  const DigestPass pass(candidates_);
+  req.filter.insert_batch(pass.views.data(), pass.views.size());
   return req;
 }
 
@@ -335,12 +389,10 @@ Outcome Client::complete(const Response& response) {
   Outcome out;
 
   if (params2_.reversed && response.compensation.has_value()) {
-    for (auto it = candidates_.begin(); it != candidates_.end();) {
-      if (!response.compensation->contains(view(*it))) {
-        it = candidates_.erase(it);
-      } else {
-        ++it;
-      }
+    const DigestPass pass(candidates_);
+    const std::vector<std::uint8_t> hit = pass.scan(*response.compensation, cfg_.pool);
+    for (std::size_t i = 0; i < pass.digests.size(); ++i) {
+      if (hit[i] == 0) candidates_.erase(*pass.digests[i]);
     }
   }
   for (const ItemDigest& d : response.missing) index(d);
@@ -348,18 +400,18 @@ Outcome Client::complete(const Response& response) {
   iblt::Iblt mine(iblt::IbltParams{response.correction.hash_count(),
                                    response.correction.cell_count()},
                   response.correction.seed());
-  for (const ItemDigest& d : candidates_) mine.insert(sid(d));
+  mine.insert_all(candidate_sids(), cfg_.pool);
 
-  const iblt::Iblt diff_j = response.correction.subtract(mine);
+  const iblt::Iblt diff_j = response.correction.subtract(mine, cfg_.pool);
   iblt::DecodeResult dec = diff_j.decode();
   if (!dec.success && !dec.malformed && cfg_.enable_pingpong) {
     // §4.2 ping-pong: the offer's IBLT covers the same item pair.
     iblt::Iblt offer_mine(iblt::IbltParams{offer_.correction.hash_count(),
                                            offer_.correction.cell_count()},
                           offer_.correction.seed());
-    for (const ItemDigest& d : candidates_) offer_mine.insert(sid(d));
+    offer_mine.insert_all(candidate_sids(), cfg_.pool);
     const iblt::PingPongResult pp =
-        iblt::pingpong_decode(diff_j, offer_.correction.subtract(offer_mine));
+        iblt::pingpong_decode(diff_j, offer_.correction.subtract(offer_mine, cfg_.pool));
     if (pp.malformed) {
       out.status = Outcome::Status::kFailed;
       return out;

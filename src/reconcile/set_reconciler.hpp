@@ -146,6 +146,9 @@ class Client {
   Outcome finalize();
   [[nodiscard]] std::uint64_t sid(const ItemDigest& d) const noexcept;
   void index(const ItemDigest& d);
+  /// Short IDs of the current candidate set, in iteration order — the batch
+  /// input for the IBLT mirror builds.
+  [[nodiscard]] std::vector<std::uint64_t> candidate_sids() const;
 
   const ItemSet* items_;
   core::ProtocolConfig cfg_;

@@ -18,6 +18,7 @@ GrapheneRun run_impl(const Scenario& scenario, std::uint64_t salt,
 
   run.getdata_bytes = kGetdataBytes;
   const core::GrapheneBlockMsg msg = sender.encode(scenario.receiver_mempool.size()).msg;
+  run.bloom_strategy = static_cast<std::uint8_t>(msg.filter_s.strategy());
   run.bloom_s_bytes = msg.filter_s.serialized_size();
   run.iblt_i_bytes = msg.iblt_i.serialized_size();
 
@@ -90,6 +91,8 @@ void write_run_jsonl(std::ostream& out, const GrapheneRun& run, const Scenario& 
   w.boolean(run.used_repair);
   w.key("used_pingpong");
   w.boolean(run.used_pingpong);
+  w.key("bloom_strategy");
+  w.number(static_cast<std::uint64_t>(run.bloom_strategy));
 
   w.key("bytes");
   w.begin_object();

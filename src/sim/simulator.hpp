@@ -22,6 +22,11 @@ struct GrapheneRun {
   bool used_repair = false;
   bool used_pingpong = false;
 
+  /// Probe layout of filter S as actually sent (bloom::HashStrategy value);
+  /// distinguishes blocked-layout runs in the JSONL stream, since the FPR
+  /// penalty of blocking shows up in fpr_s_observed.
+  std::uint8_t bloom_strategy = 0;
+
   std::size_t getdata_bytes = 0;   ///< receiver's initial request (inv+count)
   std::size_t bloom_s_bytes = 0;   ///< Protocol 1 filter S
   std::size_t iblt_i_bytes = 0;    ///< Protocol 1 IBLT I

@@ -5,6 +5,7 @@
 // measure the same thing a network socket would carry.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -52,6 +53,25 @@ class ByteWriter {
     buf_.insert(buf_.end(), p, p + len);
   }
 
+  /// Appends `byte_count` bytes of a little-endian word array — the first
+  /// byte_count bytes of words[0], words[1], … each emitted LSB-first. On a
+  /// little-endian host this is one memcpy; the portable fallback produces
+  /// identical wire bytes. `words` must hold at least ceil(byte_count/8)
+  /// entries.
+  void words_le(const std::uint64_t* words, std::size_t byte_count) {
+    if (byte_count == 0) return;
+    const std::size_t start = buf_.size();
+    buf_.resize(start + byte_count);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(buf_.data() + start, words, byte_count);
+    } else {
+      for (std::size_t byte = 0; byte < byte_count; ++byte) {
+        buf_[start + byte] =
+            static_cast<std::uint8_t>(words[byte / 8] >> (8 * (byte % 8)));
+      }
+    }
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
   [[nodiscard]] const Bytes& bytes() const noexcept { return buf_; }
   [[nodiscard]] Bytes take() noexcept { return std::move(buf_); }
@@ -93,6 +113,26 @@ class ByteReader {
     require(len);
     std::memcpy(dst, data_.data() + pos_, len);
     pos_ += len;
+  }
+
+  /// Reads `byte_count` bytes into a little-endian word array (inverse of
+  /// ByteWriter::words_le). `words` must hold ceil(byte_count/8) entries; a
+  /// trailing partial word is zero-padded in its high bytes.
+  void words_le_into(std::uint64_t* words, std::size_t byte_count) {
+    if (byte_count == 0) return;
+    require(byte_count);
+    if (byte_count % 8 != 0) words[byte_count / 8] = 0;
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(words, data_.data() + pos_, byte_count);
+    } else {
+      const std::size_t full = byte_count / 8;
+      for (std::size_t w = 0; w < full; ++w) words[w] = 0;
+      for (std::size_t byte = 0; byte < byte_count; ++byte) {
+        words[byte / 8] |= static_cast<std::uint64_t>(data_[pos_ + byte])
+                           << (8 * (byte % 8));
+      }
+    }
+    pos_ += byte_count;
   }
 
   [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }

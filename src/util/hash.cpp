@@ -2,15 +2,6 @@
 
 namespace graphene::util {
 
-std::array<std::uint64_t, 4> split_digest_words(ByteView digest32) noexcept {
-  std::array<std::uint64_t, 4> words{};
-  const std::size_t n = digest32.size() < 32 ? digest32.size() : 32;
-  for (std::size_t i = 0; i < n; ++i) {
-    words[i / 8] |= static_cast<std::uint64_t>(digest32[i]) << (8 * (i % 8));
-  }
-  return words;
-}
-
 std::uint64_t hash64(ByteView data, std::uint64_t seed) noexcept {
   std::uint64_t h = 0xcbf29ce484222325ULL ^ seed;
   for (std::uint8_t b : data) {

@@ -4,9 +4,14 @@
 
 #include <vector>
 
+#include <atomic>
+#include <thread>
+
 #include "chain/transaction.hpp"
-#include "util/varint.hpp"
+#include "util/hex.hpp"
 #include "util/random.hpp"
+#include "util/thread_pool.hpp"
+#include "util/varint.hpp"
 
 namespace graphene::bloom {
 namespace {
@@ -167,6 +172,213 @@ TEST(BloomFilter, EffectiveFprTracksLoad) {
   EXPECT_EQ(f.effective_fpr(), 0.0);  // nothing inserted yet
   for (const TxId& id : random_ids(1000, 15)) f.insert(view(id));
   EXPECT_NEAR(f.effective_fpr(), 0.01, 0.005);
+}
+
+// --- blocked layout, batch APIs, and wire-format pins (PR 5) ---------------
+
+/// The exact transaction stream the pinned wire fixtures below were captured
+/// from: 40 ids drawn from Rng(12345).
+std::vector<TxId> fixture_ids() {
+  util::Rng rng(12345);
+  std::vector<TxId> ids(40);
+  for (auto& id : ids) id = chain::make_random_transaction(rng).id;
+  return ids;
+}
+
+TEST(BloomFilter, GoldenWireBytesPinAllStrategies) {
+  // Serialized bytes pin BOTH the wire header and every probe position; any
+  // change to index derivation (hashing, reduction) or payload layout shows
+  // up here as a diff. Captured from the seed implementation for split and
+  // rehash, and from the first blocked implementation for kBlocked.
+  const auto ids = fixture_ids();
+  BloomFilter split(40, 0.02, 0xabcdef);
+  BloomFilter rehash(40, 0.02, 0xabcdef, HashStrategy::kRehash);
+  BloomFilter blocked(40, 0.02, 0xabcdef, HashStrategy::kBlocked);
+  for (const TxId& id : ids) {
+    split.insert(view(id));
+    rehash.insert(view(id));
+    blocked.insert(view(id));
+  }
+  EXPECT_EQ(util::to_hex(split.serialize()),
+            "fd460106efcdab00000000007c02dd1b70e8463c250da3316bbd88e128732a75ee2c1a"
+            "01ffef744d8ce2c9be06cf36e253bbfbce38");
+  EXPECT_EQ(util::to_hex(rehash.serialize()),
+            "fd460186efcdab00000000002db3b2c1e577d1e345f24a75a3312a24effbe04a93de2a"
+            "cec833863e5cb0aa750727c3f43b6e24d317");
+  EXPECT_EQ(util::to_hex(blocked.serialize()),
+            "fd0002c9efcdab00000000003fb1dcb044711b04fc24057d3934443def3404994b32ec"
+            "465815e8f90f752ba8c8ae99d39fd4dbe3a5d01793c32a4994379281949382e7637db5"
+            "c84cea5ee41d");
+}
+
+TEST(BloomFilter, BlockedStrategyCorrectAndRoundTrips) {
+  const auto members = random_ids(3000, 21);
+  const auto non_members = random_ids(30000, 22);
+  BloomFilter f(members.size(), 0.01, /*seed=*/31, HashStrategy::kBlocked);
+  EXPECT_EQ(f.strategy(), HashStrategy::kBlocked);
+  EXPECT_EQ(f.bit_count() % BloomFilter::kBlockBits, 0u);
+  EXPECT_LE(f.hash_count(), 63u);
+  for (const TxId& id : members) f.insert(view(id));
+  for (const TxId& id : members) ASSERT_TRUE(f.contains(view(id)));
+
+  // Blocking costs a constant factor of FPR, not an order of magnitude.
+  std::size_t fps = 0;
+  for (const TxId& id : non_members) fps += f.contains(view(id)) ? 1 : 0;
+  const double observed =
+      static_cast<double>(fps) / static_cast<double>(non_members.size());
+  EXPECT_LT(observed, 0.04);
+
+  util::Bytes wire = f.serialize();
+  EXPECT_EQ(wire.size(), f.serialized_size());
+  util::ByteReader reader(wire);
+  const BloomFilter g = BloomFilter::deserialize(reader);
+  EXPECT_TRUE(reader.done());
+  EXPECT_EQ(g.strategy(), HashStrategy::kBlocked);
+  EXPECT_EQ(g.bit_count(), f.bit_count());
+  EXPECT_EQ(g.hash_count(), f.hash_count());
+  EXPECT_EQ(g.serialize(), wire);
+  for (const TxId& id : members) ASSERT_TRUE(g.contains(view(id)));
+  for (const TxId& id : non_members) {
+    ASSERT_EQ(g.contains(view(id)), f.contains(view(id)));
+  }
+}
+
+TEST(BloomFilter, ByteC0StillParsesAsRehashK64) {
+  // 0xc0 was a valid k byte before the blocked layout claimed the 0xc1–0xff
+  // range: rehash with k = 64. It must keep that meaning.
+  util::ByteWriter w;
+  util::write_varint(w, 512);
+  w.u8(0xc0);
+  w.u64(77);
+  for (int i = 0; i < 64; ++i) w.u8(0);
+  util::ByteReader reader(w.bytes());
+  const BloomFilter f = BloomFilter::deserialize(reader);
+  EXPECT_TRUE(reader.done());
+  EXPECT_EQ(f.strategy(), HashStrategy::kRehash);
+  EXPECT_EQ(f.hash_count(), 64u);
+}
+
+TEST(BloomFilter, BlockedHeaderRequiresWholeBlocks) {
+  // A blocked strategy byte with a bit count that is not a multiple of 512
+  // cannot have been produced by this implementation; reject it.
+  util::ByteWriter w;
+  util::write_varint(w, 256);
+  w.u8(0xc0 | 3);
+  w.u64(77);
+  for (int i = 0; i < 32; ++i) w.u8(0);
+  util::ByteReader reader(w.bytes());
+  EXPECT_THROW((void)BloomFilter::deserialize(reader), util::DeserializeError);
+}
+
+TEST(BloomFilter, DegenerateBlockedFallsBackToSplitHeader) {
+  // FPR >= 1 yields the zero-bit filter whose header must stay parseable;
+  // the constructor falls back to the split-digest encoding for it.
+  const BloomFilter f(1000, 1.0, 5, HashStrategy::kBlocked);
+  EXPECT_TRUE(f.matches_everything());
+  util::Bytes wire = f.serialize();
+  util::ByteReader reader(wire);
+  const BloomFilter g = BloomFilter::deserialize(reader);
+  EXPECT_TRUE(g.matches_everything());
+}
+
+class BloomBatchParity : public ::testing::TestWithParam<HashStrategy> {};
+
+TEST_P(BloomBatchParity, BatchPathsMatchScalarBitForBit) {
+  const HashStrategy strategy = GetParam();
+  const auto members = random_ids(2500, 23);
+  const auto probes = random_ids(5000, 24);
+
+  BloomFilter scalar(members.size(), 0.015, /*seed=*/9, strategy);
+  BloomFilter batch(members.size(), 0.015, /*seed=*/9, strategy);
+  for (const TxId& id : members) scalar.insert(view(id));
+  std::vector<util::ByteView> member_views;
+  for (const TxId& id : members) member_views.push_back(view(id));
+  batch.insert_batch(member_views.data(), member_views.size());
+  ASSERT_EQ(batch.serialize(), scalar.serialize());
+  EXPECT_EQ(batch.insert_count(), scalar.insert_count());
+
+  std::vector<util::ByteView> probe_views;
+  for (const TxId& id : probes) probe_views.push_back(view(id));
+  std::vector<std::uint8_t> out(probe_views.size());
+  batch.contains_batch(probe_views.data(), probe_views.size(), out.data());
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    ASSERT_EQ(out[i] != 0, scalar.contains(view(probes[i]))) << i;
+  }
+  // One relaxed stats update per batch, same totals as the scalar loop.
+  EXPECT_EQ(batch.query_count(), scalar.query_count());
+  EXPECT_EQ(batch.hit_count(), scalar.hit_count());
+
+  // contains_all (the chunk-parallel scan) agrees for any worker count.
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    util::ThreadPool pool(workers);
+    std::vector<std::uint8_t> par(probe_views.size());
+    contains_all(batch, probe_views.data(), probe_views.size(), par.data(), &pool);
+    ASSERT_EQ(par, out) << "workers=" << workers;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, BloomBatchParity,
+                         ::testing::Values(HashStrategy::kSplitDigest,
+                                           HashStrategy::kRehash,
+                                           HashStrategy::kBlocked));
+
+TEST(BloomFilter, CopyAndMovePreserveStatsCounters) {
+  const auto ids = random_ids(100, 25);
+  BloomFilter f(ids.size(), 0.01, 3);
+  for (const TxId& id : ids) f.insert(view(id));
+  for (const TxId& id : ids) (void)f.contains(view(id));
+  ASSERT_EQ(f.query_count(), ids.size());
+  ASSERT_EQ(f.hit_count(), ids.size());
+
+  const BloomFilter copy = f;
+  EXPECT_EQ(copy.insert_count(), f.insert_count());
+  EXPECT_EQ(copy.query_count(), ids.size());
+  EXPECT_EQ(copy.hit_count(), ids.size());
+  EXPECT_EQ(copy.serialize(), f.serialize());
+
+  BloomFilter moved = std::move(f);
+  EXPECT_EQ(moved.query_count(), ids.size());
+  EXPECT_EQ(moved.serialize(), copy.serialize());
+}
+
+TEST(BloomFilterConcurrent, ContainsIsRaceFreeAcrossThreads) {
+  // contains()/contains_batch() advertise thread-safety for concurrent
+  // readers (relaxed atomic stats, read-only bit array). Hammer one filter
+  // from several threads; TSan (the CI stress leg matches "Concurrent")
+  // proves race-freedom and the relaxed counters must not lose increments.
+  const auto members = random_ids(512, 26);
+  const auto probes = random_ids(2048, 27);
+  BloomFilter f(members.size(), 0.01, 11, HashStrategy::kBlocked);
+  for (const TxId& id : members) f.insert(view(id));
+  f.reset_query_stats();
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 8;
+  std::atomic<std::uint64_t> expected_hits{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint64_t hits = 0;
+      std::vector<util::ByteView> views;
+      for (const TxId& id : probes) views.push_back(view(id));
+      std::vector<std::uint8_t> out(views.size());
+      for (int round = 0; round < kRounds; ++round) {
+        if ((t + round) % 2 == 0) {
+          for (const TxId& id : probes) hits += f.contains(view(id)) ? 1 : 0;
+        } else {
+          f.contains_batch(views.data(), views.size(), out.data());
+          for (const std::uint8_t bit : out) hits += bit;
+        }
+      }
+      expected_hits.fetch_add(hits, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(f.query_count(),
+            static_cast<std::uint64_t>(kThreads) * kRounds * probes.size());
+  EXPECT_EQ(f.hit_count(), expected_hits.load());
 }
 
 }  // namespace

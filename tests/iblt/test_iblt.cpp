@@ -4,8 +4,11 @@
 
 #include <algorithm>
 #include <set>
+#include <span>
 
+#include "util/hex.hpp"
 #include "util/random.hpp"
+#include "util/thread_pool.hpp"
 
 namespace graphene::iblt {
 namespace {
@@ -225,6 +228,102 @@ TEST_P(IbltCapacitySweep, DecodesAtTableCapacity) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, IbltCapacitySweep,
                          ::testing::Values(8, 16, 32, 64, 128, 256, 512));
+
+
+// ---------------------------------------------------------------------------
+// Wire-format pin + batch/parallel parity
+// ---------------------------------------------------------------------------
+
+// Eight fixed keys in a tiny table, serialized bytes pinned as hex. Any
+// change to the cell layout, the per-row hash family, or the checksum salt
+// rewrites these bytes and must be treated as a wire format break.
+TEST(Iblt, GoldenWireBytesAndDecodePinned) {
+  util::Rng rng(777);
+  Iblt table(IbltParams{4, 24}, 0x5151);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 8; ++i) keys.push_back(rng.next());
+  for (const std::uint64_t key : keys) table.insert(key);
+
+  EXPECT_EQ(util::to_hex(table.serialize()),
+            "1804515100000000000001000000d8d41446309a963cbdfcffbe00000000000000"
+            "00000000000000000000000000000000000000000000000000010000008964b6eb"
+            "2c171009f281f556030000005e1de7dcc4c7e260e3023944030000009e9eda65e5"
+            "4e7afd3b121a83020000004ccccdf38a0b099da9d92ac8000000000000000000000"
+            "0000000000002000000a98ccce5cea56c694623f1ee020000000a8603d05fdfe55c"
+            "2f37cff5020000007ef59dd226759e0057a03dfc000000000000000000000000000"
+            "0000002000000a6b6ab466a07cdef019d1cdc02000000e0fc6565bfd3212e8773f9"
+            "e10100000057cf8084ec0ea51486b30a5001000000f7912b390a628e09a521c8aa0"
+            "20000007727fa8a0ebcd97432110ee80000000000000000000000000000000001000"
+            "000d8d41446309a963cbdfcffbe02000000ac30a89635d828b32eaad32901000000"
+            "fe434c6122abc97dc090fbbe0000000000000000000000000000000001000000f79"
+            "12b390a628e09a521c8aa03000000ec05449c108fe753618a36ac");
+
+  // Peeling the difference (∅ − table) recovers all eight keys on the
+  // negative side, in a pinned number of iterations.
+  const Iblt empty(IbltParams{4, 24}, 0x5151);
+  const DecodeResult dec = empty.subtract(table).decode();
+  EXPECT_TRUE(dec.success);
+  EXPECT_EQ(dec.positives.size(), 0u);
+  EXPECT_EQ(dec.negatives.size(), 8u);
+  EXPECT_EQ(dec.peel_iterations, 18u);
+  std::set<std::uint64_t> recovered(dec.negatives.begin(), dec.negatives.end());
+  EXPECT_EQ(recovered, std::set<std::uint64_t>(keys.begin(), keys.end()));
+}
+
+TEST(Iblt, InsertBatchMatchesSequentialInsert) {
+  const auto keys = random_keys(3000, 0xba7c4);
+  Iblt one(IbltParams{3, 900}, 7);
+  Iblt other(IbltParams{3, 900}, 7);
+  for (const std::uint64_t key : keys) one.insert(key);
+  other.insert_batch(keys.data(), keys.size());
+  EXPECT_EQ(one.serialize(), other.serialize());
+}
+
+TEST(Iblt, InsertAllIsBitIdenticalForAnyWorkerCount) {
+  // 20k keys clears the kMinKeysPerShard threshold, so the pooled runs
+  // genuinely build per-worker partial tables and merge them. Cell updates
+  // are counter adds and XORs — commutative and associative — so the merged
+  // table must equal the serial one bit for bit, whatever the worker count.
+  const auto keys = random_keys(20000, 0xa11);
+  Iblt serial(IbltParams{4, 240}, 99);
+  serial.insert_batch(keys.data(), keys.size());
+  const util::Bytes want = serial.serialize();
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    util::ThreadPool pool(workers);
+    Iblt pooled(IbltParams{4, 240}, 99);
+    pooled.insert_all(std::span<const std::uint64_t>(keys), &pool);
+    EXPECT_EQ(pooled.serialize(), want) << "workers=" << workers;
+  }
+}
+
+TEST(Iblt, SubtractWithPoolMatchesSerial) {
+  // 40k cells crosses the chunked-subtract threshold. The difference of two
+  // overlapping sets must come out identical with and without a pool, and
+  // still decode to the symmetric difference.
+  const auto mine = random_keys(600, 1);
+  const auto theirs = random_keys(600, 2);
+  Iblt a(IbltParams{4, 40000}, 5);
+  Iblt b(IbltParams{4, 40000}, 5);
+  a.insert_batch(mine.data(), mine.size());
+  b.insert_batch(theirs.data(), theirs.size());
+
+  const Iblt serial_diff = a.subtract(b);
+  util::ThreadPool pool(4);
+  const Iblt pooled_diff = a.subtract(b, &pool);
+  EXPECT_EQ(pooled_diff.serialize(), serial_diff.serialize());
+
+  const DecodeResult dec = pooled_diff.decode();
+  ASSERT_TRUE(dec.success);
+  std::set<std::uint64_t> mine_set(mine.begin(), mine.end());
+  std::set<std::uint64_t> theirs_set(theirs.begin(), theirs.end());
+  for (const std::uint64_t key : dec.positives) {
+    EXPECT_TRUE(mine_set.count(key) == 1 && theirs_set.count(key) == 0) << key;
+  }
+  for (const std::uint64_t key : dec.negatives) {
+    EXPECT_TRUE(theirs_set.count(key) == 1 && mine_set.count(key) == 0) << key;
+  }
+}
 
 }  // namespace
 }  // namespace graphene::iblt

@@ -4,6 +4,8 @@
 
 #include <set>
 
+#include "util/random.hpp"
+
 namespace graphene::util {
 namespace {
 
@@ -65,6 +67,49 @@ TEST(Hash64, SeedChangesOutput) {
 
 TEST(Hash64, EmptyInputIsStable) {
   EXPECT_EQ(hash64(ByteView{}, 0), hash64(ByteView{}, 0));
+}
+
+TEST(FastMod64, MatchesHardwareModuloAcrossDivisors) {
+  util::Rng rng(0xfee1);
+  const std::uint64_t divisors[] = {1,
+                                    2,
+                                    3,
+                                    5,
+                                    7,
+                                    63,
+                                    64,
+                                    65,
+                                    511,
+                                    512,
+                                    513,
+                                    1000003,
+                                    (1ULL << 32) - 1,
+                                    (1ULL << 32) + 1,
+                                    0x9e3779b97f4a7c15ULL,
+                                    ~0ULL};
+  for (const std::uint64_t d : divisors) {
+    const FastMod64 fm(d);
+    EXPECT_EQ(fm.divisor(), d);
+    for (int i = 0; i < 5000; ++i) {
+      const std::uint64_t n = rng.next();
+      ASSERT_EQ(fm.mod(n), n % d) << "n=" << n << " d=" << d;
+    }
+    const std::uint64_t edges[] = {0, 1, d - 1, d, d + 1, ~0ULL, ~0ULL - 1};
+    for (const std::uint64_t n : edges) {
+      ASSERT_EQ(fm.mod(n), n % d) << "n=" << n << " d=" << d;
+    }
+  }
+}
+
+TEST(FastMod64, ExhaustiveSmallDivisors) {
+  // Every (n, d) pair in a dense small grid — the regime stride/block
+  // reductions in the Bloom/IBLT hot loops actually hit.
+  for (std::uint64_t d = 1; d <= 257; ++d) {
+    const FastMod64 fm(d);
+    for (std::uint64_t n = 0; n < 1024; ++n) {
+      ASSERT_EQ(fm.mod(n), n % d) << "n=" << n << " d=" << d;
+    }
+  }
 }
 
 }  // namespace

@@ -49,8 +49,10 @@ util::Bytes prefix_byte(std::uint8_t b, const util::Bytes& rest) {
   return out;
 }
 
-bloom::BloomFilter sample_filter(util::Rng& rng, std::uint64_t items, double fpr) {
-  bloom::BloomFilter f(items, fpr, rng.next());
+bloom::BloomFilter sample_filter(util::Rng& rng, std::uint64_t items, double fpr,
+                                 bloom::HashStrategy strategy =
+                                     bloom::HashStrategy::kSplitDigest) {
+  bloom::BloomFilter f(items, fpr, rng.next(), strategy);
   for (std::uint64_t i = 0; i < items; ++i) {
     const auto id = chain::make_random_transaction(rng).id;
     f.insert(util::ByteView(id.data(), id.size()));
@@ -110,6 +112,13 @@ int main(int argc, char** argv) {
          sample_iblt(rng, 4, items / 4 + 8, items / 10 + 2).serialize());
   }
   emit("fuzz_bloom_filter", "seed-degenerate", bloom::BloomFilter(0, 1.0).serialize());
+  // Blocked-layout headers (strategy byte 0xC0|k) at both scales the
+  // bounded deserializer branches on, so the fuzzer starts from valid
+  // whole-block filters and mutates toward the header edge cases.
+  emit("fuzz_bloom_filter", "seed-blocked-small",
+       sample_filter(rng, 30, 0.02, bloom::HashStrategy::kBlocked).serialize());
+  emit("fuzz_bloom_filter", "seed-blocked-large",
+       sample_filter(rng, 4000, 0.005, bloom::HashStrategy::kBlocked).serialize());
 
   {
     std::vector<util::Bytes> digests;
@@ -141,7 +150,9 @@ int main(int argc, char** argv) {
     core::GrapheneBlockMsg blk;
     blk.n = n;
     blk.shortid_salt = rng.next();
-    blk.filter_s = sample_filter(rng, n, 0.005);
+    blk.filter_s = sample_filter(rng, n, 0.005,
+                                 n % 2 == 0 ? bloom::HashStrategy::kBlocked
+                                            : bloom::HashStrategy::kSplitDigest);
     blk.iblt_i = sample_iblt(rng, 4, n / 5 + 8, n / 20 + 2);
     emit("fuzz_graphene_block", std::string("seed-") + tag, blk.serialize());
 
