@@ -18,7 +18,6 @@
 // BENCH_hotpath.json (overwritten each run); GRAPHENE_FAST=1 drops the 1M
 // scale for smoke runs.
 #include <array>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -30,6 +29,7 @@
 #include "bloom/bloom_math.hpp"
 #include "chain/transaction.hpp"
 #include "iblt/iblt.hpp"
+#include "obs/clock.hpp"
 #include "obs/json.hpp"
 #include "util/hash.hpp"
 #include "util/random.hpp"
@@ -38,10 +38,9 @@
 namespace {
 
 using namespace graphene;
-using Clock = std::chrono::steady_clock;
 
-double ms_since(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+double ms_since(std::uint64_t start_ns) {
+  return static_cast<double>(obs::monotonic_ns() - start_ns) / 1e6;
 }
 
 /// Best-of-N wall time for `fn` (returns a checksum to keep work observable).
@@ -49,7 +48,7 @@ template <typename Fn>
 double best_ms(int reps, std::uint64_t* checksum, Fn&& fn) {
   double best = 1e300;
   for (int r = 0; r < reps; ++r) {
-    const Clock::time_point start = Clock::now();
+    const std::uint64_t start = obs::monotonic_ns();
     *checksum = fn();
     const double ms = ms_since(start);
     if (ms < best) best = ms;

@@ -13,7 +13,6 @@
 //
 // Prints a table and writes BENCH_param_search.json (overwritten each run)
 // for CI artifact upload. Honors GRAPHENE_FAST=1 and GRAPHENE_TRIALS.
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -23,20 +22,20 @@
 #include "iblt/hypergraph.hpp"
 #include "iblt/iblt.hpp"
 #include "iblt/param_search.hpp"
+#include "obs/clock.hpp"
 #include "obs/json.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace graphene;
-using Clock = std::chrono::steady_clock;
 
 constexpr std::uint64_t kJ = 100;
 constexpr std::uint32_t kK = 4;
 constexpr std::uint64_t kTrialsPerCandidate = 200;
 
-double ms_since(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+double ms_since(std::uint64_t start_ns) {
+  return static_cast<double>(obs::monotonic_ns() - start_ns) / 1e6;
 }
 
 /// Decode-rate estimate via hypergraph sampling (Algorithm 1's inner loop).
@@ -79,7 +78,7 @@ std::uint64_t binary_search_c(RateFn&& rate, util::Rng& rng) {
 double time_search(std::uint64_t j, double p, const iblt::SearchOptions& opts,
                    iblt::SearchResult* out) {
   util::Rng rng(42);
-  const Clock::time_point start = Clock::now();
+  const std::uint64_t start = obs::monotonic_ns();
   *out = iblt::search_params(j, p, rng, opts);
   return ms_since(start);
 }
@@ -93,14 +92,14 @@ int main() {
 
   // --- Claim 1: hypergraph vs real-IBLT search cost -----------------------
   util::Rng rng_h(1);
-  Clock::time_point start = Clock::now();
+  std::uint64_t start = obs::monotonic_ns();
   const std::uint64_t c_h =
       binary_search_c([](std::uint64_t c, util::Rng& r) { return rate_hypergraph(c, r); },
                       rng_h);
   const double hyper_ms = ms_since(start);
 
   util::Rng rng_r(2);
-  start = Clock::now();
+  start = obs::monotonic_ns();
   const std::uint64_t c_r =
       binary_search_c([](std::uint64_t c, util::Rng& r) { return rate_real_iblt(c, r); },
                       rng_r);

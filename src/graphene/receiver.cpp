@@ -5,6 +5,7 @@
 #include "bloom/bloom_math.hpp"
 #include "chain/merkle.hpp"
 #include "graphene/errors.hpp"
+#include "graphene/forensics.hpp"
 #include "graphene/sender.hpp"  // derive_short_id
 #include "iblt/pingpong.hpp"
 #include "obs/obs.hpp"
@@ -12,10 +13,7 @@
 
 namespace graphene::core {
 
-namespace {
-
-/// Label value for the per-outcome decode counters.
-const char* status_label(ReceiveStatus status) noexcept {
+const char* to_string(ReceiveStatus status) noexcept {
   switch (status) {
     case ReceiveStatus::kDecoded: return "decoded";
     case ReceiveStatus::kNeedsProtocol2: return "needs_protocol2";
@@ -24,6 +22,11 @@ const char* status_label(ReceiveStatus status) noexcept {
   }
   return "unknown";
 }
+
+namespace {
+
+/// Label value for the per-outcome decode counters.
+const char* status_label(ReceiveStatus status) noexcept { return to_string(status); }
 
 /// Batch-queries `filter` over `ids` (chunk-parallel when `pool` is set);
 /// out[i] = 1 iff ids[i] passes. The hit pattern is identical to querying
@@ -81,6 +84,19 @@ void ReceiveSession::index_candidate(const chain::TxId& id) {
 
 ReceiveOutcome ReceiveSession::receive_block(const GrapheneBlockMsg& msg) {
   obs::Registry* reg = obs::enabled(cfg_.obs);
+  if (obs::FlightRecorder* fr = obs::flight(reg)) {
+    obs::FlightEvent e;
+    e.kind = obs::FlightEventKind::kMsgReceived;
+    e.label = "grblk";
+    if (fr->wire_capture()) e.wire = msg.serialize();
+    e.attrs = {{"n", static_cast<double>(msg.n)},
+               {"m", static_cast<double>(mempool_->size())},
+               {"bloom_bytes", static_cast<double>(msg.filter_s.serialized_size())},
+               {"fpr_s", msg.filter_s.target_fpr()},
+               {"iblt_cells", static_cast<double>(msg.iblt_i.cell_count())},
+               {"iblt_bytes", static_cast<double>(msg.iblt_i.serialized_size())}};
+    fr->record(std::move(e));
+  }
   msg_ = msg;
   have_block_msg_ = true;
   sid_to_txid_.clear();
@@ -112,6 +128,9 @@ ReceiveOutcome ReceiveSession::receive_block(const GrapheneBlockMsg& msg) {
   }
 
   ReceiveOutcome out;
+  std::uint64_t peel_iterations = 0;
+  std::uint64_t peeled_items = 0;
+  std::uint64_t residual_cells = 0;
   {
     obs::ScopedSpan span(reg, "p1_peel");
     // I′ over Z with the sender's parameters, then I ⊖ I′.
@@ -123,6 +142,9 @@ ReceiveOutcome ReceiveSession::receive_block(const GrapheneBlockMsg& msg) {
     i_prime.insert_all(sids, cfg_.pool);
 
     const iblt::DecodeResult dec = msg.iblt_i.subtract(i_prime, cfg_.pool).decode();
+    peel_iterations = dec.peel_iterations;
+    peeled_items = dec.peeled();
+    residual_cells = dec.residual_cells;
     span.attr("cells", msg.iblt_i.cell_count());
     span.attr("k", msg.iblt_i.hash_count());
     span.attr("peel_iterations", dec.peel_iterations);
@@ -166,6 +188,18 @@ ReceiveOutcome ReceiveSession::receive_block(const GrapheneBlockMsg& msg) {
     reg->counter("graphene_p1_decode_total", {{"result", status_label(out.status)}})
         .inc();
   }
+  if (obs::FlightRecorder* fr = obs::flight(reg)) {
+    obs::FlightEvent e;
+    e.kind = obs::FlightEventKind::kDecode;
+    e.label = "p1";
+    e.attrs = {{"status", static_cast<double>(static_cast<int>(out.status))},
+               {"z", static_cast<double>(z_)},
+               {"peel_iterations", static_cast<double>(peel_iterations)},
+               {"peeled", static_cast<double>(peeled_items)},
+               {"residual_cells", static_cast<double>(residual_cells)}};
+    fr->record(std::move(e));
+  }
+  if (out.status == ReceiveStatus::kFailed) dump_failure("decode_failure", "p1_peel");
   return out;
 }
 
@@ -193,8 +227,33 @@ void ReceiveSession::raise(const char* stage, const char* what) const {
     span.attr("y_star", ctx.y_star);
     span.attr("b", ctx.b);
     reg->counter("graphene_protocol_errors_total", {{"stage", stage}}).inc();
+    if (obs::FlightRecorder* fr = obs::flight(reg)) {
+      obs::FlightEvent e;
+      e.kind = obs::FlightEventKind::kError;
+      e.label = stage;
+      e.attrs = {{"have_block_msg", ctx.have_block_msg ? 1.0 : 0.0},
+                 {"n", static_cast<double>(ctx.n)},
+                 {"m", static_cast<double>(ctx.m)},
+                 {"z", static_cast<double>(ctx.z)},
+                 {"x_star", static_cast<double>(ctx.x_star)},
+                 {"y_star", static_cast<double>(ctx.y_star)},
+                 {"b", static_cast<double>(ctx.b)}};
+      fr->record(std::move(e));
+    }
   }
+  dump_failure("protocol_error", stage);
   throw ProtocolError(stage, what, ctx);
+}
+
+void ReceiveSession::dump_failure(const char* kind, const char* stage) const {
+  if (obs::Registry* reg = obs::enabled(cfg_.obs); reg != nullptr && capture_enabled()) {
+    ForensicCapture cap = make_capture(kind, stage, *mempool_, cfg_, msg_.shortid_salt);
+    cap.has_error = true;
+    cap.error = error_context();
+    if (maybe_dump_capture(cap).has_value()) {
+      reg->counter("graphene_captures_total", {{"kind", kind}}).inc();
+    }
+  }
 }
 
 GrapheneRequestMsg ReceiveSession::build_request() {
@@ -244,6 +303,20 @@ GrapheneRequestMsg ReceiveSession::build_request() {
   if (reg != nullptr) {
     reg->histogram("graphene_bloom_r_bytes").observe(req.filter_r.serialized_size());
   }
+  if (obs::FlightRecorder* fr = obs::flight(reg)) {
+    obs::FlightEvent e;
+    e.kind = obs::FlightEventKind::kMsgSent;
+    e.label = "grreq";
+    if (fr->wire_capture()) e.wire = req.serialize();
+    e.attrs = {{"z", static_cast<double>(z)},
+               {"b", static_cast<double>(params2_.b)},
+               {"x_star", static_cast<double>(params2_.x_star)},
+               {"y_star", static_cast<double>(params2_.y_star)},
+               {"fpr_r", params2_.fpr},
+               {"reversed", params2_.reversed ? 1.0 : 0.0},
+               {"bloom_bytes", static_cast<double>(req.filter_r.serialized_size())}};
+    fr->record(std::move(e));
+  }
   return req;
 }
 
@@ -253,6 +326,43 @@ ReceiveOutcome ReceiveSession::complete(const GrapheneResponseMsg& resp) {
   if (!have_block_msg_) return out;  // kFailed: nothing to complete
   obs::ScopedSpan p2_span(reg, "p2_peel");
   p2_span.attr("missing", resp.missing.size());
+
+  if (obs::FlightRecorder* fr = obs::flight(reg)) {
+    obs::FlightEvent e;
+    e.kind = obs::FlightEventKind::kMsgReceived;
+    e.label = "grresp";
+    if (fr->wire_capture()) e.wire = resp.serialize();
+    e.attrs = {{"missing", static_cast<double>(resp.missing.size())},
+               {"missing_tx_bytes", static_cast<double>(resp.missing_tx_bytes())},
+               {"j_cells", static_cast<double>(resp.iblt_j.cell_count())},
+               {"j_bytes", static_cast<double>(resp.iblt_j.serialized_size())},
+               {"has_filter_f", resp.filter_f.has_value() ? 1.0 : 0.0}};
+    fr->record(std::move(e));
+  }
+  std::uint64_t pingpong_rounds = 0;
+  // Every exit routes through here so the decode outcome — the thing a
+  // forensic replay must reproduce — always lands in the flight log.
+  const auto finish = [&](ReceiveOutcome o) {
+    if (obs::FlightRecorder* fr = obs::flight(reg)) {
+      obs::FlightEvent e;
+      e.kind = obs::FlightEventKind::kDecode;
+      e.label = "p2";
+      e.attrs = {{"status", static_cast<double>(static_cast<int>(o.status))},
+                 {"used_pingpong", o.used_pingpong ? 1.0 : 0.0},
+                 {"pingpong_rounds", static_cast<double>(pingpong_rounds)},
+                 {"unresolved", static_cast<double>(o.unresolved.size())}};
+      fr->record(std::move(e));
+      if (o.status == ReceiveStatus::kNeedsRepair) {
+        obs::FlightEvent trigger;
+        trigger.kind = obs::FlightEventKind::kNote;
+        trigger.label = "repair_trigger";
+        trigger.attrs = {{"unresolved", static_cast<double>(o.unresolved.size())}};
+        fr->record(std::move(trigger));
+      }
+    }
+    if (o.status == ReceiveStatus::kFailed) dump_failure("decode_failure", "p2_peel");
+    return o;
+  };
 
   // In the reversed (m ≈ n) path, filter F prunes candidates the sender's
   // block does not contain before the new transactions are added.
@@ -295,7 +405,7 @@ ReceiveOutcome ReceiveSession::complete(const GrapheneResponseMsg& resp) {
 
   if (dec.malformed) {
     out.status = ReceiveStatus::kFailed;
-    return out;
+    return finish(std::move(out));
   }
   if (!dec.success && have_block_msg_ && cfg_.enable_pingpong) {
     // Ping-pong (§4.2): rebuild I′ over the *current* candidates so both
@@ -310,6 +420,7 @@ ReceiveOutcome ReceiveSession::complete(const GrapheneResponseMsg& resp) {
     i_prime.insert_all(sids, cfg_.pool);
     const iblt::PingPongResult pp =
         iblt::pingpong_decode(diff_j, msg_.iblt_i.subtract(i_prime, cfg_.pool));
+    pingpong_rounds = pp.rounds;
     pp_span.attr("rounds", pp.rounds);
     pp_span.attr("success", pp.success ? 1 : 0);
     pp_span.attr("malformed", pp.malformed ? 1 : 0);
@@ -321,7 +432,7 @@ ReceiveOutcome ReceiveSession::complete(const GrapheneResponseMsg& resp) {
     }
     if (pp.malformed) {
       out.status = ReceiveStatus::kFailed;
-      return out;
+      return finish(std::move(out));
     }
     used_pingpong = true;
     dec.success = pp.success;
@@ -331,13 +442,13 @@ ReceiveOutcome ReceiveSession::complete(const GrapheneResponseMsg& resp) {
   if (!dec.success) {
     out.status = ReceiveStatus::kFailed;
     out.used_pingpong = used_pingpong;
-    return out;
+    return finish(std::move(out));
   }
 
   for (const std::uint64_t s : dec.negatives) {
     if (ambiguous_sids_.count(s) > 0) {
       out.status = ReceiveStatus::kFailed;
-      return out;
+      return finish(std::move(out));
     }
     const auto it = sid_to_txid_.find(s);
     if (it != sid_to_txid_.end()) candidates_.erase(it->second);
@@ -362,25 +473,52 @@ ReceiveOutcome ReceiveSession::complete(const GrapheneResponseMsg& resp) {
     reg->counter("graphene_p2_decode_total", {{"result", status_label(out.status)}})
         .inc();
   }
-  return out;
+  return finish(std::move(out));
 }
 
 RepairRequestMsg ReceiveSession::build_repair() const {
   RepairRequestMsg req;
   req.short_ids = pending_unresolved_;
+  if (obs::FlightRecorder* fr = obs::flight(obs::enabled(cfg_.obs))) {
+    obs::FlightEvent e;
+    e.kind = obs::FlightEventKind::kMsgSent;
+    e.label = "getblocktxn";
+    if (fr->wire_capture()) e.wire = req.serialize();
+    e.attrs = {{"short_ids", static_cast<double>(req.short_ids.size())}};
+    fr->record(std::move(e));
+  }
   return req;
 }
 
 ReceiveOutcome ReceiveSession::complete_repair(const RepairResponseMsg& resp) {
-  obs::ScopedSpan span(obs::enabled(cfg_.obs), "repair");
+  obs::Registry* reg = obs::enabled(cfg_.obs);
+  obs::ScopedSpan span(reg, "repair");
   span.attr("requested", pending_unresolved_.size());
   span.attr("received", resp.txns.size());
+  if (obs::FlightRecorder* fr = obs::flight(reg)) {
+    obs::FlightEvent e;
+    e.kind = obs::FlightEventKind::kMsgReceived;
+    e.label = "blocktxn";
+    if (fr->wire_capture()) e.wire = resp.serialize();
+    e.attrs = {{"requested", static_cast<double>(pending_unresolved_.size())},
+               {"txns", static_cast<double>(resp.txns.size())}};
+    fr->record(std::move(e));
+  }
   for (const chain::Transaction& tx : resp.txns) {
     received_txns_.emplace(tx.id, tx);
     index_candidate(tx.id);
   }
   const ReceiveOutcome out = finalize({}, /*used_pingpong=*/false);
   span.attr("decoded", out.status == ReceiveStatus::kDecoded ? 1 : 0);
+  if (obs::FlightRecorder* fr = obs::flight(reg)) {
+    obs::FlightEvent e;
+    e.kind = obs::FlightEventKind::kDecode;
+    e.label = "repair";
+    e.attrs = {{"status", static_cast<double>(static_cast<int>(out.status))},
+               {"merkle_ok", out.merkle_ok ? 1.0 : 0.0}};
+    fr->record(std::move(e));
+  }
+  if (out.status == ReceiveStatus::kFailed) dump_failure("decode_failure", "repair");
   return out;
 }
 

@@ -36,6 +36,10 @@ enum class ReceiveStatus : std::uint8_t {
   kFailed,          ///< unrecoverable (or malformed/attack input)
 };
 
+/// Stable label for metrics, flight events, and forensic captures
+/// ("decoded", "needs_protocol2", "needs_repair", "failed").
+[[nodiscard]] const char* to_string(ReceiveStatus status) noexcept;
+
 struct ReceiveOutcome {
   ReceiveStatus status = ReceiveStatus::kFailed;
   /// CTOR-ordered block txids; populated when status == kDecoded.
@@ -90,6 +94,9 @@ class ReceiveSession {
   [[nodiscard]] ErrorContext error_context() const noexcept;
   /// Records an `error` trace span + counter, then throws ProtocolError.
   [[noreturn]] void raise(const char* stage, const char* what) const;
+  /// Env-gated forensic capture dump (see forensics.hpp); no-op unless a
+  /// registry is attached and GRAPHENE_CAPTURE_DIR is set.
+  void dump_failure(const char* kind, const char* stage) const;
 
   const chain::Mempool* mempool_;
   ProtocolConfig cfg_;

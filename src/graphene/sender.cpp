@@ -88,6 +88,21 @@ EncodeResult Sender::encode(std::uint64_t receiver_mempool_count) const {
     reg->histogram("graphene_bloom_s_bytes").observe(msg.filter_s.serialized_size());
     reg->histogram("graphene_iblt_i_bytes").observe(msg.iblt_i.serialized_size());
   }
+  if (obs::FlightRecorder* fr = obs::flight(reg)) {
+    obs::FlightEvent e;
+    e.kind = obs::FlightEventKind::kMsgSent;
+    e.label = "grblk";
+    if (fr->wire_capture()) e.wire = msg.serialize();
+    e.attrs = {{"n", static_cast<double>(n)},
+               {"m", static_cast<double>(m)},
+               {"a", static_cast<double>(out.params.a)},
+               {"a_star", static_cast<double>(out.params.a_star)},
+               {"fpr_s", out.params.fpr},
+               {"bloom_bytes", static_cast<double>(msg.filter_s.serialized_size())},
+               {"iblt_cells", static_cast<double>(msg.iblt_i.cell_count())},
+               {"iblt_bytes", static_cast<double>(msg.iblt_i.serialized_size())}};
+    fr->record(std::move(e));
+  }
   return out;
 }
 
@@ -108,6 +123,16 @@ GrapheneResponseMsg Sender::serve(const GrapheneRequestMsg& request) const {
     ctx.z = request.z;
     ctx.y_star = request.y_star;
     ctx.b = request.b;
+    if (obs::FlightRecorder* fr = obs::flight(reg)) {
+      obs::FlightEvent e;
+      e.kind = obs::FlightEventKind::kError;
+      e.label = "p2_serve";
+      e.attrs = {{"n", static_cast<double>(ctx.n)},
+                 {"z", static_cast<double>(ctx.z)},
+                 {"y_star", static_cast<double>(ctx.y_star)},
+                 {"b", static_cast<double>(ctx.b)}};
+      fr->record(std::move(e));
+    }
     throw ProtocolError("p2_serve", "request sizing parameters out of range", ctx);
   }
 
@@ -199,11 +224,24 @@ GrapheneResponseMsg Sender::serve(const GrapheneRequestMsg& request) const {
     reg->histogram("graphene_missing_txns").observe(resp.missing.size());
     reg->histogram("graphene_iblt_j_bytes").observe(resp.iblt_j.serialized_size());
   }
+  if (obs::FlightRecorder* fr = obs::flight(reg)) {
+    obs::FlightEvent e;
+    e.kind = obs::FlightEventKind::kMsgSent;
+    e.label = "grresp";
+    if (fr->wire_capture()) e.wire = resp.serialize();
+    e.attrs = {{"missing", static_cast<double>(resp.missing.size())},
+               {"missing_tx_bytes", static_cast<double>(resp.missing_tx_bytes())},
+               {"j_cells", static_cast<double>(resp.iblt_j.cell_count())},
+               {"j_bytes", static_cast<double>(resp.iblt_j.serialized_size())},
+               {"reversed", request.reversed ? 1.0 : 0.0}};
+    fr->record(std::move(e));
+  }
   return resp;
 }
 
 RepairResponseMsg Sender::serve_repair(const RepairRequestMsg& request) const {
-  obs::ScopedSpan span(obs::enabled(cfg_.obs), "repair_serve");
+  obs::Registry* reg = obs::enabled(cfg_.obs);
+  obs::ScopedSpan span(reg, "repair_serve");
   RepairResponseMsg resp;
   resp.txns.reserve(request.short_ids.size());
   for (const std::uint64_t sid : request.short_ids) {
@@ -212,6 +250,15 @@ RepairResponseMsg Sender::serve_repair(const RepairRequestMsg& request) const {
   }
   span.attr("requested", request.short_ids.size());
   span.attr("served", resp.txns.size());
+  if (obs::FlightRecorder* fr = obs::flight(reg)) {
+    obs::FlightEvent e;
+    e.kind = obs::FlightEventKind::kMsgSent;
+    e.label = "blocktxn";
+    if (fr->wire_capture()) e.wire = resp.serialize();
+    e.attrs = {{"requested", static_cast<double>(request.short_ids.size())},
+               {"served", static_cast<double>(resp.txns.size())}};
+    fr->record(std::move(e));
+  }
   return resp;
 }
 

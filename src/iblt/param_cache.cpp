@@ -3,6 +3,8 @@
 #include <iterator>
 #include <mutex>
 
+#include "obs/metrics.hpp"
+
 namespace graphene::iblt {
 
 std::uint64_t ParamCache::key(std::uint64_t j, std::uint32_t fail_denom) noexcept {
@@ -78,6 +80,15 @@ void ParamCache::clear() {
   const std::unique_lock<std::shared_mutex> lock(mu_);
   map_.clear();
   search_map_.clear();
+}
+
+void ParamCache::export_stats(obs::Registry* reg) const {
+  if (reg == nullptr) return;
+  // Gauges, not counters: export_stats publishes snapshots of cache-owned
+  // totals, and repeated exports must overwrite rather than accumulate.
+  reg->gauge("graphene_param_cache_hits").set(static_cast<double>(hits()));
+  reg->gauge("graphene_param_cache_misses").set(static_cast<double>(misses()));
+  reg->gauge("graphene_param_cache_entries").set(static_cast<double>(entries()));
 }
 
 IbltParams cached_params(ParamCache* cache, std::uint64_t j,

@@ -27,6 +27,10 @@
 #include "iblt/param_search.hpp"
 #include "iblt/param_table.hpp"
 
+namespace graphene::obs {
+class Registry;
+}  // namespace graphene::obs
+
 namespace graphene::iblt {
 
 class ParamCache {
@@ -67,6 +71,10 @@ class ParamCache {
 
   /// Drops all entries; counters keep their values.
   void clear();
+
+  /// Publishes the hit/miss/entry counts as gauges in `reg`
+  /// (graphene_param_cache_{hits,misses,entries}). No-op on null.
+  void export_stats(obs::Registry* reg) const;
 
  private:
   static std::uint64_t key(std::uint64_t j, std::uint32_t fail_denom) noexcept;

@@ -1,0 +1,227 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+
+#include "obs/clock.hpp"
+#include "obs/json.hpp"
+#include "util/base64.hpp"
+
+namespace graphene::obs {
+
+const char* to_string(FlightEventKind kind) noexcept {
+  switch (kind) {
+    case FlightEventKind::kMsgSent:
+      return "msg_sent";
+    case FlightEventKind::kMsgReceived:
+      return "msg_received";
+    case FlightEventKind::kDecode:
+      return "decode";
+    case FlightEventKind::kError:
+      return "error";
+    case FlightEventKind::kNote:
+      return "note";
+  }
+  return "note";
+}
+
+bool kind_from_string(std::string_view s, FlightEventKind* out) noexcept {
+  for (const auto kind :
+       {FlightEventKind::kMsgSent, FlightEventKind::kMsgReceived, FlightEventKind::kDecode,
+        FlightEventKind::kError, FlightEventKind::kNote}) {
+    if (s == to_string(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+double FlightEvent::attr(std::string_view key, double fallback) const noexcept {
+  for (const auto& [k, v] : attrs) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+std::string FlightEvent::to_json() const {
+  json::Writer w;
+  w.begin_object();
+  w.key("seq");
+  w.number(seq);
+  w.key("t_ns");
+  w.number(t_ns);
+  w.key("kind");
+  w.string(to_string(kind));
+  w.key("label");
+  w.string(label);
+  if (!attrs.empty()) {
+    w.key("attrs");
+    w.begin_object();
+    for (const auto& [k, v] : attrs) {
+      w.key(k);
+      w.number(v);
+    }
+    w.end_object();
+  }
+  if (!wire.empty()) {
+    w.key("wire_b64");
+    w.string(util::base64_encode(wire));
+  }
+  w.end_object();
+  return w.take();
+}
+
+FlightEvent FlightEvent::from_json(const json::Value& doc) {
+  if (!doc.is_object()) throw json::ParseError("flight event: expected object");
+  FlightEvent e;
+  e.seq = static_cast<std::uint64_t>(doc.at("seq").number);
+  e.t_ns = static_cast<std::uint64_t>(doc.at("t_ns").number);
+  if (!kind_from_string(doc.at("kind").string, &e.kind)) {
+    throw json::ParseError("flight event: unknown kind \"" + doc.at("kind").string + "\"");
+  }
+  e.label = doc.at("label").string;
+  if (doc.contains("attrs")) {
+    const json::Value& attrs = doc.at("attrs");
+    if (!attrs.is_object()) throw json::ParseError("flight event: attrs must be an object");
+    e.attrs.reserve(attrs.object.size());
+    for (const auto& [k, v] : attrs.object) {
+      if (!v.is_number()) throw json::ParseError("flight event: attr values must be numbers");
+      e.attrs.emplace_back(k, v.number);
+    }
+  }
+  if (doc.contains("wire_b64")) {
+    e.wire = util::base64_decode(doc.at("wire_b64").string);
+  }
+  return e;
+}
+
+void FlightRecorder::record(FlightEvent event) {
+#if GRAPHENE_OBS_ENABLED
+  const std::uint64_t now = monotonic_ns();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  event.seq = next_seq_++;
+  event.t_ns = now;
+  if (!wire_capture_) event.wire.clear();
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    // Overwrite the oldest slot in place. Readers pay the head-index
+    // bookkeeping instead of this hot path paying an O(capacity) rotate —
+    // every protocol message lands here, readers run once per dump.
+    ring_[head_] = std::move(event);
+    head_ = (head_ + 1) % ring_.size();
+  }
+#else
+  (void)event;
+#endif
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FlightEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - ring_.size();
+}
+
+std::size_t FlightRecorder::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void FlightRecorder::normalize_locked() {
+  if (head_ != 0) {
+    std::rotate(ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+                ring_.end());
+    head_ = 0;
+  }
+}
+
+void FlightRecorder::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  // Re-bounding is rare; restore chronological layout so push_back growth
+  // and oldest-first truncation both stay simple.
+  normalize_locked();
+  if (ring_.size() > capacity_) {
+    ring_.erase(ring_.begin(),
+                ring_.begin() + static_cast<std::ptrdiff_t>(ring_.size() - capacity_));
+  }
+}
+
+void FlightRecorder::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = enabled;
+}
+
+bool FlightRecorder::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+void FlightRecorder::set_wire_capture(bool capture) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wire_capture_ = capture;
+}
+
+bool FlightRecorder::wire_capture() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wire_capture_;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  next_seq_ = 0;
+}
+
+std::string FlightRecorder::to_json() const {
+  std::vector<FlightEvent> snapshot;
+  std::size_t capacity;
+  std::uint64_t recorded;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      snapshot.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+    capacity = capacity_;
+    recorded = next_seq_;
+  }
+  // The events serialize themselves; assemble the envelope by hand since
+  // json::Writer has no raw-splice primitive.
+  std::string out = "{\"capacity\":";
+  json::number_to(out, static_cast<double>(capacity));
+  out += ",\"recorded\":";
+  json::number_to(out, static_cast<double>(recorded));
+  out += ",\"dropped\":";
+  json::number_to(out, static_cast<double>(recorded - snapshot.size()));
+  out += ",\"events\":[";
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    if (i > 0) out += ',';
+    out += snapshot[i].to_json();
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace graphene::obs

@@ -159,6 +159,14 @@ std::string Registry::to_json() const {
     w.number(h->min());
     w.key("max");
     w.number(h->max());
+    w.key("mean");
+    w.number(h->mean());
+    w.key("p50");
+    w.number(h->quantile(0.50));
+    w.key("p95");
+    w.number(h->quantile(0.95));
+    w.key("p99");
+    w.number(h->quantile(0.99));
     w.key("buckets");
     w.begin_array();
     for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
@@ -180,12 +188,152 @@ std::string Registry::to_json() const {
   return w.take();
 }
 
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; anything else becomes '_'.
+void prom_name_to(std::string& out, const std::string& name) {
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+}
+
+// Label values escape backslash, double-quote, and newline per the text
+// exposition format.
+void prom_label_value_to(std::string& out, const std::string& v) {
+  for (const char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+}
+
+void prom_labels_to(std::string& out, const Labels& labels,
+                    const char* extra_key = nullptr, const std::string* extra_value = nullptr) {
+  if (labels.empty() && extra_key == nullptr) return;
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    prom_name_to(out, k);
+    out += "=\"";
+    prom_label_value_to(out, v);
+    out.push_back('"');
+  }
+  if (extra_key != nullptr) {
+    if (!first) out.push_back(',');
+    out += extra_key;
+    out += "=\"";
+    prom_label_value_to(out, *extra_value);
+    out.push_back('"');
+  }
+  out.push_back('}');
+}
+
+void prom_number_to(std::string& out, double v) {
+  json::number_to(out, v);  // integral-friendly formatting suits both formats
+}
+
+// Emits one `# TYPE` header per family name (the map is sorted by name, so
+// equal names are adjacent).
+void prom_type_header(std::string& out, std::string& last_name, const std::string& name,
+                      const char* type) {
+  if (name == last_name) return;
+  last_name = name;
+  out += "# TYPE ";
+  prom_name_to(out, name);
+  out.push_back(' ');
+  out += type;
+  out.push_back('\n');
+}
+
+}  // namespace
+
+std::string Registry::to_prometheus() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::string last_name;
+
+  for (const auto& [key, c] : counters_) {
+    prom_type_header(out, last_name, key.name, "counter");
+    prom_name_to(out, key.name);
+    prom_labels_to(out, key.labels);
+    out.push_back(' ');
+    prom_number_to(out, static_cast<double>(c->value()));
+    out.push_back('\n');
+  }
+
+  last_name.clear();
+  for (const auto& [key, g] : gauges_) {
+    prom_type_header(out, last_name, key.name, "gauge");
+    prom_name_to(out, key.name);
+    prom_labels_to(out, key.labels);
+    out.push_back(' ');
+    prom_number_to(out, g->value());
+    out.push_back('\n');
+  }
+
+  last_name.clear();
+  for (const auto& [key, h] : histograms_) {
+    prom_type_header(out, last_name, key.name, "histogram");
+    // Cumulative buckets; empty buckets elided except the mandatory +Inf.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h->bucket_count(i);
+      if (n == 0) continue;
+      cumulative += n;
+      std::string le;
+      json::number_to(le, static_cast<double>(Histogram::bucket_upper(i)));
+      prom_name_to(out, key.name);
+      out += "_bucket";
+      prom_labels_to(out, key.labels, "le", &le);
+      out.push_back(' ');
+      prom_number_to(out, static_cast<double>(cumulative));
+      out.push_back('\n');
+    }
+    const std::string inf = "+Inf";
+    prom_name_to(out, key.name);
+    out += "_bucket";
+    prom_labels_to(out, key.labels, "le", &inf);
+    out.push_back(' ');
+    prom_number_to(out, static_cast<double>(h->count()));
+    out.push_back('\n');
+    prom_name_to(out, key.name);
+    out += "_sum";
+    prom_labels_to(out, key.labels);
+    out.push_back(' ');
+    prom_number_to(out, static_cast<double>(h->sum()));
+    out.push_back('\n');
+    prom_name_to(out, key.name);
+    out += "_count";
+    prom_labels_to(out, key.labels);
+    out.push_back(' ');
+    prom_number_to(out, static_cast<double>(h->count()));
+    out.push_back('\n');
+  }
+
+  return out;
+}
+
 void Registry::clear() {
   const std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
   trace_.clear();
+  recorder_.clear();
 }
 
 }  // namespace graphene::obs

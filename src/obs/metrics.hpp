@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
 
 #ifndef GRAPHENE_OBS_ENABLED
@@ -131,13 +132,25 @@ class Registry {
   [[nodiscard]] TraceSink& trace() noexcept { return trace_; }
   [[nodiscard]] const TraceSink& trace() const noexcept { return trace_; }
 
+  /// Protocol flight recorder for this scope (events are recorded by the
+  /// Graphene sender/receiver and reconcile engines; see flight_recorder.hpp).
+  [[nodiscard]] FlightRecorder& recorder() noexcept { return recorder_; }
+  [[nodiscard]] const FlightRecorder& recorder() const noexcept { return recorder_; }
+
   /// Full snapshot as one JSON object:
   ///   {"counters": [{"name", "labels", "value"}, ...],
   ///    "gauges":   [...],
   ///    "histograms": [{"name", "labels", "count", "sum", "min", "max",
+  ///                    "mean", "p50", "p95", "p99",
   ///                    "buckets": [{"le", "count"}, ...]}, ...]}
   /// Zero-count histogram buckets are elided.
   [[nodiscard]] std::string to_json() const;
+
+  /// Prometheus text exposition format (version 0.0.4): counters and gauges
+  /// as single samples, histograms as cumulative `_bucket{le=...}` series
+  /// plus `_sum`/`_count`. Quantile summaries stay in to_json — Prometheus
+  /// computes quantiles server-side from the buckets.
+  [[nodiscard]] std::string to_prometheus() const;
 
   /// Drops every registered metric (invalidates outstanding references).
   void clear();
@@ -157,6 +170,7 @@ class Registry {
   std::map<Key, std::unique_ptr<Gauge>> gauges_;
   std::map<Key, std::unique_ptr<Histogram>> histograms_;
   TraceSink trace_;
+  FlightRecorder recorder_;
 };
 
 }  // namespace graphene::obs

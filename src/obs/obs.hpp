@@ -98,5 +98,21 @@ class ScopedSpan {
 #endif
 }
 
+/// Gate for flight-event blocks: the registry's recorder when telemetry is
+/// compiled in and the recorder is runtime-enabled, else a constant nullptr
+/// so the optimizer drops the block (including any msg.serialize() cost).
+/// Call sites write
+///   if (obs::FlightRecorder* fr = obs::flight(reg)) { ... fr->record(...); }
+[[nodiscard]] inline FlightRecorder* flight(Registry* reg) {
+#if GRAPHENE_OBS_ENABLED
+  if (reg == nullptr) return nullptr;
+  FlightRecorder& rec = reg->recorder();
+  return rec.enabled() ? &rec : nullptr;
+#else
+  (void)reg;
+  return nullptr;
+#endif
+}
+
 }  // namespace graphene::obs
 

@@ -7,6 +7,7 @@
 #include "baselines/xthin.hpp"
 #include "graphene/receiver.hpp"
 #include "graphene/sender.hpp"
+#include "obs/obs.hpp"
 
 namespace graphene::p2p {
 
@@ -19,58 +20,96 @@ struct Event {
   friend bool operator>(const Event& a, const Event& b) { return a.time > b.time; }
 };
 
-/// Runs one link-level relay and returns the bytes it moved. Bytes include
-/// protocol encodings and any transaction payloads the receiver lacked.
-std::size_t relay_once(const chain::Block& block, const chain::Mempool& mempool,
-                       RelayProtocol protocol, util::Rng& rng, bool& decode_failed) {
-  decode_failed = false;
-  switch (protocol) {
+/// Everything one link-level relay moved, decomposed by component so the
+/// propagation totals can answer "where did the bandwidth go" per protocol.
+struct RelayOutcome {
+  std::size_t bytes = 0;
+  std::size_t bloom_bytes = 0;        ///< filters S + R + F (Graphene only)
+  std::size_t iblt_bytes = 0;         ///< IBLTs I + J (Graphene only)
+  std::size_t missing_txn_bytes = 0;  ///< full transactions shipped
+  std::size_t repair_bytes = 0;       ///< repair request/response traffic
+  std::size_t fallback_bytes = 0;     ///< full block after decode failure
+  std::uint64_t rounds = 1;
+  bool used_repair = false;
+  bool decode_failed = false;
+
+  /// Bytes not claimed by any component above.
+  [[nodiscard]] std::size_t other_bytes() const noexcept {
+    return bytes - bloom_bytes - iblt_bytes - missing_txn_bytes - repair_bytes -
+           fallback_bytes;
+  }
+};
+
+/// Runs one link-level relay. Bytes include protocol encodings and any
+/// transaction payloads the receiver lacked.
+RelayOutcome relay_once(const chain::Block& block, const chain::Mempool& mempool,
+                        const PropagationConfig& config, util::Rng& rng) {
+  RelayOutcome out;
+  switch (config.protocol) {
     case RelayProtocol::kFullBlocks:
-      return block.full_block_bytes();
+      out.bytes = block.full_block_bytes();
+      return out;
     case RelayProtocol::kCompactBlocks: {
       const baselines::CompactBlocksResult r =
           baselines::run_compact_blocks(block, mempool, rng.next());
-      return r.total_bytes();
+      out.bytes = r.total_bytes();
+      return out;
     }
     case RelayProtocol::kXthin: {
       const baselines::XthinResult r = baselines::run_xthin(block, mempool);
       if (!r.success) {
-        decode_failed = true;
-        return r.encoding_bytes() + block.full_block_bytes();
+        out.decode_failed = true;
+        out.fallback_bytes = block.full_block_bytes();
+        out.bytes = r.encoding_bytes() + out.fallback_bytes;
+        return out;
       }
-      return r.encoding_bytes() + r.pushed_txn_bytes;
+      out.missing_txn_bytes = r.pushed_txn_bytes;
+      out.bytes = r.encoding_bytes() + r.pushed_txn_bytes;
+      return out;
     }
     case RelayProtocol::kGraphene: {
-      core::Sender sender(block, rng.next());
-      core::ReceiveSession receiver(mempool);
-      std::size_t bytes = 0;
+      core::ProtocolConfig pcfg;
+      pcfg.obs = config.obs;
+      core::Sender sender(block, rng.next(), pcfg);
+      core::ReceiveSession receiver(mempool, pcfg);
       const core::GrapheneBlockMsg msg = sender.encode(mempool.size()).msg;
-      bytes += msg.filter_s.serialized_size() + msg.iblt_i.serialized_size() +
-               chain::BlockHeader::kWireSize;
-      core::ReceiveOutcome out = receiver.receive_block(msg);
-      if (out.status == core::ReceiveStatus::kNeedsProtocol2) {
+      out.bloom_bytes += msg.filter_s.serialized_size();
+      out.iblt_bytes += msg.iblt_i.serialized_size();
+      out.bytes += msg.filter_s.serialized_size() + msg.iblt_i.serialized_size() +
+                   chain::BlockHeader::kWireSize;
+      core::ReceiveOutcome ro = receiver.receive_block(msg);
+      if (ro.status == core::ReceiveStatus::kNeedsProtocol2) {
+        out.rounds += 1;
         const core::GrapheneRequestMsg req = receiver.build_request();
-        bytes += req.serialize().size();
+        out.bloom_bytes += req.filter_r.serialized_size();
+        out.bytes += req.serialize().size();
         const core::GrapheneResponseMsg resp = sender.serve(req);
-        bytes += resp.serialize().size();
-        out = receiver.complete(resp);
+        out.iblt_bytes += resp.iblt_j.serialized_size();
+        if (resp.filter_f) out.bloom_bytes += resp.filter_f->serialized_size();
+        out.missing_txn_bytes += resp.missing_tx_bytes();
+        out.bytes += resp.serialize().size();
+        ro = receiver.complete(resp);
       }
-      if (out.status == core::ReceiveStatus::kNeedsRepair) {
+      if (ro.status == core::ReceiveStatus::kNeedsRepair) {
+        out.rounds += 1;
+        out.used_repair = true;
         const core::RepairRequestMsg rep = receiver.build_repair();
-        bytes += rep.serialize().size();
         const core::RepairResponseMsg rep_resp = sender.serve_repair(rep);
-        bytes += rep_resp.serialize().size();
-        out = receiver.complete_repair(rep_resp);
+        out.repair_bytes += rep.serialize().size() + rep_resp.serialize().size();
+        out.bytes += rep.serialize().size() + rep_resp.serialize().size();
+        ro = receiver.complete_repair(rep_resp);
       }
-      if (out.status != core::ReceiveStatus::kDecoded) {
+      if (ro.status != core::ReceiveStatus::kDecoded) {
         // Fall back to a full block — the deployed behavior on decode failure.
-        decode_failed = true;
-        bytes += block.full_block_bytes();
+        out.decode_failed = true;
+        out.fallback_bytes = block.full_block_bytes();
+        out.bytes += block.full_block_bytes();
       }
-      return bytes;
+      return out;
     }
   }
-  return block.full_block_bytes();
+  out.bytes = block.full_block_bytes();
+  return out;
 }
 
 }  // namespace
@@ -109,17 +148,36 @@ PropagationResult propagate_block(const chain::Block& block, const Topology& top
   received[0] = 0.0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
 
+  obs::Registry* reg = obs::enabled(config.obs);
   auto schedule_relays = [&](std::uint32_t from, double now) {
     for (const std::uint32_t to : topology.neighbors(from)) {
       if (received[to] >= 0.0) continue;  // inv/getdata suppresses duplicates
-      bool failed = false;
-      const std::size_t bytes =
-          relay_once(block, mempools[to], config.protocol, rng, failed);
-      result.total_bytes += bytes;
+      const RelayOutcome relay = relay_once(block, mempools[to], config, rng);
+      result.total_bytes += relay.bytes;
       result.relays += 1;
-      result.decode_failures += failed ? 1 : 0;
+      result.decode_failures += relay.decode_failed ? 1 : 0;
+      result.repairs += relay.used_repair ? 1 : 0;
+      result.bloom_bytes += relay.bloom_bytes;
+      result.iblt_bytes += relay.iblt_bytes;
+      result.missing_txn_bytes += relay.missing_txn_bytes;
+      result.repair_bytes += relay.repair_bytes;
+      result.fallback_bytes += relay.fallback_bytes;
+      result.other_bytes += relay.other_bytes();
+      result.rounds += relay.rounds;
+      if (reg != nullptr) {
+        reg->counter("graphene_p2p_relays_total").inc();
+        if (relay.decode_failed) reg->counter("graphene_p2p_decode_failures_total").inc();
+        if (relay.used_repair) reg->counter("graphene_p2p_repairs_total").inc();
+        reg->counter("graphene_p2p_bytes_total").inc(relay.bytes);
+        reg->counter("graphene_p2p_bloom_bytes_total").inc(relay.bloom_bytes);
+        reg->counter("graphene_p2p_iblt_bytes_total").inc(relay.iblt_bytes);
+        reg->counter("graphene_p2p_missing_txn_bytes_total").inc(relay.missing_txn_bytes);
+        reg->counter("graphene_p2p_repair_bytes_total").inc(relay.repair_bytes);
+        reg->histogram("graphene_p2p_relay_bytes").observe(relay.bytes);
+        reg->histogram("graphene_p2p_relay_rounds").observe(relay.rounds);
+      }
       const double arrival = now + config.link.latency_s +
-                             static_cast<double>(bytes) / config.link.bandwidth_bps;
+                             static_cast<double>(relay.bytes) / config.link.bandwidth_bps;
       queue.push(Event{arrival, from, to});
     }
   };

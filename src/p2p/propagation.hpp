@@ -18,6 +18,10 @@
 #include "chain/mempool.hpp"
 #include "p2p/topology.hpp"
 
+namespace graphene::obs {
+class Registry;
+}  // namespace graphene::obs
+
 namespace graphene::p2p {
 
 enum class RelayProtocol : std::uint8_t {
@@ -42,6 +46,10 @@ struct PropagationConfig {
   double mempool_coverage = 1.0;
   /// Extra (non-block) transactions per peer, as a multiple of block size.
   double extra_mempool_multiple = 1.0;
+  /// When non-null (and observability is compiled in), per-relay session
+  /// metrics — bytes by component, round counts, decode failures, repair
+  /// rate — aggregate into this registry, ready for Registry::to_prometheus.
+  obs::Registry* obs = nullptr;
 };
 
 struct PropagationResult {
@@ -50,6 +58,19 @@ struct PropagationResult {
   std::size_t total_bytes = 0;   ///< all relay traffic, both directions
   std::size_t relays = 0;        ///< successful link-level relays
   std::size_t decode_failures = 0;  ///< relays that fell back to a full block
+  std::size_t repairs = 0;          ///< relays that needed the repair round
+
+  /// Per-component decomposition of total_bytes (Graphene relays only; the
+  /// baselines report everything under `other_bytes`).
+  std::size_t bloom_bytes = 0;        ///< filters S + R + F across all relays
+  std::size_t iblt_bytes = 0;         ///< IBLTs I + J across all relays
+  std::size_t missing_txn_bytes = 0;  ///< full transactions shipped
+  std::size_t repair_bytes = 0;       ///< repair request/response traffic
+  std::size_t fallback_bytes = 0;     ///< full blocks sent after decode failure
+  std::size_t other_bytes = 0;        ///< headers, requests, baseline traffic
+
+  /// Protocol round trips summed over all relays (1 per relay minimum).
+  std::uint64_t rounds = 0;
 };
 
 /// Propagates `block` from node 0 across `topology` under `config`.

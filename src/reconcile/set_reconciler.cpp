@@ -8,6 +8,7 @@
 #include "iblt/param_cache.hpp"
 #include "iblt/param_table.hpp"
 #include "iblt/pingpong.hpp"
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 #include "util/varint.hpp"
 #include "util/wire_limits.hpp"
@@ -56,6 +57,34 @@ struct DigestPass {
     return hit;
   }
 };
+
+/// Flight-recorder helpers mirroring the src/graphene engines: message
+/// events carry the serialized wire bytes (when capture is on) so a failed
+/// reconciliation can be inspected the same way a failed block relay can.
+template <typename Msg>
+void record_msg(obs::Registry* reg, obs::FlightEventKind kind, const char* label,
+                const Msg& msg,
+                std::initializer_list<std::pair<const char*, double>> attrs) {
+  obs::FlightRecorder* fr = obs::flight(reg);
+  if (fr == nullptr) return;
+  obs::FlightEvent e;
+  e.kind = kind;
+  e.label = label;
+  if (fr->wire_capture()) e.wire = msg.serialize();
+  e.attrs.reserve(attrs.size());
+  for (const auto& [k, v] : attrs) e.attrs.emplace_back(k, v);
+  fr->record(std::move(e));
+}
+
+void record_decode(obs::Registry* reg, const char* label, Outcome::Status status) {
+  obs::FlightRecorder* fr = obs::flight(reg);
+  if (fr == nullptr) return;
+  obs::FlightEvent e;
+  e.kind = obs::FlightEventKind::kDecode;
+  e.label = label;
+  e.attrs = {{"status", static_cast<double>(static_cast<int>(status))}};
+  fr->record(std::move(e));
+}
 
 }  // namespace
 
@@ -216,6 +245,10 @@ Offer Host::make_offer(std::uint64_t client_count) const {
     offer.set_checksum ^= util::mix64(sid);
   }
   offer.correction.insert_all(sids, cfg_.pool);
+  record_msg(obs::enabled(cfg_.obs), obs::FlightEventKind::kMsgSent, "offer", offer,
+             {{"count", static_cast<double>(n)},
+              {"bloom_bytes", static_cast<double>(offer.filter.serialized_size())},
+              {"iblt_cells", static_cast<double>(offer.correction.cell_count())}});
   return offer;
 }
 
@@ -234,6 +267,16 @@ Response Host::serve(const Request& request) const {
     ctx.z = request.candidate_count;
     ctx.y_star = request.y_star;
     ctx.b = request.b;
+    if (obs::FlightRecorder* fr = obs::flight(obs::enabled(cfg_.obs))) {
+      obs::FlightEvent e;
+      e.kind = obs::FlightEventKind::kError;
+      e.label = "reconcile_serve";
+      e.attrs = {{"n", static_cast<double>(ctx.n)},
+                 {"z", static_cast<double>(ctx.z)},
+                 {"y_star", static_cast<double>(ctx.y_star)},
+                 {"b", static_cast<double>(ctx.b)}};
+      fr->record(std::move(e));
+    }
     throw core::ProtocolError("reconcile_serve",
                               "request sizing parameters out of range", ctx);
   }
@@ -292,6 +335,10 @@ Response Host::serve(const Request& request) const {
   sids.reserve(pass.digests.size());
   for (const ItemDigest* d : pass.digests) sids.push_back(short_id_of(*d, salt_, cfg_));
   resp.correction.insert_all(sids, cfg_.pool);
+  record_msg(obs::enabled(cfg_.obs), obs::FlightEventKind::kMsgSent, "response", resp,
+             {{"missing", static_cast<double>(resp.missing.size())},
+              {"j_cells", static_cast<double>(resp.correction.cell_count())},
+              {"reversed", request.reversed ? 1.0 : 0.0}});
   return resp;
 }
 
@@ -304,6 +351,9 @@ FetchResponse Host::serve_fetch(const FetchRequest& request) const {
     const auto it = by_sid.find(s);
     if (it != by_sid.end()) resp.items.push_back(*it->second);
   }
+  record_msg(obs::enabled(cfg_.obs), obs::FlightEventKind::kMsgSent, "fetchresp", resp,
+             {{"requested", static_cast<double>(request.short_ids.size())},
+              {"served", static_cast<double>(resp.items.size())}});
   return resp;
 }
 
@@ -331,6 +381,15 @@ void Client::index(const ItemDigest& d) {
 }
 
 Outcome Client::absorb(const Offer& offer) {
+  obs::Registry* reg = obs::enabled(cfg_.obs);
+  record_msg(reg, obs::FlightEventKind::kMsgReceived, "offer", offer,
+             {{"count", static_cast<double>(offer.count)},
+              {"bloom_bytes", static_cast<double>(offer.filter.serialized_size())},
+              {"iblt_cells", static_cast<double>(offer.correction.cell_count())}});
+  const auto finish = [reg](Outcome out) {
+    record_decode(reg, "reconcile_p1", out.status);
+    return out;
+  };
   offer_ = offer;
   sid_to_digest_.clear();
   ambiguous_.clear();
@@ -353,17 +412,17 @@ Outcome Client::absorb(const Offer& offer) {
   Outcome out;
   if (dec.malformed || !dec.success || !dec.positives.empty()) {
     out.status = dec.malformed ? Outcome::Status::kFailed : Outcome::Status::kNeedsRequest;
-    return out;
+    return finish(out);
   }
   for (const std::uint64_t s : dec.negatives) {
     const auto it = sid_to_digest_.find(s);
     if (it == sid_to_digest_.end() || ambiguous_.count(s) > 0) {
       out.status = Outcome::Status::kNeedsRequest;
-      return out;
+      return finish(out);
     }
     candidates_.erase(it->second);
   }
-  return finalize();
+  return finish(finalize());
 }
 
 Request Client::make_request() {
@@ -382,10 +441,25 @@ Request Client::make_request() {
                                   offer_.salt ^ 0x4ece55, cfg_.bloom_strategy);
   const DigestPass pass(candidates_);
   req.filter.insert_batch(pass.views.data(), pass.views.size());
+  record_msg(obs::enabled(cfg_.obs), obs::FlightEventKind::kMsgSent, "request", req,
+             {{"z", static_cast<double>(z)},
+              {"b", static_cast<double>(req.b)},
+              {"y_star", static_cast<double>(req.y_star)},
+              {"fpr_r", req.fpr_r},
+              {"reversed", req.reversed ? 1.0 : 0.0}});
   return req;
 }
 
 Outcome Client::complete(const Response& response) {
+  obs::Registry* reg = obs::enabled(cfg_.obs);
+  record_msg(reg, obs::FlightEventKind::kMsgReceived, "response", response,
+             {{"missing", static_cast<double>(response.missing.size())},
+              {"j_cells", static_cast<double>(response.correction.cell_count())},
+              {"has_compensation", response.compensation.has_value() ? 1.0 : 0.0}});
+  const auto finish = [reg](Outcome out) {
+    record_decode(reg, "reconcile_p2", out.status);
+    return out;
+  };
   Outcome out;
 
   if (params2_.reversed && response.compensation.has_value()) {
@@ -414,7 +488,7 @@ Outcome Client::complete(const Response& response) {
         iblt::pingpong_decode(diff_j, offer_.correction.subtract(offer_mine, cfg_.pool));
     if (pp.malformed) {
       out.status = Outcome::Status::kFailed;
-      return out;
+      return finish(out);
     }
     dec.success = pp.success;
     dec.positives = pp.positives;
@@ -422,13 +496,13 @@ Outcome Client::complete(const Response& response) {
   }
   if (dec.malformed || !dec.success) {
     out.status = Outcome::Status::kFailed;
-    return out;
+    return finish(out);
   }
   for (const std::uint64_t s : dec.negatives) {
     const auto it = sid_to_digest_.find(s);
     if (it == sid_to_digest_.end() || ambiguous_.count(s) > 0) {
       out.status = Outcome::Status::kFailed;
-      return out;
+      return finish(out);
     }
     candidates_.erase(it->second);
   }
@@ -445,9 +519,9 @@ Outcome Client::complete(const Response& response) {
     pending_fetch_ = unresolved;
     out.status = Outcome::Status::kNeedsFetch;
     out.unresolved = std::move(unresolved);
-    return out;
+    return finish(out);
   }
-  return finalize();
+  return finish(finalize());
 }
 
 FetchRequest Client::make_fetch() const {
@@ -459,7 +533,9 @@ FetchRequest Client::make_fetch() const {
 Outcome Client::complete_fetch(const FetchResponse& response) {
   for (const ItemDigest& d : response.items) index(d);
   pending_fetch_.clear();
-  return finalize();
+  Outcome out = finalize();
+  record_decode(obs::enabled(cfg_.obs), "reconcile_fetch", out.status);
+  return out;
 }
 
 Outcome Client::finalize() {

@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <vector>
 
@@ -72,6 +73,8 @@ void write_run_jsonl(std::ostream& out, const GrapheneRun& run, const Scenario& 
                      std::uint64_t trial, std::uint64_t salt, const obs::Registry& reg) {
   obs::json::Writer w;
   w.begin_object();
+  w.key("schema");
+  w.number(std::uint64_t{2});
   w.key("trial");
   w.number(trial);
   w.key("salt");
@@ -93,6 +96,8 @@ void write_run_jsonl(std::ostream& out, const GrapheneRun& run, const Scenario& 
   w.boolean(run.used_pingpong);
   w.key("bloom_strategy");
   w.number(static_cast<std::uint64_t>(run.bloom_strategy));
+  w.key("rounds");
+  w.number(run.rounds());
 
   w.key("bytes");
   w.begin_object();
@@ -227,6 +232,30 @@ TrialStats run_trials(const ScenarioSpec& spec, std::uint64_t trials, std::uint6
     fold(stats.mean_iblt_j, static_cast<double>(run.iblt_j_bytes));
     fold(stats.mean_bloom_f, static_cast<double>(run.bloom_f_bytes));
     fold(stats.mean_missing_txn, static_cast<double>(run.missing_txn_bytes));
+  }
+
+  // Batch-level aggregation into the caller's registry (the per-run JSONL
+  // registries above are throwaway). Counters accumulate across batches;
+  // histograms feed the p50/p95/p99 summaries in to_json/to_prometheus.
+  if (obs::Registry* reg = obs::enabled(cfg.obs)) {
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      const GrapheneRun& run = runs[t];
+      reg->counter("graphene_sim_trials_total").inc();
+      if (!run.decoded) reg->counter("graphene_sim_decode_failures_total").inc();
+      if (run.used_protocol2) reg->counter("graphene_sim_protocol2_rounds_total").inc();
+      if (run.used_repair) reg->counter("graphene_sim_repair_rounds_total").inc();
+      reg->histogram("graphene_sim_rounds").observe(run.rounds());
+      reg->histogram("graphene_sim_encoding_bytes").observe(run.encoding_bytes());
+      reg->histogram("graphene_sim_total_bytes").observe(run.total_bytes());
+      reg->histogram("graphene_sim_missing_txn_bytes").observe(run.missing_txn_bytes);
+    }
+    reg->gauge("graphene_sim_repair_rate")
+        .set(trials > 0 ? static_cast<double>(std::count_if(
+                              runs.begin(), runs.end(),
+                              [](const GrapheneRun& r) { return r.used_repair; })) /
+                              static_cast<double>(trials)
+                        : 0.0);
+    shared.param_cache->export_stats(reg);
   }
   return stats;
 }

@@ -46,6 +46,11 @@ struct GrapheneRun {
   [[nodiscard]] std::size_t total_bytes() const noexcept {
     return encoding_bytes() + missing_txn_bytes;
   }
+  /// Protocol round trips consumed: 1 for Protocol 1, +1 for the Protocol 2
+  /// request/response, +1 for the repair exchange.
+  [[nodiscard]] std::uint64_t rounds() const noexcept {
+    return std::uint64_t{1} + (used_protocol2 ? 1u : 0u) + (used_repair ? 1u : 0u);
+  }
 };
 
 /// Fixed model cost for the receiver's step-2 getdata (inv hash + mempool
@@ -91,10 +96,12 @@ TrialStats run_trials(const ScenarioSpec& spec, std::uint64_t trials, std::uint6
                       const core::ProtocolConfig& cfg = {}, bool protocol1_only = false,
                       std::ostream* runs_jsonl = nullptr);
 
-/// Writes one run as a single JSON line: scenario shape, outcome flags, the
-/// byte decomposition, observed-vs-target FPR of filter S (ground truth from
-/// the scenario), and the full span sequence with stage timings and
-/// peel-iteration counts. `reg` must be the registry the run executed with.
+/// Writes one run as a single JSON line (schema v2): scenario shape, outcome
+/// flags, round count, the byte decomposition, observed-vs-target FPR of
+/// filter S (ground truth from the scenario), and the full span sequence with
+/// stage timings and peel-iteration counts. Every v1 field is preserved; v2
+/// adds "schema" and "rounds". `reg` must be the registry the run executed
+/// with.
 void write_run_jsonl(std::ostream& out, const GrapheneRun& run, const Scenario& scenario,
                      std::uint64_t trial, std::uint64_t salt, const obs::Registry& reg);
 

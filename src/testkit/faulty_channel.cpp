@@ -1,12 +1,45 @@
 #include "testkit/faulty_channel.hpp"
 
+#include <string>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace graphene::testkit {
+
+void FaultyChannel::note_delivery(net::Direction dir, net::MessageType type,
+                                  const std::vector<util::Bytes>& out,
+                                  const FaultCounts& before) {
+  obs::Registry* reg = obs::enabled(obs_);
+  if (reg == nullptr) return;
+  reg->counter("graphene_fault_transmits_total").inc();
+  reg->counter("graphene_fault_delivered_total").inc(out.size());
+  reg->counter("graphene_fault_dropped_total").inc(counts_.dropped - before.dropped);
+  reg->counter("graphene_fault_duplicated_total")
+      .inc(counts_.duplicated - before.duplicated);
+  reg->counter("graphene_fault_reordered_total").inc(counts_.reordered - before.reordered);
+  reg->counter("graphene_fault_truncated_total").inc(counts_.truncated - before.truncated);
+  reg->counter("graphene_fault_bitflipped_total")
+      .inc(counts_.bitflipped - before.bitflipped);
+  obs::FlightRecorder* fr = obs::flight(reg);
+  if (fr == nullptr) return;
+  for (const util::Bytes& buf : out) {
+    obs::FlightEvent e;
+    e.kind = obs::FlightEventKind::kNote;
+    e.label = "link";
+    e.attrs = {{"dir", static_cast<double>(static_cast<int>(dir))},
+               {"type", static_cast<double>(static_cast<int>(type))},
+               {"bytes", static_cast<double>(buf.size())},
+               {"faulted", counts_.faults() > before.faults() ? 1.0 : 0.0}};
+    if (fr->wire_capture()) e.wire = buf;
+    fr->record(std::move(e));
+  }
+}
 
 std::vector<util::Bytes> FaultyChannel::transmit(net::Direction dir,
                                                  net::MessageType type,
                                                  util::Bytes payload) {
+  const FaultCounts before = counts_;
   ++counts_.sent;
   if (inner_ != nullptr) {
     inner_->send(dir, net::Message{type, payload});
@@ -50,14 +83,17 @@ std::vector<util::Bytes> FaultyChannel::transmit(net::Direction dir,
 
   for (util::Bytes& late : arriving_late) out.push_back(std::move(late));
   counts_.delivered += out.size();
+  note_delivery(dir, type, out, before);
   return out;
 }
 
 std::vector<util::Bytes> FaultyChannel::flush(net::Direction dir) {
+  const FaultCounts before = counts_;
   const auto d = static_cast<std::size_t>(dir);
   std::vector<util::Bytes> out = std::move(held_[d]);
   held_[d].clear();
   counts_.delivered += out.size();
+  note_delivery(dir, net::MessageType::kInv, out, before);
   return out;
 }
 

@@ -17,6 +17,10 @@
 #include "net/channel.hpp"
 #include "util/random.hpp"
 
+namespace graphene::obs {
+class Registry;
+}  // namespace graphene::obs
+
 namespace graphene::testkit {
 
 /// Independent per-message fault probabilities. Faults compose: a message
@@ -72,12 +76,24 @@ class FaultyChannel {
   [[nodiscard]] const FaultCounts& counts() const noexcept { return counts_; }
   [[nodiscard]] net::Channel* inner() const noexcept { return inner_; }
 
+  /// Attaches a telemetry registry (not owned). Each transmit/flush then
+  /// bumps graphene_fault_* counters and — when the registry's flight
+  /// recorder is on — records a kNote "link" event per delivered buffer, with
+  /// the delivered bytes attached under wire capture so a capture replayed
+  /// through tools/replay_capture sees exactly what the far side saw.
+  void attach_obs(obs::Registry* reg) noexcept { obs_ = reg; }
+  [[nodiscard]] obs::Registry* obs() const noexcept { return obs_; }
+
  private:
+  void note_delivery(net::Direction dir, net::MessageType type,
+                     const std::vector<util::Bytes>& out, const FaultCounts& before);
+
   FaultSpec spec_;
   util::Rng rng_;
   FaultCounts counts_;
   std::vector<util::Bytes> held_[2];
   net::Channel* inner_;
+  obs::Registry* obs_ = nullptr;
 };
 
 }  // namespace graphene::testkit

@@ -1,0 +1,79 @@
+#include "util/base64.hpp"
+
+#include <array>
+
+namespace graphene::util {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+constexpr std::array<std::int8_t, 256> make_reverse() {
+  std::array<std::int8_t, 256> rev{};
+  for (std::size_t i = 0; i < rev.size(); ++i) rev[i] = -1;
+  for (std::int8_t i = 0; i < 64; ++i) {
+    rev[static_cast<std::size_t>(static_cast<unsigned char>(kAlphabet[i]))] = i;
+  }
+  return rev;
+}
+
+constexpr std::array<std::int8_t, 256> kReverse = make_reverse();
+
+}  // namespace
+
+std::string base64_encode(ByteView data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                            static_cast<std::uint32_t>(data[i + 2]);
+    out.push_back(kAlphabet[(v >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 6) & 0x3f]);
+    out.push_back(kAlphabet[v & 0x3f]);
+  }
+  const std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    const std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kAlphabet[(v >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3f]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rest == 2) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(kAlphabet[(v >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 6) & 0x3f]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Bytes base64_decode(std::string_view text) {
+  // Strip padding; the remaining length mod 4 decides the tail shape.
+  while (!text.empty() && text.back() == '=') text.remove_suffix(1);
+  const std::size_t rem = text.size() % 4;
+  if (rem == 1) throw DeserializeError("base64: impossible length");
+
+  Bytes out;
+  out.reserve(text.size() / 4 * 3 + 2);
+  std::uint32_t acc = 0;
+  int bits = 0;
+  for (const char c : text) {
+    const std::int8_t v = kReverse[static_cast<std::size_t>(static_cast<unsigned char>(c))];
+    if (v < 0) throw DeserializeError("base64: invalid character");
+    acc = (acc << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((acc >> bits) & 0xff));
+    }
+  }
+  return out;
+}
+
+}  // namespace graphene::util

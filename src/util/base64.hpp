@@ -1,0 +1,20 @@
+// Base64 (RFC 4648, standard alphabet, padded) encoding for forensic
+// captures: raw wire bytes must survive a trip through JSON, and hex would
+// double the capture size where base64 adds a third.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace graphene::util {
+
+/// Standard-alphabet base64 with '=' padding.
+[[nodiscard]] std::string base64_encode(ByteView data);
+
+/// Decodes padded or unpadded base64; throws DeserializeError on characters
+/// outside the alphabet or an impossible length.
+[[nodiscard]] Bytes base64_decode(std::string_view text);
+
+}  // namespace graphene::util

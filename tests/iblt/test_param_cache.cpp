@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "iblt/param_table.hpp"
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace graphene::iblt {
@@ -138,6 +139,25 @@ TEST(ParamCache, SearchAndLookupEntriesCoexist) {
   // Post-clear searches recompute (miss), not replay stale results.
   (void)cache.search(50, 0.95, rng);
   EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(ParamCache, ExportStatsPublishesGauges) {
+  ParamCache cache;
+  (void)cache.params(50);   // miss
+  (void)cache.params(50);   // hit
+  (void)cache.params(120);  // miss
+  obs::Registry reg;
+  cache.export_stats(&reg);
+  EXPECT_DOUBLE_EQ(reg.gauge("graphene_param_cache_hits").value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("graphene_param_cache_misses").value(), 2.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("graphene_param_cache_entries").value(), 2.0);
+  // Gauges, not counters: a re-export overwrites instead of double-counting.
+  (void)cache.params(120);  // hit
+  cache.export_stats(&reg);
+  EXPECT_DOUBLE_EQ(reg.gauge("graphene_param_cache_hits").value(), 2.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("graphene_param_cache_misses").value(), 2.0);
+  // A null registry is a no-op, matching the rest of the obs opt-in surface.
+  cache.export_stats(nullptr);
 }
 
 TEST(ParamCache, ConcurrentHitMissInsertIsRaceFree) {

@@ -136,6 +136,14 @@ TEST(Registry, JsonRoundTrip) {
   EXPECT_DOUBLE_EQ(hist.at("min").number, 5.0);
   EXPECT_DOUBLE_EQ(hist.at("max").number, 900.0);
   ASSERT_EQ(hist.at("buckets").array.size(), 2u);  // zero buckets elided
+
+  // The quantile summary block rides on every histogram entry and must agree
+  // with the Histogram's own estimator.
+  EXPECT_DOUBLE_EQ(hist.at("mean").number, h.mean());
+  EXPECT_DOUBLE_EQ(hist.at("p50").number, static_cast<double>(h.quantile(0.50)));
+  EXPECT_DOUBLE_EQ(hist.at("p95").number, static_cast<double>(h.quantile(0.95)));
+  EXPECT_DOUBLE_EQ(hist.at("p99").number, static_cast<double>(h.quantile(0.99)));
+  EXPECT_LE(hist.at("p50").number, hist.at("p99").number);
 }
 
 TEST(Registry, ThreadSafeConcurrentUpdates) {

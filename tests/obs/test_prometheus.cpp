@@ -1,0 +1,183 @@
+// Prometheus text exposition (format 0.0.4): structure, cumulative buckets,
+// escaping, and a full format round-trip through a minimal parser.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace graphene::obs {
+namespace {
+
+struct PromSample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+/// Minimal parser for the subset of the text format the Registry emits.
+/// Throws via ADD_FAILURE-equivalent asserts: any line that does not parse
+/// is a format bug.
+struct PromDoc {
+  std::map<std::string, std::string> types;  // family -> counter|gauge|histogram
+  std::vector<PromSample> samples;
+};
+
+PromDoc parse_prometheus(const std::string& text) {
+  PromDoc doc;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream hdr(line);
+      std::string hash, kw, family, type;
+      hdr >> hash >> kw >> family >> type;
+      EXPECT_EQ(hash, "#");
+      EXPECT_EQ(kw, "TYPE");
+      EXPECT_FALSE(family.empty());
+      EXPECT_TRUE(type == "counter" || type == "gauge" || type == "histogram") << line;
+      doc.types[family] = type;
+      continue;
+    }
+    PromSample s;
+    std::size_t i = 0;
+    while (i < line.size() && (std::isalnum(static_cast<unsigned char>(line[i])) ||
+                               line[i] == '_' || line[i] == ':')) {
+      s.name.push_back(line[i++]);
+    }
+    EXPECT_FALSE(s.name.empty()) << line;
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      while (i < line.size() && line[i] != '}') {
+        std::string key;
+        while (i < line.size() && line[i] != '=') key.push_back(line[i++]);
+        ++i;  // '='
+        EXPECT_LT(i, line.size());
+        EXPECT_EQ(line[i], '"') << line;
+        ++i;
+        std::string value;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\' && i + 1 < line.size()) {
+            ++i;
+            value.push_back(line[i] == 'n' ? '\n' : line[i]);
+          } else {
+            value.push_back(line[i]);
+          }
+          ++i;
+        }
+        ++i;  // closing quote
+        if (i < line.size() && line[i] == ',') ++i;
+        s.labels[key] = value;
+      }
+      EXPECT_LT(i, line.size()) << "unterminated labels: " << line;
+      ++i;  // '}'
+    }
+    EXPECT_LT(i, line.size()) << line;
+    EXPECT_EQ(line[i], ' ') << line;
+    s.value = std::stod(line.substr(i + 1));
+    doc.samples.push_back(std::move(s));
+  }
+  return doc;
+}
+
+const PromSample* find_sample(const PromDoc& doc, const std::string& name,
+                              const std::map<std::string, std::string>& labels = {}) {
+  for (const PromSample& s : doc.samples) {
+    if (s.name == name && s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+TEST(Prometheus, FormatRoundTrip) {
+  Registry reg;
+  reg.counter("graphene_encode_total").inc(3);
+  reg.counter("graphene_encode_total", {{"proto", "p2"}}).inc(1);
+  reg.gauge("graphene_fpr_observed").set(0.125);
+  Histogram& h = reg.histogram("graphene_stage_ns", {{"stage", "p1_peel"}});
+  h.observe(5);
+  h.observe(5);
+  h.observe(900);
+
+  const std::string text = reg.to_prometheus();
+  const PromDoc doc = parse_prometheus(text);
+
+  // TYPE headers, one per family.
+  EXPECT_EQ(doc.types.at("graphene_encode_total"), "counter");
+  EXPECT_EQ(doc.types.at("graphene_fpr_observed"), "gauge");
+  EXPECT_EQ(doc.types.at("graphene_stage_ns"), "histogram");
+
+  const PromSample* plain = find_sample(doc, "graphene_encode_total");
+  ASSERT_NE(plain, nullptr);
+  EXPECT_DOUBLE_EQ(plain->value, 3.0);
+  const PromSample* labeled =
+      find_sample(doc, "graphene_encode_total", {{"proto", "p2"}});
+  ASSERT_NE(labeled, nullptr);
+  EXPECT_DOUBLE_EQ(labeled->value, 1.0);
+
+  const PromSample* gauge = find_sample(doc, "graphene_fpr_observed");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(gauge->value, 0.125);
+
+  // Histogram: _sum, _count, and cumulative non-decreasing buckets ending in
+  // the mandatory +Inf == _count.
+  const std::map<std::string, std::string> stage{{"stage", "p1_peel"}};
+  const PromSample* sum = find_sample(doc, "graphene_stage_ns_sum", stage);
+  const PromSample* count = find_sample(doc, "graphene_stage_ns_count", stage);
+  ASSERT_NE(sum, nullptr);
+  ASSERT_NE(count, nullptr);
+  EXPECT_DOUBLE_EQ(sum->value, 910.0);
+  EXPECT_DOUBLE_EQ(count->value, 3.0);
+
+  double prev = 0.0;
+  const PromSample* inf_bucket = nullptr;
+  for (const PromSample& s : doc.samples) {
+    if (s.name != "graphene_stage_ns_bucket") continue;
+    EXPECT_EQ(s.labels.at("stage"), "p1_peel");
+    EXPECT_GE(s.value, prev) << "buckets must be cumulative";
+    prev = s.value;
+    if (s.labels.at("le") == "+Inf") inf_bucket = &s;
+  }
+  ASSERT_NE(inf_bucket, nullptr) << "+Inf bucket is mandatory";
+  EXPECT_DOUBLE_EQ(inf_bucket->value, count->value);
+}
+
+TEST(Prometheus, LabelValuesEscape) {
+  Registry reg;
+  reg.counter("weird_total", {{"path", "a\\b\"c\nd"}}).inc();
+  const PromDoc doc = parse_prometheus(reg.to_prometheus());
+  const PromSample* s = find_sample(doc, "weird_total", {{"path", "a\\b\"c\nd"}});
+  ASSERT_NE(s, nullptr) << reg.to_prometheus();
+  EXPECT_DOUBLE_EQ(s->value, 1.0);
+}
+
+TEST(Prometheus, MetricNamesSanitized) {
+  Registry reg;
+  reg.counter("bad-name.total").inc();
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("bad_name_total"), std::string::npos);
+  EXPECT_EQ(text.find("bad-name"), std::string::npos);
+}
+
+TEST(Prometheus, TypeHeaderEmittedOncePerFamily) {
+  Registry reg;
+  reg.counter("family_total", {{"a", "1"}}).inc();
+  reg.counter("family_total", {{"a", "2"}}).inc();
+  const std::string text = reg.to_prometheus();
+  const std::string header = "# TYPE family_total counter";
+  const std::size_t first = text.find(header);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find(header, first + 1), std::string::npos);
+}
+
+TEST(Prometheus, EmptyRegistryEmitsNothing) {
+  Registry reg;
+  EXPECT_TRUE(reg.to_prometheus().empty());
+}
+
+}  // namespace
+}  // namespace graphene::obs

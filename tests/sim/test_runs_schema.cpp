@@ -43,6 +43,12 @@ TEST(RunsJsonlSchema, EveryRecordCarriesTheContractKeys) {
     ASSERT_NO_THROW(v = obs::json::parse(line)) << line;
     ASSERT_TRUE(v.is_object());
 
+    // v2 envelope: versioned, and the round count is derivable from the
+    // outcome flags (1 + protocol2 + repair) — pin both.
+    expect_number(v, "schema");
+    EXPECT_EQ(static_cast<std::uint64_t>(v.at("schema").number), 2u);
+    expect_number(v, "rounds");
+
     expect_number(v, "trial");
     expect_number(v, "salt");
     expect_number(v, "n");
@@ -55,6 +61,9 @@ TEST(RunsJsonlSchema, EveryRecordCarriesTheContractKeys) {
     expect_bool(v, "used_protocol2");
     expect_bool(v, "used_repair");
     expect_bool(v, "used_pingpong");
+    const double expected_rounds = 1.0 + (v.at("used_protocol2").boolean ? 1.0 : 0.0) +
+                                   (v.at("used_repair").boolean ? 1.0 : 0.0);
+    EXPECT_DOUBLE_EQ(v.at("rounds").number, expected_rounds);
 
     ASSERT_TRUE(v.contains("bytes"));
     const obs::json::Value& bytes = v.at("bytes");
@@ -70,8 +79,10 @@ TEST(RunsJsonlSchema, EveryRecordCarriesTheContractKeys) {
     EXPECT_DOUBLE_EQ(total, encoding + missing);
     EXPECT_GT(bytes.at("bloom_s").number + bytes.at("iblt_i").number, 0.0);
 
+#if GRAPHENE_OBS_ENABLED
     // The observed-FPR block rides on the p1_candidates span, which every
-    // telemetry-enabled run records.
+    // telemetry-enabled run records; a GRAPHENE_OBS=OFF build records no
+    // spans, so these keys are legitimately absent there.
     expect_number(v, "fpr_s_target");
     expect_number(v, "fp_observed");
     expect_number(v, "fpr_s_observed");
@@ -87,6 +98,7 @@ TEST(RunsJsonlSchema, EveryRecordCarriesTheContractKeys) {
       ASSERT_TRUE(span.contains("stage"));
       EXPECT_TRUE(span.at("stage").is_string());
     }
+#endif  // GRAPHENE_OBS_ENABLED
     ++records;
   }
   EXPECT_EQ(records, 8u);
@@ -106,6 +118,7 @@ TEST(RunsJsonlSchema, Protocol1OnlyRunsStillConform) {
     ASSERT_TRUE(v.contains("bytes"));
     EXPECT_FALSE(v.at("used_protocol2").boolean);
     EXPECT_DOUBLE_EQ(v.at("bytes").at("bloom_r").number, 0.0);
+    EXPECT_DOUBLE_EQ(v.at("rounds").number, 1.0);
     ++records;
   }
   EXPECT_EQ(records, 3u);

@@ -22,6 +22,13 @@ Rules (each with the reasoning that motivated it):
      the buffer bound. Lengths must land in a named, validated variable
      first.
 
+  4. raw-chrono-clock: direct std::chrono clock reads (steady_clock /
+     system_clock / high_resolution_clock :: now) are allowed only in
+     src/obs/, where obs::monotonic_ns wraps them behind the fake-clock
+     override. Everywhere else a raw clock read produces timing a test
+     cannot control (ScopedFakeClock can't intercept it) and a capture
+     replay cannot reproduce — use obs::monotonic_ns.
+
 Usage: tools/lint.py [--list] [paths...]   (default: every tracked C++ file)
 Exits non-zero with file:line diagnostics on any hit.
 """
@@ -41,6 +48,10 @@ RE_DESERIALIZE_DEF = re.compile(r"\bdeserialize\s*\(")
 RE_RESIZE_FROM_READER = re.compile(
     r"\.(?:resize|reserve|assign)\s*\(\s*[^;]*"
     r"(?:\breader\.(?:u8|u16|u32|u64)\s*\(|\bread_varint(?:_bounded)?\s*\()"
+)
+RE_CHRONO_CLOCK = re.compile(
+    r"\b(?:std\s*::\s*)?chrono\s*::\s*"
+    r"(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\("
 )
 
 
@@ -68,6 +79,7 @@ def lint_file(rel: Path):
     lines = text.splitlines()
     in_util = rel.parts[:2] == ("src", "util")
     in_src = rel.parts[:1] == ("src",)
+    in_obs = rel.parts[:2] == ("src", "obs")
     has_deserializer = any(RE_DESERIALIZE_DEF.search(strip_comments_and_strings(l))
                            for l in lines)
 
@@ -104,6 +116,12 @@ def lint_file(rel: Path):
                 (lineno, "unchecked-resize-from-reader",
                  "container sized directly from reader output — bind the "
                  "length to a validated variable first")
+            )
+        if not in_obs and RE_CHRONO_CLOCK.search(code):
+            findings.append(
+                (lineno, "raw-chrono-clock",
+                 "direct std::chrono clock read outside src/obs/ — use "
+                 "obs::monotonic_ns so fake clocks and capture replay work")
             )
     return findings
 
