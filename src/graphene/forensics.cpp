@@ -44,6 +44,12 @@ std::vector<chain::Transaction> decode_txns(util::ByteView data, const char* fie
     chain::Transaction tx;
     reader.raw_into(tx.id.data(), tx.id.size());
     tx.size_bytes = reader.u32();
+    // A capture is replayed through the full protocol engines, where claimed
+    // sizes pad re-serialized blocks — cap them like any other wire input.
+    if (tx.size_bytes > util::wire::kMaxTxWireSize) {
+      throw util::DeserializeError(std::string(field) +
+                                   ": tx claimed size exceeds wire limit");
+    }
     tx.fee_per_kb = reader.u64();
     out.push_back(tx);
   }

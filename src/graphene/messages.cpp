@@ -45,6 +45,15 @@ chain::Transaction read_full_tx(util::ByteReader& r) {
   chain::Transaction tx;
   r.raw_into(tx.id.data(), tx.id.size());
   tx.size_bytes = r.u32();
+  // Cap before the claimed size leaves the deserializer: it pads body bytes
+  // here AND re-serialization of the decoded block later, so an unvalidated
+  // 4 GiB claim in a 40-byte record amplifies into downstream allocations
+  // (tests/net/test_wire_regressions.cpp has the minimized fixture).
+  if (tx.size_bytes > util::wire::kMaxTxWireSize) {
+    throw util::DeserializeError("full tx: claimed size " +
+                                 std::to_string(tx.size_bytes) +
+                                 " exceeds kMaxTxWireSize");
+  }
   const std::size_t body =
       tx.size_bytes > kTxFixedOverhead ? tx.size_bytes - kTxFixedOverhead : 0;
   (void)r.raw(body);

@@ -1,7 +1,6 @@
 #include "iblt/param_cache.hpp"
 
 #include <iterator>
-#include <mutex>
 
 #include "obs/metrics.hpp"
 
@@ -21,7 +20,7 @@ std::uint64_t ParamCache::key(std::uint64_t j, std::uint32_t fail_denom) noexcep
 IbltParams ParamCache::params(std::uint64_t j, std::uint32_t fail_denom) {
   const std::uint64_t k = key(j, fail_denom);
   {
-    const std::shared_lock<std::shared_mutex> lock(mu_);
+    const util::ReaderLock lock(mu_);
     const auto it = map_.find(k);
     if (it != map_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -33,7 +32,7 @@ IbltParams ParamCache::params(std::uint64_t j, std::uint32_t fail_denom) {
   // same key just recomputes the identical value.
   const IbltParams p = lookup_params(j, fail_denom);
   {
-    const std::unique_lock<std::shared_mutex> lock(mu_);
+    const util::WriterLock lock(mu_);
     map_.emplace(k, p);
   }
   return p;
@@ -55,7 +54,7 @@ SearchResult ParamCache::search(std::uint64_t j, double p, util::Rng& rng,
                                 const SearchOptions& opts) {
   const std::uint64_t k = search_key(j, p);
   {
-    const std::shared_lock<std::shared_mutex> lock(mu_);
+    const util::ReaderLock lock(mu_);
     const auto it = search_map_.find(k);
     if (it != search_map_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -65,19 +64,19 @@ SearchResult ParamCache::search(std::uint64_t j, double p, util::Rng& rng,
   misses_.fetch_add(1, std::memory_order_relaxed);
   const SearchResult r = search_params(j, p, rng, opts);
   {
-    const std::unique_lock<std::shared_mutex> lock(mu_);
+    const util::WriterLock lock(mu_);
     search_map_.emplace(k, r);
   }
   return r;
 }
 
 std::size_t ParamCache::entries() const {
-  const std::shared_lock<std::shared_mutex> lock(mu_);
+  const util::ReaderLock lock(mu_);
   return map_.size() + search_map_.size();
 }
 
 void ParamCache::clear() {
-  const std::unique_lock<std::shared_mutex> lock(mu_);
+  const util::WriterLock lock(mu_);
   map_.clear();
   search_map_.clear();
 }

@@ -20,12 +20,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <shared_mutex>
 #include <unordered_map>
 
 #include "iblt/iblt.hpp"
 #include "iblt/param_search.hpp"
 #include "iblt/param_table.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace graphene::obs {
 class Registry;
@@ -67,10 +68,10 @@ class ParamCache {
   [[nodiscard]] std::uint64_t misses() const noexcept {
     return misses_.load(std::memory_order_relaxed);
   }
-  [[nodiscard]] std::size_t entries() const;
+  [[nodiscard]] std::size_t entries() const EXCLUDES(mu_);
 
   /// Drops all entries; counters keep their values.
-  void clear();
+  void clear() EXCLUDES(mu_);
 
   /// Publishes the hit/miss/entry counts as gauges in `reg`
   /// (graphene_param_cache_{hits,misses,entries}). No-op on null.
@@ -80,9 +81,9 @@ class ParamCache {
   static std::uint64_t key(std::uint64_t j, std::uint32_t fail_denom) noexcept;
   static std::uint64_t search_key(std::uint64_t j, double p) noexcept;
 
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::uint64_t, IbltParams> map_;        // guarded by mu_
-  std::unordered_map<std::uint64_t, SearchResult> search_map_;  // guarded by mu_
+  mutable util::SharedMutex mu_;
+  std::unordered_map<std::uint64_t, IbltParams> map_ GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, SearchResult> search_map_ GUARDED_BY(mu_);
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
 };

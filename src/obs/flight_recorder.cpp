@@ -1,10 +1,17 @@
 #include "obs/flight_recorder.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "obs/clock.hpp"
 #include "obs/json.hpp"
 #include "util/base64.hpp"
+#include "util/sync.hpp"
 
 namespace graphene::obs {
 
@@ -98,7 +105,7 @@ FlightEvent FlightEvent::from_json(const json::Value& doc) {
 void FlightRecorder::record(FlightEvent event) {
 #if GRAPHENE_OBS_ENABLED
   const std::uint64_t now = monotonic_ns();
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   if (!enabled_) return;
   event.seq = next_seq_++;
   event.t_ns = now;
@@ -118,7 +125,7 @@ void FlightRecorder::record(FlightEvent event) {
 }
 
 std::vector<FlightEvent> FlightRecorder::events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   std::vector<FlightEvent> out;
   out.reserve(ring_.size());
   for (std::size_t i = 0; i < ring_.size(); ++i) {
@@ -128,22 +135,22 @@ std::vector<FlightEvent> FlightRecorder::events() const {
 }
 
 std::size_t FlightRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return ring_.size();
 }
 
 std::uint64_t FlightRecorder::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return next_seq_;
 }
 
 std::uint64_t FlightRecorder::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return next_seq_ - ring_.size();
 }
 
 std::size_t FlightRecorder::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return capacity_;
 }
 
@@ -156,7 +163,7 @@ void FlightRecorder::normalize_locked() {
 }
 
 void FlightRecorder::set_capacity(std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   capacity_ = capacity == 0 ? 1 : capacity;
   // Re-bounding is rare; restore chronological layout so push_back growth
   // and oldest-first truncation both stay simple.
@@ -168,27 +175,27 @@ void FlightRecorder::set_capacity(std::size_t capacity) {
 }
 
 void FlightRecorder::set_enabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   enabled_ = enabled;
 }
 
 bool FlightRecorder::enabled() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return enabled_;
 }
 
 void FlightRecorder::set_wire_capture(bool capture) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   wire_capture_ = capture;
 }
 
 bool FlightRecorder::wire_capture() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return wire_capture_;
 }
 
 void FlightRecorder::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   ring_.clear();
   head_ = 0;
   next_seq_ = 0;
@@ -199,7 +206,7 @@ std::string FlightRecorder::to_json() const {
   std::size_t capacity;
   std::uint64_t recorded;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     snapshot.reserve(ring_.size());
     for (std::size_t i = 0; i < ring_.size(); ++i) {
       snapshot.push_back(ring_[(head_ + i) % ring_.size()]);

@@ -18,13 +18,14 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "util/bytes.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 #ifndef GRAPHENE_OBS_ENABLED
 #define GRAPHENE_OBS_ENABLED 1
@@ -82,46 +83,45 @@ class FlightRecorder {
 
   /// Appends one event (stamps seq and t_ns). No-op when the recorder is
   /// disabled or GRAPHENE_OBS_ENABLED=0.
-  void record(FlightEvent event);
+  void record(FlightEvent event) EXCLUDES(mu_);
 
   /// Events currently held, oldest first.
-  [[nodiscard]] std::vector<FlightEvent> events() const;
-  [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::uint64_t total_recorded() const;
-  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::vector<FlightEvent> events() const EXCLUDES(mu_);
+  [[nodiscard]] std::size_t size() const EXCLUDES(mu_);
+  [[nodiscard]] std::uint64_t total_recorded() const EXCLUDES(mu_);
+  [[nodiscard]] std::uint64_t dropped() const EXCLUDES(mu_);
 
-  [[nodiscard]] std::size_t capacity() const;
+  [[nodiscard]] std::size_t capacity() const EXCLUDES(mu_);
   /// Re-bounds the ring; keeps the newest events when shrinking.
-  void set_capacity(std::size_t capacity);
+  void set_capacity(std::size_t capacity) EXCLUDES(mu_);
 
   /// Runtime kill switch (default on): lets a benchmark or a high-traffic
   /// deployment keep the Registry's metrics while skipping event capture.
-  void set_enabled(bool enabled);
-  [[nodiscard]] bool enabled() const;
+  void set_enabled(bool enabled) EXCLUDES(mu_);
+  [[nodiscard]] bool enabled() const EXCLUDES(mu_);
 
   /// Skips storing wire bytes (attrs and outcomes still recorded) — trades
   /// replayability for memory on hot paths.
-  void set_wire_capture(bool capture);
-  [[nodiscard]] bool wire_capture() const;
+  void set_wire_capture(bool capture) EXCLUDES(mu_);
+  [[nodiscard]] bool wire_capture() const EXCLUDES(mu_);
 
-  void clear();
+  void clear() EXCLUDES(mu_);
 
   /// {"capacity":N,"recorded":N,"dropped":N,"events":[...]} — events as in
   /// FlightEvent::to_json.
-  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string to_json() const EXCLUDES(mu_);
 
  private:
   /// Rotates ring_ so the oldest event sits at index 0 (head_ becomes 0).
-  /// Caller holds mu_.
-  void normalize_locked();
+  void normalize_locked() REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<FlightEvent> ring_;   // circular; oldest at head_ once full
-  std::size_t head_ = 0;
-  std::size_t capacity_;
-  std::uint64_t next_seq_ = 0;
-  bool enabled_ = true;
-  bool wire_capture_ = true;
+  mutable util::Mutex mu_;
+  std::vector<FlightEvent> ring_ GUARDED_BY(mu_);  // circular; oldest at head_
+  std::size_t head_ GUARDED_BY(mu_) = 0;
+  std::size_t capacity_ GUARDED_BY(mu_);
+  std::uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  bool enabled_ GUARDED_BY(mu_) = true;
+  bool wire_capture_ GUARDED_BY(mu_) = true;
 };
 
 }  // namespace graphene::obs

@@ -3,7 +3,13 @@
 #include <cctype>
 #include <charconv>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <string_view>
+#include <system_error>
+#include <utility>
 
 namespace graphene::obs::json {
 

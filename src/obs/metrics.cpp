@@ -1,9 +1,17 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
 
 #include "obs/json.hpp"
+#include "util/sync.hpp"
 
 namespace graphene::obs {
 
@@ -63,41 +71,41 @@ Registry::Key Registry::make_key(std::string_view name, Labels labels) {
 }
 
 Counter& Registry::counter(std::string_view name, const Labels& labels) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   auto& slot = counters_[make_key(name, labels)];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::gauge(std::string_view name, const Labels& labels) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   auto& slot = gauges_[make_key(name, labels)];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& Registry::histogram(std::string_view name, const Labels& labels) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   auto& slot = histograms_[make_key(name, labels)];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 const Counter* Registry::find_counter(std::string_view name, const Labels& labels) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   const auto it = counters_.find(make_key(name, labels));
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Gauge* Registry::find_gauge(std::string_view name, const Labels& labels) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   const auto it = gauges_.find(make_key(name, labels));
   return it == gauges_.end() ? nullptr : it->second.get();
 }
 
 const Histogram* Registry::find_histogram(std::string_view name,
                                           const Labels& labels) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   const auto it = histograms_.find(make_key(name, labels));
   return it == histograms_.end() ? nullptr : it->second.get();
 }
@@ -120,7 +128,7 @@ void write_key_header(json::Writer& w, const Registry* /*tag*/, const std::strin
 }  // namespace
 
 std::string Registry::to_json() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   json::Writer w;
   w.begin_object();
 
@@ -262,7 +270,7 @@ void prom_type_header(std::string& out, std::string& last_name, const std::strin
 }  // namespace
 
 std::string Registry::to_prometheus() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   std::string out;
   std::string last_name;
 
@@ -328,7 +336,7 @@ std::string Registry::to_prometheus() const {
 }
 
 void Registry::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

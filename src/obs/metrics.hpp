@@ -18,7 +18,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -26,6 +25,8 @@
 
 #include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 #ifndef GRAPHENE_OBS_ENABLED
 #define GRAPHENE_OBS_ENABLED 1
@@ -115,17 +116,22 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
-  [[nodiscard]] Counter& counter(std::string_view name, const Labels& labels = {});
-  [[nodiscard]] Gauge& gauge(std::string_view name, const Labels& labels = {});
-  [[nodiscard]] Histogram& histogram(std::string_view name, const Labels& labels = {});
+  [[nodiscard]] Counter& counter(std::string_view name, const Labels& labels = {})
+      EXCLUDES(mu_);
+  [[nodiscard]] Gauge& gauge(std::string_view name, const Labels& labels = {})
+      EXCLUDES(mu_);
+  [[nodiscard]] Histogram& histogram(std::string_view name, const Labels& labels = {})
+      EXCLUDES(mu_);
 
   /// Looks up an existing metric without creating it; nullptr when absent.
   [[nodiscard]] const Counter* find_counter(std::string_view name,
-                                            const Labels& labels = {}) const;
+                                            const Labels& labels = {}) const
+      EXCLUDES(mu_);
   [[nodiscard]] const Gauge* find_gauge(std::string_view name,
-                                        const Labels& labels = {}) const;
+                                        const Labels& labels = {}) const EXCLUDES(mu_);
   [[nodiscard]] const Histogram* find_histogram(std::string_view name,
-                                                const Labels& labels = {}) const;
+                                                const Labels& labels = {}) const
+      EXCLUDES(mu_);
 
   /// Structured per-stage event log for this scope (spans are recorded by
   /// the protocol engines through ScopedSpan).
@@ -144,16 +150,16 @@ class Registry {
   ///                    "mean", "p50", "p95", "p99",
   ///                    "buckets": [{"le", "count"}, ...]}, ...]}
   /// Zero-count histogram buckets are elided.
-  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string to_json() const EXCLUDES(mu_);
 
   /// Prometheus text exposition format (version 0.0.4): counters and gauges
   /// as single samples, histograms as cumulative `_bucket{le=...}` series
   /// plus `_sum`/`_count`. Quantile summaries stay in to_json — Prometheus
   /// computes quantiles server-side from the buckets.
-  [[nodiscard]] std::string to_prometheus() const;
+  [[nodiscard]] std::string to_prometheus() const EXCLUDES(mu_);
 
   /// Drops every registered metric (invalidates outstanding references).
-  void clear();
+  void clear() EXCLUDES(mu_);
 
  private:
   struct Key {
@@ -165,10 +171,13 @@ class Registry {
   };
   static Key make_key(std::string_view name, Labels labels);
 
-  mutable std::mutex mu_;
-  std::map<Key, std::unique_ptr<Counter>> counters_;
-  std::map<Key, std::unique_ptr<Gauge>> gauges_;
-  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  mutable util::Mutex mu_;
+  // The map values are stable heap cells: references handed out by
+  // counter()/gauge()/histogram() stay valid and lock-free (the cells'
+  // atomics are their own synchronization), so only the maps are guarded.
+  std::map<Key, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mu_);
   TraceSink trace_;
   FlightRecorder recorder_;
 };

@@ -20,7 +20,7 @@
 //   error                                    (diagnostic context on throws)
 #pragma once
 
-#include <cstdint>
+#include <string>
 #include <string_view>
 #include <utility>
 

@@ -1,6 +1,14 @@
 #include "obs/trace.hpp"
 
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
 #include "obs/json.hpp"
+#include "util/sync.hpp"
 
 namespace graphene::obs {
 
@@ -31,18 +39,18 @@ std::string TraceSpan::to_json() const {
 }
 
 void TraceSink::record(TraceSpan span) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   span.seq = next_seq_++;
   spans_.push_back(std::move(span));
 }
 
 std::vector<TraceSpan> TraceSink::spans() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return spans_;
 }
 
 std::vector<std::string> TraceSink::stages() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(spans_.size());
   for (const TraceSpan& s : spans_) out.push_back(s.stage);
@@ -50,7 +58,7 @@ std::vector<std::string> TraceSink::stages() const {
 }
 
 bool TraceSink::find(std::string_view stage, TraceSpan* out) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   for (const TraceSpan& s : spans_) {
     if (s.stage == stage) {
       if (out != nullptr) *out = s;
@@ -61,17 +69,17 @@ bool TraceSink::find(std::string_view stage, TraceSpan* out) const {
 }
 
 std::size_t TraceSink::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return spans_.size();
 }
 
 void TraceSink::write_jsonl(std::ostream& out) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   for (const TraceSpan& s : spans_) out << s.to_json() << '\n';
 }
 
 void TraceSink::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   spans_.clear();
   next_seq_ = 0;
 }

@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -17,6 +16,8 @@
 #include <vector>
 
 #include "obs/clock.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace graphene::obs {
 
@@ -39,24 +40,25 @@ struct TraceSpan {
 /// Thread-safe append-only collection of spans.
 class TraceSink {
  public:
-  void record(TraceSpan span);
+  void record(TraceSpan span) EXCLUDES(mu_);
 
-  [[nodiscard]] std::vector<TraceSpan> spans() const;
+  [[nodiscard]] std::vector<TraceSpan> spans() const EXCLUDES(mu_);
   /// Stage names in record order — what the integration tests assert on.
-  [[nodiscard]] std::vector<std::string> stages() const;
+  [[nodiscard]] std::vector<std::string> stages() const EXCLUDES(mu_);
   /// First span with the given stage name, if any.
-  [[nodiscard]] bool find(std::string_view stage, TraceSpan* out = nullptr) const;
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool find(std::string_view stage, TraceSpan* out = nullptr) const
+      EXCLUDES(mu_);
+  [[nodiscard]] std::size_t size() const EXCLUDES(mu_);
 
   /// One JSON object per line, in record order.
-  void write_jsonl(std::ostream& out) const;
+  void write_jsonl(std::ostream& out) const EXCLUDES(mu_);
 
-  void clear();
+  void clear() EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceSpan> spans_;
-  std::uint64_t next_seq_ = 0;
+  mutable util::Mutex mu_;
+  std::vector<TraceSpan> spans_ GUARDED_BY(mu_);
+  std::uint64_t next_seq_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace graphene::obs

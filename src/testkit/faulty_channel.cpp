@@ -39,6 +39,7 @@ void FaultyChannel::note_delivery(net::Direction dir, net::MessageType type,
 std::vector<util::Bytes> FaultyChannel::transmit(net::Direction dir,
                                                  net::MessageType type,
                                                  util::Bytes payload) {
+  const util::MutexLock lock(mu_);
   const FaultCounts before = counts_;
   ++counts_.sent;
   if (inner_ != nullptr) {
@@ -88,6 +89,7 @@ std::vector<util::Bytes> FaultyChannel::transmit(net::Direction dir,
 }
 
 std::vector<util::Bytes> FaultyChannel::flush(net::Direction dir) {
+  const util::MutexLock lock(mu_);
   const FaultCounts before = counts_;
   const auto d = static_cast<std::size_t>(dir);
   std::vector<util::Bytes> out = std::move(held_[d]);

@@ -16,6 +16,8 @@
 
 #include "net/channel.hpp"
 #include "util/random.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace graphene::obs {
 class Registry;
@@ -58,8 +60,11 @@ class FaultyChannel {
   /// Sends one message through the faulty link. Returns every byte buffer
   /// delivered to the far side, in arrival order (empty on drop; a held-back
   /// reordered message from an earlier transmit may arrive appended here).
+  /// Thread-safe: the fault schedule, counters, and hold-back queues are
+  /// serialized under one mutex, so concurrent sessions can share a link
+  /// (the schedule stays a pure function of seed and transmit order).
   std::vector<util::Bytes> transmit(net::Direction dir, net::MessageType type,
-                                    util::Bytes payload);
+                                    util::Bytes payload) EXCLUDES(mu_);
 
   /// Serializes `msg` and transmits it.
   template <typename Msg>
@@ -71,9 +76,14 @@ class FaultyChannel {
   /// Delivers any still-held (reordered) messages for `dir` — the "link went
   /// quiet" flush that keeps a session from waiting forever on a message the
   /// schedule held back.
-  std::vector<util::Bytes> flush(net::Direction dir);
+  std::vector<util::Bytes> flush(net::Direction dir) EXCLUDES(mu_);
 
-  [[nodiscard]] const FaultCounts& counts() const noexcept { return counts_; }
+  /// Snapshot of the fault accounting (by value: the counters mutate under
+  /// mu_ on every transmit, so a reference could tear mid-read).
+  [[nodiscard]] FaultCounts counts() const EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
+    return counts_;
+  }
   [[nodiscard]] net::Channel* inner() const noexcept { return inner_; }
 
   /// Attaches a telemetry registry (not owned). Each transmit/flush then
@@ -86,12 +96,16 @@ class FaultyChannel {
 
  private:
   void note_delivery(net::Direction dir, net::MessageType type,
-                     const std::vector<util::Bytes>& out, const FaultCounts& before);
+                     const std::vector<util::Bytes>& out, const FaultCounts& before)
+      REQUIRES(mu_);
 
   FaultSpec spec_;
-  util::Rng rng_;
-  FaultCounts counts_;
-  std::vector<util::Bytes> held_[2];
+  mutable util::Mutex mu_;
+  util::Rng rng_ GUARDED_BY(mu_);
+  FaultCounts counts_ GUARDED_BY(mu_);
+  std::vector<util::Bytes> held_[2] GUARDED_BY(mu_);
+  // Set-before-share pointers (like spec_): attach_obs/construction happen
+  // before the link is handed to concurrent sessions.
   net::Channel* inner_;
   obs::Registry* obs_ = nullptr;
 };

@@ -1,6 +1,10 @@
 #include "util/base64.hpp"
 
 #include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
 
 namespace graphene::util {
 

@@ -1,5 +1,8 @@
 #include "util/bytes.hpp"
 
+#include <cstddef>
+#include <cstdint>
+
 namespace graphene::util {
 
 bool equal(ByteView a, ByteView b) noexcept {

@@ -24,7 +24,6 @@ using ByteView = std::span<const std::uint8_t>;
 /// reinterpretation in the codebase lives here; everywhere else raw
 /// `reinterpret_cast` is banned by tools/lint.py.
 inline ByteView str_bytes(std::string_view s) noexcept {
-  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
   return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
 }
 

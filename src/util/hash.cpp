@@ -1,5 +1,7 @@
 #include "util/hash.hpp"
 
+#include <cstdint>
+
 namespace graphene::util {
 
 std::uint64_t hash64(ByteView data, std::uint64_t seed) noexcept {

@@ -1,6 +1,8 @@
 #include "util/hex.hpp"
 
-#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
 
 namespace graphene::util {
 

@@ -1,6 +1,7 @@
 #include "util/random.hpp"
 
 #include <cmath>
+#include <cstdint>
 
 namespace graphene::util {
 

@@ -1,6 +1,10 @@
 #include "util/sha256.hpp"
 
+#include <algorithm>
+#include <array>
 #include <bit>
+#include <cstddef>
+#include <cstdint>
 #include <cstring>
 
 namespace graphene::util {

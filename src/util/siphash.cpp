@@ -1,6 +1,8 @@
 #include "util/siphash.hpp"
 
 #include <bit>
+#include <cstddef>
+#include <cstdint>
 
 namespace graphene::util {
 

@@ -2,8 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
 #include <exception>
+#include <functional>
 #include <memory>
+#include <thread>
+#include <utility>
 
 namespace graphene::util {
 
@@ -19,7 +25,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -28,7 +34,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::post(std::function<void()> task) {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
@@ -38,8 +44,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      const MutexLock lock(mu_);
+      // Predicate-free wait loop: the guarded reads stay in this function's
+      // body, where the analysis can see mu_ is held (a wait predicate
+      // lambda would be analyzed as a separate, lock-less function).
+      while (!stop_ && queue_.empty()) cv_.wait(mu_);
       if (queue_.empty()) return;  // stop_ set and queue drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -61,9 +70,9 @@ struct ForState {
   const std::function<void(std::uint64_t)>& fn;
   std::atomic<std::uint64_t> next{0};
   std::atomic<std::uint64_t> done{0};
-  std::mutex mu;
-  std::condition_variable cv;
-  std::exception_ptr error;  // first failure; guarded by mu
+  Mutex mu;
+  std::condition_variable_any cv;
+  std::exception_ptr error GUARDED_BY(mu);  // first failure
 
   /// Claims and runs indices until the range is exhausted.
   void drain() {
@@ -73,11 +82,11 @@ struct ForState {
       try {
         fn(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(mu);
+        const MutexLock lock(mu);
         if (!error) error = std::current_exception();
       }
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
-        const std::lock_guard<std::mutex> lock(mu);
+        const MutexLock lock(mu);
         cv.notify_all();
       }
     }
@@ -102,10 +111,10 @@ void parallel_for(ThreadPool* pool, std::uint64_t count,
   }
   state->drain();
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] {
-    return state->done.load(std::memory_order_acquire) >= count;
-  });
+  const MutexLock lock(state->mu);
+  while (state->done.load(std::memory_order_acquire) < count) {
+    state->cv.wait(state->mu);
+  }
   if (state->error) std::rethrow_exception(state->error);
 }
 

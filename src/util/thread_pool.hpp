@@ -24,9 +24,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace graphene::util {
 
@@ -34,7 +36,7 @@ class ThreadPool {
  public:
   /// `threads == 0` sizes to hardware_concurrency (at least 1 worker).
   explicit ThreadPool(std::size_t threads = 0);
-  ~ThreadPool();
+  ~ThreadPool() EXCLUDES(mu_);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -43,15 +45,17 @@ class ThreadPool {
 
   /// Enqueues fire-and-forget work. Tasks must not throw (parallel_for
   /// wraps its chunks so user exceptions are captured and rethrown there).
-  void post(std::function<void()> task);
+  void post(std::function<void()> task) EXCLUDES(mu_);
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;  // guarded by mu_
-  bool stop_ = false;                        // guarded by mu_
+  Mutex mu_;
+  // condition_variable_any so waits release the annotated Mutex directly;
+  // the analysis sees mu_ held across the whole wait loop (see util/sync.hpp).
+  std::condition_variable_any cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

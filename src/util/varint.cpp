@@ -1,5 +1,9 @@
 #include "util/varint.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
 namespace graphene::util {
 
 void write_varint(ByteWriter& w, std::uint64_t v) {

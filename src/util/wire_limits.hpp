@@ -45,4 +45,13 @@ inline constexpr std::uint64_t kMaxWireCollection = 1ULL << 24;
 /// they meet an allocator. Theorem 2/3 bounds stay far below this.
 inline constexpr std::uint64_t kMaxSizingParam = kMaxIbltCells;
 
+/// Claimed wire size of one full transaction record (id + size field +
+/// padded body). 4 MiB is ~4x a consensus-maximum transaction; the paper's
+/// workloads average 226 bytes. Found by the flow-aware
+/// graphene-bounded-wire-read tidy check: the u32 size read in read_full_tx
+/// crossed the deserializer unvalidated and later padded re-serialization,
+/// so a ~40-byte hostile record could claim 4 GiB and amplify into
+/// multi-GiB allocations when the decoded block was re-encoded.
+inline constexpr std::uint64_t kMaxTxWireSize = 1ULL << 22;
+
 }  // namespace graphene::util::wire

@@ -26,6 +26,7 @@
 #include "bloom/cuckoo_filter.hpp"
 #include "bloom/golomb_set.hpp"
 #include "graphene/errors.hpp"
+#include "graphene/forensics.hpp"
 #include "graphene/messages.hpp"
 #include "graphene/sender.hpp"
 #include "iblt/iblt.hpp"
@@ -236,6 +237,58 @@ TEST(WireRegression, RequestZeroFprRejected) {
   put_u64(wire, 0);                                // +0.0: not a usable FPR
   wire.push_back(0x00);
   expect_rejected<core::GrapheneRequestMsg>(wire, "fpr = 0");
+}
+
+// ---------------------------------------------------------------------------
+// Full-tx records: the claimed size_bytes was buffer-checked at read time
+// (r.raw(body) can't overrun) but crossed the deserializer otherwise
+// unvalidated, and full_tx_wire_size()/write_full_tx() pad re-serialization
+// to the claim — so a record whose body IS present but whose claim is
+// absurd amplified into equally absurd downstream encodes. Found by the
+// flow-aware graphene-bounded-wire-read tidy check (tools/tidy-plugin);
+// lint.py's same-line regex could not see the cross-statement flow.
+util::Bytes repair_response_with_one_claim(std::uint32_t claimed) {
+  util::ByteWriter w;
+  util::write_varint(w, 1);  // count
+  const util::Bytes id(32, 0x11);
+  w.raw(util::ByteView(id));
+  w.u32(claimed);
+  // The body bytes are genuinely present, so every remaining()-style buffer
+  // check passes; only the absolute cap can reject the claim.
+  const util::Bytes body(claimed > 36 ? claimed - 36 : 0, 0xab);
+  w.raw(util::ByteView(body));
+  return w.take();
+}
+
+TEST(WireRegression, FullTxClaimOverCapRejectedEvenWhenBufferBacked) {
+  const auto claimed = static_cast<std::uint32_t>(util::wire::kMaxTxWireSize + 1);
+  expect_rejected<core::RepairResponseMsg>(repair_response_with_one_claim(claimed),
+                                           "buffer-backed over-cap tx claim");
+}
+
+TEST(WireRegression, FullTxClaimAtCapStillRoundTrips) {
+  const auto claimed = static_cast<std::uint32_t>(util::wire::kMaxTxWireSize);
+  const util::Bytes wire = repair_response_with_one_claim(claimed);
+  util::ByteReader r{util::ByteView(wire)};
+  const core::RepairResponseMsg msg = core::RepairResponseMsg::deserialize(r);
+  ASSERT_EQ(msg.txns.size(), 1u);
+  EXPECT_EQ(msg.txns[0].size_bytes, claimed);
+  EXPECT_EQ(msg.serialize(), wire);
+}
+
+// The forensics snapshot codec replays captures through the full protocol
+// engines, so a capture file is wire input too: an oversized claim in a
+// stored mempool must die at load, not at replay-time re-encode.
+TEST(WireRegression, ForensicCaptureOversizedTxClaimRejectedOnLoad) {
+  core::ForensicCapture cap;
+  cap.kind = "decode_failure";
+  cap.stage = "p1_peel";
+  chain::Transaction tx;
+  tx.size_bytes = static_cast<std::uint32_t>(util::wire::kMaxTxWireSize + 1);
+  cap.mempool.push_back(tx);
+  const std::string json = cap.to_json();  // producer side still serializes
+  EXPECT_THROW((void)core::ForensicCapture::from_json(json),
+               util::DeserializeError);
 }
 
 // ---------------------------------------------------------------------------

@@ -10,6 +10,11 @@
 #   --allow-missing  exit 0 with a notice when clang-tidy is not installed
 #                    (for developer machines; CI installs it and enforces)
 #
+# When the graphene tidy plugin is built (tools/tidy-plugin/, or a path in
+# $GRAPHENE_TIDY_PLUGIN), the sweep loads it and enables the graphene-*
+# checks on top of the .clang-tidy config; tools/lint.py detects the same
+# conditions and retires its regex fallbacks for those rules.
+#
 # WarningsAsErrors: '*' in .clang-tidy makes any diagnostic fatal, so "new
 # warnings" cannot land: the tree must stay at zero.
 set -euo pipefail
@@ -44,6 +49,24 @@ fi
 # tests and bench follow gtest/benchmark idioms the config is not tuned for.
 mapfile -t sources < <(cd "$repo_root" && git ls-files 'src/**/*.cpp' 'fuzz/*.cpp' 'tools/*.cpp')
 
+# Load the graphene-* plugin when a build of it exists. --checks appends to
+# the .clang-tidy Checks list, and WarningsAsErrors '*' makes the plugin's
+# diagnostics fatal like every other.
+plugin="${GRAPHENE_TIDY_PLUGIN:-}"
+if [ -z "$plugin" ]; then
+  for cand in "$repo_root/build-tidy-plugin/libGrapheneTidyModule.so" \
+              "$build_dir/tools/tidy-plugin/libGrapheneTidyModule.so"; do
+    if [ -f "$cand" ]; then plugin="$cand"; break; fi
+  done
+fi
+extra_args=()
+if [ -n "$plugin" ] && [ -f "$plugin" ]; then
+  extra_args+=(--load "$plugin" --checks='graphene-*')
+  echo "run_clang_tidy: graphene-* checks loaded from $plugin"
+else
+  echo "run_clang_tidy: no tidy plugin built; graphene-* rules stay with lint.py"
+fi
+
 echo "run_clang_tidy: $(${tidy_bin} --version | head -1 | sed 's/^ *//')"
 echo "run_clang_tidy: checking ${#sources[@]} files"
 
@@ -53,7 +76,7 @@ for src in "${sources[@]}"; do
   if ! grep -q "$src" "$db"; then
     continue
   fi
-  if ! "$tidy_bin" -p "$build_dir" --quiet "$repo_root/$src"; then
+  if ! "$tidy_bin" -p "$build_dir" --quiet "${extra_args[@]}" "$repo_root/$src"; then
     fail=1
   fi
 done

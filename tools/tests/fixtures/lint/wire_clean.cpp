@@ -1,0 +1,23 @@
+// Lint fixture: the clean counterpart — bounded reads, validated lengths,
+// no aliasing casts, no raw clocks. Expected: zero findings at any virtual
+// path.
+#include <cstdint>
+#include <vector>
+
+struct Reader {
+  std::uint32_t u32();
+};
+std::uint64_t read_varint_bounded(Reader&, std::uint64_t, const char*);
+
+struct Thing {
+  std::vector<std::uint8_t> buf;
+
+  void deserialize(Reader& reader) {
+    const std::uint64_t n = read_varint_bounded(reader, 1u << 20, "n");
+    buf.resize(n);
+  }
+};
+
+// Mentions of banned tokens in comments and strings must not trip the
+// regexes: reinterpret_cast<const char*>, reader.u32(), chrono::steady_clock::now().
+const char* doc() { return "never call std::chrono::steady_clock::now() directly"; }

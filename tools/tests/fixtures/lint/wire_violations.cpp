@@ -1,0 +1,28 @@
+// Lint fixture: every fallback-tier wire rule fires here when the file is
+// linted as if it lived at src/graphene/wire_violations.cpp (the tests pass
+// that virtual path; this corpus directory itself is excluded from sweeps).
+#include <cstdint>
+#include <vector>
+
+struct Reader {
+  std::uint32_t u32();
+};
+std::uint64_t read_varint(Reader&);
+
+struct Thing {
+  std::vector<std::uint8_t> buf;
+
+  void deserialize(Reader& reader) {
+    const std::uint64_t n = read_varint(reader);  // unbounded-wire-length
+    buf.resize(reader.u32());                     // unchecked-resize-from-reader
+    (void)n;
+  }
+
+  const std::uint8_t* alias() const {
+    return reinterpret_cast<const std::uint8_t*>(this);  // raw-reinterpret-cast
+  }
+};
+
+long long stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // raw-chrono-clock
+}

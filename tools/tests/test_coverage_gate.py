@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/coverage_gate.py (stdlib unittest only; wired into
+ctest). gcov itself is stubbed — these tests pin the path normalization,
+the per-scope aggregation, the multi-document JSON parsing, and the
+floor/tolerance verdict logic that CI's coverage leg depends on."""
+
+import importlib.util
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+from pathlib import Path
+from unittest import mock
+
+TOOLS_DIR = Path(__file__).resolve().parent.parent
+
+spec = importlib.util.spec_from_file_location("coverage_gate",
+                                              TOOLS_DIR / "coverage_gate.py")
+coverage_gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(coverage_gate)
+
+
+class Normalize(unittest.TestCase):
+    def test_repo_relative_passthrough(self):
+        self.assertEqual(coverage_gate.normalize("src/iblt/iblt.cpp"),
+                         os.path.join("src", "iblt", "iblt.cpp"))
+
+    def test_absolute_inside_repo(self):
+        abspath = os.path.join(coverage_gate.REPO_ROOT, "src", "util", "bytes.hpp")
+        self.assertEqual(coverage_gate.normalize(abspath),
+                         os.path.join("src", "util", "bytes.hpp"))
+
+    def test_external_paths_rejected(self):
+        self.assertIsNone(coverage_gate.normalize("/usr/include/c++/12/vector"))
+
+    def test_dotdot_escape_rejected(self):
+        self.assertIsNone(coverage_gate.normalize("../outside/evil.cpp"))
+
+
+class ScopeStats(unittest.TestCase):
+    LINES = {
+        "src/iblt/iblt.cpp": {1: True, 2: True, 3: False, 4: False},
+        "src/iblt/param_cache.cpp": {1: True, 2: False},
+        "src/graphene/sender.cpp": {1: True},
+        "tests/iblt/test_iblt.cpp": {1: True},
+    }
+
+    def test_aggregates_only_the_scope(self):
+        covered, total, per_file = coverage_gate.scope_stats(self.LINES, "src/iblt")
+        self.assertEqual((covered, total), (3, 6))
+        self.assertEqual([f for f, _c, _t in per_file],
+                         ["src/iblt/iblt.cpp", "src/iblt/param_cache.cpp"])
+
+    def test_scope_is_a_path_prefix_not_a_substring(self):
+        covered, total, _ = coverage_gate.scope_stats(self.LINES, "src/ibl")
+        self.assertEqual((covered, total), (0, 0))
+
+    def test_trailing_slash_equivalent(self):
+        self.assertEqual(coverage_gate.scope_stats(self.LINES, "src/iblt/")[:2],
+                         coverage_gate.scope_stats(self.LINES, "src/iblt")[:2])
+
+
+class GcovJsonRecords(unittest.TestCase):
+    def test_parses_concatenated_documents(self):
+        two_docs = json.dumps({"files": [{"file": "a.cpp"}]}) + "\n" + \
+                   json.dumps({"files": [{"file": "b.cpp"}]})
+        fake = mock.Mock(returncode=0, stdout=two_docs, stderr="")
+        with mock.patch.object(coverage_gate.subprocess, "run", return_value=fake):
+            docs = coverage_gate.gcov_json_records("/tmp/x.gcda", "gcov")
+        self.assertEqual(len(docs), 2)
+        self.assertEqual(docs[1]["files"][0]["file"], "b.cpp")
+
+    def test_gcov_failure_is_a_warning_not_a_crash(self):
+        fake = mock.Mock(returncode=1, stdout="", stderr="boom")
+        with mock.patch.object(coverage_gate.subprocess, "run", return_value=fake):
+            self.assertEqual(coverage_gate.gcov_json_records("/tmp/x.gcda", "gcov"), [])
+
+
+class Collect(unittest.TestCase):
+    def test_union_across_translation_units(self):
+        doc_a = {"current_working_directory": coverage_gate.REPO_ROOT,
+                 "files": [{"file": "src/iblt/iblt.cpp",
+                            "lines": [{"line_number": 1, "count": 0},
+                                      {"line_number": 2, "count": 5}]}]}
+        doc_b = {"current_working_directory": coverage_gate.REPO_ROOT,
+                 "files": [{"file": "src/iblt/iblt.cpp",
+                            "lines": [{"line_number": 1, "count": 3},
+                                      {"line_number": 2, "count": 0}]}]}
+        with mock.patch.object(coverage_gate, "find_gcda",
+                               return_value=["a.gcda", "b.gcda"]), \
+             mock.patch.object(coverage_gate, "gcov_json_records",
+                               side_effect=[[doc_a], [doc_b]]):
+            lines = coverage_gate.collect("build-cov", "gcov")
+        rel = os.path.join("src", "iblt", "iblt.cpp")
+        # A line covered by either TU counts as covered.
+        self.assertEqual(lines[rel], {1: True, 2: True})
+
+    def test_no_gcda_files_exits(self):
+        with mock.patch.object(coverage_gate, "find_gcda", return_value=[]):
+            with self.assertRaises(SystemExit):
+                coverage_gate.collect("build-cov", "gcov")
+
+
+class VerdictLogic(unittest.TestCase):
+    """End-to-end main() with collect() stubbed: floors vs tolerance."""
+
+    def run_gate(self, baseline, lines):
+        with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as f:
+            json.dump(baseline, f)
+            baseline_path = f.name
+        try:
+            argv = ["coverage_gate.py", "ignored-build-dir",
+                    "--baseline", baseline_path]
+            out = io.StringIO()
+            with mock.patch.object(coverage_gate, "collect", return_value=lines), \
+                 mock.patch.object(sys, "argv", argv), redirect_stdout(out):
+                rc = coverage_gate.main()
+            return rc, out.getvalue()
+        finally:
+            os.unlink(baseline_path)
+
+    LINES = {"src/iblt/iblt.cpp": {n: n <= 80 for n in range(1, 101)}}  # 80%
+
+    def test_above_floor_passes(self):
+        rc, out = self.run_gate({"src/iblt": 75.0}, self.LINES)
+        self.assertEqual(rc, 0)
+        self.assertIn("ok", out)
+
+    def test_within_tolerance_passes(self):
+        rc, _ = self.run_gate({"src/iblt": 80.0 + coverage_gate.TOLERANCE}, self.LINES)
+        self.assertEqual(rc, 0)
+
+    def test_below_floor_fails(self):
+        rc, out = self.run_gate({"src/iblt": 90.0}, self.LINES)
+        self.assertEqual(rc, 1)
+        self.assertIn("FAIL", out)
+
+    def test_scope_with_no_lines_fails_loudly(self):
+        rc, out = self.run_gate({"src/nonexistent": 10.0}, self.LINES)
+        self.assertEqual(rc, 1)
+        self.assertIn("no instrumented lines", out)
+
+    def test_comment_keys_ignored(self):
+        rc, _ = self.run_gate({"_comment": 0, "src/iblt": 75.0}, self.LINES)
+        self.assertEqual(rc, 0)
+
+
+if __name__ == "__main__":
+    sys.exit(unittest.main())

@@ -1,0 +1,232 @@
+#include "BoundedWireReadCheck.hpp"
+
+#include "clang/AST/Decl.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/Stmt.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/ADT/SmallPtrSet.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::graphene {
+
+namespace {
+
+bool is_raw_read_method(StringRef Name) {
+  return Name == "u8" || Name == "u16" || Name == "u32" || Name == "u64";
+}
+
+bool is_sink_method(StringRef Name) {
+  // resize/reserve/assign size containers; ByteReader::raw(n) consumes n
+  // payload bytes and is how a claimed size pads a record.
+  return Name == "resize" || Name == "reserve" || Name == "assign" ||
+         Name == "raw";
+}
+
+/// Statement-ordered taint walk over one deserializer body. Deliberately not
+/// a full CFG analysis: deserializers in this codebase are straight-line
+/// code with guards, and a lint that over-approximates loops (taint is never
+/// cleared inside one) is the right trade.
+class TaintWalker {
+ public:
+  explicit TaintWalker(BoundedWireReadCheck &Check) : Check_(Check) {}
+
+  void run(const Stmt *Body) { walk(Body); }
+
+ private:
+  // ---- taint state -------------------------------------------------------
+  // Locals are keyed by VarDecl; struct members coarsely by FieldDecl (the
+  // base object is ignored — two Transaction locals in one deserializer
+  // share member taint, which only ever over-approximates).
+  llvm::SmallPtrSet<const ValueDecl *, 16> Tainted_;
+
+  /// The decl an lvalue expression names, or null.
+  static const ValueDecl *referenced_decl(const Expr *E) {
+    E = E->IgnoreParenImpCasts();
+    if (const auto *DRE = dyn_cast<DeclRefExpr>(E)) return DRE->getDecl();
+    if (const auto *ME = dyn_cast<MemberExpr>(E)) return ME->getMemberDecl();
+    return nullptr;
+  }
+
+  bool is_tainted(const Expr *E) const {
+    if (E == nullptr) return false;
+    E = E->IgnoreParenImpCasts();
+    if (const auto *DRE = dyn_cast<DeclRefExpr>(E))
+      return Tainted_.count(DRE->getDecl()) != 0;
+    if (const auto *ME = dyn_cast<MemberExpr>(E))
+      return Tainted_.count(ME->getMemberDecl()) != 0;
+    if (const auto *MC = dyn_cast<CXXMemberCallExpr>(E)) {
+      if (const CXXMethodDecl *MD = MC->getMethodDecl())
+        if (is_raw_read_method(MD->getName())) return true;
+      return false;
+    }
+    if (const auto *CE = dyn_cast<CallExpr>(E)) {
+      if (const FunctionDecl *FD = CE->getDirectCallee()) {
+        // read_varint_bounded validates before returning; plain read_varint
+        // hands back whatever the peer encoded.
+        if (FD->getName() == "read_varint") return true;
+      }
+      return false;
+    }
+    if (const auto *BO = dyn_cast<BinaryOperator>(E))
+      return is_tainted(BO->getLHS()) || is_tainted(BO->getRHS());
+    if (const auto *CO = dyn_cast<ConditionalOperator>(E))
+      return is_tainted(CO->getTrueExpr()) || is_tainted(CO->getFalseExpr());
+    if (const auto *UO = dyn_cast<UnaryOperator>(E))
+      return is_tainted(UO->getSubExpr());
+    if (const auto *CA = dyn_cast<ExplicitCastExpr>(E))
+      return is_tainted(CA->getSubExpr());
+    return false;
+  }
+
+  // ---- guards ------------------------------------------------------------
+
+  /// True when the branch unconditionally leaves the function or throws
+  /// (anywhere inside it — a guard body is small, over-matching is fine).
+  static bool branch_exits(const Stmt *S) {
+    if (S == nullptr) return false;
+    if (isa<CXXThrowExpr>(S) || isa<ReturnStmt>(S)) return true;
+    for (const Stmt *Child : S->children())
+      if (branch_exits(Child)) return true;
+    return false;
+  }
+
+  /// Clears taint from every decl that appears inside a comparison in the
+  /// guard condition: `if (tx.size_bytes > kMax) throw ...` validates
+  /// tx.size_bytes for everything after the if.
+  void clear_compared_decls(const Expr *Cond) {
+    if (Cond == nullptr) return;
+    const Expr *E = Cond->IgnoreParenImpCasts();
+    if (const auto *BO = dyn_cast<BinaryOperator>(E)) {
+      if (BO->isComparisonOp()) {
+        clear_operand(BO->getLHS());
+        clear_operand(BO->getRHS());
+        return;
+      }
+      clear_compared_decls(BO->getLHS());
+      clear_compared_decls(BO->getRHS());
+      return;
+    }
+    if (const auto *UO = dyn_cast<UnaryOperator>(E)) {
+      clear_compared_decls(UO->getSubExpr());
+      return;
+    }
+    // `!(a > 0 && a <= cap)` style guards hide the comparisons one call or
+    // cast deeper; descend through anything else generically.
+    for (const Stmt *Child : E->children())
+      if (const auto *CE = dyn_cast_or_null<Expr>(Child))
+        clear_compared_decls(CE);
+  }
+
+  void clear_operand(const Expr *Op) {
+    if (Op == nullptr) return;
+    Op = Op->IgnoreParenImpCasts();
+    if (const ValueDecl *D = referenced_decl(Op)) {
+      Tainted_.erase(D);
+      return;
+    }
+    // Comparisons of derived values (`count * kTxBytes > remaining()`)
+    // validate the decls inside the arithmetic.
+    for (const Stmt *Child : Op->children())
+      if (const auto *CE = dyn_cast_or_null<Expr>(Child)) clear_operand(CE);
+  }
+
+  // ---- sinks -------------------------------------------------------------
+
+  void scan_for_sinks(const Expr *E) {
+    if (E == nullptr) return;
+    if (const auto *MC = dyn_cast<CXXMemberCallExpr>(E->IgnoreParenImpCasts())) {
+      const CXXMethodDecl *MD = MC->getMethodDecl();
+      if (MD != nullptr && is_sink_method(MD->getName())) {
+        for (const Expr *Arg : MC->arguments()) {
+          if (is_tainted(Arg)) {
+            Check_.diag(MC->getExprLoc(),
+                        "length from an unbounded wire read reaches '%0'; "
+                        "read it with util::read_varint_bounded or guard it "
+                        "against a util::wire limit first")
+                << MD->getName();
+            break;
+          }
+        }
+      }
+    }
+    for (const Stmt *Child : E->children())
+      if (const auto *CE = dyn_cast_or_null<Expr>(Child)) scan_for_sinks(CE);
+  }
+
+  // ---- statement walk ----------------------------------------------------
+
+  void process_expr(const Expr *E) {
+    scan_for_sinks(E);
+    const Expr *Stripped = E->IgnoreParenImpCasts();
+    if (const auto *BO = dyn_cast<BinaryOperator>(Stripped)) {
+      if (BO->isAssignmentOp()) {
+        if (const ValueDecl *D = referenced_decl(BO->getLHS())) {
+          if (BO->getOpcode() == BO_Assign && !is_tainted(BO->getRHS()))
+            Tainted_.erase(D);
+          else if (is_tainted(BO->getRHS()))
+            Tainted_.insert(D);
+        }
+      }
+    }
+  }
+
+  void walk(const Stmt *S) {
+    if (S == nullptr) return;
+    if (const auto *DS = dyn_cast<DeclStmt>(S)) {
+      for (const Decl *D : DS->decls()) {
+        if (const auto *VD = dyn_cast<VarDecl>(D)) {
+          if (VD->hasInit()) {
+            scan_for_sinks(VD->getInit());
+            if (is_tainted(VD->getInit())) Tainted_.insert(VD);
+          }
+        }
+      }
+      return;
+    }
+    if (const auto *If = dyn_cast<IfStmt>(S)) {
+      scan_for_sinks(If->getCond());
+      const bool Guards = branch_exits(If->getThen()) ||
+                          (If->getElse() != nullptr && branch_exits(If->getElse()));
+      walk(If->getThen());
+      walk(If->getElse());
+      if (Guards) clear_compared_decls(If->getCond());
+      return;
+    }
+    if (const auto *E = dyn_cast<Expr>(S)) {
+      process_expr(E);
+      return;
+    }
+    if (const auto *Ret = dyn_cast<ReturnStmt>(S)) {
+      if (Ret->getRetValue() != nullptr) scan_for_sinks(Ret->getRetValue());
+      return;
+    }
+    // Compound statements, loops, switches: children in source order. Loop
+    // bodies run with the pre-loop state and never clear taint (a guard
+    // inside an earlier iteration proves nothing about the next read).
+    for (const Stmt *Child : S->children()) walk(Child);
+  }
+
+  BoundedWireReadCheck &Check_;
+};
+
+}  // namespace
+
+void BoundedWireReadCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      functionDecl(isDefinition(),
+                   matchesName("::(deserialize|read_[A-Za-z0-9_]+|"
+                               "decode_[A-Za-z0-9_]+)$"))
+          .bind("func"),
+      this);
+}
+
+void BoundedWireReadCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Func = Result.Nodes.getNodeAs<FunctionDecl>("func");
+  if (Func == nullptr || !Func->hasBody()) return;
+  TaintWalker Walker(*this);
+  Walker.run(Func->getBody());
+}
+
+}  // namespace clang::tidy::graphene

@@ -1,0 +1,34 @@
+// graphene-bounded-wire-read: flow-aware guard over length fields read from
+// the untrusted wire.
+//
+// Inside any function named deserialize / read_* / decode_*, a value that
+// originates from a raw reader primitive (ByteReader::u8/u16/u32/u64 or the
+// unbounded util::read_varint) is *tainted*. Taint follows assignments into
+// locals and members, and through arithmetic. It is cleared by
+//   * reading through util::read_varint_bounded instead, or
+//   * a validation guard: `if (<comparison involving the value>) throw/return`.
+// A tainted value reaching a size-consuming sink — resize / reserve / assign
+// / ByteReader::raw — is diagnosed.
+//
+// This supersedes lint.py's rule 3 ("unchecked resize from reader"), which
+// could only see source and sink on the same line. The motivating true
+// positive was read_full_tx (src/graphene/messages.cpp): `tx.size_bytes =
+// r.u32();` on one line, the padded `r.raw(body)` two statements later.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::graphene {
+
+class BoundedWireReadCheck : public ClangTidyCheck {
+ public:
+  BoundedWireReadCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::graphene

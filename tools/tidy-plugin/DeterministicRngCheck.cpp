@@ -1,0 +1,75 @@
+#include "DeterministicRngCheck.hpp"
+
+#include "GrapheneTidyUtil.hpp"
+#include "clang/AST/Decl.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::graphene {
+
+namespace {
+constexpr char kExemptDir[] = "/src/testkit/";
+}  // namespace
+
+void DeterministicRngCheck::registerMatchers(MatchFinder *Finder) {
+  // Entropy source: any construction of std::random_device.
+  Finder->addMatcher(
+      cxxConstructExpr(hasDeclaration(cxxConstructorDecl(
+                           ofClass(hasName("::std::random_device")))))
+          .bind("random-device"),
+      this);
+  // C library RNG: globally-seeded hidden state.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::rand", "::srand", "::std::rand", "::std::srand",
+                   "::random", "::srandom", "::rand_r", "::drand48"))))
+          .bind("c-rand"),
+      this);
+  // Default-constructed standard engines run from an implementation-defined
+  // seed. Zero arguments singles out the default constructor — seeded
+  // construction, copies, and moves all carry a real argument; the
+  // default-arg form covers standard libraries that still spell the default
+  // constructor as `explicit engine(result_type s = default_seed)`. The
+  // adaptor templates are included because default-constructing an adaptor
+  // default-constructs its base engine.
+  Finder->addMatcher(
+      cxxConstructExpr(
+          anyOf(argumentCountIs(0), hasArgument(0, cxxDefaultArgExpr())),
+          hasDeclaration(cxxConstructorDecl(ofClass(hasAnyName(
+              "::std::mersenne_twister_engine",
+              "::std::linear_congruential_engine",
+              "::std::subtract_with_carry_engine",
+              "::std::discard_block_engine",
+              "::std::independent_bits_engine",
+              "::std::shuffle_order_engine")))))
+          .bind("unseeded-engine"),
+      this);
+}
+
+void DeterministicRngCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+  if (const auto *RD = Result.Nodes.getNodeAs<CXXConstructExpr>("random-device")) {
+    if (in_exempt_dir(SM, RD->getBeginLoc(), kExemptDir)) return;
+    diag(RD->getBeginLoc(),
+         "std::random_device outside src/testkit/ makes a run unreplayable; "
+         "take an explicit seed and use util::Rng");
+    return;
+  }
+  if (const auto *CR = Result.Nodes.getNodeAs<CallExpr>("c-rand")) {
+    if (in_exempt_dir(SM, CR->getBeginLoc(), kExemptDir)) return;
+    diag(CR->getBeginLoc(),
+         "C library RNG has hidden global state; use util::Rng with an "
+         "explicit seed");
+    return;
+  }
+  if (const auto *UE = Result.Nodes.getNodeAs<CXXConstructExpr>("unseeded-engine")) {
+    if (in_exempt_dir(SM, UE->getBeginLoc(), kExemptDir)) return;
+    diag(UE->getBeginLoc(),
+         "default-constructed random engine runs from an implementation "
+         "seed; pass the seed explicitly (or use util::Rng)");
+  }
+}
+
+}  // namespace clang::tidy::graphene

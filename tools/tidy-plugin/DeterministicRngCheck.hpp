@@ -1,0 +1,28 @@
+// graphene-deterministic-rng: nondeterministic randomness outside
+// src/testkit/.
+//
+// Every experiment in the reproduction must replay from a printed seed
+// (ROADMAP: determinism is a tier-1 property; the fault harness and the
+// simulator both key their schedules on explicit seeds). std::random_device,
+// C rand()/srand(), and default-constructed (therefore
+// implementation-seeded) standard engines all break that. util::Rng with an
+// explicit seed is the sanctioned source; src/testkit/ may touch entropy to
+// *generate* seeds.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::graphene {
+
+class DeterministicRngCheck : public ClangTidyCheck {
+ public:
+  DeterministicRngCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::graphene

@@ -1,0 +1,41 @@
+// Out-of-tree clang-tidy module bundling the graphene-* checks.
+//
+// Built as a MODULE library with undefined symbols left for the host
+// clang-tidy binary to satisfy at --load time, which is why the plugin must
+// be compiled against the same major LLVM release as the clang-tidy that
+// loads it (the CI leg installs both from one distro snapshot). See
+// README.md for the check catalog and tools/run_clang_tidy.sh for how the
+// sweep loads it.
+#include "BoundedWireReadCheck.hpp"
+#include "DeterministicRngCheck.hpp"
+#include "RawByteCastCheck.hpp"
+#include "RawClockCheck.hpp"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+namespace clang::tidy {
+namespace graphene {
+
+class GrapheneTidyModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories &CheckFactories) override {
+    CheckFactories.registerCheck<BoundedWireReadCheck>(
+        "graphene-bounded-wire-read");
+    CheckFactories.registerCheck<RawByteCastCheck>("graphene-raw-byte-cast");
+    CheckFactories.registerCheck<RawClockCheck>("graphene-raw-clock");
+    CheckFactories.registerCheck<DeterministicRngCheck>(
+        "graphene-deterministic-rng");
+  }
+};
+
+}  // namespace graphene
+
+static ClangTidyModuleRegistry::Add<graphene::GrapheneTidyModule>
+    X("graphene-module", "Wire-hardening and determinism checks for the "
+                         "Graphene reproduction.");
+
+// Referenced (nowhere) to defeat linkers that would drop the registration
+// static above from an otherwise symbol-free module.
+volatile int GrapheneTidyModuleAnchorSource = 0;
+
+}  // namespace clang::tidy

@@ -1,0 +1,31 @@
+// Shared helpers for the graphene clang-tidy checks.
+//
+// Compatibility note: this plugin compiles against clang-tidy 14 through 19.
+// Stick to the stable core API — ClangTidyCheck, MatchFinder, the AST node
+// classes — and avoid OptionsView (its return types changed across releases)
+// and matcher names added after 14.
+#pragma once
+
+#include <string>
+
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace clang::tidy::graphene {
+
+/// True when `Loc` (after macro expansion) lives under a directory whose
+/// path contains `NeedleDir` (e.g. "/src/util/"). The checks use directory
+/// containment — not check options — to express their exemptions, so the
+/// policy is identical everywhere the plugin loads and the fixture tree can
+/// exercise it by replicating the directory name (see test/fixtures/).
+inline bool in_exempt_dir(const SourceManager &SM, SourceLocation Loc,
+                          llvm::StringRef NeedleDir) {
+  if (Loc.isInvalid()) return false;
+  std::string File = SM.getFilename(SM.getExpansionLoc(Loc)).str();
+  for (char &C : File) {
+    if (C == '\\') C = '/';
+  }
+  return llvm::StringRef(File).contains(NeedleDir);
+}
+
+}  // namespace clang::tidy::graphene

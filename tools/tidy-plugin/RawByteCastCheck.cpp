@@ -1,0 +1,48 @@
+#include "RawByteCastCheck.hpp"
+
+#include "GrapheneTidyUtil.hpp"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/Type.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::graphene {
+
+namespace {
+
+/// Pointer-to-byte destination: char*, unsigned char*, signed char*,
+/// std::byte*, and typedefs thereof (uint8_t canonicalizes to unsigned
+/// char). Pointers to wider types are some other check's business.
+bool is_byte_pointer(QualType T) {
+  const QualType Canon = T.getCanonicalType();
+  if (!Canon->isPointerType()) return false;
+  const QualType Pointee = Canon->getPointeeType();
+  return Pointee->isCharType() || Pointee->isStdByteType();
+}
+
+}  // namespace
+
+void RawByteCastCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(cxxReinterpretCastExpr().bind("cast"), this);
+  Finder->addMatcher(cStyleCastExpr().bind("cast"), this);
+}
+
+void RawByteCastCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Cast = Result.Nodes.getNodeAs<ExplicitCastExpr>("cast");
+  if (Cast == nullptr) return;
+  if (!is_byte_pointer(Cast->getTypeAsWritten())) return;
+  // Only pointer reinterpretation is the aliasing hazard; (char*)0 or an
+  // integer-to-pointer cast is caught by other diagnostics.
+  if (!Cast->getSubExpr()->getType().getCanonicalType()->isPointerType())
+    return;
+  if (in_exempt_dir(*Result.SourceManager, Cast->getBeginLoc(), "/src/util/"))
+    return;
+  diag(Cast->getBeginLoc(),
+       "raw byte-pointer cast outside src/util/; go through the util::bytes "
+       "helpers (ByteView / str_bytes) so aliasing stays in one audited "
+       "place");
+}
+
+}  // namespace clang::tidy::graphene

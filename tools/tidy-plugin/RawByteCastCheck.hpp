@@ -1,0 +1,26 @@
+// graphene-raw-byte-cast: byte-pointer reinterpretation outside src/util/.
+//
+// Casting an object pointer to char* / unsigned char* / uint8_t* /
+// std::byte* (via reinterpret_cast or a C-style cast) starts an aliasing
+// argument that must stay auditable in one place. The util::bytes helpers
+// (ByteView, str_bytes, to_hex) are that place; everything else routes
+// through them. Supersedes lint.py's rule 1, which pattern-matched the
+// literal token `reinterpret_cast` and so missed C-style spellings.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::graphene {
+
+class RawByteCastCheck : public ClangTidyCheck {
+ public:
+  RawByteCastCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::graphene

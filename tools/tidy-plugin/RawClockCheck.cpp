@@ -1,0 +1,38 @@
+#include "RawClockCheck.hpp"
+
+#include <string>
+
+#include "GrapheneTidyUtil.hpp"
+#include "clang/AST/Decl.h"
+#include "clang/AST/Expr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::graphene {
+
+void RawClockCheck::registerMatchers(MatchFinder *Finder) {
+  // now() on the chrono clocks is a static member, so the call is a plain
+  // CallExpr; the qualified-name test in check() keeps unrelated now()
+  // methods (TraceSpan::now, a future Timer::now) out of scope.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasName("now")))).bind("call"), this);
+}
+
+void RawClockCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Call = Result.Nodes.getNodeAs<CallExpr>("call");
+  if (Call == nullptr) return;
+  const FunctionDecl *Callee = Call->getDirectCallee();
+  if (Callee == nullptr) return;
+  // std::string::rfind(_, 0), not StringRef::starts_with: the latter was
+  // renamed between the LLVM versions this plugin supports.
+  const std::string Qualified = Callee->getQualifiedNameAsString();
+  if (Qualified.rfind("std::chrono::", 0) != 0) return;
+  if (in_exempt_dir(*Result.SourceManager, Call->getBeginLoc(), "/src/obs/"))
+    return;
+  diag(Call->getBeginLoc(),
+       "raw std::chrono clock read outside src/obs/; use obs::monotonic_ns "
+       "so ScopedFakeClock can pin time in tests");
+}
+
+}  // namespace clang::tidy::graphene

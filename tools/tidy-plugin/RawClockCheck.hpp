@@ -1,0 +1,25 @@
+// graphene-raw-clock: std::chrono clock reads outside src/obs/.
+//
+// Every timestamp in the library flows through obs::monotonic_ns so tests
+// can pin time with obs::ScopedFakeClock; a direct steady_clock::now() is
+// invisible to the fake clock and makes timing-dependent behavior
+// untestable. Supersedes lint.py's rule 4 (token match on `::now(`), which
+// could not tell a chrono clock from any other now() method.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::graphene {
+
+class RawClockCheck : public ClangTidyCheck {
+ public:
+  RawClockCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::graphene

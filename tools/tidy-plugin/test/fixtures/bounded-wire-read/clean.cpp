@@ -1,0 +1,54 @@
+// Clean counterpart for graphene-bounded-wire-read: every length is either
+// read through read_varint_bounded or guarded by an if-throw before it
+// reaches a sizing call. Expected: 0 warnings.
+#include <cstdint>
+#include <vector>
+
+struct ByteReader {
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  void raw(std::uint64_t n);
+  std::uint64_t remaining() const;
+};
+std::uint64_t read_varint(ByteReader&);
+std::uint64_t read_varint_bounded(ByteReader&, std::uint64_t max, const char* what);
+
+constexpr std::uint64_t kMaxCollection = 1ULL << 24;
+constexpr std::uint32_t kMaxTxWireSize = 1u << 22;
+
+struct Msg {
+  std::vector<std::uint64_t> ids;
+  std::uint32_t size_bytes = 0;
+};
+
+Msg read_msg(ByteReader& r) {
+  Msg m;
+  // Bounded read: the helper validates before returning.
+  const std::uint64_t count = read_varint_bounded(r, kMaxCollection, "count");
+  m.ids.reserve(count);
+
+  // Raw read, but validated by a guard that throws — the flow-aware check
+  // clears the taint after the if.
+  m.size_bytes = r.u32();
+  if (m.size_bytes > kMaxTxWireSize) {
+    throw "oversized";
+  }
+  const std::uint64_t body = m.size_bytes > 36 ? m.size_bytes - 36 : 0;
+  r.raw(body);
+
+  // Derived-comparison guard: validating `n * 8 > remaining()` validates n.
+  std::uint64_t n = r.u64();
+  if (n * 8 > r.remaining()) {
+    throw "count exceeds buffer";
+  }
+  m.ids.resize(n);
+  return m;
+}
+
+// Outside the deserializer naming scope: raw reads feeding sizing calls in
+// arbitrary helpers are not this check's business.
+void helper_not_in_scope(ByteReader& r) {
+  std::vector<int> v;
+  v.resize(r.u64());
+}

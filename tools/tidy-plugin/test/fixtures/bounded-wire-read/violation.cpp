@@ -1,0 +1,46 @@
+// Seeded violations for graphene-bounded-wire-read. Self-contained stub of
+// the util::ByteReader surface — the check matches reader primitives and
+// varint helpers by name, so no repo headers are needed.
+//
+// Expected: 4 warnings (reserve, resize, assign, raw), each tagged
+// [graphene-bounded-wire-read].
+#include <cstdint>
+#include <vector>
+
+struct ByteReader {
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  void raw(std::uint64_t n);
+  std::uint64_t remaining() const;
+};
+std::uint64_t read_varint(ByteReader&);
+std::uint64_t read_varint_bounded(ByteReader&, std::uint64_t max, const char* what);
+
+struct Msg {
+  std::vector<std::uint64_t> ids;
+  std::vector<std::uint8_t> payload;
+  std::uint32_t size_bytes = 0;
+};
+
+Msg deserialize(ByteReader& r) {
+  Msg m;
+  // Same-line flow: raw read straight into a sizing call.
+  const std::uint64_t count = r.u64();
+  m.ids.reserve(count);  // WARN: unvalidated length reaches reserve
+
+  // Unbounded varint is a taint source too.
+  const std::uint64_t n = read_varint(r);
+  m.ids.resize(n);  // WARN: unvalidated length reaches resize
+
+  std::uint64_t words = r.u32();
+  m.payload.assign(words, 0);  // WARN: unvalidated length reaches assign
+
+  // The cross-statement flow lint.py's same-line regex could never see:
+  // the claimed size lands in a member, is transformed two statements
+  // later, and finally pads a raw() read.
+  m.size_bytes = r.u32();
+  const std::uint64_t body = m.size_bytes > 36 ? m.size_bytes - 36 : 0;
+  r.raw(body);  // WARN: unvalidated length reaches raw
+  return m;
+}

@@ -1,0 +1,22 @@
+// Clean counterpart for graphene-deterministic-rng: explicitly seeded
+// engines replay, and copies/moves of an engine are not re-seeding.
+// Expected: 0 warnings.
+#include <cstdint>
+#include <random>
+
+std::uint64_t roll_seeded(std::uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  return gen();
+}
+
+std::uint64_t roll_copy(std::uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  std::mt19937_64 fork = gen;  // one-argument ctor: copy, not default-seed
+  return fork();
+}
+
+std::uint64_t roll_distribution(std::uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  std::uniform_int_distribution<std::uint64_t> d(0, 5);  // not an engine
+  return d(gen);
+}

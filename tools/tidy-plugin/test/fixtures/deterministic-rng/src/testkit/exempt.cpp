@@ -1,0 +1,9 @@
+// Path-exemption fixture: files under a src/testkit/ directory may touch
+// real entropy — that is where fresh seeds are minted before being printed
+// for replay. Expected: 0 warnings.
+#include <random>
+
+unsigned mint_seed() {
+  std::random_device rd;
+  return rd();
+}

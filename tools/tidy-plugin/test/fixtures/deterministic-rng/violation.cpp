@@ -1,0 +1,25 @@
+// Seeded violations for graphene-deterministic-rng. Expected: 4 warnings
+// (random_device, unseeded mt19937, unseeded minstd_rand via the
+// linear_congruential_engine template, std::rand), each tagged
+// [graphene-deterministic-rng].
+#include <cstdlib>
+#include <random>
+
+unsigned roll_entropy() {
+  std::random_device rd;  // WARN: unreplayable entropy source
+  return rd();
+}
+
+unsigned roll_unseeded() {
+  std::mt19937 gen;  // WARN: implementation-defined default seed
+  return static_cast<unsigned>(gen());
+}
+
+unsigned roll_unseeded_lcg() {
+  std::minstd_rand lcg;  // WARN: same, different engine template
+  return static_cast<unsigned>(lcg());
+}
+
+int roll_c_library() {
+  return std::rand();  // WARN: hidden global state
+}

@@ -1,0 +1,18 @@
+// Clean counterpart for graphene-raw-byte-cast. Expected: 0 warnings.
+#include <cstdint>
+#include <cstring>
+
+// memcpy through void* is the sanctioned way to move bytes across types.
+std::uint32_t load_le32(const std::uint8_t* bytes) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, bytes, sizeof(v));
+  return v;
+}
+
+// Pointer casts to non-byte types are some other check's business.
+const std::uint32_t* as_words(const void* p) {
+  return static_cast<const std::uint32_t*>(p);
+}
+
+// Numeric casts that merely *mention* char are not byte-pointer aliasing.
+char truncate(int v) { return (char)v; }

@@ -1,0 +1,8 @@
+// Path-exemption fixture: this file lives under a src/util/ directory, the
+// one place byte-pointer aliasing is allowed (it is where util::bytes
+// centralizes it). Expected: 0 warnings despite the casts.
+#include <cstdint>
+
+const std::uint8_t* str_bytes_like(const char* s) {
+  return reinterpret_cast<const std::uint8_t*>(s);
+}

@@ -1,0 +1,20 @@
+// Seeded violations for graphene-raw-byte-cast. Expected: 3 warnings
+// (reinterpret_cast to const uint8_t*, C-style cast to char*,
+// reinterpret_cast to std::byte*), each tagged [graphene-raw-byte-cast].
+#include <cstddef>
+#include <cstdint>
+
+std::uint8_t first_byte(const std::uint32_t* words) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(words);  // WARN
+  return p[0];
+}
+
+char first_char(double* d) {
+  char* c = (char*)d;  // WARN: C-style spelling of the same aliasing cast
+  return c[0];
+}
+
+std::byte first_std_byte(const int* v) {
+  const auto* b = reinterpret_cast<const std::byte*>(v);  // WARN
+  return b[0];
+}

@@ -1,0 +1,15 @@
+// Clean counterpart for graphene-raw-clock. Expected: 0 warnings.
+#include <chrono>
+#include <cstdint>
+
+// Duration arithmetic without a clock read is fine.
+std::int64_t to_ns(std::chrono::milliseconds ms) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(ms).count();
+}
+
+// A non-chrono now() must not trip the check: only std::chrono::*::now is
+// a raw clock read.
+struct FakeClock {
+  std::int64_t now() const { return 42; }
+};
+std::int64_t fake_stamp(const FakeClock& c) { return c.now(); }

@@ -1,0 +1,11 @@
+// Path-exemption fixture: files under a src/obs/ directory implement the
+// clock abstraction itself and may read the real clock. Expected: 0
+// warnings.
+#include <chrono>
+#include <cstdint>
+
+std::int64_t monotonic_ns_like() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

@@ -1,0 +1,18 @@
+// Seeded violations for graphene-raw-clock. Expected: 3 warnings (steady,
+// system, high_resolution), each tagged [graphene-raw-clock].
+#include <chrono>
+#include <cstdint>
+
+std::int64_t stamp_steady() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())  // WARN
+      .count();
+}
+
+std::int64_t stamp_wall() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // WARN
+}
+
+auto stamp_hires() {
+  return std::chrono::high_resolution_clock::now();  // WARN
+}

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Self-test for the graphene-* clang-tidy checks: every rule must fire on
+# its seeded-violation fixture, stay silent on its clean fixture, and honor
+# its directory exemption (fixtures replicate src/util/, src/obs/,
+# src/testkit/ under the fixture tree).
+#
+# Usage: run_fixture_tests.sh [plugin.so] [--require]
+#
+#   plugin.so   path to GrapheneTidyModule.so; defaults to the common build
+#               locations under the repo, then $GRAPHENE_TIDY_PLUGIN
+#   --require   fail (exit 1) instead of skipping when clang-tidy or the
+#               plugin is missing — CI passes this, developer machines
+#               without clang get a notice and exit 0
+set -euo pipefail
+
+here=$(cd "$(dirname "$0")" && pwd)
+repo_root=$(cd "$here/../../.." && pwd)
+
+plugin="${GRAPHENE_TIDY_PLUGIN:-}"
+require=0
+for arg in "$@"; do
+  case "$arg" in
+    --require) require=1 ;;
+    *) plugin="$arg" ;;
+  esac
+done
+if [ -z "$plugin" ]; then
+  for cand in \
+    "$repo_root/build-tidy-plugin/libGrapheneTidyModule.so" \
+    "$repo_root/build/tools/tidy-plugin/libGrapheneTidyModule.so" \
+    "$here/../libGrapheneTidyModule.so"; do
+    if [ -f "$cand" ]; then plugin="$cand"; break; fi
+  done
+fi
+
+tidy_bin=${CLANG_TIDY:-clang-tidy}
+missing=""
+command -v "$tidy_bin" >/dev/null 2>&1 || missing="$tidy_bin not installed"
+if [ -z "$missing" ] && [ ! -f "${plugin:-/nonexistent}" ]; then
+  missing="plugin not built (cmake -S tools/tidy-plugin -B build-tidy-plugin && cmake --build build-tidy-plugin)"
+fi
+if [ -n "$missing" ]; then
+  if [ "$require" = 1 ]; then
+    echo "tidy-plugin fixtures: $missing" >&2
+    exit 1
+  fi
+  echo "tidy-plugin fixtures: SKIP ($missing)"
+  exit 0
+fi
+
+echo "tidy-plugin fixtures: $("$tidy_bin" --version | sed -n 's/^ *\(LLVM version.*\)/\1/p' | head -1)"
+echo "tidy-plugin fixtures: plugin $plugin"
+
+# Older clang-tidy silently ignores unknown names in -checks globs, which
+# would turn a load failure into a sea of green — so first prove all four
+# checks actually registered.
+listed=$("$tidy_bin" --load "$plugin" --checks='-*,graphene-*' --list-checks 2>&1) || {
+  echo "tidy-plugin fixtures: --load failed:" >&2
+  echo "$listed" >&2
+  exit 1
+}
+fail=0
+for check in graphene-bounded-wire-read graphene-raw-byte-cast \
+             graphene-raw-clock graphene-deterministic-rng; do
+  if ! grep -q "$check" <<<"$listed"; then
+    echo "FAIL: $check not registered by the plugin" >&2
+    fail=1
+  fi
+done
+[ "$fail" = 0 ] || exit 1
+
+# run <file> <check> → clang-tidy output (never fails the script directly).
+run_tidy() {
+  "$tidy_bin" --load "$plugin" --checks="-*,$2" --quiet "$1" -- \
+    -std=c++20 2>/dev/null || true
+}
+
+expect_warnings() {  # file check min_count
+  local out n
+  out=$(run_tidy "$1" "$2")
+  n=$(grep -c "\[$2\]" <<<"$out" || true)
+  if [ "$n" -lt "$3" ]; then
+    echo "FAIL: expected >= $3 [$2] warnings in ${1#$here/}, got $n" >&2
+    [ -n "$out" ] && sed 's/^/  | /' <<<"$out" >&2
+    fail=1
+  else
+    echo "PASS: ${1#$here/} ($n x $2)"
+  fi
+}
+
+expect_clean() {  # file check
+  local out
+  out=$(run_tidy "$1" "$2")
+  if grep -q "\[$2\]" <<<"$out"; then
+    echo "FAIL: expected no [$2] warnings in ${1#$here/}" >&2
+    sed 's/^/  | /' <<<"$out" >&2
+    fail=1
+  else
+    echo "PASS: ${1#$here/} (clean)"
+  fi
+}
+
+fx="$here/fixtures"
+expect_warnings "$fx/bounded-wire-read/violation.cpp" graphene-bounded-wire-read 4
+expect_clean    "$fx/bounded-wire-read/clean.cpp"     graphene-bounded-wire-read
+
+expect_warnings "$fx/raw-byte-cast/violation.cpp"        graphene-raw-byte-cast 3
+expect_clean    "$fx/raw-byte-cast/clean.cpp"            graphene-raw-byte-cast
+expect_clean    "$fx/raw-byte-cast/src/util/exempt.cpp"  graphene-raw-byte-cast
+
+expect_warnings "$fx/raw-clock/violation.cpp"       graphene-raw-clock 3
+expect_clean    "$fx/raw-clock/clean.cpp"           graphene-raw-clock
+expect_clean    "$fx/raw-clock/src/obs/exempt.cpp"  graphene-raw-clock
+
+expect_warnings "$fx/deterministic-rng/violation.cpp"          graphene-deterministic-rng 4
+expect_clean    "$fx/deterministic-rng/clean.cpp"              graphene-deterministic-rng
+expect_clean    "$fx/deterministic-rng/src/testkit/exempt.cpp" graphene-deterministic-rng
+
+if [ "$fail" -ne 0 ]; then
+  echo "tidy-plugin fixtures: FAILED" >&2
+  exit 1
+fi
+echo "tidy-plugin fixtures: all checks fire on violations and stay silent on clean code"
