@@ -56,8 +56,8 @@ int main(int argc, char** argv) {
               outcome.host_set.size(), stats.used_request_round ? "yes" : "no",
               stats.used_fetch_round ? "yes" : "no");
   std::printf("bytes: offer %zu + request %zu + response %zu + fetch %zu = %zu total\n",
-              stats.offer_bytes, stats.request_bytes, stats.response_bytes,
-              stats.fetch_bytes, stats.total_bytes());
+              stats.offer_bytes(), stats.request_bytes(), stats.response_bytes(),
+              stats.fetch_bytes(), stats.total_bytes());
   const std::size_t naive = revoked.size() * 32;
   std::printf("naive full transfer: %zu bytes — graphene used %.2f%% of that\n", naive,
               100.0 * static_cast<double>(stats.total_bytes()) /

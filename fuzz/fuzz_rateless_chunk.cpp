@@ -1,0 +1,30 @@
+// Rateless-backend wire messages: the first input byte routes between
+// RatelessChunk (coded-symbol batch) and RatelessNeed (continuation ask).
+#include <cstdlib>
+
+#include "harness.hpp"
+#include "reconcile/rateless_backend.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return 0;
+  graphene::util::ByteReader r(graphene::fuzz::view(data + 1, size - 1));
+  try {
+    if (data[0] % 2 == 0) {
+      const auto msg = graphene::reconcile::RatelessChunk::deserialize(r);
+      const graphene::util::Bytes wire = msg.serialize();
+      graphene::util::ByteReader r2{graphene::util::ByteView(wire)};
+      if (graphene::reconcile::RatelessChunk::deserialize(r2).serialize() != wire) {
+        std::abort();
+      }
+    } else {
+      const auto msg = graphene::reconcile::RatelessNeed::deserialize(r);
+      const graphene::util::Bytes wire = msg.serialize();
+      graphene::util::ByteReader r2{graphene::util::ByteView(wire)};
+      if (graphene::reconcile::RatelessNeed::deserialize(r2).serialize() != wire) {
+        std::abort();
+      }
+    }
+  } catch (const graphene::util::DeserializeError&) {
+  }
+  return 0;
+}

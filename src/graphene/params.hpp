@@ -29,6 +29,15 @@ class ParamCache;
 
 namespace graphene::core {
 
+/// Which set-reconciliation construction `reconcile::Host`/`Client` drive.
+/// The choice is session-local and off the wire for existing messages:
+/// kGraphene emits byte-identical Offer/Request/Response traffic, while
+/// kRatelessIblt speaks the chunked coded-symbol messages instead.
+enum class ReconcileBackend : std::uint8_t {
+  kGraphene,      ///< Bloom + IBLT offer/repair/fetch rounds (paper §3–4)
+  kRatelessIblt,  ///< rateless coded-symbol stream (arXiv 2402.02668)
+};
+
 struct ProtocolConfig {
   /// β-assurance level for all Chernoff bounds (paper default 239/240).
   double beta = 239.0 / 240.0;
@@ -65,6 +74,15 @@ struct ProtocolConfig {
   /// penalty (quantified in docs/PERFORMANCE.md); it rides a previously
   /// invalid range of the strategy byte, so only upgraded peers parse it.
   bloom::HashStrategy bloom_strategy = bloom::HashStrategy{0};
+  /// Set-reconciliation backend for reconcile::Host/Client sessions. Both
+  /// ends must agree (the driver rejects mismatched message types).
+  ReconcileBackend reconcile_backend = ReconcileBackend::kGraphene;
+  /// Coded symbols in the first RatelessChunk; later chunks double. The
+  /// stream is rateless, so this only tunes round trips vs. overshoot.
+  std::uint32_t rateless_initial_symbols = 16;
+  /// Hard ceiling on message round trips in one reconcile session; the
+  /// driver aborts (kFailed) beyond it so no backend can loop forever.
+  std::uint32_t reconcile_round_cap = 64;
 };
 
 /// Chosen Protocol 1 parameters for relaying n block txns to a receiver

@@ -48,28 +48,7 @@ ReceiveSession::ReceiveSession(const chain::Mempool& mempool, ProtocolConfig cfg
     : mempool_(&mempool), cfg_(cfg) {}
 
 Receiver::Receiver(const chain::Mempool& mempool, ProtocolConfig cfg)
-    : mempool_(&mempool), cfg_(cfg), current_(mempool, cfg) {}
-
-ReceiveOutcome Receiver::receive_block(const GrapheneBlockMsg& msg) {
-  current_ = session();  // fresh state per relayed block
-  return current_.receive_block(msg);
-}
-
-GrapheneRequestMsg Receiver::build_request() { return current_.build_request(); }
-
-ReceiveOutcome Receiver::complete(const GrapheneResponseMsg& resp) {
-  return current_.complete(resp);
-}
-
-RepairRequestMsg Receiver::build_repair() const { return current_.build_repair(); }
-
-ReceiveOutcome Receiver::complete_repair(const RepairResponseMsg& resp) {
-  return current_.complete_repair(resp);
-}
-
-std::vector<chain::Transaction> Receiver::block_transactions() const {
-  return current_.block_transactions();
-}
+    : mempool_(&mempool), cfg_(cfg) {}
 
 std::uint64_t ReceiveSession::sid(const chain::TxId& id) const noexcept {
   return derive_short_id(id, msg_.shortid_salt, cfg_);

@@ -117,13 +117,10 @@ class ReceiveSession {
 };
 
 /// Long-lived per-node receiver: binds a mempool + config and mints
-/// ReceiveSessions.
-///
-/// The pass-through protocol methods below drive a single implicit internal
-/// session and are DEPRECATED: they exist so existing single-relay callers
-/// keep working, but they serialize all relays through one state machine.
-/// New code — and any code decoding blocks from several peers at once —
-/// should call session() and drive the returned object instead.
+/// ReceiveSessions. One session decodes one relayed block; drive the
+/// returned object directly. (The former pass-through protocol methods that
+/// serialized every relay through one implicit session were removed — call
+/// session() instead.)
 class Receiver {
  public:
   explicit Receiver(const chain::Mempool& mempool, ProtocolConfig cfg = {});
@@ -134,24 +131,9 @@ class Receiver {
     return ReceiveSession(*mempool_, cfg_);
   }
 
-  /// Deprecated facade over an internal session (resets it per block).
-  ReceiveOutcome receive_block(const GrapheneBlockMsg& msg);
-  [[nodiscard]] GrapheneRequestMsg build_request();
-  ReceiveOutcome complete(const GrapheneResponseMsg& resp);
-  [[nodiscard]] RepairRequestMsg build_repair() const;
-  ReceiveOutcome complete_repair(const RepairResponseMsg& resp);
-  [[nodiscard]] std::vector<chain::Transaction> block_transactions() const;
-  [[nodiscard]] const Protocol2Params& last_request_params() const noexcept {
-    return current_.request_params();
-  }
-  [[nodiscard]] std::uint64_t observed_z() const noexcept {
-    return current_.observed_z();
-  }
-
  private:
   const chain::Mempool* mempool_;
   ProtocolConfig cfg_;
-  ReceiveSession current_;
 };
 
 }  // namespace graphene::core

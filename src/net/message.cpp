@@ -19,6 +19,13 @@ std::string_view command_name(MessageType type) noexcept {
     case MessageType::kMempoolSyncOffer: return "mpsync";
     case MessageType::kMempoolSyncRequest: return "mpsyncreq";
     case MessageType::kMempoolSyncResponse: return "mpsyncresp";
+    case MessageType::kReconcileOffer: return "rcnoffer";
+    case MessageType::kReconcileRequest: return "rcnreq";
+    case MessageType::kReconcileResponse: return "rcnresp";
+    case MessageType::kReconcileFetch: return "rcnfetch";
+    case MessageType::kReconcileFetchResponse: return "rcnfetchresp";
+    case MessageType::kRatelessChunk: return "rlchunk";
+    case MessageType::kRatelessNeed: return "rlneed";
   }
   return "unknown";
 }

@@ -29,6 +29,13 @@ enum class MessageType : std::uint8_t {
   kMempoolSyncOffer,   ///< mempool sync: S + I over the sender's pool
   kMempoolSyncRequest,
   kMempoolSyncResponse,
+  kReconcileOffer,          ///< reconcile session: Graphene offer (S + I)
+  kReconcileRequest,        ///< reconcile session: Protocol 2 repair request
+  kReconcileResponse,       ///< reconcile session: repair response
+  kReconcileFetch,          ///< reconcile session: unresolved short-ID fetch
+  kReconcileFetchResponse,  ///< reconcile session: fetched digests
+  kRatelessChunk,           ///< rateless backend: coded-symbol chunk
+  kRatelessNeed,            ///< rateless backend: request for more symbols
 };
 
 /// Human-readable command string (also the wire command field).

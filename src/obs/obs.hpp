@@ -12,11 +12,11 @@
 //
 // Stage names emitted by the pipeline, in protocol order:
 //   p1_optimize, sfilter_build, iblt_build   (Sender::encode)
-//   p1_candidates, p1_peel                   (Receiver::receive_block)
-//   thm_bounds, rfilter_build                (Receiver::build_request)
+//   p1_candidates, p1_peel                   (ReceiveSession::receive_block)
+//   thm_bounds, rfilter_build                (ReceiveSession::build_request)
 //   p2_serve, p2_fallback                    (Sender::serve)
-//   p2_peel, pingpong                        (Receiver::complete)
-//   repair                                   (Receiver::complete_repair)
+//   p2_peel, pingpong                        (ReceiveSession::complete)
+//   repair                                   (ReceiveSession::complete_repair)
 //   error                                    (diagnostic context on throws)
 #pragma once
 

@@ -1,0 +1,29 @@
+#include "reconcile/backend.hpp"
+
+#include "reconcile/graphene_backend.hpp"
+#include "reconcile/rateless_backend.hpp"
+
+namespace graphene::reconcile {
+
+std::unique_ptr<HostBackend> make_host_backend(const ItemSet& items,
+                                               std::uint64_t salt,
+                                               const core::ProtocolConfig& cfg) {
+  switch (cfg.reconcile_backend) {
+    case core::ReconcileBackend::kRatelessIblt:
+      return std::make_unique<RatelessHostBackend>(items, salt, cfg);
+    case core::ReconcileBackend::kGraphene: break;
+  }
+  return std::make_unique<GrapheneHostBackend>(items, salt, cfg);
+}
+
+std::unique_ptr<ClientBackend> make_client_backend(const ItemSet& items,
+                                                   const core::ProtocolConfig& cfg) {
+  switch (cfg.reconcile_backend) {
+    case core::ReconcileBackend::kRatelessIblt:
+      return std::make_unique<RatelessClientBackend>(items, cfg);
+    case core::ReconcileBackend::kGraphene: break;
+  }
+  return std::make_unique<GrapheneClientBackend>(items, cfg);
+}
+
+}  // namespace graphene::reconcile

@@ -1,0 +1,101 @@
+// RatelessIbltBackend: set reconciliation over a rateless coded-symbol
+// stream (arXiv 2402.02668) behind the ReconcilerBackend seam.
+//
+// The host exposes its set as an unbounded symbol stream (iblt::
+// RatelessEncoder); the client subtracts its own set and peels (iblt::
+// RatelessDecoder), consuming symbols until decode succeeds. There is no
+// Algorithm 1 sizing, no decode-failure repair round, and no short-ID fetch:
+// an undersized first chunk just means the client asks for the next span of
+// the same stream. Messages:
+//
+//   RatelessChunk — a contiguous span of coded symbols, self-contained
+//                   (start index + the host's count/salt/checksum header
+//                   repeated, so any chunk can start or resume a session)
+//   RatelessNeed  — client → host: "send `count` symbols from `next_index`"
+//
+// Chunks are bounded by util::wire_limits and fuzz-covered
+// (fuzz/fuzz_rateless_chunk.cpp); symbol spans re-serve idempotently from a
+// host-side cache, so duplicated or re-requested chunks are byte-identical.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graphene/params.hpp"
+#include "iblt/coded_symbol.hpp"
+#include "reconcile/backend.hpp"
+#include "reconcile/types.hpp"
+
+namespace graphene::reconcile {
+
+/// A contiguous span of the host's coded-symbol stream.
+struct RatelessChunk {
+  std::uint64_t start = 0;         ///< stream index of symbols.front()
+  std::uint64_t host_count = 0;    ///< |host set| — the exactness target
+  std::uint64_t salt = 0;          ///< keys checksums and index sequences
+  std::uint64_t set_checksum = 0;  ///< xor of per-item checksums over the host set
+  std::vector<iblt::CodedSymbol> symbols;
+
+  [[nodiscard]] util::Bytes serialize() const;
+  static RatelessChunk deserialize(util::ByteReader& reader);
+};
+
+/// Client's request for more of the stream.
+struct RatelessNeed {
+  std::uint64_t next_index = 0;  ///< first symbol index not yet consumed
+  std::uint64_t count = 0;       ///< symbols wanted in the next chunk
+
+  [[nodiscard]] util::Bytes serialize() const;
+  static RatelessNeed deserialize(util::ByteReader& reader);
+};
+
+/// Host side: wraps a RatelessEncoder and serves idempotent chunk reads.
+class RatelessHostBackend final : public HostBackend {
+ public:
+  RatelessHostBackend(const ItemSet& items, std::uint64_t salt,
+                      core::ProtocolConfig cfg);
+
+  [[nodiscard]] WireMsg open(std::uint64_t client_count) override;
+  [[nodiscard]] WireMsg serve_wire(const WireMsg& request) override;
+
+  /// Symbols the host has generated so far (cache size), for telemetry.
+  [[nodiscard]] std::uint64_t symbols_produced() const noexcept {
+    return produced_.size();
+  }
+
+ private:
+  [[nodiscard]] RatelessChunk chunk_for(std::uint64_t start, std::uint64_t count);
+
+  std::uint64_t salt_;
+  core::ProtocolConfig cfg_;
+  iblt::RatelessEncoder encoder_;
+  std::vector<iblt::CodedSymbol> produced_;  ///< idempotent re-serve cache
+  std::uint64_t stream_budget_ = 0;          ///< most symbols we will generate
+};
+
+/// Client side: wraps a RatelessDecoder; every absorbed chunk either
+/// completes the session or asks for the next span.
+class RatelessClientBackend final : public ClientBackend {
+ public:
+  RatelessClientBackend(const ItemSet& items, core::ProtocolConfig cfg);
+
+  [[nodiscard]] Outcome absorb_wire(const WireMsg& msg) override;
+  [[nodiscard]] WireMsg next_request() override;
+
+ private:
+  [[nodiscard]] Outcome fail();
+  /// Most symbols the client will consume before declaring the stream
+  /// hostile; ~3x the paper's worst-case need for the claimed set sizes.
+  [[nodiscard]] std::uint64_t symbol_budget() const noexcept;
+
+  const ItemSet* items_;
+  core::ProtocolConfig cfg_;
+  std::optional<iblt::RatelessDecoder> decoder_;
+  std::uint64_t salt_ = 0;
+  std::uint64_t host_count_ = 0;
+  std::uint64_t set_checksum_ = 0;
+  bool started_ = false;
+  bool failed_ = false;
+};
+
+}  // namespace graphene::reconcile

@@ -1,575 +1,131 @@
 #include "reconcile/set_reconciler.hpp"
 
-#include <algorithm>
+#include <stdexcept>
+#include <utility>
 
-#include "bloom/bloom_math.hpp"
-#include "graphene/bounds.hpp"
-#include "graphene/errors.hpp"
-#include "iblt/param_cache.hpp"
-#include "iblt/param_table.hpp"
-#include "iblt/pingpong.hpp"
-#include "obs/obs.hpp"
-#include "util/thread_pool.hpp"
-#include "util/varint.hpp"
-#include "util/wire_limits.hpp"
+#include "util/sha256.hpp"
 
 namespace graphene::reconcile {
 
-namespace {
-
-std::uint64_t short_id_of(const ItemDigest& d, std::uint64_t salt,
-                          const core::ProtocolConfig& cfg) noexcept {
-  if (cfg.keyed_short_ids) {
-    return util::siphash24(util::SipHashKey{salt, salt ^ 0x6a09e667f3bcc908ULL},
-                           util::ByteView(d.data(), d.size()));
-  }
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(d[static_cast<std::size_t>(i)]) << (8 * i);
-  return v;
-}
-
-util::ByteView view(const ItemDigest& d) noexcept {
-  return util::ByteView(d.data(), d.size());
-}
-
-/// Snapshots an iteration of `items` (digest pointers stay valid — the
-/// containers are node- or array-backed and unmodified during a pass) plus
-/// the matching view array for the batch filter primitives.
-struct DigestPass {
-  std::vector<const ItemDigest*> digests;
-  std::vector<util::ByteView> views;
-
-  template <typename Container>
-  explicit DigestPass(const Container& items) {
-    digests.reserve(items.size());
-    views.reserve(items.size());
-    for (const ItemDigest& d : items) {
-      digests.push_back(&d);
-      views.push_back(view(d));
-    }
-  }
-
-  /// hit[i] = 1 iff views[i] passes `filter`; chunk-parallel with a pool.
-  [[nodiscard]] std::vector<std::uint8_t> scan(const bloom::BloomFilter& filter,
-                                               util::ThreadPool* pool) const {
-    std::vector<std::uint8_t> hit(views.size());
-    bloom::contains_all(filter, views.data(), views.size(), hit.data(), pool);
-    return hit;
-  }
-};
-
-/// Flight-recorder helpers mirroring the src/graphene engines: message
-/// events carry the serialized wire bytes (when capture is on) so a failed
-/// reconciliation can be inspected the same way a failed block relay can.
-template <typename Msg>
-void record_msg(obs::Registry* reg, obs::FlightEventKind kind, const char* label,
-                const Msg& msg,
-                std::initializer_list<std::pair<const char*, double>> attrs) {
-  obs::FlightRecorder* fr = obs::flight(reg);
-  if (fr == nullptr) return;
-  obs::FlightEvent e;
-  e.kind = kind;
-  e.label = label;
-  if (fr->wire_capture()) e.wire = msg.serialize();
-  e.attrs.reserve(attrs.size());
-  for (const auto& [k, v] : attrs) e.attrs.emplace_back(k, v);
-  fr->record(std::move(e));
-}
-
-void record_decode(obs::Registry* reg, const char* label, Outcome::Status status) {
-  obs::FlightRecorder* fr = obs::flight(reg);
-  if (fr == nullptr) return;
-  obs::FlightEvent e;
-  e.kind = obs::FlightEventKind::kDecode;
-  e.label = label;
-  e.attrs = {{"status", static_cast<double>(static_cast<int>(status))}};
-  fr->record(std::move(e));
-}
-
-}  // namespace
-
 ItemDigest digest_of(util::ByteView data) noexcept { return util::sha256(data); }
 
-// --- wire formats -----------------------------------------------------------
-
-util::Bytes Offer::serialize() const {
-  util::ByteWriter w;
-  util::write_varint(w, count);
-  w.u64(salt);
-  w.u64(set_checksum);
-  w.raw(filter.serialize());
-  w.raw(correction.serialize());
-  return w.take();
-}
-
-Offer Offer::deserialize(util::ByteReader& reader) {
-  Offer o;
-  o.count = util::read_varint_bounded(reader, util::wire::kMaxWireCollection,
-                                      "reconcile::Offer count");
-  o.salt = reader.u64();
-  o.set_checksum = reader.u64();
-  o.filter = bloom::BloomFilter::deserialize(reader);
-  o.correction = iblt::Iblt::deserialize(reader);
-  return o;
-}
-
-std::size_t Offer::serialized_size() const noexcept {
-  return util::varint_size(count) + 16 + filter.serialized_size() +
-         correction.serialized_size();
-}
-
-util::Bytes Request::serialize() const {
-  util::ByteWriter w;
-  util::write_varint(w, candidate_count);
-  util::write_varint(w, b);
-  util::write_varint(w, y_star);
-  std::uint64_t bits = 0;
-  std::memcpy(&bits, &fpr_r, sizeof(bits));
-  w.u64(bits);
-  w.u8(reversed ? 1 : 0);
-  w.raw(filter.serialize());
-  return w.take();
-}
-
-Request Request::deserialize(util::ByteReader& reader) {
-  Request r;
-  r.candidate_count = util::read_varint_bounded(reader, util::wire::kMaxWireCollection,
-                                                "reconcile::Request candidates");
-  r.b = util::read_varint_bounded(reader, util::wire::kMaxSizingParam,
-                                  "reconcile::Request b");
-  r.y_star = util::read_varint_bounded(reader, util::wire::kMaxSizingParam,
-                                       "reconcile::Request y_star");
-  const std::uint64_t bits = reader.u64();
-  std::memcpy(&r.fpr_r, &bits, sizeof(r.fpr_r));
-  if (!(r.fpr_r > 0.0 && r.fpr_r <= 1.0)) {
-    throw util::DeserializeError("reconcile::Request: fpr not in (0, 1]");
-  }
-  const std::uint8_t reversed_flag = reader.u8();
-  if (reversed_flag > 1) {
-    throw util::DeserializeError("reconcile::Request: invalid reversed flag");
-  }
-  r.reversed = reversed_flag == 1;
-  r.filter = bloom::BloomFilter::deserialize(reader);
-  return r;
-}
-
-util::Bytes Response::serialize() const {
-  util::ByteWriter w;
-  util::write_varint(w, missing.size());
-  for (const ItemDigest& d : missing) w.raw(view(d));
-  w.raw(correction.serialize());
-  w.u8(compensation.has_value() ? 1 : 0);
-  if (compensation) w.raw(compensation->serialize());
-  return w.take();
-}
-
-Response Response::deserialize(util::ByteReader& reader) {
-  Response r;
-  const std::uint64_t count = util::read_varint_bounded(
-      reader, util::wire::kMaxWireCollection, "reconcile::Response count");
-  if (count > reader.remaining() / 32) {
-    throw util::DeserializeError("reconcile::Response: item count exceeds buffer");
-  }
-  r.missing.resize(count);
-  for (ItemDigest& d : r.missing) reader.raw_into(d.data(), d.size());
-  r.correction = iblt::Iblt::deserialize(reader);
-  const std::uint8_t compensation_flag = reader.u8();
-  if (compensation_flag > 1) {
-    throw util::DeserializeError("reconcile::Response: invalid presence flag");
-  }
-  if (compensation_flag == 1) r.compensation = bloom::BloomFilter::deserialize(reader);
-  return r;
-}
-
-util::Bytes FetchRequest::serialize() const {
-  util::ByteWriter w;
-  util::write_varint(w, short_ids.size());
-  for (const std::uint64_t s : short_ids) w.u64(s);
-  return w.take();
-}
-
-FetchRequest FetchRequest::deserialize(util::ByteReader& reader) {
-  FetchRequest r;
-  const std::uint64_t count = util::read_varint_bounded(
-      reader, util::wire::kMaxWireCollection, "reconcile::FetchRequest count");
-  if (count > reader.remaining() / 8) {
-    throw util::DeserializeError("reconcile::FetchRequest: count exceeds buffer");
-  }
-  r.short_ids.resize(count);
-  for (auto& s : r.short_ids) s = reader.u64();
-  return r;
-}
-
-util::Bytes FetchResponse::serialize() const {
-  util::ByteWriter w;
-  util::write_varint(w, items.size());
-  for (const ItemDigest& d : items) w.raw(view(d));
-  return w.take();
-}
-
-FetchResponse FetchResponse::deserialize(util::ByteReader& reader) {
-  FetchResponse r;
-  const std::uint64_t count = util::read_varint_bounded(
-      reader, util::wire::kMaxWireCollection, "reconcile::FetchResponse count");
-  if (count > reader.remaining() / 32) {
-    throw util::DeserializeError("reconcile::FetchResponse: count exceeds buffer");
-  }
-  r.items.resize(count);
-  for (ItemDigest& d : r.items) reader.raw_into(d.data(), d.size());
-  return r;
-}
-
-// --- host -------------------------------------------------------------------
+// --- host driver ------------------------------------------------------------
 
 Host::Host(ItemSet items, std::uint64_t salt, core::ProtocolConfig cfg)
-    : items_(std::move(items)), salt_(salt), cfg_(cfg) {}
+    : items_(std::move(items)), backend_(make_host_backend(items_, salt, cfg)) {
+  graphene_ = dynamic_cast<GrapheneHostBackend*>(backend_.get());
+}
+
+const GrapheneHostBackend& Host::graphene() const {
+  if (graphene_ == nullptr) {
+    throw std::logic_error(
+        "reconcile::Host: typed Graphene API requires ReconcileBackend::kGraphene");
+  }
+  return *graphene_;
+}
+
+WireMsg Host::open(std::uint64_t client_count) { return backend_->open(client_count); }
+
+WireMsg Host::serve_wire(const WireMsg& request) { return backend_->serve_wire(request); }
 
 Offer Host::make_offer(std::uint64_t client_count) const {
-  const std::uint64_t n = items_.size();
-  const core::Protocol1Params params =
-      core::optimize_protocol1(n, std::max(client_count, n), cfg_);
-
-  Offer offer;
-  offer.count = n;
-  offer.salt = salt_;
-  offer.filter = bloom::BloomFilter(std::max<std::uint64_t>(n, 1), params.fpr,
-                                    salt_ ^ 0x0ffe12, cfg_.bloom_strategy);
-  offer.correction = iblt::Iblt(params.iblt, salt_);
-  const DigestPass pass(items_);
-  offer.filter.insert_batch(pass.views.data(), pass.views.size());
-  std::vector<std::uint64_t> sids;
-  sids.reserve(n);
-  for (const ItemDigest* d : pass.digests) {
-    const std::uint64_t sid = short_id_of(*d, salt_, cfg_);
-    sids.push_back(sid);
-    offer.set_checksum ^= util::mix64(sid);
-  }
-  offer.correction.insert_all(sids, cfg_.pool);
-  record_msg(obs::enabled(cfg_.obs), obs::FlightEventKind::kMsgSent, "offer", offer,
-             {{"count", static_cast<double>(n)},
-              {"bloom_bytes", static_cast<double>(offer.filter.serialized_size())},
-              {"iblt_cells", static_cast<double>(offer.correction.cell_count())}});
-  return offer;
+  return graphene().make_offer(client_count);
 }
 
-Response Host::serve(const Request& request) const {
-  // Revalidate the sizing parameters even though the deserializer caps each
-  // field: serve() is also reachable with an in-memory request, and
-  // b + y_star sizes the correction IBLT allocated below — two fields at
-  // their individual caps would otherwise allocate a multi-hundred-MB table.
-  if (request.b > util::wire::kMaxSizingParam ||
-      request.y_star > util::wire::kMaxSizingParam ||
-      request.b + request.y_star > util::wire::kMaxIbltCells ||
-      request.candidate_count > util::wire::kMaxWireCollection ||
-      !(request.fpr_r > 0.0 && request.fpr_r <= 1.0)) {
-    core::ErrorContext ctx;
-    ctx.n = items_.size();
-    ctx.z = request.candidate_count;
-    ctx.y_star = request.y_star;
-    ctx.b = request.b;
-    if (obs::FlightRecorder* fr = obs::flight(obs::enabled(cfg_.obs))) {
-      obs::FlightEvent e;
-      e.kind = obs::FlightEventKind::kError;
-      e.label = "reconcile_serve";
-      e.attrs = {{"n", static_cast<double>(ctx.n)},
-                 {"z", static_cast<double>(ctx.z)},
-                 {"y_star", static_cast<double>(ctx.y_star)},
-                 {"b", static_cast<double>(ctx.b)}};
-      fr->record(std::move(e));
-    }
-    throw core::ProtocolError("reconcile_serve",
-                              "request sizing parameters out of range", ctx);
-  }
-
-  Response resp;
-  const std::uint64_t n = items_.size();
-
-  std::vector<const ItemDigest*> passed;
-  passed.reserve(n);
-  const DigestPass pass(items_);
-  {
-    const std::vector<std::uint8_t> hit = pass.scan(request.filter, cfg_.pool);
-    for (std::size_t i = 0; i < pass.digests.size(); ++i) {
-      if (hit[i] != 0) {
-        passed.push_back(pass.digests[i]);
-      } else {
-        resp.missing.push_back(*pass.digests[i]);
-      }
-    }
-  }
-
-  std::uint64_t j_items = request.b + request.y_star;
-  if (request.reversed) {
-    const std::uint64_t z_s = passed.size();
-    const std::uint64_t x_s = core::bound_x_star(z_s, n, request.candidate_count,
-                                                 request.fpr_r, cfg_.beta);
-    const std::uint64_t y_s = core::bound_y_star(n, x_s, request.fpr_r, cfg_.beta);
-    const std::uint64_t denom = std::max<std::uint64_t>(
-        1, request.candidate_count > x_s ? request.candidate_count - x_s : 1);
-
-    std::uint64_t best_b = 1;
-    std::size_t best_total = SIZE_MAX;
-    for (std::uint64_t b = 1; b <= denom; b = (b < 128 ? b + 1 : b + b / 8)) {
-      const double f_f = std::min(1.0, static_cast<double>(b) / static_cast<double>(denom));
-      const std::size_t total = bloom::serialized_bytes(z_s, f_f) +
-                                iblt::cached_iblt_bytes(cfg_.param_cache, b + y_s, cfg_.fail_denom);
-      if (total < best_total) {
-        best_total = total;
-        best_b = b;
-      }
-    }
-    const double f_f = std::min(1.0, static_cast<double>(best_b) / static_cast<double>(denom));
-    bloom::BloomFilter comp(std::max<std::uint64_t>(z_s, 1), f_f, salt_ ^ 0xc0ffee,
-                            cfg_.bloom_strategy);
-    std::vector<util::ByteView> passed_views;
-    passed_views.reserve(passed.size());
-    for (const ItemDigest* d : passed) passed_views.push_back(view(*d));
-    comp.insert_batch(passed_views.data(), passed_views.size());
-    resp.compensation = std::move(comp);
-    j_items = best_b + y_s;
-  }
-
-  resp.correction =
-      iblt::Iblt(iblt::cached_params(cfg_.param_cache, j_items, cfg_.fail_denom), salt_ + 1);
-  std::vector<std::uint64_t> sids;
-  sids.reserve(pass.digests.size());
-  for (const ItemDigest* d : pass.digests) sids.push_back(short_id_of(*d, salt_, cfg_));
-  resp.correction.insert_all(sids, cfg_.pool);
-  record_msg(obs::enabled(cfg_.obs), obs::FlightEventKind::kMsgSent, "response", resp,
-             {{"missing", static_cast<double>(resp.missing.size())},
-              {"j_cells", static_cast<double>(resp.correction.cell_count())},
-              {"reversed", request.reversed ? 1.0 : 0.0}});
-  return resp;
-}
+Response Host::serve(const Request& request) const { return graphene().serve(request); }
 
 FetchResponse Host::serve_fetch(const FetchRequest& request) const {
-  FetchResponse resp;
-  std::unordered_map<std::uint64_t, const ItemDigest*> by_sid;
-  by_sid.reserve(items_.size());
-  for (const ItemDigest& d : items_) by_sid.emplace(short_id_of(d, salt_, cfg_), &d);
-  for (const std::uint64_t s : request.short_ids) {
-    const auto it = by_sid.find(s);
-    if (it != by_sid.end()) resp.items.push_back(*it->second);
-  }
-  record_msg(obs::enabled(cfg_.obs), obs::FlightEventKind::kMsgSent, "fetchresp", resp,
-             {{"requested", static_cast<double>(request.short_ids.size())},
-              {"served", static_cast<double>(resp.items.size())}});
-  return resp;
+  return graphene().serve_fetch(request);
 }
 
-// --- client -----------------------------------------------------------------
+// --- client driver ----------------------------------------------------------
 
 Client::Client(const ItemSet& items, core::ProtocolConfig cfg)
-    : items_(&items), cfg_(cfg) {}
-
-std::uint64_t Client::sid(const ItemDigest& d) const noexcept {
-  return short_id_of(d, offer_.salt, cfg_);
+    : items_(&items), cfg_(cfg), backend_(make_client_backend(items, cfg)) {
+  graphene_ = dynamic_cast<GrapheneClientBackend*>(backend_.get());
 }
 
-std::vector<std::uint64_t> Client::candidate_sids() const {
-  std::vector<std::uint64_t> sids;
-  sids.reserve(candidates_.size());
-  for (const ItemDigest& d : candidates_) sids.push_back(sid(d));
-  return sids;
-}
-
-void Client::index(const ItemDigest& d) {
-  const std::uint64_t s = sid(d);
-  const auto [it, inserted] = sid_to_digest_.emplace(s, d);
-  if (!inserted && it->second != d) ambiguous_.insert(s);
-  candidates_.insert(d);
-}
-
-Outcome Client::absorb(const Offer& offer) {
-  obs::Registry* reg = obs::enabled(cfg_.obs);
-  record_msg(reg, obs::FlightEventKind::kMsgReceived, "offer", offer,
-             {{"count", static_cast<double>(offer.count)},
-              {"bloom_bytes", static_cast<double>(offer.filter.serialized_size())},
-              {"iblt_cells", static_cast<double>(offer.correction.cell_count())}});
-  const auto finish = [reg](Outcome out) {
-    record_decode(reg, "reconcile_p1", out.status);
-    return out;
-  };
-  offer_ = offer;
-  sid_to_digest_.clear();
-  ambiguous_.clear();
-  candidates_.clear();
-
-  {
-    const DigestPass pass(*items_);
-    const std::vector<std::uint8_t> hit = pass.scan(offer.filter, cfg_.pool);
-    for (std::size_t i = 0; i < pass.digests.size(); ++i) {
-      if (hit[i] != 0) index(*pass.digests[i]);
-    }
+GrapheneClientBackend& Client::graphene() const {
+  if (graphene_ == nullptr) {
+    throw std::logic_error(
+        "reconcile::Client: typed Graphene API requires ReconcileBackend::kGraphene");
   }
-
-  iblt::Iblt mine(iblt::IbltParams{offer.correction.hash_count(),
-                                   offer.correction.cell_count()},
-                  offer.correction.seed());
-  mine.insert_all(candidate_sids(), cfg_.pool);
-
-  const iblt::DecodeResult dec = offer.correction.subtract(mine, cfg_.pool).decode();
-  Outcome out;
-  if (dec.malformed || !dec.success || !dec.positives.empty()) {
-    out.status = dec.malformed ? Outcome::Status::kFailed : Outcome::Status::kNeedsRequest;
-    return finish(out);
-  }
-  for (const std::uint64_t s : dec.negatives) {
-    const auto it = sid_to_digest_.find(s);
-    if (it == sid_to_digest_.end() || ambiguous_.count(s) > 0) {
-      out.status = Outcome::Status::kNeedsRequest;
-      return finish(out);
-    }
-    candidates_.erase(it->second);
-  }
-  return finish(finalize());
+  return *graphene_;
 }
 
-Request Client::make_request() {
-  const std::uint64_t z = candidates_.size();
-  const double f_s = bloom::expected_fpr(offer_.filter.bit_count(),
-                                         offer_.filter.hash_count(), offer_.count);
-  params2_ = core::optimize_protocol2(z, items_->size(), offer_.count, f_s, cfg_);
+Outcome Client::absorb_wire(const WireMsg& msg) { return backend_->absorb_wire(msg); }
 
-  Request req;
-  req.candidate_count = z;
-  req.b = params2_.b;
-  req.y_star = params2_.y_star;
-  req.fpr_r = params2_.fpr;
-  req.reversed = params2_.reversed;
-  req.filter = bloom::BloomFilter(std::max<std::uint64_t>(z, 1), params2_.fpr,
-                                  offer_.salt ^ 0x4ece55, cfg_.bloom_strategy);
-  const DigestPass pass(candidates_);
-  req.filter.insert_batch(pass.views.data(), pass.views.size());
-  record_msg(obs::enabled(cfg_.obs), obs::FlightEventKind::kMsgSent, "request", req,
-             {{"z", static_cast<double>(z)},
-              {"b", static_cast<double>(req.b)},
-              {"y_star", static_cast<double>(req.y_star)},
-              {"fpr_r", req.fpr_r},
-              {"reversed", req.reversed ? 1.0 : 0.0}});
-  return req;
-}
+WireMsg Client::next_request() { return backend_->next_request(); }
+
+Outcome Client::absorb(const Offer& offer) { return graphene().absorb(offer); }
+
+Request Client::make_request() { return graphene().make_request(); }
 
 Outcome Client::complete(const Response& response) {
-  obs::Registry* reg = obs::enabled(cfg_.obs);
-  record_msg(reg, obs::FlightEventKind::kMsgReceived, "response", response,
-             {{"missing", static_cast<double>(response.missing.size())},
-              {"j_cells", static_cast<double>(response.correction.cell_count())},
-              {"has_compensation", response.compensation.has_value() ? 1.0 : 0.0}});
-  const auto finish = [reg](Outcome out) {
-    record_decode(reg, "reconcile_p2", out.status);
-    return out;
-  };
-  Outcome out;
-
-  if (params2_.reversed && response.compensation.has_value()) {
-    const DigestPass pass(candidates_);
-    const std::vector<std::uint8_t> hit = pass.scan(*response.compensation, cfg_.pool);
-    for (std::size_t i = 0; i < pass.digests.size(); ++i) {
-      if (hit[i] == 0) candidates_.erase(*pass.digests[i]);
-    }
-  }
-  for (const ItemDigest& d : response.missing) index(d);
-
-  iblt::Iblt mine(iblt::IbltParams{response.correction.hash_count(),
-                                   response.correction.cell_count()},
-                  response.correction.seed());
-  mine.insert_all(candidate_sids(), cfg_.pool);
-
-  const iblt::Iblt diff_j = response.correction.subtract(mine, cfg_.pool);
-  iblt::DecodeResult dec = diff_j.decode();
-  if (!dec.success && !dec.malformed && cfg_.enable_pingpong) {
-    // §4.2 ping-pong: the offer's IBLT covers the same item pair.
-    iblt::Iblt offer_mine(iblt::IbltParams{offer_.correction.hash_count(),
-                                           offer_.correction.cell_count()},
-                          offer_.correction.seed());
-    offer_mine.insert_all(candidate_sids(), cfg_.pool);
-    const iblt::PingPongResult pp =
-        iblt::pingpong_decode(diff_j, offer_.correction.subtract(offer_mine, cfg_.pool));
-    if (pp.malformed) {
-      out.status = Outcome::Status::kFailed;
-      return finish(out);
-    }
-    dec.success = pp.success;
-    dec.positives = pp.positives;
-    dec.negatives = pp.negatives;
-  }
-  if (dec.malformed || !dec.success) {
-    out.status = Outcome::Status::kFailed;
-    return finish(out);
-  }
-  for (const std::uint64_t s : dec.negatives) {
-    const auto it = sid_to_digest_.find(s);
-    if (it == sid_to_digest_.end() || ambiguous_.count(s) > 0) {
-      out.status = Outcome::Status::kFailed;
-      return finish(out);
-    }
-    candidates_.erase(it->second);
-  }
-  std::vector<std::uint64_t> unresolved;
-  for (const std::uint64_t s : dec.positives) {
-    const auto it = sid_to_digest_.find(s);
-    if (it != sid_to_digest_.end() && ambiguous_.count(s) == 0) {
-      candidates_.insert(it->second);
-    } else {
-      unresolved.push_back(s);
-    }
-  }
-  if (!unresolved.empty()) {
-    pending_fetch_ = unresolved;
-    out.status = Outcome::Status::kNeedsFetch;
-    out.unresolved = std::move(unresolved);
-    return finish(out);
-  }
-  return finish(finalize());
+  return graphene().complete(response);
 }
 
-FetchRequest Client::make_fetch() const {
-  FetchRequest req;
-  req.short_ids = pending_fetch_;
-  return req;
-}
+FetchRequest Client::make_fetch() const { return graphene().make_fetch(); }
 
 Outcome Client::complete_fetch(const FetchResponse& response) {
-  for (const ItemDigest& d : response.items) index(d);
-  pending_fetch_.clear();
-  Outcome out = finalize();
-  record_decode(obs::enabled(cfg_.obs), "reconcile_fetch", out.status);
-  return out;
+  return graphene().complete_fetch(response);
 }
 
-Outcome Client::finalize() {
-  Outcome out;
-  std::uint64_t checksum = 0;
-  for (const ItemDigest& d : candidates_) checksum ^= util::mix64(sid(d));
-  if (candidates_.size() == offer_.count && checksum == offer_.set_checksum) {
-    out.status = Outcome::Status::kComplete;
-    out.host_set = candidates_;
-  } else {
-    out.status = Outcome::Status::kNeedsRequest;
+// --- drivers ----------------------------------------------------------------
+
+SyncStats reconcile_one_way(Host& host, Client& client, Outcome& outcome) {
+  SyncStats stats;
+  const WireMsg opening = host.open(client.local_count());
+  stats.round_bytes.push_back(opening.payload.size());
+  stats.round_trips = 1;
+  outcome = client.absorb_wire(opening);
+
+  const std::uint32_t cap = client.config().reconcile_round_cap;
+  std::uint32_t rounds = 0;
+  while (needs_more(outcome.status) && rounds < cap) {
+    ++rounds;
+    const WireMsg request = client.next_request();
+    if (request.type == net::MessageType::kReconcileRequest) {
+      stats.used_request_round = true;
+    } else if (request.type == net::MessageType::kReconcileFetch) {
+      stats.used_fetch_round = true;
+    }
+    stats.round_bytes.push_back(request.payload.size());
+    const WireMsg response = host.serve_wire(request);
+    stats.round_bytes.push_back(response.payload.size());
+    ++stats.round_trips;
+    outcome = client.absorb_wire(response);
   }
-  return out;
+  // The cap is the driver's own guarantee: a backend still hungry after
+  // `cap` rounds is cut off as failed rather than trusted to converge.
+  if (needs_more(outcome.status)) outcome.status = Outcome::Status::kFailed;
+  stats.symbols_consumed = outcome.symbols_consumed;
+  stats.success = outcome.status == Outcome::Status::kComplete;
+  return stats;
 }
 
 SyncStats reconcile_one_way(const Host& host, Client& client, const Offer& offer,
                             Outcome& outcome) {
   SyncStats stats;
-  stats.offer_bytes = offer.serialize().size();
+  stats.round_bytes.push_back(offer.serialize().size());
+  stats.round_trips = 1;
   outcome = client.absorb(offer);
   if (outcome.status == Outcome::Status::kNeedsRequest) {
     stats.used_request_round = true;
     const Request req = client.make_request();
-    stats.request_bytes = req.serialize().size();
+    stats.round_bytes.push_back(req.serialize().size());
     const Response resp = host.serve(req);
-    stats.response_bytes = resp.serialize().size();
+    stats.round_bytes.push_back(resp.serialize().size());
+    ++stats.round_trips;
     outcome = client.complete(resp);
   }
   if (outcome.status == Outcome::Status::kNeedsFetch) {
     stats.used_fetch_round = true;
     const FetchRequest freq = client.make_fetch();
-    stats.fetch_bytes += freq.serialize().size();
+    stats.round_bytes.push_back(freq.serialize().size());
     const FetchResponse fresp = host.serve_fetch(freq);
-    stats.fetch_bytes += fresp.serialize().size();
+    stats.round_bytes.push_back(fresp.serialize().size());
+    ++stats.round_trips;
     outcome = client.complete_fetch(fresp);
   }
   stats.success = outcome.status == Outcome::Status::kComplete;

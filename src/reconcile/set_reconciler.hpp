@@ -1,184 +1,148 @@
-// Generic Graphene set reconciliation, decoupled from blockchains.
+// Generic set reconciliation, decoupled from blockchains.
 //
 // The paper (§1) notes the method "applies in general to systems that
 // require set reconciliation, such as database or file system
 // synchronization among replicas. Or ... CRLite, where a client regularly
 // checks a server for revocations of observed certificates."
 //
-// This facade reconciles sets of opaque 32-byte item digests (hash your
-// records however you like) using the same S + I construction as Protocol 1
-// and the R + J recovery of Protocol 2, but with a library-style API:
+// Host and Client are thin session drivers over a pluggable reconciliation
+// backend (see backend.hpp) selected by core::ProtocolConfig::
+// reconcile_backend:
 //
-//   reconcile::Offer     — host's digest of its set (Bloom filter + IBLT)
-//   reconcile::Request   — client's repair request when the offer alone is
-//                          not decodable
-//   reconcile::Response  — host's missing items + correction IBLT
+//   kGraphene      — the paper's S + I construction with the R + J recovery
+//                    of Protocol 2 (graphene_backend.hpp; the typed Offer/
+//                    Request/Response API below drives it directly)
+//   kRatelessIblt  — a rateless coded-symbol stream per arXiv 2402.02668
+//                    (rateless_backend.hpp) with no decode-failure mode
 //
 // One-way reconciliation (client learns the host's set) is the primitive;
-// two-way union is two one-way passes, exactly like §3.2.1.
+// two-way union is two one-way passes, exactly like §3.2.1. The backend-
+// agnostic loop is reconcile_one_way(Host&, Client&, Outcome&); the typed
+// Graphene message flow (absorb/make_request/complete/...) is unchanged and
+// byte-identical to the pre-backend code.
 #pragma once
 
-#include <array>
-#include <optional>
-#include <unordered_map>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
-#include "graphene/messages.hpp"
 #include "graphene/params.hpp"
+#include "reconcile/backend.hpp"
+#include "reconcile/graphene_backend.hpp"
+#include "reconcile/types.hpp"
 
 namespace graphene::reconcile {
 
-/// Items are identified by 32-byte digests (e.g. SHA-256 of the record).
-using ItemDigest = std::array<std::uint8_t, 32>;
-
-struct DigestHasher {
-  std::size_t operator()(const ItemDigest& d) const noexcept {
-    std::size_t h = 0;
-    for (int i = 0; i < 8; ++i) h |= static_cast<std::size_t>(d[static_cast<std::size_t>(i)]) << (8 * i);
-    return h;
-  }
-};
-
-using ItemSet = std::unordered_set<ItemDigest, DigestHasher>;
-
-/// Host-side digest of a set, sized for a client holding ~`client_count`
-/// items that include (most of) the host's set.
-struct Offer {
-  std::uint64_t count = 0;        ///< |host set|
-  std::uint64_t salt = 0;         ///< keys the 8-byte short IDs
-  std::uint64_t set_checksum = 0; ///< xor of mix64(short id) over the host set —
-                                  ///< the client's final exactness check (the
-                                  ///< blockchain protocol uses the Merkle root)
-  bloom::BloomFilter filter;      ///< S over the full digests
-  iblt::Iblt correction;          ///< I over the short IDs
-
-  [[nodiscard]] util::Bytes serialize() const;
-  static Offer deserialize(util::ByteReader& reader);
-  [[nodiscard]] std::size_t serialized_size() const noexcept;
-};
-
-/// Client-side repair request (Protocol 2 step 2 analogue).
-struct Request {
-  std::uint64_t candidate_count = 0;  ///< z
-  std::uint64_t b = 1;
-  std::uint64_t y_star = 1;
-  double fpr_r = 1.0;
-  bool reversed = false;
-  bloom::BloomFilter filter;  ///< R over the client's candidate digests
-
-  [[nodiscard]] util::Bytes serialize() const;
-  static Request deserialize(util::ByteReader& reader);
-};
-
-/// Host's answer: items the client certainly lacks plus IBLT J.
-struct Response {
-  std::vector<ItemDigest> missing;
-  iblt::Iblt correction;
-  std::optional<bloom::BloomFilter> compensation;  ///< F, reversed path only
-
-  [[nodiscard]] util::Bytes serialize() const;
-  static Response deserialize(util::ByteReader& reader);
-};
-
-/// Final round: short IDs the client decoded as host-only but cannot map to
-/// a digest (they were hidden by R's false positives).
-struct FetchRequest {
-  std::vector<std::uint64_t> short_ids;
-  [[nodiscard]] util::Bytes serialize() const;
-  static FetchRequest deserialize(util::ByteReader& reader);
-};
-
-struct FetchResponse {
-  std::vector<ItemDigest> items;
-  [[nodiscard]] util::Bytes serialize() const;
-  static FetchResponse deserialize(util::ByteReader& reader);
-};
-
-/// Host (sender) side. The host set is fixed at construction.
+/// Host (sender) side. The host set is fixed at construction. The typed
+/// Graphene methods (make_offer/serve/serve_fetch) throw std::logic_error
+/// unless cfg.reconcile_backend == kGraphene; the wire API (open/serve_wire)
+/// works for every backend.
 class Host {
  public:
   Host(ItemSet items, std::uint64_t salt, core::ProtocolConfig cfg = {});
 
-  /// Builds an offer for a client reporting `client_count` items.
+  /// Opens a session for a client reporting `client_count` items.
+  [[nodiscard]] WireMsg open(std::uint64_t client_count);
+
+  /// Answers one client message.
+  [[nodiscard]] WireMsg serve_wire(const WireMsg& request);
+
+  /// Builds an offer for a client reporting `client_count` items
+  /// (Graphene backend only).
   [[nodiscard]] Offer make_offer(std::uint64_t client_count) const;
 
-  /// Answers a repair request.
+  /// Answers a repair request (Graphene backend only).
   [[nodiscard]] Response serve(const Request& request) const;
 
-  /// Answers a fetch-by-short-ID request.
+  /// Answers a fetch-by-short-ID request (Graphene backend only).
   [[nodiscard]] FetchResponse serve_fetch(const FetchRequest& request) const;
 
   [[nodiscard]] const ItemSet& items() const noexcept { return items_; }
 
  private:
+  [[nodiscard]] const GrapheneHostBackend& graphene() const;
+
   ItemSet items_;
-  std::uint64_t salt_;
-  core::ProtocolConfig cfg_;
+  std::unique_ptr<HostBackend> backend_;
+  GrapheneHostBackend* graphene_ = nullptr;  ///< borrowed from backend_
 };
 
-/// Result of a client-side reconciliation attempt.
-struct Outcome {
-  enum class Status { kComplete, kNeedsRequest, kNeedsFetch, kFailed };
-  Status status = Status::kFailed;
-  /// The host's set as learned by the client (valid when kComplete). Items
-  /// the client already held are included.
-  ItemSet host_set;
-  /// Short IDs decoded as host-only but with no digest known — the caller
-  /// must fetch these out of band (or fail). Empty in normal operation.
-  std::vector<std::uint64_t> unresolved;
-};
-
-/// Client (receiver) side. Drives the one-way reconciliation: after
-/// `absorb(offer)` either the host set is known, or `make_request()` /
-/// `complete(response)` runs the recovery round.
+/// Client (receiver) side. The wire API (absorb_wire/next_request) drives
+/// any backend; the typed Graphene flow — after `absorb(offer)` either the
+/// host set is known, or `make_request()` / `complete(response)` runs the
+/// recovery round — throws std::logic_error for non-Graphene backends.
 class Client {
  public:
   Client(const ItemSet& items, core::ProtocolConfig cfg = {});
 
+  [[nodiscard]] Outcome absorb_wire(const WireMsg& msg);
+  [[nodiscard]] WireMsg next_request();
+
   Outcome absorb(const Offer& offer);
+  /// Mutates by design: the chosen Protocol 2 parameters (b, y*, f_R,
+  /// reversed) must be remembered so complete() can mirror the host's
+  /// correction IBLT and compensation pass — a const make_request() would
+  /// force every caller to thread that state back in by hand.
   [[nodiscard]] Request make_request();
   Outcome complete(const Response& response);
   [[nodiscard]] FetchRequest make_fetch() const;
   Outcome complete_fetch(const FetchResponse& response);
 
+  [[nodiscard]] std::uint64_t local_count() const noexcept { return items_->size(); }
+  [[nodiscard]] const core::ProtocolConfig& config() const noexcept { return cfg_; }
+
  private:
-  Outcome finalize();
-  [[nodiscard]] std::uint64_t sid(const ItemDigest& d) const noexcept;
-  void index(const ItemDigest& d);
-  /// Short IDs of the current candidate set, in iteration order — the batch
-  /// input for the IBLT mirror builds.
-  [[nodiscard]] std::vector<std::uint64_t> candidate_sids() const;
+  [[nodiscard]] GrapheneClientBackend& graphene() const;
 
   const ItemSet* items_;
   core::ProtocolConfig cfg_;
-  Offer offer_{};
-  core::Protocol2Params params2_{};
-  std::unordered_map<std::uint64_t, ItemDigest> sid_to_digest_;
-  std::unordered_set<std::uint64_t> ambiguous_;
-  ItemSet candidates_;
-  std::vector<std::uint64_t> pending_fetch_;
+  std::unique_ptr<ClientBackend> backend_;
+  GrapheneClientBackend* graphene_ = nullptr;  ///< borrowed from backend_
 };
 
-/// Convenience: full one-way reconciliation; returns the host set as learned
-/// by the client plus the total encoding bytes exchanged.
+/// Byte/round accounting for one reconciliation session. round_bytes holds
+/// the payload size of every message in exchange order (offer, then each
+/// request/response pair — or chunk/need for the rateless backend).
 struct SyncStats {
   bool success = false;
   bool used_request_round = false;
   bool used_fetch_round = false;
-  std::size_t offer_bytes = 0;
-  std::size_t request_bytes = 0;
-  std::size_t response_bytes = 0;
-  std::size_t fetch_bytes = 0;
+  std::vector<std::size_t> round_bytes;
+  std::uint64_t symbols_consumed = 0;  ///< rateless backend only
+  std::uint64_t round_trips = 0;       ///< messages initiated by the client + 1
+
   [[nodiscard]] std::size_t total_bytes() const noexcept {
-    return offer_bytes + request_bytes + response_bytes + fetch_bytes;
+    std::size_t total = 0;
+    for (const std::size_t b : round_bytes) total += b;
+    return total;
+  }
+
+  // Legacy per-round accessors, mapped onto the Graphene message sequence
+  // (offer | request response | fetch fetch-response). Kept as thin wrappers
+  // for one release — new code should read round_bytes directly.
+  [[nodiscard]] std::size_t offer_bytes() const noexcept {
+    return round_bytes.empty() ? 0 : round_bytes[0];
+  }
+  [[nodiscard]] std::size_t request_bytes() const noexcept {
+    return used_request_round && round_bytes.size() > 1 ? round_bytes[1] : 0;
+  }
+  [[nodiscard]] std::size_t response_bytes() const noexcept {
+    return used_request_round && round_bytes.size() > 2 ? round_bytes[2] : 0;
+  }
+  [[nodiscard]] std::size_t fetch_bytes() const noexcept {
+    std::size_t total = 0;
+    for (std::size_t i = 3; i < round_bytes.size(); ++i) total += round_bytes[i];
+    return total;
   }
 };
 
+/// Backend-agnostic driver: opens the session, then relays client requests
+/// to the host until the outcome is terminal. Termination is structural —
+/// cfg.reconcile_round_cap bounds the loop no matter what a backend reports.
+SyncStats reconcile_one_way(Host& host, Client& client, Outcome& outcome);
+
+/// Typed Graphene convenience driver (the pre-backend API): the caller made
+/// the offer already; runs the repair and fetch rounds as needed.
 SyncStats reconcile_one_way(const Host& host, Client& client, const Offer& offer,
                             Outcome& outcome);
-
-/// Hashes an arbitrary byte string into an ItemDigest (SHA-256).
-[[nodiscard]] ItemDigest digest_of(util::ByteView data) noexcept;
 
 }  // namespace graphene::reconcile

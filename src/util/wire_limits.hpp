@@ -54,4 +54,14 @@ inline constexpr std::uint64_t kMaxSizingParam = kMaxIbltCells;
 /// multi-GiB allocations when the decoded block was re-encoded.
 inline constexpr std::uint64_t kMaxTxWireSize = 1ULL << 22;
 
+/// Coded symbols in one RatelessChunk (48 bytes each → 3 MiB ceiling). The
+/// rateless decoder needs ~1.35·d symbols total, so even a 10^6-item
+/// difference fits in a handful of maximal chunks.
+inline constexpr std::uint64_t kMaxRatelessChunkSymbols = 1ULL << 16;
+
+/// Starting stream index claimed by a RatelessChunk. Indices grow one per
+/// symbol sent, so 2^40 is unreachable for honest peers; the cap keeps
+/// `start + count` arithmetic far from overflow.
+inline constexpr std::uint64_t kMaxRatelessStreamIndex = 1ULL << 40;
+
 }  // namespace graphene::util::wire

@@ -48,13 +48,13 @@ TEST_P(BetaSweep, ProtocolDecodesAcrossAssuranceLevels) {
     spec.extra_txns = 600;
     const chain::Scenario s = chain::make_scenario(spec, rng);
     Sender sender(s.block, rng.next(), cfg);
-    Receiver receiver(s.receiver_mempool, cfg);
-    ReceiveOutcome out = receiver.receive_block(sender.encode(s.m).msg);
+    ReceiveSession session = Receiver(s.receiver_mempool, cfg).session();
+    ReceiveOutcome out = session.receive_block(sender.encode(s.m).msg);
     if (out.status == ReceiveStatus::kNeedsProtocol2) {
-      out = receiver.complete(sender.serve(receiver.build_request()));
+      out = session.complete(sender.serve(session.build_request()));
     }
     if (out.status == ReceiveStatus::kNeedsRepair) {
-      out = receiver.complete_repair(sender.serve_repair(receiver.build_repair()));
+      out = session.complete_repair(sender.serve_repair(session.build_repair()));
     }
     decoded += out.status == ReceiveStatus::kDecoded ? 1 : 0;
   }
@@ -79,8 +79,8 @@ TEST(ConfigVariants, SenderAndReceiverMustAgreeOnKeying) {
   ProtocolConfig unkeyed;
   unkeyed.keyed_short_ids = false;
   Sender sender(s.block, 42, keyed);
-  Receiver receiver(s.receiver_mempool, unkeyed);
-  const ReceiveOutcome out = receiver.receive_block(sender.encode(s.m).msg);
+  ReceiveSession session = Receiver(s.receiver_mempool, unkeyed).session();
+  const ReceiveOutcome out = session.receive_block(sender.encode(s.m).msg);
   EXPECT_NE(out.status, ReceiveStatus::kDecoded);
 }
 
@@ -98,12 +98,12 @@ TEST(ConfigVariants, NearEqualFprRangeFromPaperAllWork) {
     const chain::Scenario s = chain::make_scenario(spec, rng);
     ASSERT_EQ(s.m, s.n);
     Sender sender(s.block, rng.next(), cfg);
-    Receiver receiver(s.receiver_mempool, cfg);
-    ReceiveOutcome out = receiver.receive_block(sender.encode(s.m).msg);
+    ReceiveSession session = Receiver(s.receiver_mempool, cfg).session();
+    ReceiveOutcome out = session.receive_block(sender.encode(s.m).msg);
     ASSERT_EQ(out.status, ReceiveStatus::kNeedsProtocol2) << fpr;
-    out = receiver.complete(sender.serve(receiver.build_request()));
+    out = session.complete(sender.serve(session.build_request()));
     if (out.status == ReceiveStatus::kNeedsRepair) {
-      out = receiver.complete_repair(sender.serve_repair(receiver.build_repair()));
+      out = session.complete_repair(sender.serve_repair(session.build_repair()));
     }
     EXPECT_EQ(out.status, ReceiveStatus::kDecoded) << "fpr_R=" << fpr;
   }

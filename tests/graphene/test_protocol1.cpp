@@ -31,7 +31,7 @@ TEST(Protocol1Property, DecodesWhenReceiverHasWholeBlock) {
       [](const testkit::GenCase& c, util::Rng&) {
         const chain::Scenario s = testkit::build_scenario(c);
         Sender sender(s.block, c.salt);
-        Receiver receiver(s.receiver_mempool);
+        ReceiveSession receiver = Receiver(s.receiver_mempool).session();
         const ReceiveOutcome out =
             receiver.receive_block(sender.encode(s.receiver_mempool.size()).msg);
         if (out.status != ReceiveStatus::kDecoded) return false;
@@ -49,7 +49,7 @@ TEST(Protocol1, DecodedTransactionsAreRecoverable) {
   spec.extra_txns = 200;
   const chain::Scenario s = chain::make_scenario(spec, rng);
   Sender sender(s.block, 42);
-  Receiver receiver(s.receiver_mempool);
+  ReceiveSession receiver = Receiver(s.receiver_mempool).session();
   const ReceiveOutcome out = receiver.receive_block(sender.encode(s.m).msg);
   ASSERT_EQ(out.status, ReceiveStatus::kDecoded);
   const auto txs = receiver.block_transactions();
@@ -67,7 +67,7 @@ TEST(Protocol1, MissingTransactionsForceProtocol2) {
   spec.block_fraction_in_mempool = 0.9;
   const chain::Scenario s = chain::make_scenario(spec, rng);
   Sender sender(s.block, 43);
-  Receiver receiver(s.receiver_mempool);
+  ReceiveSession receiver = Receiver(s.receiver_mempool).session();
   const ReceiveOutcome out = receiver.receive_block(sender.encode(s.m).msg);
   EXPECT_NE(out.status, ReceiveStatus::kDecoded);
 }
@@ -94,7 +94,7 @@ TEST(Protocol1, UnkeyedShortIdsAlsoWork) {
   spec.extra_txns = 400;
   const chain::Scenario s = chain::make_scenario(spec, rng);
   Sender sender(s.block, 45, cfg);
-  Receiver receiver(s.receiver_mempool, cfg);
+  ReceiveSession receiver = Receiver(s.receiver_mempool, cfg).session();
   const ReceiveOutcome out = receiver.receive_block(sender.encode(s.m).msg);
   EXPECT_EQ(out.status, ReceiveStatus::kDecoded);
 }
@@ -107,7 +107,7 @@ TEST(Protocol1, EmptyMempoolBeyondBlockStillDecodes) {
   spec.extra_txns = 0;
   const chain::Scenario s = chain::make_scenario(spec, rng);
   Sender sender(s.block, 46);
-  Receiver receiver(s.receiver_mempool);
+  ReceiveSession receiver = Receiver(s.receiver_mempool).session();
   const GrapheneBlockMsg msg = sender.encode(s.m).msg;
   EXPECT_TRUE(msg.filter_s.matches_everything());
   const ReceiveOutcome out = receiver.receive_block(msg);

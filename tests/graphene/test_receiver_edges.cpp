@@ -11,13 +11,13 @@ namespace {
 
 TEST(ReceiverEdges, BuildRequestBeforeReceiveThrows) {
   chain::Mempool pool;
-  Receiver receiver(pool);
+  ReceiveSession receiver = Receiver(pool).session();
   EXPECT_THROW((void)receiver.build_request(), std::logic_error);
 }
 
 TEST(ReceiverEdges, BuildRequestErrorCarriesDiagnosticContext) {
   chain::Mempool pool;
-  Receiver receiver(pool);
+  ReceiveSession receiver = Receiver(pool).session();
   try {
     (void)receiver.build_request();
     FAIL() << "expected ProtocolError";
@@ -43,17 +43,17 @@ TEST(ReceiverEdges, ErrorContextReflectsObservedState) {
   const chain::Scenario s = chain::make_scenario(spec, rng);
 
   Sender sender(s.block, 123);
-  Receiver receiver(s.receiver_mempool);
+  ReceiveSession receiver = Receiver(s.receiver_mempool).session();
   const ReceiveOutcome out = receiver.receive_block(sender.encode(s.m).msg);
   ASSERT_EQ(out.status, ReceiveStatus::kNeedsProtocol2);
   const GrapheneRequestMsg req = receiver.build_request();
   EXPECT_EQ(receiver.observed_z(), req.z);
-  EXPECT_EQ(receiver.last_request_params().y_star, req.y_star);
+  EXPECT_EQ(receiver.request_params().y_star, req.y_star);
 }
 
 TEST(ReceiverEdges, CompleteBeforeReceiveFailsClosed) {
   chain::Mempool pool;
-  Receiver receiver(pool);
+  ReceiveSession receiver = Receiver(pool).session();
   GrapheneResponseMsg resp;
   resp.iblt_j = iblt::Iblt(iblt::IbltParams{4, 8}, 1);
   const ReceiveOutcome out = receiver.complete(resp);
@@ -66,7 +66,7 @@ TEST(ReceiverEdges, ReceiverIsReusableAcrossBlocks) {
   spec.block_txns = 100;
   spec.extra_txns = 100;
   const chain::Scenario s1 = chain::make_scenario(spec, rng);
-  Receiver receiver(s1.receiver_mempool);
+  ReceiveSession receiver = Receiver(s1.receiver_mempool).session();
   {
     Sender sender(s1.block, rng.next());
     EXPECT_EQ(receiver.receive_block(sender.encode(s1.m).msg).status,
@@ -78,7 +78,7 @@ TEST(ReceiverEdges, ReceiverIsReusableAcrossBlocks) {
   chain::Scenario s2 = chain::make_scenario(spec, rng);
   chain::Mempool merged = s1.receiver_mempool;
   for (const chain::Transaction& tx : s2.block.transactions()) merged.insert(tx);
-  Receiver receiver2(merged);
+  ReceiveSession receiver2 = Receiver(merged).session();
   Sender sender2(s2.block, rng.next());
   EXPECT_EQ(receiver2.receive_block(sender2.encode(merged.size()).msg).status,
             ReceiveStatus::kDecoded);
@@ -91,7 +91,7 @@ TEST(ReceiverEdges, SingleTransactionBlock) {
   spec.extra_txns = 100;
   const chain::Scenario s = chain::make_scenario(spec, rng);
   Sender sender(s.block, rng.next());
-  Receiver receiver(s.receiver_mempool);
+  ReceiveSession receiver = Receiver(s.receiver_mempool).session();
   const ReceiveOutcome out = receiver.receive_block(sender.encode(s.m).msg);
   EXPECT_EQ(out.status, ReceiveStatus::kDecoded);
   EXPECT_EQ(out.block_ids.size(), 1u);
@@ -107,7 +107,7 @@ TEST(ReceiverEdges, ReceiverUnderstatesMempoolCount) {
   spec.extra_txns = 900;
   const chain::Scenario s = chain::make_scenario(spec, rng);
   Sender sender(s.block, rng.next());
-  Receiver receiver(s.receiver_mempool);
+  ReceiveSession receiver = Receiver(s.receiver_mempool).session();
   ReceiveOutcome out = receiver.receive_block(sender.encode(s.m / 2).msg);  // lie: m/2
   if (out.status == ReceiveStatus::kNeedsProtocol2) {
     out = receiver.complete(sender.serve(receiver.build_request()));
@@ -132,7 +132,7 @@ TEST(ReceiverEdges, SpamFilteredBlockRecoversViaProtocol2) {
     ASSERT_LT(s.x, s.n);
 
     Sender sender(s.block, rng.next());
-    Receiver receiver(s.receiver_mempool);
+    ReceiveSession receiver = Receiver(s.receiver_mempool).session();
     ReceiveOutcome out = receiver.receive_block(sender.encode(s.m).msg);
     EXPECT_NE(out.status, ReceiveStatus::kDecoded);  // missing low-fee txns
     if (out.status == ReceiveStatus::kNeedsProtocol2) {
@@ -153,7 +153,7 @@ TEST(ReceiverEdges, HugeMempoolSmallBlock) {
   spec.extra_txns = 20000;
   const chain::Scenario s = chain::make_scenario(spec, rng);
   Sender sender(s.block, rng.next());
-  Receiver receiver(s.receiver_mempool);
+  ReceiveSession receiver = Receiver(s.receiver_mempool).session();
   const GrapheneBlockMsg msg = sender.encode(s.m).msg;
   const ReceiveOutcome out = receiver.receive_block(msg);
   EXPECT_EQ(out.status, ReceiveStatus::kDecoded);

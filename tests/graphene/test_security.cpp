@@ -32,8 +32,8 @@ TEST(Security, MalformedIbltInBlockMessageIsRejectedNotLooped) {
   }
   ASSERT_TRUE(corrupted);
 
-  Receiver receiver(s.receiver_mempool);
-  const ReceiveOutcome out = receiver.receive_block(msg);
+  ReceiveSession session = Receiver(s.receiver_mempool).session();
+  const ReceiveOutcome out = session.receive_block(msg);
   EXPECT_NE(out.status, ReceiveStatus::kDecoded);
 }
 
@@ -87,13 +87,13 @@ TEST(Security, TruncatedCollisionInMempoolStillUsuallyDecodes) {
     s.receiver_mempool = attacked;
 
     Sender sender(s.block, rng.next(), cfg);
-    Receiver receiver(s.receiver_mempool, cfg);
-    ReceiveOutcome out = receiver.receive_block(sender.encode(s.receiver_mempool.size()).msg);
+    ReceiveSession session = Receiver(s.receiver_mempool, cfg).session();
+    ReceiveOutcome out = session.receive_block(sender.encode(s.receiver_mempool.size()).msg);
     if (out.status == ReceiveStatus::kNeedsProtocol2) {
-      out = receiver.complete(sender.serve(receiver.build_request()));
+      out = session.complete(sender.serve(session.build_request()));
     }
     if (out.status == ReceiveStatus::kNeedsRepair) {
-      out = receiver.complete_repair(sender.serve_repair(receiver.build_repair()));
+      out = session.complete_repair(sender.serve_repair(session.build_repair()));
     }
     decoded += out.status == ReceiveStatus::kDecoded ? 1 : 0;
   }
@@ -112,8 +112,8 @@ TEST(Security, MerkleValidationCatchesWrongCandidateSet) {
   GrapheneBlockMsg msg = sender.encode(s.m).msg;
   msg.header.merkle_root[0] ^= 0xff;
 
-  Receiver receiver(s.receiver_mempool);
-  const ReceiveOutcome out = receiver.receive_block(msg);
+  ReceiveSession session = Receiver(s.receiver_mempool).session();
+  const ReceiveOutcome out = session.receive_block(msg);
   EXPECT_NE(out.status, ReceiveStatus::kDecoded);
   EXPECT_FALSE(out.merkle_ok);
 }

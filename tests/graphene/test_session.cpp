@@ -1,6 +1,6 @@
 // Session-based receive API: Receiver::session() minting, independence of
-// concurrent sessions, the deprecated facade's reset semantics, and the
-// shared pool + parameter cache wiring through ProtocolConfig.
+// concurrent sessions, and the shared pool + parameter cache wiring through
+// ProtocolConfig.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -122,18 +122,19 @@ TEST(ReceiveSessionApi, EncodeIsPureAndRepeatable) {
   EXPECT_EQ(a.msg.serialize(), b.msg.serialize());
 }
 
-TEST(ReceiveSessionApi, FacadeStillDecodesAndResetsPerBlock) {
-  // The deprecated pass-through API drives an internal session and must
-  // start fresh on every receive_block.
+TEST(ReceiveSessionApi, FreshSessionsDecodeTheSameBlockRepeatedly) {
+  // Replaying one relayed block through sessions minted from the same
+  // Receiver must work every time — each session starts fresh.
   const chain::Scenario s = desync_scenario(5, /*fraction=*/1.0);
   Sender sender(s.block, 13);
   Receiver receiver(s.receiver_mempool);
   const GrapheneBlockMsg msg = sender.encode(s.m).msg;
   for (int round = 0; round < 2; ++round) {
-    const ReceiveOutcome out = receiver.receive_block(msg);
+    ReceiveSession session = receiver.session();
+    const ReceiveOutcome out = session.receive_block(msg);
     EXPECT_EQ(out.status, ReceiveStatus::kDecoded) << "round " << round;
     // With full overlap every block transaction passes S, so z >= n.
-    EXPECT_GE(receiver.observed_z(), s.block.tx_count());
+    EXPECT_GE(session.observed_z(), s.block.tx_count());
   }
 }
 

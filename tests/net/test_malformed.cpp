@@ -21,6 +21,7 @@
 #include "iblt/iblt.hpp"
 #include "iblt/kv_iblt.hpp"
 #include "iblt/strata_estimator.hpp"
+#include "reconcile/rateless_backend.hpp"
 #include "reconcile/set_reconciler.hpp"
 #include "util/bytes.hpp"
 #include "util/random.hpp"
@@ -182,6 +183,28 @@ std::vector<WireCase> make_cases() {
     msg.items = {digest32(), digest32(), digest32()};
     cases.push_back({"reconcile::FetchResponse", msg.serialize(),
                      parser<reconcile::FetchResponse>()});
+  }
+  {
+    reconcile::RatelessChunk msg;
+    msg.start = 3;
+    msg.host_count = 90;
+    msg.salt = rng.next();
+    msg.set_checksum = rng.next();
+    iblt::RatelessEncoder enc(msg.salt);
+    for (int i = 0; i < 90; ++i) {
+      const auto d = digest32();
+      enc.add_item(d);
+    }
+    for (int i = 0; i < 8; ++i) msg.symbols.push_back(enc.next_symbol());
+    cases.push_back({"reconcile::RatelessChunk", msg.serialize(),
+                     parser<reconcile::RatelessChunk>()});
+  }
+  {
+    reconcile::RatelessNeed msg;
+    msg.next_index = 17;
+    msg.count = 64;
+    cases.push_back({"reconcile::RatelessNeed", msg.serialize(),
+                     parser<reconcile::RatelessNeed>()});
   }
 
   return cases;

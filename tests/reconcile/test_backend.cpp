@@ -1,0 +1,391 @@
+// The reconciliation backend seam: golden wire pins proving the Graphene
+// messages survived the refactor byte-for-byte, the backend-agnostic driver
+// loop, the rateless backend end-to-end, and the DigestHasher fix.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "graphene/errors.hpp"
+#include "reconcile/rateless_backend.hpp"
+#include "reconcile/set_reconciler.hpp"
+#include "util/hex.hpp"
+#include "util/random.hpp"
+#include "util/sha256.hpp"
+
+namespace graphene::reconcile {
+namespace {
+
+ItemSet pinned_items(std::uint64_t seed, std::size_t count) {
+  util::Rng rng(seed);
+  ItemSet out;
+  while (out.size() < count) {
+    ItemDigest d;
+    for (std::size_t i = 0; i < d.size(); i += 8) {
+      const std::uint64_t w = rng.next();
+      for (std::size_t b = 0; b < 8; ++b) d[i + b] = static_cast<std::uint8_t>(w >> (8 * b));
+    }
+    out.insert(d);
+  }
+  return out;
+}
+
+/// Subset slicing goes through sorted digests so scenarios are independent
+/// of the hasher's iteration order.
+std::vector<ItemDigest> sorted_of(const ItemSet& s) {
+  std::vector<ItemDigest> v(s.begin(), s.end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+std::string pin(const util::Bytes& wire) {
+  const auto h = util::sha256(util::ByteView(wire));
+  return util::to_hex(util::ByteView(h.data(), h.size()));
+}
+
+core::ProtocolConfig rateless_cfg() {
+  core::ProtocolConfig cfg;
+  cfg.reconcile_backend = core::ReconcileBackend::kRatelessIblt;
+  return cfg;
+}
+
+// --- Golden wire pins ------------------------------------------------------
+//
+// SHA-256 of every serialized Graphene reconcile message across three pinned
+// scenarios. These bytes are the on-wire protocol: any refactor of the
+// backend seam must reproduce them exactly. (Response.missing is emitted in
+// sorted-digest order — the one deliberate canonicalization — and these pins
+// bake that in.)
+
+TEST(BackendGoldenWire, DisjointHeavyScenarioPinsHold) {
+  const ItemSet host_items = pinned_items(0x9001, 300);
+  ItemSet client_items = pinned_items(0x9002, 100);
+  const std::vector<ItemDigest> host_sorted = sorted_of(host_items);
+  for (std::size_t i = 0; i < 200; ++i) client_items.insert(host_sorted[i]);
+
+  const Host host(host_items, 0x5a17);
+  Client client(client_items);
+  const Offer offer = host.make_offer(client_items.size());
+  EXPECT_EQ(pin(offer.serialize()),
+            "ee194862bb3502e2bb8f245ec147e71101f4504265fbe4f57eb731845953547d");
+  const Outcome o1 = client.absorb(offer);
+  ASSERT_EQ(o1.status, Outcome::Status::kNeedsRequest);
+  const Request req = client.make_request();
+  EXPECT_EQ(pin(req.serialize()),
+            "29a18609c37b86678f2d1324c17c9b80ebdff7be16ac62ba937ea808e2616f4f");
+  const Response resp = host.serve(req);
+  EXPECT_EQ(pin(resp.serialize()),
+            "58360ef3d2432e359c3707b07209b2122fdbbf01879bbdcecfe0ac28290f3e1b");
+  EXPECT_TRUE(std::is_sorted(resp.missing.begin(), resp.missing.end()));
+}
+
+TEST(BackendGoldenWire, SupersetClientScenarioPinsHold) {
+  const ItemSet host_items = pinned_items(0xb001, 150);
+  ItemSet client_items = host_items;
+  for (const ItemDigest& d : pinned_items(0xb002, 50)) client_items.insert(d);
+
+  const Host host(host_items, 0xfeed);
+  Client client(client_items);
+  const Offer offer = host.make_offer(client_items.size());
+  EXPECT_EQ(pin(offer.serialize()),
+            "9cf9932d42b24aee38953a6eaf34d22303e2dab35203a4cf54fd1e0370f9be7e");
+  EXPECT_EQ(client.absorb(offer).status, Outcome::Status::kComplete);
+}
+
+TEST(BackendGoldenWire, ReversedPathScenarioPinsHoldThroughFetch) {
+  const ItemSet host_items = pinned_items(0xc001, 400);
+  ItemSet client_items = pinned_items(0xc002, 10);
+  const std::vector<ItemDigest> host_sorted = sorted_of(host_items);
+  for (std::size_t i = 0; i < 380; ++i) client_items.insert(host_sorted[i]);
+
+  const Host host(host_items, 0xc0de);
+  Client client(client_items);
+  const Offer offer = host.make_offer(client_items.size());
+  EXPECT_EQ(pin(offer.serialize()),
+            "11229fdbf6604900ce01c5d8dbb21be542a63962869e8c1d15bc7b605a2a1b2a");
+  ASSERT_EQ(client.absorb(offer).status, Outcome::Status::kNeedsRequest);
+  const Request req = client.make_request();
+  EXPECT_TRUE(req.reversed);
+  EXPECT_EQ(pin(req.serialize()),
+            "46d4854362074b2202a9c2b638ef1a2832558384f8fea8fe82e6d2a5e962f9b2");
+  const Response resp = host.serve(req);
+  EXPECT_EQ(pin(resp.serialize()),
+            "6e334829a72e6b127af8bce905e41aa198d8c5087757188c087ed743427683bb");
+  ASSERT_EQ(client.complete(resp).status, Outcome::Status::kNeedsFetch);
+  const FetchRequest freq = client.make_fetch();
+  EXPECT_EQ(pin(freq.serialize()),
+            "ef8423963c3ef769a5f57051257af18c62636b121fdc7f8b264266256751af25");
+  const FetchResponse fresp = host.serve_fetch(freq);
+  EXPECT_EQ(pin(fresp.serialize()),
+            "489c6cd12b823efc5f45a578ea50265cea105d22362a0c72193068663eaf5e51");
+  const Outcome fin = client.complete_fetch(fresp);
+  EXPECT_EQ(fin.status, Outcome::Status::kComplete);
+  EXPECT_EQ(fin.host_set, host_items);
+}
+
+// --- The backend-agnostic driver -------------------------------------------
+
+TEST(BackendDriver, WireDriverMatchesTypedGrapheneFlow) {
+  util::Rng rng(21);
+  for (int t = 0; t < 5; ++t) {
+    const ItemSet host_items = pinned_items(rng.next(), 300);
+    ItemSet client_items = pinned_items(rng.next(), 50);
+    const std::vector<ItemDigest> host_sorted = sorted_of(host_items);
+    for (std::size_t i = 0; i < 250; ++i) client_items.insert(host_sorted[i]);
+    const std::uint64_t salt = rng.next();
+
+    Host wire_host(host_items, salt);
+    Client wire_client(client_items);
+    Outcome wire_out;
+    const SyncStats wire_stats = reconcile_one_way(wire_host, wire_client, wire_out);
+
+    const Host typed_host(host_items, salt);
+    Client typed_client(client_items);
+    Outcome typed_out;
+    const SyncStats typed_stats = reconcile_one_way(
+        typed_host, typed_client, typed_host.make_offer(client_items.size()),
+        typed_out);
+
+    EXPECT_EQ(wire_stats.success, typed_stats.success);
+    EXPECT_EQ(wire_out.status, typed_out.status);
+    if (wire_stats.success) {
+      EXPECT_EQ(wire_out.host_set, host_items);
+      EXPECT_EQ(typed_out.host_set, host_items);
+      // Same messages, same sizes: the wire driver only adds framing-free
+      // payload accounting.
+      EXPECT_EQ(wire_stats.round_bytes, typed_stats.round_bytes);
+    }
+  }
+}
+
+TEST(BackendDriver, RoundCapBoundsTheLoop) {
+  core::ProtocolConfig cfg = rateless_cfg();
+  cfg.reconcile_round_cap = 1;  // one message only: offer/chunk then stop
+  cfg.rateless_initial_symbols = 1;
+  util::Rng rng(22);
+  const ItemSet host_items = pinned_items(rng.next(), 400);
+  const ItemSet client_items = pinned_items(rng.next(), 400);
+  Host host(host_items, rng.next(), cfg);
+  Client client(client_items, cfg);
+  Outcome out;
+  const SyncStats stats = reconcile_one_way(host, client, out);
+  EXPECT_FALSE(stats.success);
+  EXPECT_EQ(out.status, Outcome::Status::kFailed);
+  EXPECT_LE(stats.round_bytes.size(), 3u);
+}
+
+TEST(BackendDriver, SyncStatsLegacyAccessorsMirrorRoundBytes) {
+  util::Rng rng(23);
+  const ItemSet host_items = pinned_items(rng.next(), 300);
+  ItemSet client_items;
+  const std::vector<ItemDigest> host_sorted = sorted_of(host_items);
+  for (std::size_t i = 0; i < 200; ++i) client_items.insert(host_sorted[i]);
+  Host host(host_items, rng.next());
+  Client client(client_items);
+  Outcome out;
+  const SyncStats stats = reconcile_one_way(host, client, out);
+  ASSERT_TRUE(stats.success);
+  ASSERT_TRUE(stats.used_request_round);
+  ASSERT_GE(stats.round_bytes.size(), 3u);
+  EXPECT_EQ(stats.offer_bytes(), stats.round_bytes[0]);
+  EXPECT_EQ(stats.request_bytes(), stats.round_bytes[1]);
+  EXPECT_EQ(stats.response_bytes(), stats.round_bytes[2]);
+  std::size_t fetch = 0;
+  for (std::size_t i = 3; i < stats.round_bytes.size(); ++i) fetch += stats.round_bytes[i];
+  EXPECT_EQ(stats.fetch_bytes(), fetch);
+  EXPECT_EQ(stats.total_bytes(), stats.offer_bytes() + stats.request_bytes() +
+                                     stats.response_bytes() + stats.fetch_bytes());
+}
+
+// --- The rateless backend --------------------------------------------------
+
+TEST(RatelessBackend, CompletesAcrossDivergenceRegimes) {
+  util::Rng rng(31);
+  const struct {
+    std::size_t host;
+    std::size_t shared;
+    std::size_t client_extra;
+  } kCells[] = {
+      {200, 200, 0},    // identical sets
+      {200, 200, 50},   // client superset
+      {300, 250, 0},    // client subset
+      {300, 150, 150},  // heavy two-sided divergence
+      {1, 0, 0},        // single-item host, empty client
+      {500, 490, 10},   // small difference in large sets
+  };
+  for (const auto& cell : kCells) {
+    const ItemSet host_items = pinned_items(rng.next(), cell.host);
+    ItemSet client_items;
+    const std::vector<ItemDigest> host_sorted = sorted_of(host_items);
+    for (std::size_t i = 0; i < cell.shared; ++i) client_items.insert(host_sorted[i]);
+    for (const ItemDigest& d : pinned_items(rng.next(), cell.client_extra)) {
+      client_items.insert(d);
+    }
+
+    Host host(host_items, rng.next(), rateless_cfg());
+    Client client(client_items, rateless_cfg());
+    Outcome out;
+    const SyncStats stats = reconcile_one_way(host, client, out);
+    ASSERT_TRUE(stats.success) << "host=" << cell.host << " shared=" << cell.shared;
+    EXPECT_EQ(out.host_set, host_items);
+    EXPECT_GT(stats.symbols_consumed, 0u);
+    // No decode-failure repair and no short-ID fetch — structurally absent.
+    EXPECT_FALSE(stats.used_request_round);
+    EXPECT_FALSE(stats.used_fetch_round);
+    EXPECT_TRUE(out.unresolved.empty());
+  }
+}
+
+TEST(RatelessBackend, EmptyHostSetCompletesTrivially) {
+  util::Rng rng(32);
+  const ItemSet client_items = pinned_items(rng.next(), 60);
+  Host host(ItemSet{}, rng.next(), rateless_cfg());
+  Client client(client_items, rateless_cfg());
+  Outcome out;
+  const SyncStats stats = reconcile_one_way(host, client, out);
+  ASSERT_TRUE(stats.success);
+  EXPECT_TRUE(out.host_set.empty());
+}
+
+TEST(RatelessBackend, TypedGrapheneApiThrowsLogicError) {
+  util::Rng rng(33);
+  const ItemSet items = pinned_items(rng.next(), 20);
+  const Host host(items, 1, rateless_cfg());
+  EXPECT_THROW((void)host.make_offer(20), std::logic_error);
+  Client client(items, rateless_cfg());
+  EXPECT_THROW((void)client.absorb(Offer{}), std::logic_error);
+}
+
+TEST(RatelessBackend, ChunkReServesAreByteIdentical) {
+  util::Rng rng(34);
+  const ItemSet items = pinned_items(rng.next(), 100);
+  RatelessHostBackend backend(items, 7, rateless_cfg());
+  (void)backend.open(100);
+
+  RatelessNeed need;
+  need.next_index = 0;
+  need.count = 16;
+  WireMsg req;
+  req.type = net::MessageType::kRatelessNeed;
+  req.payload = need.serialize();
+  const WireMsg a = backend.serve_wire(req);
+  const WireMsg b = backend.serve_wire(req);
+  EXPECT_EQ(a.payload, b.payload);
+  EXPECT_EQ(a.type, net::MessageType::kRatelessChunk);
+}
+
+TEST(RatelessBackend, WireMessagesRoundTrip) {
+  util::Rng rng(35);
+  RatelessChunk chunk;
+  chunk.start = 5;
+  chunk.host_count = 123;
+  chunk.salt = rng.next();
+  chunk.set_checksum = rng.next();
+  for (int i = 0; i < 3; ++i) {
+    iblt::CodedSymbol s;
+    for (auto& b : s.sum) b = static_cast<std::uint8_t>(rng.next());
+    s.check = rng.next();
+    s.count = static_cast<std::int64_t>(rng.next() % 1000) - 500;
+    chunk.symbols.push_back(s);
+  }
+  const util::Bytes wire = chunk.serialize();
+  util::ByteReader reader{util::ByteView(wire)};
+  const RatelessChunk back = RatelessChunk::deserialize(reader);
+  EXPECT_TRUE(reader.done());
+  EXPECT_EQ(back.start, chunk.start);
+  EXPECT_EQ(back.host_count, chunk.host_count);
+  EXPECT_EQ(back.salt, chunk.salt);
+  EXPECT_EQ(back.set_checksum, chunk.set_checksum);
+  ASSERT_EQ(back.symbols.size(), chunk.symbols.size());
+  for (std::size_t i = 0; i < back.symbols.size(); ++i) {
+    EXPECT_EQ(back.symbols[i].sum, chunk.symbols[i].sum);
+    EXPECT_EQ(back.symbols[i].check, chunk.symbols[i].check);
+    EXPECT_EQ(back.symbols[i].count, chunk.symbols[i].count);
+  }
+
+  RatelessNeed need;
+  need.next_index = 99;
+  need.count = 4;
+  const util::Bytes need_wire = need.serialize();
+  util::ByteReader nr{util::ByteView(need_wire)};
+  const RatelessNeed need_back = RatelessNeed::deserialize(nr);
+  EXPECT_TRUE(nr.done());
+  EXPECT_EQ(need_back.next_index, need.next_index);
+  EXPECT_EQ(need_back.count, need.count);
+}
+
+// --- Wire hygiene ----------------------------------------------------------
+
+TEST(BackendWire, TrailingPayloadBytesAreRejected) {
+  util::Rng rng(41);
+  const ItemSet host_items = pinned_items(rng.next(), 50);
+  const ItemSet client_items = pinned_items(rng.next(), 50);
+  for (const core::ReconcileBackend backend :
+       {core::ReconcileBackend::kGraphene, core::ReconcileBackend::kRatelessIblt}) {
+    core::ProtocolConfig cfg;
+    cfg.reconcile_backend = backend;
+    Host host(host_items, rng.next(), cfg);
+    Client client(client_items, cfg);
+    WireMsg opening = host.open(client_items.size());
+    opening.payload.push_back(0x00);  // smuggled appendix
+    EXPECT_THROW((void)client.absorb_wire(opening), util::DeserializeError);
+  }
+}
+
+TEST(BackendWire, UnexpectedMessageTypeFailsClosed) {
+  util::Rng rng(42);
+  const ItemSet host_items = pinned_items(rng.next(), 50);
+  const ItemSet client_items = pinned_items(rng.next(), 50);
+
+  // Graphene client: a rateless chunk is out of protocol → kFailed.
+  {
+    Host host(host_items, rng.next());
+    Client client(client_items);
+    WireMsg opening = host.open(client_items.size());
+    opening.type = net::MessageType::kRatelessChunk;
+    EXPECT_EQ(client.absorb_wire(opening).status, Outcome::Status::kFailed);
+  }
+  // Rateless host: a graphene request is out of protocol → ProtocolError.
+  {
+    Host host(host_items, rng.next(), rateless_cfg());
+    (void)host.open(client_items.size());
+    WireMsg bogus;
+    bogus.type = net::MessageType::kReconcileRequest;
+    EXPECT_THROW((void)host.serve_wire(bogus), core::ProtocolError);
+  }
+}
+
+// --- DigestHasher ----------------------------------------------------------
+
+TEST(DigestHasher, MixesAllFourWordsOfTheDigest) {
+  // The regression this guards: hashing only bytes 0–7 sent every digest
+  // with a shared 8-byte prefix — exactly what an adversary grinds for —
+  // into one bucket. Build 4096 digests identical except in their LAST word
+  // and require a near-uniform spread over 64 buckets.
+  DigestHasher hasher;
+  util::Rng rng(51);
+  ItemDigest base;
+  for (auto& b : base) b = static_cast<std::uint8_t>(rng.next());
+
+  constexpr std::size_t kBuckets = 64;
+  constexpr std::size_t kDigests = 4096;
+  std::array<std::size_t, kBuckets> counts{};
+  std::unordered_set<std::size_t> distinct;
+  for (std::size_t i = 0; i < kDigests; ++i) {
+    ItemDigest d = base;
+    for (std::size_t b = 0; b < 8; ++b) d[24 + b] = static_cast<std::uint8_t>(i >> (8 * b));
+    const std::size_t h = hasher(d);
+    distinct.insert(h);
+    counts[h % kBuckets] += 1;
+  }
+  EXPECT_EQ(distinct.size(), kDigests);  // no wholesale collisions
+  const std::size_t expected = kDigests / kBuckets;
+  for (const std::size_t c : counts) {
+    EXPECT_GT(c, expected / 4);
+    EXPECT_LT(c, expected * 4);
+  }
+}
+
+}  // namespace
+}  // namespace graphene::reconcile

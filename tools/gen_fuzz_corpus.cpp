@@ -8,16 +8,21 @@
 // the accepting paths instead of rediscovering the framing byte by byte.
 // The outputs are deterministic (fixed seeds); regenerate and re-commit
 // whenever a wire format changes.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <tuple>
 
 #include "bloom/cuckoo_filter.hpp"
 #include "bloom/golomb_set.hpp"
 #include "chain/transaction.hpp"
 #include "graphene/messages.hpp"
+#include "iblt/coded_symbol.hpp"
 #include "iblt/strata_estimator.hpp"
+#include "reconcile/rateless_backend.hpp"
+#include "reconcile/types.hpp"
 #include "util/random.hpp"
 #include "util/varint.hpp"
 
@@ -178,6 +183,37 @@ int main(int argc, char** argv) {
     core::RepairResponseMsg rresp;
     rresp.txns = sample_txs(rng, n / 10 + 1);
     emit("fuzz_repair", std::string("seed-resp-") + tag, prefix_byte(1, rresp.serialize()));
+  }
+
+  // Rateless backend messages: a symbol-bearing chunk at two stream offsets
+  // plus a continuation ask (first byte routes, as in fuzz_repair). Own Rng
+  // so inserting this section left every older seed byte-identical.
+  util::Rng rateless_rng(0x247e1e55);
+  for (const auto& [tag, items, start, symbols] :
+       {std::tuple<const char*, int, std::uint64_t, int>{"small", 40, 0, 12},
+        {"deep", 800, 96, 48}}) {
+    reconcile::RatelessChunk chunk;
+    chunk.start = start;
+    chunk.host_count = static_cast<std::uint64_t>(items);
+    chunk.salt = rateless_rng.next();
+    iblt::RatelessEncoder enc(chunk.salt);
+    for (int i = 0; i < items; ++i) {
+      const auto id = chain::make_random_transaction(rateless_rng).id;
+      reconcile::ItemDigest d;
+      std::copy(id.begin(), id.end(), d.begin());
+      enc.add_item(d);
+    }
+    chunk.set_checksum = enc.set_checksum();
+    for (std::uint64_t i = 0; i < start; ++i) (void)enc.next_symbol();
+    for (int i = 0; i < symbols; ++i) chunk.symbols.push_back(enc.next_symbol());
+    emit("fuzz_rateless_chunk", std::string("seed-chunk-") + tag,
+         prefix_byte(0, chunk.serialize()));
+
+    reconcile::RatelessNeed need;
+    need.next_index = start + static_cast<std::uint64_t>(symbols);
+    need.count = static_cast<std::uint64_t>(symbols) * 2;
+    emit("fuzz_rateless_chunk", std::string("seed-need-") + tag,
+         prefix_byte(1, need.serialize()));
   }
 
   // roundtrip consumes a parameter stream, not wire bytes: raw entropy seeds.
