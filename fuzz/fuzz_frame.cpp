@@ -1,0 +1,100 @@
+// Incremental TCP framing. The first input byte picks a chunk size; the
+// rest is a raw byte stream fed to net::FrameReader two ways — absorbed
+// whole, and absorbed chunk by chunk with decoding interleaved, exactly as
+// the daemon's read loop does. The two decodes must agree byte for byte
+// (same messages, same terminal error), and every decoded message must
+// survive an encode_frame/decode round trip with nothing left buffered.
+#include <cstdlib>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "harness.hpp"
+#include "net/frame.hpp"
+
+namespace {
+
+// Small enough that the fuzzer reaches the length cap and the buffering
+// ceiling with kilobyte inputs; large enough for every corpus frame.
+constexpr std::uint64_t kMaxPayload = 1u << 16;
+
+struct Decode {
+  std::vector<graphene::net::Message> msgs;
+  bool error = false;
+};
+
+bool same_message(const graphene::net::Message& a, const graphene::net::Message& b) {
+  return a.type == b.type && a.payload == b.payload;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size < 2) return 0;
+  const std::size_t chunk = 1 + data[0] % 97;
+  const graphene::util::ByteView stream = graphene::fuzz::view(data + 1, size - 1);
+
+  // Reference pass: the whole stream in one absorb. Oversized inputs hit the
+  // buffering ceiling inside absorb() itself — a legitimate rejection, but
+  // one the chunked pass (which drains as it goes) never sees, so skip the
+  // differential for those.
+  Decode whole;
+  bool whole_comparable = true;
+  {
+    graphene::net::FrameReader reader(kMaxPayload);
+    try {
+      reader.absorb(stream);
+    } catch (const graphene::util::DeserializeError&) {
+      whole_comparable = false;
+    }
+    if (whole_comparable) {
+      try {
+        while (std::optional<graphene::net::Message> msg = reader.next()) {
+          whole.msgs.push_back(std::move(*msg));
+        }
+      } catch (const graphene::util::DeserializeError&) {
+        whole.error = true;
+      }
+    }
+  }
+
+  // Chunked pass: absorb and decode interleaved, stopping at the first
+  // malformed envelope like a connection owner would.
+  Decode chunked;
+  {
+    graphene::net::FrameReader reader(kMaxPayload);
+    std::size_t off = 0;
+    try {
+      while (off < stream.size() && !chunked.error) {
+        const std::size_t n = std::min(chunk, stream.size() - off);
+        reader.absorb(graphene::util::ByteView(stream.data() + off, n));
+        off += n;
+        while (std::optional<graphene::net::Message> msg = reader.next()) {
+          chunked.msgs.push_back(std::move(*msg));
+        }
+      }
+    } catch (const graphene::util::DeserializeError&) {
+      chunked.error = true;
+    }
+  }
+
+  // Split points must be invisible: same messages, same terminal judgment.
+  if (whole_comparable) {
+    if (whole.error != chunked.error) std::abort();
+    if (whole.msgs.size() != chunked.msgs.size()) std::abort();
+    for (std::size_t i = 0; i < whole.msgs.size(); ++i) {
+      if (!same_message(whole.msgs[i], chunked.msgs[i])) std::abort();
+    }
+  }
+
+  // Everything the reader accepted must re-encode and decode to itself.
+  for (const graphene::net::Message& msg : chunked.msgs) {
+    const graphene::util::Bytes frame = graphene::net::encode_frame(msg, kMaxPayload);
+    graphene::net::FrameReader reader(kMaxPayload);
+    reader.absorb(graphene::util::ByteView(frame));
+    const std::optional<graphene::net::Message> again = reader.next();
+    if (!again.has_value() || !same_message(*again, msg)) std::abort();
+    if (reader.mid_frame()) std::abort();
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Client-side session driver for the relay daemon protocol.
+//
+// ClientSession is the mirror image of PeerSession and just as transport-
+// free: it wraps a reconcile::ClientBackend, speaks the hello/bye control
+// frames, and bounds its own round trips with the config's
+// reconcile_round_cap, so a hostile or broken daemon cannot keep it in
+// session forever. tools/loadgen, bench/daemon_load, and the deterministic
+// harness all drive connections through this one class.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "daemon/wire.hpp"
+#include "graphene/params.hpp"
+#include "net/message.hpp"
+#include "reconcile/backend.hpp"
+#include "reconcile/types.hpp"
+
+namespace graphene::daemon {
+
+class ClientSession {
+ public:
+  enum class Status : std::uint8_t {
+    kInFlight,  ///< keep exchanging messages
+    kComplete,  ///< host set learned and certified; bye(ok) emitted
+    kFailed,    ///< typed failure or round cap; bye(failed) emitted if possible
+  };
+
+  /// `items` is borrowed and must outlive the session. The backend is chosen
+  /// by cfg.reconcile_backend; cfg also carries the round cap.
+  ClientSession(const reconcile::ItemSet& items, core::ProtocolConfig cfg);
+  ~ClientSession();
+  ClientSession(ClientSession&&) noexcept;
+  ClientSession& operator=(ClientSession&&) = delete;
+  ClientSession(const ClientSession&) = delete;
+  ClientSession& operator=(const ClientSession&) = delete;
+
+  /// The opening frame of the session.
+  [[nodiscard]] net::Message hello() const;
+
+  /// Absorbs one daemon message; any frames to send back (next request, or
+  /// the closing bye) are appended to `out`.
+  Status on_message(const net::Message& msg, std::vector<net::Message>& out);
+
+  [[nodiscard]] Status status() const noexcept { return status_; }
+  /// Valid once status() is kComplete.
+  [[nodiscard]] const reconcile::Outcome& outcome() const noexcept { return outcome_; }
+  /// Round trips consumed (the bye's rounds field).
+  [[nodiscard]] std::uint32_t rounds() const noexcept { return rounds_; }
+  /// Set when the daemon sent a typed error frame.
+  [[nodiscard]] const ErrorMsg* daemon_error() const noexcept {
+    return have_error_ ? &error_ : nullptr;
+  }
+
+ private:
+  Status finish(std::vector<net::Message>& out, bool ok);
+
+  const reconcile::ItemSet* items_;
+  core::ProtocolConfig cfg_;
+  std::unique_ptr<reconcile::ClientBackend> backend_;
+  Status status_ = Status::kInFlight;
+  reconcile::Outcome outcome_;
+  std::uint32_t rounds_ = 0;
+  ErrorMsg error_;
+  bool have_error_ = false;
+};
+
+}  // namespace graphene::daemon

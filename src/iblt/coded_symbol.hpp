@@ -43,7 +43,12 @@ struct CodedSymbol {
   void apply(const Digest32& d, std::uint64_t chk, std::int64_t dir) noexcept {
     for (std::size_t i = 0; i < d.size(); ++i) sum[i] ^= d[i];
     check ^= chk;
-    count += dir;
+    // Wrapping add: a hostile stream can deliver count = INT64_MIN, and the
+    // decoder must keep applying items to the garbage cell until its work
+    // budget trips — two's-complement wraparound, not UB. (C++20 guarantees
+    // the unsigned->signed conversion is the modular inverse.)
+    count = static_cast<std::int64_t>(static_cast<std::uint64_t>(count) +
+                                      static_cast<std::uint64_t>(dir));
   }
 
   [[nodiscard]] bool is_zero() const noexcept {

@@ -26,8 +26,23 @@ std::string_view command_name(MessageType type) noexcept {
     case MessageType::kReconcileFetchResponse: return "rcnfetchresp";
     case MessageType::kRatelessChunk: return "rlchunk";
     case MessageType::kRatelessNeed: return "rlneed";
+    case MessageType::kDaemonHello: return "hello";
+    case MessageType::kDaemonBye: return "bye";
+    case MessageType::kDaemonError: return "error";
   }
   return "unknown";
+}
+
+std::optional<MessageType> command_from_name(std::string_view name) noexcept {
+  // The message vocabulary is small and framing is not the hot path (one
+  // lookup per message, against payloads of KBs), so a linear sweep over the
+  // enum beats maintaining a parallel table that can drift.
+  for (std::uint8_t t = 0; t <= static_cast<std::uint8_t>(MessageType::kDaemonError);
+       ++t) {
+    const auto type = static_cast<MessageType>(t);
+    if (command_name(type) == name) return type;
+  }
+  return std::nullopt;
 }
 
 }  // namespace graphene::net

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string_view>
 
 #include "util/bytes.hpp"
@@ -36,10 +37,17 @@ enum class MessageType : std::uint8_t {
   kReconcileFetchResponse,  ///< reconcile session: fetched digests
   kRatelessChunk,           ///< rateless backend: coded-symbol chunk
   kRatelessNeed,            ///< rateless backend: request for more symbols
+  kDaemonHello,             ///< relay daemon: session open (version, backend, count)
+  kDaemonBye,               ///< relay daemon: client-reported session end
+  kDaemonError,             ///< relay daemon: typed error before close
 };
 
 /// Human-readable command string (also the wire command field).
 [[nodiscard]] std::string_view command_name(MessageType type) noexcept;
+
+/// Inverse of command_name for the framing decoder; nullopt for commands no
+/// peer of this version speaks (the frame is then rejected as typed error).
+[[nodiscard]] std::optional<MessageType> command_from_name(std::string_view name) noexcept;
 
 /// Size of the P2P envelope prepended to every message.
 inline constexpr std::size_t kEnvelopeBytes = 24;

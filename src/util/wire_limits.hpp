@@ -54,6 +54,21 @@ inline constexpr std::uint64_t kMaxSizingParam = kMaxIbltCells;
 /// multi-GiB allocations when the decoded block was re-encoded.
 inline constexpr std::uint64_t kMaxTxWireSize = 1ULL << 22;
 
+/// Payload bytes one net::FrameReader will buffer for a single framed
+/// message. The largest honest payloads (mempool-scale Bloom filters) stay
+/// under a few MiB; 64 MiB keeps a hostile length prefix from pinning that
+/// much memory per connection times thousands of connections.
+inline constexpr std::uint64_t kMaxFramePayload = 1ULL << 26;
+
+/// Human-readable text carried in a daemon error frame. Diagnostics, not
+/// data: anything longer is a smuggling attempt.
+inline constexpr std::uint64_t kMaxDaemonTextBytes = 512;
+
+/// Set size a daemon peer may claim in its hello. Only feeds parameter
+/// arithmetic (never an allocation), but bounding it keeps every downstream
+/// sizing computation far from overflow.
+inline constexpr std::uint64_t kMaxDaemonItemCount = 1ULL << 40;
+
 /// Coded symbols in one RatelessChunk (48 bytes each → 3 MiB ceiling). The
 /// rateless decoder needs ~1.35·d symbols total, so even a 10^6-item
 /// difference fits in a handful of maximal chunks.

@@ -1,0 +1,272 @@
+// PeerSession/ClientSession state machines at the message level: happy paths
+// on both backends, every typed error path, policy caps, and the deadline
+// arithmetic — all transport-free and on fake time.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "net/frame.hpp"
+
+namespace graphene::daemon {
+namespace {
+
+using testing::make_items;
+using testing::pump_session;
+
+constexpr std::uint64_t kNow = 1'000'000'000;
+
+core::ProtocolConfig cfg_for(core::ReconcileBackend backend) {
+  core::ProtocolConfig cfg;
+  cfg.reconcile_backend = backend;
+  return cfg;
+}
+
+struct SessionRig {
+  explicit SessionRig(core::ReconcileBackend backend = core::ReconcileBackend::kGraphene,
+                      DaemonLimits limits = {})
+      : host_items(make_items(120)),
+        client_items(make_items(100, /*start=*/40)),  // 80 shared, 20+40 delta
+        session(host_items, /*salt=*/0x5eed, limits, cfg_for(backend)),
+        client(client_items, cfg_for(backend)) {}
+
+  reconcile::ItemSet host_items;
+  reconcile::ItemSet client_items;
+  PeerSession session;
+  ClientSession client;
+};
+
+TEST(PeerSession, GrapheneSessionCompletes) {
+  SessionRig rig;
+  EXPECT_EQ(pump_session(rig.session, rig.client, kNow),
+            ClientSession::Status::kComplete);
+  EXPECT_EQ(rig.client.outcome().host_set, rig.host_items);
+  EXPECT_FALSE(rig.session.closed());
+  EXPECT_FALSE(rig.session.in_session());  // back to await-hello after bye
+  EXPECT_EQ(rig.session.stats().sessions_ok, 1u);
+  EXPECT_EQ(rig.session.stats().sessions_failed, 0u);
+}
+
+TEST(PeerSession, RatelessSessionCompletes) {
+  SessionRig rig(core::ReconcileBackend::kRatelessIblt);
+  EXPECT_EQ(pump_session(rig.session, rig.client, kNow),
+            ClientSession::Status::kComplete);
+  EXPECT_EQ(rig.client.outcome().host_set, rig.host_items);
+  EXPECT_EQ(rig.session.stats().sessions_ok, 1u);
+}
+
+TEST(PeerSession, RunsSessionsBackToBack) {
+  SessionRig rig;
+  for (int i = 0; i < 3; ++i) {
+    ClientSession client(rig.client_items, cfg_for(core::ReconcileBackend::kGraphene));
+    EXPECT_EQ(pump_session(rig.session, client, kNow),
+              ClientSession::Status::kComplete);
+  }
+  EXPECT_EQ(rig.session.stats().sessions_ok, 3u);
+  EXPECT_FALSE(rig.session.closed());
+}
+
+TEST(PeerSession, RequestBeforeHelloIsProtocolError) {
+  SessionRig rig;
+  std::vector<net::Message> out;
+  const net::Message premature{net::MessageType::kGrapheneRequest, util::Bytes{}};
+  EXPECT_FALSE(rig.session.on_bytes(kNow, net::encode_frame(premature), out));
+  EXPECT_EQ(rig.session.reason(), CloseReason::kProtocolError);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, net::MessageType::kDaemonError);
+  util::ByteReader reader(out[0].payload);
+  EXPECT_EQ(ErrorMsg::deserialize(reader).code, ErrorCode::kProtocol);
+}
+
+TEST(PeerSession, UnsupportedVersionIsRejected) {
+  SessionRig rig;
+  HelloMsg hello;
+  hello.version = kDaemonProtocolVersion + 7;
+  hello.item_count = 10;
+  std::vector<net::Message> out;
+  const net::Message msg{net::MessageType::kDaemonHello, hello.serialize()};
+  EXPECT_FALSE(rig.session.on_bytes(kNow, net::encode_frame(msg), out));
+  EXPECT_EQ(rig.session.reason(), CloseReason::kProtocolError);
+  ASSERT_EQ(out.size(), 1u);
+  util::ByteReader reader(out[0].payload);
+  EXPECT_EQ(ErrorMsg::deserialize(reader).code, ErrorCode::kUnsupported);
+}
+
+TEST(PeerSession, TrailingBytesInHelloAreMalformed) {
+  SessionRig rig;
+  HelloMsg hello;
+  hello.item_count = 10;
+  util::Bytes payload = hello.serialize();
+  payload.push_back(0x00);
+  std::vector<net::Message> out;
+  const net::Message msg{net::MessageType::kDaemonHello, payload};
+  EXPECT_FALSE(rig.session.on_bytes(kNow, net::encode_frame(msg), out));
+  EXPECT_EQ(rig.session.reason(), CloseReason::kMalformed);
+}
+
+TEST(PeerSession, GarbageBytesAreMalformed) {
+  SessionRig rig;
+  std::vector<net::Message> out;
+  const util::Bytes garbage(64, 0x6f);
+  EXPECT_FALSE(rig.session.on_bytes(kNow, garbage, out));
+  EXPECT_EQ(rig.session.reason(), CloseReason::kMalformed);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, net::MessageType::kDaemonError);
+}
+
+TEST(PeerSession, HelloInsideSessionIsProtocolError) {
+  SessionRig rig;
+  HelloMsg hello;
+  hello.item_count = rig.client_items.size();
+  const net::Message msg{net::MessageType::kDaemonHello, hello.serialize()};
+  std::vector<net::Message> out;
+  ASSERT_TRUE(rig.session.on_bytes(kNow, net::encode_frame(msg), out));
+  EXPECT_TRUE(rig.session.in_session());
+  out.clear();
+  EXPECT_FALSE(rig.session.on_bytes(kNow, net::encode_frame(msg), out));
+  EXPECT_EQ(rig.session.reason(), CloseReason::kProtocolError);
+}
+
+TEST(PeerSession, SessionMessageCapCloses) {
+  DaemonLimits limits;
+  limits.session_msg_cap = 0;  // the first in-session request already trips
+  SessionRig rig(core::ReconcileBackend::kGraphene, limits);
+  EXPECT_EQ(pump_session(rig.session, rig.client, kNow),
+            ClientSession::Status::kFailed);
+  EXPECT_EQ(rig.session.reason(), CloseReason::kLimit);
+  ASSERT_NE(rig.client.daemon_error(), nullptr);
+  EXPECT_EQ(rig.client.daemon_error()->code, ErrorCode::kLimit);
+}
+
+TEST(PeerSession, ConnSessionCapRotates) {
+  DaemonLimits limits;
+  limits.conn_session_cap = 1;
+  SessionRig rig(core::ReconcileBackend::kGraphene, limits);
+  EXPECT_EQ(pump_session(rig.session, rig.client, kNow),
+            ClientSession::Status::kComplete);
+  EXPECT_TRUE(rig.session.closed());
+  EXPECT_EQ(rig.session.reason(), CloseReason::kLimit);
+  EXPECT_EQ(rig.session.stats().sessions_ok, 1u);
+}
+
+TEST(PeerSession, IdleTimeoutFires) {
+  DaemonLimits limits;
+  limits.idle_timeout_ns = 1000;
+  SessionRig rig(core::ReconcileBackend::kGraphene, limits);
+  EXPECT_TRUE(rig.session.check_deadlines(kNow));  // stamps first activity
+  EXPECT_EQ(rig.session.next_deadline_ns(), kNow + 1000);
+  EXPECT_TRUE(rig.session.check_deadlines(kNow + 999));
+  EXPECT_FALSE(rig.session.check_deadlines(kNow + 1000));
+  EXPECT_EQ(rig.session.reason(), CloseReason::kIdleTimeout);
+}
+
+TEST(PeerSession, SessionTimeoutFires) {
+  DaemonLimits limits;
+  limits.session_timeout_ns = 5000;
+  limits.idle_timeout_ns = 1ULL << 60;
+  SessionRig rig(core::ReconcileBackend::kGraphene, limits);
+  HelloMsg hello;
+  hello.item_count = rig.client_items.size();
+  std::vector<net::Message> out;
+  const net::Message msg{net::MessageType::kDaemonHello, hello.serialize()};
+  ASSERT_TRUE(rig.session.on_bytes(kNow, net::encode_frame(msg), out));
+  EXPECT_EQ(rig.session.next_deadline_ns(), kNow + 5000);
+  EXPECT_TRUE(rig.session.check_deadlines(kNow + 4999));
+  EXPECT_FALSE(rig.session.check_deadlines(kNow + 5000));
+  EXPECT_EQ(rig.session.reason(), CloseReason::kSessionTimeout);
+}
+
+TEST(PeerSession, EofBetweenSessionsIsClean) {
+  SessionRig rig;
+  EXPECT_EQ(pump_session(rig.session, rig.client, kNow),
+            ClientSession::Status::kComplete);
+  rig.session.on_eof();
+  EXPECT_EQ(rig.session.reason(), CloseReason::kPeerClosed);
+}
+
+TEST(PeerSession, EofMidSessionIsReset) {
+  SessionRig rig;
+  HelloMsg hello;
+  hello.item_count = rig.client_items.size();
+  std::vector<net::Message> out;
+  const net::Message msg{net::MessageType::kDaemonHello, hello.serialize()};
+  ASSERT_TRUE(rig.session.on_bytes(kNow, net::encode_frame(msg), out));
+  rig.session.on_eof();
+  EXPECT_EQ(rig.session.reason(), CloseReason::kPeerReset);
+}
+
+TEST(PeerSession, EofMidFrameIsReset) {
+  SessionRig rig;
+  const util::Bytes frame = net::encode_frame(rig.client.hello());
+  std::vector<net::Message> out;
+  ASSERT_TRUE(rig.session.on_bytes(
+      kNow, util::ByteView(frame.data(), frame.size() / 2), out));
+  rig.session.on_eof();
+  EXPECT_EQ(rig.session.reason(), CloseReason::kPeerReset);
+}
+
+TEST(PeerSession, AdministrativeCloseEmitsErrorOnlyMidSession) {
+  SessionRig rig;
+  std::vector<net::Message> out;
+  rig.session.close(CloseReason::kShutdown, ErrorCode::kShutdown, "bye", out);
+  EXPECT_TRUE(out.empty());  // not serving: no one to tell
+  EXPECT_EQ(rig.session.reason(), CloseReason::kShutdown);
+
+  SessionRig serving;
+  HelloMsg hello;
+  hello.item_count = serving.client_items.size();
+  std::vector<net::Message> replies;
+  const net::Message msg{net::MessageType::kDaemonHello, hello.serialize()};
+  ASSERT_TRUE(serving.session.on_bytes(kNow, net::encode_frame(msg), replies));
+  replies.clear();
+  serving.session.close(CloseReason::kShutdown, ErrorCode::kShutdown, "bye", replies);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].type, net::MessageType::kDaemonError);
+  // Idempotent: a second close neither re-emits nor rewrites the reason.
+  replies.clear();
+  serving.session.close(CloseReason::kMalformed, ErrorCode::kMalformed, "x", replies);
+  EXPECT_TRUE(replies.empty());
+  EXPECT_EQ(serving.session.reason(), CloseReason::kShutdown);
+}
+
+TEST(ClientSession, RoundCapBoundsHostileDaemon) {
+  // A daemon that replies with syntactically valid but useless rateless
+  // chunks forever must be cut off by the client's round cap.
+  const reconcile::ItemSet client_items = make_items(50);
+  core::ProtocolConfig cfg = cfg_for(core::ReconcileBackend::kRatelessIblt);
+  cfg.reconcile_round_cap = 4;
+  ClientSession client(client_items, cfg);
+
+  // Build a real host so the replies parse, but feed only its first symbol
+  // batch over and over: never enough to finish.
+  const reconcile::ItemSet host_items = make_items(400, 1000);
+  auto host = reconcile::make_host_backend(host_items, 0x5eed,
+                                           cfg_for(core::ReconcileBackend::kRatelessIblt));
+  const reconcile::WireMsg opening = host->open(client_items.size());
+  net::Message stuck = opening.to_message();
+
+  std::vector<net::Message> out;
+  ClientSession::Status status = ClientSession::Status::kInFlight;
+  for (int i = 0; i < 100 && status == ClientSession::Status::kInFlight; ++i) {
+    out.clear();
+    status = client.on_message(stuck, out);
+  }
+  EXPECT_EQ(status, ClientSession::Status::kFailed);
+  EXPECT_LE(client.rounds(), 5u);
+}
+
+TEST(CloseReason, NamesAreStable) {
+  EXPECT_STREQ(to_string(CloseReason::kOpen), "open");
+  EXPECT_STREQ(to_string(CloseReason::kPeerClosed), "peer_closed");
+  EXPECT_STREQ(to_string(CloseReason::kPeerReset), "peer_reset");
+  EXPECT_STREQ(to_string(CloseReason::kMalformed), "malformed");
+  EXPECT_STREQ(to_string(CloseReason::kProtocolError), "protocol_error");
+  EXPECT_STREQ(to_string(CloseReason::kLimit), "limit");
+  EXPECT_STREQ(to_string(CloseReason::kIdleTimeout), "idle_timeout");
+  EXPECT_STREQ(to_string(CloseReason::kSessionTimeout), "session_timeout");
+  EXPECT_STREQ(to_string(CloseReason::kShutdown), "shutdown");
+}
+
+}  // namespace
+}  // namespace graphene::daemon

@@ -18,7 +18,9 @@
 #include "bloom/cuckoo_filter.hpp"
 #include "bloom/golomb_set.hpp"
 #include "chain/transaction.hpp"
+#include "daemon/wire.hpp"
 #include "graphene/messages.hpp"
+#include "net/frame.hpp"
 #include "iblt/coded_symbol.hpp"
 #include "iblt/strata_estimator.hpp"
 #include "reconcile/rateless_backend.hpp"
@@ -214,6 +216,72 @@ int main(int argc, char** argv) {
     need.count = static_cast<std::uint64_t>(symbols) * 2;
     emit("fuzz_rateless_chunk", std::string("seed-need-") + tag,
          prefix_byte(1, need.serialize()));
+  }
+
+  // Framing reader: the first byte is the chunk-size hint the harness reads,
+  // the rest a raw TCP stream. Seeds cover a lone control frame, a coalesced
+  // multi-frame session transcript, a mid-frame truncation, and a rateless
+  // exchange. Own Rng so inserting this section left every older seed
+  // byte-identical.
+  {
+    util::Rng frame_rng(0x66726d65);
+    const auto framed = [](net::MessageType type, const util::Bytes& payload) {
+      return net::encode_frame(net::Message{type, payload});
+    };
+
+    daemon::HelloMsg hello;
+    hello.backend = 0;
+    hello.item_count = 30;
+    emit("fuzz_frame", "seed-hello",
+         prefix_byte(17, framed(net::MessageType::kDaemonHello, hello.serialize())));
+
+    // One full session as it coalesces on the wire: hello, the offer the
+    // daemon answers with, the client's bye, and a typed error frame.
+    core::GrapheneBlockMsg blk;
+    blk.n = 30;
+    blk.shortid_salt = frame_rng.next();
+    blk.filter_s = sample_filter(frame_rng, 30, 0.02);
+    blk.iblt_i = sample_iblt(frame_rng, 4, 16, 4);
+    daemon::ByeMsg bye;
+    bye.ok = 1;
+    bye.rounds = 2;
+    daemon::ErrorMsg err;
+    err.code = daemon::ErrorCode::kLimit;
+    err.detail = "daemon: session message cap";
+    util::Bytes stream;
+    for (const util::Bytes& frame :
+         {framed(net::MessageType::kDaemonHello, hello.serialize()),
+          framed(net::MessageType::kGrapheneBlock, blk.serialize()),
+          framed(net::MessageType::kDaemonBye, bye.serialize()),
+          framed(net::MessageType::kDaemonError, err.serialize())}) {
+      stream.insert(stream.end(), frame.begin(), frame.end());
+    }
+    emit("fuzz_frame", "seed-session-stream", prefix_byte(3, stream));
+
+    util::Bytes truncated(stream.begin(),
+                          stream.begin() + static_cast<std::ptrdiff_t>(stream.size() / 2));
+    emit("fuzz_frame", "seed-truncated", prefix_byte(96, truncated));
+
+    daemon::HelloMsg rhello;
+    rhello.backend = 1;
+    rhello.item_count = 40;
+    reconcile::RatelessChunk chunk;
+    chunk.start = 0;
+    chunk.host_count = 40;
+    chunk.salt = frame_rng.next();
+    iblt::RatelessEncoder enc(chunk.salt);
+    for (int i = 0; i < 40; ++i) {
+      const auto id = chain::make_random_transaction(frame_rng).id;
+      reconcile::ItemDigest d;
+      std::copy(id.begin(), id.end(), d.begin());
+      enc.add_item(d);
+    }
+    chunk.set_checksum = enc.set_checksum();
+    for (int i = 0; i < 16; ++i) chunk.symbols.push_back(enc.next_symbol());
+    util::Bytes rstream = framed(net::MessageType::kDaemonHello, rhello.serialize());
+    const util::Bytes rchunk = framed(net::MessageType::kRatelessChunk, chunk.serialize());
+    rstream.insert(rstream.end(), rchunk.begin(), rchunk.end());
+    emit("fuzz_frame", "seed-rateless-stream", prefix_byte(41, rstream));
   }
 
   // roundtrip consumes a parameter stream, not wire bytes: raw entropy seeds.

@@ -1,0 +1,95 @@
+// Load-generator CLI for graphene_relayd.
+//
+//   loadgen [--host 127.0.0.1] [--port 9723] [--connections 64] [--sessions 4]
+//           [--workers 4] [--items 500] [--diff 20] [--seed 0x5eed]
+//           [--backend graphene|rateless]
+//
+// Derives its client set from the same (--seed, --items, --diff) convention
+// as graphene_relayd (relayd_set.hpp), opens `--connections` concurrent TCP
+// connections, runs `--sessions` reconcile sessions back to back on each,
+// and prints sessions/sec with p50/p95/p99 latency. Exits non-zero if any
+// session fails, so a shell loop doubles as a smoke gate.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "daemon/loadgen.hpp"
+#include "iblt/param_cache.hpp"
+#include "relayd_set.hpp"
+
+namespace {
+
+std::uint64_t flag_u64(int argc, char** argv, const char* name, std::uint64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::strtoull(argv[i + 1], nullptr, 0);
+  }
+  return fallback;
+}
+
+const char* flag_str(int argc, char** argv, const char* name, const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace graphene;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: %s [--host H] [--port P] [--connections N] [--sessions N]\n"
+          "          [--workers N] [--items N] [--diff N] [--seed S]\n"
+          "          [--backend graphene|rateless]\n",
+          argv[0]);
+      return 0;
+    }
+  }
+  const std::uint64_t items = flag_u64(argc, argv, "--items", 500);
+  const std::uint64_t seed = flag_u64(argc, argv, "--seed", 0x5eed);
+  const std::uint64_t diff = flag_u64(argc, argv, "--diff", 20);
+  const reconcile::ItemSet client_items = tools::client_set(seed, items, diff);
+
+  iblt::ParamCache cache;
+  daemon::LoadgenOptions lg;
+  lg.host = flag_str(argc, argv, "--host", "127.0.0.1");
+  lg.port = static_cast<std::uint16_t>(flag_u64(argc, argv, "--port", 9723));
+  lg.connections =
+      static_cast<std::uint32_t>(flag_u64(argc, argv, "--connections", 64));
+  lg.sessions_per_conn =
+      static_cast<std::uint32_t>(flag_u64(argc, argv, "--sessions", 4));
+  lg.workers = static_cast<std::uint32_t>(flag_u64(argc, argv, "--workers", 4));
+  lg.items = &client_items;
+  lg.protocol.param_cache = &cache;
+  const char* backend = flag_str(argc, argv, "--backend", "graphene");
+  if (std::strcmp(backend, "rateless") == 0) {
+    lg.protocol.reconcile_backend = core::ReconcileBackend::kRatelessIblt;
+  } else if (std::strcmp(backend, "graphene") != 0) {
+    std::fprintf(stderr, "loadgen: unknown --backend %s\n", backend);
+    return 2;
+  }
+
+  daemon::LoadgenReport report;
+  try {
+    report = daemon::run_loadgen(lg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "loadgen: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("loadgen: %llu ok, %llu failed, %llu conn errors\n",
+              static_cast<unsigned long long>(report.sessions_ok),
+              static_cast<unsigned long long>(report.sessions_failed),
+              static_cast<unsigned long long>(report.conn_errors));
+  std::printf("  %.0f sessions/sec over %.2f s  (%llu B in, %llu B out)\n",
+              report.sessions_per_sec, static_cast<double>(report.elapsed_ns) / 1e9,
+              static_cast<unsigned long long>(report.bytes_in),
+              static_cast<unsigned long long>(report.bytes_out));
+  std::printf("  latency p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n",
+              static_cast<double>(report.p50_ns) / 1e6,
+              static_cast<double>(report.p95_ns) / 1e6,
+              static_cast<double>(report.p99_ns) / 1e6);
+  return (report.sessions_failed == 0 && report.conn_errors == 0) ? 0 : 1;
+}

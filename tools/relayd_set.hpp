@@ -1,0 +1,54 @@
+// Shared set derivation for the relay daemon CLIs.
+//
+// graphene_relayd and loadgen run in different processes, so they cannot
+// hand each other an ItemSet — instead both derive their sets from the same
+// (seed, items) pair: the daemon holds digests [0, items), the client drops
+// the first `diff` of those and substitutes `diff` fresh ones, giving a
+// symmetric difference of exactly 2*diff. Same flags on both sides, and the
+// sessions reconcile end to end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "reconcile/types.hpp"
+#include "util/random.hpp"
+
+namespace graphene::tools {
+
+inline std::vector<reconcile::ItemDigest> derive_digests(std::uint64_t seed,
+                                                         std::uint64_t count) {
+  util::Rng rng(seed);
+  std::vector<reconcile::ItemDigest> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    reconcile::ItemDigest d;
+    for (auto& byte : d) byte = static_cast<std::uint8_t>(rng.next());
+    out.push_back(d);
+  }
+  return out;
+}
+
+inline reconcile::ItemSet host_set(std::uint64_t seed, std::uint64_t items) {
+  reconcile::ItemSet out;
+  out.reserve(items);
+  for (const reconcile::ItemDigest& d : derive_digests(seed, items)) out.insert(d);
+  return out;
+}
+
+inline reconcile::ItemSet client_set(std::uint64_t seed, std::uint64_t items,
+                                     std::uint64_t diff) {
+  if (diff > items) diff = items;
+  const std::vector<reconcile::ItemDigest> base = derive_digests(seed, items);
+  // Fresh replacements come from a distinct stream so they cannot collide
+  // with any host digest.
+  const std::vector<reconcile::ItemDigest> fresh =
+      derive_digests(seed ^ 0x636c69656e74ULL, diff);
+  reconcile::ItemSet out;
+  out.reserve(items);
+  for (std::uint64_t i = diff; i < items; ++i) out.insert(base[i]);
+  for (const reconcile::ItemDigest& d : fresh) out.insert(d);
+  return out;
+}
+
+}  // namespace graphene::tools
