@@ -12,27 +12,40 @@
 // hardware `%`), insert_batch, and pooled insert_all, plus subtract and
 // decode of a realistic difference.
 //
+// Round 2 adds two sections:
+//   kernels — each SIMD kernel (bloom probe/set, IBLT cell add/sub, xor,
+//             all_zero, bytes_equal) timed portable-vs-best-ISA over large
+//             buffers via kernels_for(), reported as bytes/s + speedup;
+//   wire    — copy (encode_frame) vs zero-copy (begin_frame + serialize_into
+//             + end_frame) framing of a realistic GrapheneBlockMsg, with a
+//             byte-identity cross-check.
+//
 // Every variant's results are cross-checked (hit counts per strategy, cell
-// bytes across build paths) and the process exits nonzero on any
-// divergence, so CI smoke runs double as a parity gate. Writes
-// BENCH_hotpath.json (overwritten each run); GRAPHENE_FAST=1 drops the 1M
-// scale for smoke runs.
+// bytes across build paths, kernel outputs portable-vs-SIMD) and the process
+// exits nonzero on any divergence, so CI smoke runs double as a parity gate.
+// Writes BENCH_hotpath.json (overwritten each run); GRAPHENE_FAST=1 drops
+// the 1M scale for smoke runs.
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bloom/bloom_filter.hpp"
 #include "bloom/bloom_math.hpp"
 #include "chain/transaction.hpp"
+#include "graphene/messages.hpp"
 #include "iblt/iblt.hpp"
+#include "net/frame.hpp"
 #include "obs/clock.hpp"
 #include "obs/json.hpp"
 #include "util/hash.hpp"
 #include "util/random.hpp"
+#include "util/simd/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -312,6 +325,205 @@ ScaleResult run_scale(std::uint64_t m, util::ThreadPool& pool, int reps) {
   return res;
 }
 
+// --- Per-kernel portable-vs-SIMD micro-benchmarks --------------------------
+
+namespace simd = util::simd;
+
+struct KernelResult {
+  std::string kernel;   ///< e.g. "cells_add"
+  std::string variant;  ///< "portable" or the dispatched ISA name
+  double ms = 0;
+  double bytes_per_sec = 0;
+  double speedup = 1.0;  ///< this variant's throughput over portable
+};
+
+/// Times one kernel once per variant over the same inputs and cross-checks
+/// the outputs; appends a KernelResult per variant (portable first).
+template <typename Fn>
+void bench_kernel(std::vector<KernelResult>& out, const char* name,
+                  double bytes_per_pass, int reps, Fn&& run_variant) {
+  const simd::Isa best = simd::detected_isa();
+  double portable_ms = 0;
+  for (const simd::Isa isa : {simd::Isa::kPortable, best}) {
+    std::uint64_t sink = 0;
+    KernelResult r;
+    r.kernel = name;
+    r.variant = isa == simd::Isa::kPortable ? "portable" : simd::isa_name(isa);
+    r.ms = best_ms(reps, &sink, [&] { return run_variant(simd::kernels_for(isa)); });
+    r.bytes_per_sec = bytes_per_pass / (r.ms / 1e3);
+    if (isa == simd::Isa::kPortable) portable_ms = r.ms;
+    r.speedup = portable_ms / r.ms;
+    out.push_back(r);
+    // No vector ISA on this host: the portable row stands alone.
+    if (best == simd::Isa::kPortable) break;
+  }
+}
+
+std::vector<KernelResult> run_kernel_benches(int reps) {
+  std::vector<KernelResult> out;
+  util::Rng rng(0x51d4be7c);
+
+  // Blocked-Bloom block probe/set: 64k independent 512-bit blocks, k = 8.
+  {
+    const std::size_t blocks = 1 << 16;
+    std::vector<std::uint64_t> table(blocks * 8);
+    for (auto& w : table) w = rng.next();
+    std::vector<std::uint32_t> xs(blocks), ys(blocks);
+    for (std::size_t i = 0; i < blocks; ++i) {
+      xs[i] = static_cast<std::uint32_t>(rng.below(512));
+      ys[i] = static_cast<std::uint32_t>(rng.below(512));
+    }
+    const double bytes = static_cast<double>(blocks) * 64;
+    std::uint64_t hits_portable = 0;
+    bench_kernel(out, "bloom_test_block", bytes, reps, [&](const simd::Kernels& k) {
+      std::uint64_t hits = 0;
+      for (std::size_t i = 0; i < blocks; ++i) {
+        hits += k.bloom_test_block(table.data() + i * 8, 8, xs[i], ys[i]) ? 1 : 0;
+      }
+      if (hits_portable == 0) hits_portable = hits;
+      check(hits == hits_portable, "bloom_test_block hit count diverged");
+      return hits;
+    });
+    std::vector<std::uint64_t> set_portable;
+    bench_kernel(out, "bloom_set_block", bytes, reps, [&](const simd::Kernels& k) {
+      std::vector<std::uint64_t> t(table);
+      for (std::size_t i = 0; i < blocks; ++i) {
+        k.bloom_set_block(t.data() + i * 8, 8, xs[i], ys[i]);
+      }
+      if (set_portable.empty()) set_portable = t;
+      check(t == set_portable, "bloom_set_block bits diverged");
+      return t[0];
+    });
+  }
+
+  // IBLT cell fold: an 8k-cell table (128 KiB per operand — the cache-
+  // resident regime real difference tables live in), folded 256 times per
+  // pass so the measurement is compute-bound like Iblt::subtract's loop.
+  {
+    const std::size_t n_cells = 1 << 13;
+    const int passes = 256;
+    std::vector<std::uint8_t> dst(n_cells * 16), src(n_cells * 16);
+    rng.fill(dst);
+    rng.fill(src);
+    const double bytes = static_cast<double>(n_cells) * 16 * 2 * passes;
+    std::vector<std::uint8_t> add_portable, sub_portable;
+    bench_kernel(out, "cells_add", bytes, reps, [&](const simd::Kernels& k) {
+      std::vector<std::uint8_t> d(dst);
+      for (int p = 0; p < passes; ++p) k.cells_add(d.data(), src.data(), n_cells);
+      if (add_portable.empty()) add_portable = d;
+      check(d == add_portable, "cells_add output diverged");
+      return static_cast<std::uint64_t>(d[0]);
+    });
+    bench_kernel(out, "cells_sub", bytes, reps, [&](const simd::Kernels& k) {
+      std::vector<std::uint8_t> d(dst);
+      for (int p = 0; p < passes; ++p) k.cells_sub(d.data(), src.data(), n_cells);
+      if (sub_portable.empty()) sub_portable = d;
+      check(d == sub_portable, "cells_sub output diverged");
+      return static_cast<std::uint64_t>(d[0]);
+    });
+  }
+
+  // Raw byte kernels: 64 KiB buffers (L1/L2-resident, the coded-symbol and
+  // frame-compare regime), many passes per measurement.
+  {
+    const std::size_t n = 64u << 10;
+    const int passes = 1024;
+    std::vector<std::uint8_t> a(n), b(n);
+    rng.fill(a);
+    rng.fill(b);
+    std::vector<std::uint8_t> xor_portable;
+    bench_kernel(out, "xor_bytes", static_cast<double>(n) * 2 * passes, reps,
+                 [&](const simd::Kernels& k) {
+                   std::vector<std::uint8_t> d(a);
+                   for (int p = 0; p < passes; ++p) k.xor_bytes(d.data(), b.data(), n);
+                   if (xor_portable.empty()) xor_portable = d;
+                   check(d == xor_portable, "xor_bytes output diverged");
+                   return static_cast<std::uint64_t>(d[0]);
+                 });
+    const std::vector<std::uint8_t> zeros(n, 0);
+    bench_kernel(out, "all_zero", static_cast<double>(n) * passes, reps,
+                 [&](const simd::Kernels& k) {
+                   std::uint64_t z = 0;
+                   for (int p = 0; p < passes; ++p) z += k.all_zero(zeros.data(), n) ? 1 : 0;
+                   check(z == static_cast<std::uint64_t>(passes),
+                         "all_zero rejected a zero buffer");
+                   return z;
+                 });
+    bench_kernel(out, "bytes_equal", static_cast<double>(n) * 2 * passes, reps,
+                 [&](const simd::Kernels& k) {
+                   std::uint64_t eq = 0;
+                   for (int p = 0; p < passes; ++p) eq += k.bytes_equal(a.data(), a.data(), n) ? 1 : 0;
+                   check(eq == static_cast<std::uint64_t>(passes),
+                         "bytes_equal rejected identical buffers");
+                   return eq;
+                 });
+  }
+  return out;
+}
+
+// --- Copy vs zero-copy wire serialization ----------------------------------
+
+struct WireResult {
+  std::size_t frame_bytes = 0;
+  double copy_ms = 0;       ///< encode_frame: payload buffer + append
+  double zero_copy_ms = 0;  ///< begin_frame + serialize_into + end_frame
+  double speedup = 1.0;
+};
+
+WireResult run_wire_bench(int reps) {
+  // A realistic Protocol-1 step-3 message at n = 2000: S sized for the
+  // receiver's mempool pass plus a small I — the frame the relay daemon
+  // serializes per peer per block.
+  const std::size_t n = 2000;
+  const std::vector<chain::TxId> ids = random_ids(n, 0xf4a3e);
+  core::GrapheneBlockMsg msg;
+  msg.n = n;
+  msg.shortid_salt = 0xfeedface;
+  msg.filter_s = bloom::BloomFilter(n, 0.005, 0xb10cf11e, bloom::HashStrategy::kBlocked);
+  {
+    std::vector<util::ByteView> views;
+    views.reserve(ids.size());
+    for (const chain::TxId& id : ids) views.emplace_back(id);
+    msg.filter_s.insert_batch(views.data(), views.size());
+  }
+  msg.iblt_i = iblt::Iblt(iblt::IbltParams{4, 60}, 0xb10cf11e);
+  for (const chain::TxId& id : ids) {
+    msg.iblt_i.insert(util::hash64(util::ByteView(id), 0xb10cf11e));
+  }
+
+  WireResult res;
+  const int frames_per_rep = 64;
+  std::uint64_t sink = 0;
+  util::Bytes copy_out;
+  res.copy_ms = best_ms(reps, &sink, [&] {
+    copy_out.clear();
+    for (int i = 0; i < frames_per_rep; ++i) {
+      const net::Message m{net::MessageType::kGrapheneBlock, msg.serialize()};
+      const util::Bytes frame = net::encode_frame(m);
+      copy_out.insert(copy_out.end(), frame.begin(), frame.end());
+    }
+    return static_cast<std::uint64_t>(copy_out.size());
+  });
+  util::Bytes zc_buf;
+  util::Bytes zc_out;
+  res.zero_copy_ms = best_ms(reps, &sink, [&] {
+    zc_buf.clear();
+    util::ByteWriter w(std::move(zc_buf));
+    for (int i = 0; i < frames_per_rep; ++i) {
+      const net::FramePatch p = net::begin_frame(w, net::MessageType::kGrapheneBlock);
+      msg.serialize_into(w);
+      net::end_frame(w, p);
+    }
+    zc_out = w.take();
+    zc_buf = util::Bytes();
+    return static_cast<std::uint64_t>(zc_out.size());
+  });
+  check(copy_out == zc_out, "zero-copy framing diverged from encode_frame");
+  res.frame_bytes = copy_out.size() / frames_per_rep;
+  res.speedup = res.copy_ms / res.zero_copy_ms;
+  return res;
+}
+
 }  // namespace
 
 int main() {
@@ -324,6 +536,19 @@ int main() {
                                                                        1'000'000};
   const std::size_t workers = std::max(1u, std::thread::hardware_concurrency());
   util::ThreadPool pool(workers);
+
+  std::printf("simd: detected %s, active %s\n",
+              simd::isa_name(simd::detected_isa()),
+              simd::isa_name(simd::active_isa()));
+  const std::vector<KernelResult> kernels = run_kernel_benches(reps);
+  for (const KernelResult& k : kernels) {
+    std::printf("  kernel %-16s %-8s %9.3f ms  %8.2f MB/s  (%.2fx)\n",
+                k.kernel.c_str(), k.variant.c_str(), k.ms,
+                k.bytes_per_sec / 1e6, k.speedup);
+  }
+  const WireResult wire = run_wire_bench(reps);
+  std::printf("  wire frame %zu B   copy %9.3f ms | zero-copy %9.3f ms  (%.2fx)\n",
+              wire.frame_bytes, wire.copy_ms, wire.zero_copy_ms, wire.speedup);
 
   std::vector<ScaleResult> results;
   for (const std::uint64_t m : scales) {
@@ -353,6 +578,36 @@ int main() {
   w.number(static_cast<std::uint64_t>(reps));
   w.key("fast");
   w.boolean(fast);
+  w.key("simd_isa");
+  w.string(simd::isa_name(simd::detected_isa()));
+  w.key("kernels");
+  w.begin_array();
+  for (const KernelResult& k : kernels) {
+    w.begin_object();
+    w.key("kernel");
+    w.string(k.kernel);
+    w.key("variant");
+    w.string(k.variant);
+    w.key("ms");
+    w.number(k.ms);
+    w.key("bytes_per_sec");
+    w.number(k.bytes_per_sec);
+    w.key("speedup");
+    w.number(k.speedup);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("wire");
+  w.begin_object();
+  w.key("frame_bytes");
+  w.number(static_cast<std::uint64_t>(wire.frame_bytes));
+  w.key("copy_ms");
+  w.number(wire.copy_ms);
+  w.key("zero_copy_ms");
+  w.number(wire.zero_copy_ms);
+  w.key("speedup");
+  w.number(wire.speedup);
+  w.end_object();
   w.key("scales");
   w.begin_array();
   for (const ScaleResult& r : results) {

@@ -1,0 +1,242 @@
+// Differential fuzzer: views::*View::parse vs the copying deserializers.
+//
+// The first input byte routes to one wire type; the remainder is fed to both
+// the zero-copy view parser and the copying deserializer. The contract under
+// test (src/net/views.hpp):
+//   * accept/reject is identical, and on accept both consume the same
+//     extent — except GolombSet, where the view is a documented structural
+//     superset (view-accept ⊇ copy-accept; extents equal on common accepts);
+//   * on accept, materialize() returns an object equal (by re-serialization)
+//     to what the copying deserializer produced from the same bytes;
+//   * FrameView mirrors FrameReader::next() exactly, including the
+//     nullopt-on-truncation / throw-on-malformed split.
+// Any divergence aborts; DeserializeError is the only expected exception.
+#include <cstdlib>
+#include <optional>
+
+#include "bloom/bloom_filter.hpp"
+#include "bloom/cuckoo_filter.hpp"
+#include "bloom/golomb_set.hpp"
+#include "daemon/wire.hpp"
+#include "graphene/messages.hpp"
+#include "harness.hpp"
+#include "iblt/iblt.hpp"
+#include "iblt/kv_iblt.hpp"
+#include "iblt/strata_estimator.hpp"
+#include "net/frame.hpp"
+#include "net/views.hpp"
+#include "reconcile/graphene_backend.hpp"
+#include "reconcile/rateless_backend.hpp"
+
+namespace {
+
+using namespace graphene;
+
+/// Runs one view/copy pair over `data` and enforces the exact-twin contract.
+/// `Materialized::serialize()` must exist (true for every wire type here).
+template <typename View, typename CopyFn>
+void check_exact(util::ByteView data, CopyFn copy) {
+  std::optional<View> view;
+  std::size_t view_consumed = 0;
+  try {
+    util::ByteReader r(data);
+    view = View::parse(r);
+    view_consumed = data.size() - r.tail().size();
+  } catch (const util::DeserializeError&) {
+  }
+
+  bool copy_ok = false;
+  std::size_t copy_consumed = 0;
+  util::Bytes canonical;
+  try {
+    util::ByteReader r(data);
+    auto obj = copy(r);
+    copy_ok = true;
+    copy_consumed = data.size() - r.tail().size();
+    canonical = obj.serialize();
+  } catch (const util::DeserializeError&) {
+  }
+
+  if (view.has_value() != copy_ok) std::abort();  // accept/reject diverged
+  if (!view.has_value()) return;
+  if (view_consumed != copy_consumed) std::abort();  // extent diverged
+  if (view->span.size() != view_consumed) std::abort();
+  // materialize() re-runs the copying deserializer over the recorded span,
+  // so the two objects must re-serialize identically. (The input itself need
+  // not round-trip byte-exact: discarded tx body padding and bit-packing
+  // slack re-serialize canonically.)
+  if (view->materialize().serialize() != canonical) std::abort();
+}
+
+/// GolombSet: structural superset — the view may accept streams the decoding
+/// path rejects, never the reverse, and extents agree on common accepts.
+void check_golomb(util::ByteView data) {
+  std::optional<net::views::GolombSetView> view;
+  std::size_t view_consumed = 0;
+  try {
+    util::ByteReader r(data);
+    view = net::views::GolombSetView::parse(r);
+    view_consumed = data.size() - r.tail().size();
+  } catch (const util::DeserializeError&) {
+  }
+
+  bool copy_ok = false;
+  std::size_t copy_consumed = 0;
+  try {
+    util::ByteReader r(data);
+    (void)bloom::GolombSet::deserialize(r);
+    copy_ok = true;
+    copy_consumed = data.size() - r.tail().size();
+  } catch (const util::DeserializeError&) {
+  }
+
+  if (copy_ok && !view.has_value()) std::abort();  // view must be a superset
+  if (copy_ok && view_consumed != copy_consumed) std::abort();
+  if (view.has_value() && view->span.size() != view_consumed) std::abort();
+  // materialize() on a view-accepted stream may throw (semantic rejection);
+  // it must agree with the copying verdict.
+  if (view.has_value()) {
+    try {
+      (void)view->materialize();
+      if (!copy_ok) std::abort();
+    } catch (const util::DeserializeError&) {
+      if (copy_ok) std::abort();
+    }
+  }
+}
+
+/// FrameView vs FrameReader: same tri-state (message / need-more / throw).
+void check_frame(util::ByteView data) {
+  std::optional<net::views::FrameView> view;
+  bool view_threw = false;
+  try {
+    view = net::views::FrameView::parse(data);
+  } catch (const util::DeserializeError&) {
+    view_threw = true;
+  }
+
+  std::optional<net::Message> msg;
+  bool reader_threw = false;
+  try {
+    net::FrameReader reader;
+    reader.absorb(data);
+    msg = reader.next();
+  } catch (const util::DeserializeError&) {
+    reader_threw = true;
+  }
+
+  if (view_threw != reader_threw) std::abort();
+  if (view_threw) return;
+  if (view.has_value() != msg.has_value()) std::abort();
+  if (!view.has_value()) return;
+  const net::Message got = view->materialize();
+  if (got.type != msg->type || got.payload != msg->payload) std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return 0;
+  const std::uint8_t route = data[0];
+  const util::ByteView body = fuzz::view(data + 1, size - 1);
+
+  switch (route % 22) {
+    case 0:
+      check_exact<net::views::BloomFilterView>(
+          body, [](util::ByteReader& r) { return bloom::BloomFilter::deserialize(r); });
+      break;
+    case 1:
+      check_golomb(body);
+      break;
+    case 2:
+      check_exact<net::views::CuckooFilterView>(
+          body, [](util::ByteReader& r) { return bloom::CuckooFilter::deserialize(r); });
+      break;
+    case 3:
+      check_exact<net::views::IbltView>(
+          body, [](util::ByteReader& r) { return iblt::Iblt::deserialize(r); });
+      break;
+    case 4:
+      check_exact<net::views::KvIbltView>(
+          body, [](util::ByteReader& r) { return iblt::KvIblt::deserialize(r); });
+      break;
+    case 5:
+      check_exact<net::views::StrataEstimatorView>(body, [](util::ByteReader& r) {
+        return iblt::StrataEstimator::deserialize(r);
+      });
+      break;
+    case 6:
+      check_exact<net::views::GrapheneBlockMsgView>(body, [](util::ByteReader& r) {
+        return core::GrapheneBlockMsg::deserialize(r);
+      });
+      break;
+    case 7:
+      check_exact<net::views::GrapheneRequestMsgView>(body, [](util::ByteReader& r) {
+        return core::GrapheneRequestMsg::deserialize(r);
+      });
+      break;
+    case 8:
+      check_exact<net::views::GrapheneResponseMsgView>(body, [](util::ByteReader& r) {
+        return core::GrapheneResponseMsg::deserialize(r);
+      });
+      break;
+    case 9:
+      check_exact<net::views::RepairRequestMsgView>(body, [](util::ByteReader& r) {
+        return core::RepairRequestMsg::deserialize(r);
+      });
+      break;
+    case 10:
+      check_exact<net::views::RepairResponseMsgView>(body, [](util::ByteReader& r) {
+        return core::RepairResponseMsg::deserialize(r);
+      });
+      break;
+    case 11:
+      check_exact<net::views::OfferView>(
+          body, [](util::ByteReader& r) { return reconcile::Offer::deserialize(r); });
+      break;
+    case 12:
+      check_exact<net::views::RequestView>(
+          body, [](util::ByteReader& r) { return reconcile::Request::deserialize(r); });
+      break;
+    case 13:
+      check_exact<net::views::ResponseView>(
+          body, [](util::ByteReader& r) { return reconcile::Response::deserialize(r); });
+      break;
+    case 14:
+      check_exact<net::views::FetchRequestView>(body, [](util::ByteReader& r) {
+        return reconcile::FetchRequest::deserialize(r);
+      });
+      break;
+    case 15:
+      check_exact<net::views::FetchResponseView>(body, [](util::ByteReader& r) {
+        return reconcile::FetchResponse::deserialize(r);
+      });
+      break;
+    case 16:
+      check_exact<net::views::RatelessChunkView>(body, [](util::ByteReader& r) {
+        return reconcile::RatelessChunk::deserialize(r);
+      });
+      break;
+    case 17:
+      check_exact<net::views::RatelessNeedView>(body, [](util::ByteReader& r) {
+        return reconcile::RatelessNeed::deserialize(r);
+      });
+      break;
+    case 18:
+      check_exact<net::views::HelloMsgView>(
+          body, [](util::ByteReader& r) { return daemon::HelloMsg::deserialize(r); });
+      break;
+    case 19:
+      check_exact<net::views::ByeMsgView>(
+          body, [](util::ByteReader& r) { return daemon::ByeMsg::deserialize(r); });
+      break;
+    case 20:
+      check_exact<net::views::ErrorMsgView>(
+          body, [](util::ByteReader& r) { return daemon::ErrorMsg::deserialize(r); });
+      break;
+    default:
+      check_frame(body);
+      break;
+  }
+  return 0;
+}

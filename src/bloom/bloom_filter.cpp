@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/simd/simd.hpp"
 #include "util/thread_pool.hpp"
 #include "util/varint.hpp"
 #include "util/wire_limits.hpp"
@@ -164,20 +165,11 @@ std::uint64_t BloomFilter::block_base(util::ByteView txid, std::uint32_t* x,
 }
 
 bool BloomFilter::test_block(std::uint64_t base, std::uint32_t x, std::uint32_t y) const {
-  for (std::uint32_t i = 0; i < k_; ++i) {
-    if ((bits_[base + (x >> 6)] & (1ULL << (x & 63))) == 0) return false;
-    x = (x + y) & kBlockMask;
-    y = (y + i + 1) & kBlockMask;
-  }
-  return true;
+  return util::simd::active().bloom_test_block(bits_.data() + base, k_, x, y);
 }
 
 void BloomFilter::set_block(std::uint64_t base, std::uint32_t x, std::uint32_t y) {
-  for (std::uint32_t i = 0; i < k_; ++i) {
-    bits_[base + (x >> 6)] |= 1ULL << (x & 63);
-    x = (x + y) & kBlockMask;
-    y = (y + i + 1) & kBlockMask;
-  }
+  util::simd::active().bloom_set_block(bits_.data() + base, k_, x, y);
 }
 
 bool BloomFilter::test(util::ByteView txid) const {
@@ -285,8 +277,7 @@ void BloomFilter::contains_batch(const util::ByteView* items, std::size_t count,
   hits_.fetch_add(batch_hits, std::memory_order_relaxed);
 }
 
-util::Bytes BloomFilter::serialize() const {
-  util::ByteWriter w;
+void BloomFilter::serialize_into(util::ByteWriter& w) const {
   util::write_varint(w, n_bits_);
   std::uint8_t k_byte = 0;
   switch (strategy_) {
@@ -301,6 +292,11 @@ util::Bytes BloomFilter::serialize() const {
   w.u8(k_byte);
   w.u64(seed_);
   w.words_le(bits_.data(), static_cast<std::size_t>((n_bits_ + 7) / 8));
+}
+
+util::Bytes BloomFilter::serialize() const {
+  util::ByteWriter w;
+  serialize_into(w);
   return w.take();
 }
 

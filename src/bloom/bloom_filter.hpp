@@ -129,6 +129,8 @@ class BloomFilter {
   /// parses as rehash k=64); both top bits set with a non-zero low 6 bits =
   /// kBlocked (k in the low 6 bits) — a range of bytes that was previously
   /// rejected, so every pre-existing encoding keeps its meaning.
+  /// Appends the wire encoding to `w` (scatter form of serialize()).
+  void serialize_into(util::ByteWriter& w) const;
   [[nodiscard]] util::Bytes serialize() const;
   [[nodiscard]] std::size_t serialized_size() const noexcept;
   static BloomFilter deserialize(util::ByteReader& reader);

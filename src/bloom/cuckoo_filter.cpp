@@ -131,8 +131,7 @@ bool CuckooFilter::erase(util::ByteView digest) {
   return false;
 }
 
-util::Bytes CuckooFilter::serialize() const {
-  util::ByteWriter w;
+void CuckooFilter::serialize_into(util::ByteWriter& w) const {
   util::write_varint(w, buckets_);
   w.u8(static_cast<std::uint8_t>(fp_bits_));
   w.u64(seed_);
@@ -153,6 +152,11 @@ util::Bytes CuckooFilter::serialize() const {
     }
   }
   if (acc_bits > 0) w.u8(static_cast<std::uint8_t>(acc));
+}
+
+util::Bytes CuckooFilter::serialize() const {
+  util::ByteWriter w;
+  serialize_into(w);
   return w.take();
 }
 

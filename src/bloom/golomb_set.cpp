@@ -153,13 +153,17 @@ bool GolombSet::contains(util::ByteView digest) const {
   return false;
 }
 
-util::Bytes GolombSet::serialize() const {
-  util::ByteWriter w;
+void GolombSet::serialize_into(util::ByteWriter& w) const {
   util::write_varint(w, n_);
   w.u8(static_cast<std::uint8_t>(rice_param_));
   w.u64(seed_);
   util::write_varint(w, bit_count_);
   w.raw(util::ByteView(coded_));
+}
+
+util::Bytes GolombSet::serialize() const {
+  util::ByteWriter w;
+  serialize_into(w);
   return w.take();
 }
 

@@ -13,14 +13,18 @@ std::size_t ordering_cost_bytes(std::uint64_t n) noexcept {
   return static_cast<std::size_t>(std::ceil(bits / 8.0));
 }
 
-util::Bytes BlockHeader::serialize() const {
-  util::ByteWriter w;
+void BlockHeader::serialize_into(util::ByteWriter& w) const {
   w.i32(version);
   w.raw(util::ByteView(prev_hash.data(), prev_hash.size()));
   w.raw(util::ByteView(merkle_root.data(), merkle_root.size()));
   w.u32(time);
   w.u32(bits);
   w.u32(nonce);
+}
+
+util::Bytes BlockHeader::serialize() const {
+  util::ByteWriter w;
+  serialize_into(w);
   return w.take();
 }
 

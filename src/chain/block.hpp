@@ -24,6 +24,10 @@ struct BlockHeader {
 
   static constexpr std::size_t kWireSize = 4 + 32 + 32 + 4 + 4 + 4;
 
+  /// Appends the wire encoding to `w` (scatter form of serialize()).
+
+  void serialize_into(util::ByteWriter& w) const;
+
   [[nodiscard]] util::Bytes serialize() const;
   static BlockHeader deserialize(util::ByteReader& reader);
 

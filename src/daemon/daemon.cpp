@@ -328,9 +328,9 @@ void RelayDaemon::handle_readable(Conn& conn) {
 }
 
 void RelayDaemon::queue_messages(Conn& conn, const std::vector<net::Message>& msgs) {
+  // Frames are laid down directly in the send queue — no per-frame buffer.
   for (const net::Message& msg : msgs) {
-    const util::Bytes frame = net::encode_frame(msg, opts_.limits.max_frame_payload);
-    conn.out.insert(conn.out.end(), frame.begin(), frame.end());
+    net::encode_frame_into(conn.out, msg, opts_.limits.max_frame_payload);
   }
 }
 

@@ -126,8 +126,7 @@ class Worker {
   }
 
   void queue(ClientConn& conn, const net::Message& msg) {
-    const util::Bytes frame = net::encode_frame(msg);
-    conn.out.insert(conn.out.end(), frame.begin(), frame.end());
+    net::encode_frame_into(conn.out, msg);
   }
 
   void loop() {

@@ -8,11 +8,15 @@
 
 namespace graphene::daemon {
 
-util::Bytes HelloMsg::serialize() const {
-  util::ByteWriter w;
+void HelloMsg::serialize_into(util::ByteWriter& w) const {
   w.u32(version);
   w.u8(backend);
   util::write_varint(w, item_count);
+}
+
+util::Bytes HelloMsg::serialize() const {
+  util::ByteWriter w;
+  serialize_into(w);
   return w.take();
 }
 
@@ -30,10 +34,14 @@ HelloMsg HelloMsg::deserialize(util::ByteReader& reader) {
   return msg;
 }
 
-util::Bytes ByeMsg::serialize() const {
-  util::ByteWriter w;
+void ByeMsg::serialize_into(util::ByteWriter& w) const {
   w.u8(ok);
   w.u32(rounds);
+}
+
+util::Bytes ByeMsg::serialize() const {
+  util::ByteWriter w;
+  serialize_into(w);
   return w.take();
 }
 
@@ -58,8 +66,7 @@ const char* to_string(ErrorCode code) noexcept {
   return "unknown";
 }
 
-util::Bytes ErrorMsg::serialize() const {
-  util::ByteWriter w;
+void ErrorMsg::serialize_into(util::ByteWriter& w) const {
   w.u8(static_cast<std::uint8_t>(code));
   // The detail is advisory; truncate rather than fail so error paths (which
   // embed exception texts of unpredictable length) can never throw again.
@@ -67,6 +74,11 @@ util::Bytes ErrorMsg::serialize() const {
       std::min<std::size_t>(detail.size(), util::wire::kMaxDaemonTextBytes);
   util::write_varint(w, len);
   w.raw(util::str_bytes(std::string_view(detail).substr(0, len)));
+}
+
+util::Bytes ErrorMsg::serialize() const {
+  util::ByteWriter w;
+  serialize_into(w);
   return w.take();
 }
 

@@ -64,13 +64,17 @@ std::size_t full_tx_wire_size(const chain::Transaction& tx) noexcept {
   return std::max<std::size_t>(tx.size_bytes, kTxFixedOverhead);
 }
 
-util::Bytes GrapheneBlockMsg::serialize() const {
-  util::ByteWriter w;
-  w.raw(header.serialize());
+void GrapheneBlockMsg::serialize_into(util::ByteWriter& w) const {
+  header.serialize_into(w);
   util::write_varint(w, n);
   w.u64(shortid_salt);
-  w.raw(filter_s.serialize());
-  w.raw(iblt_i.serialize());
+  filter_s.serialize_into(w);
+  iblt_i.serialize_into(w);
+}
+
+util::Bytes GrapheneBlockMsg::serialize() const {
+  util::ByteWriter w;
+  serialize_into(w);
   return w.take();
 }
 
@@ -85,8 +89,7 @@ GrapheneBlockMsg GrapheneBlockMsg::deserialize(util::ByteReader& reader) {
   return msg;
 }
 
-util::Bytes GrapheneRequestMsg::serialize() const {
-  util::ByteWriter w;
+void GrapheneRequestMsg::serialize_into(util::ByteWriter& w) const {
   util::write_varint(w, z);
   util::write_varint(w, b);
   util::write_varint(w, y_star);
@@ -95,7 +98,12 @@ util::Bytes GrapheneRequestMsg::serialize() const {
   std::memcpy(&fpr_bits, &fpr_r, sizeof(fpr_bits));
   w.u64(fpr_bits);
   w.u8(reversed ? 1 : 0);
-  w.raw(filter_r.serialize());
+  filter_r.serialize_into(w);
+}
+
+util::Bytes GrapheneRequestMsg::serialize() const {
+  util::ByteWriter w;
+  serialize_into(w);
   return w.take();
 }
 
@@ -117,13 +125,17 @@ GrapheneRequestMsg GrapheneRequestMsg::deserialize(util::ByteReader& reader) {
   return msg;
 }
 
-util::Bytes GrapheneResponseMsg::serialize() const {
-  util::ByteWriter w;
+void GrapheneResponseMsg::serialize_into(util::ByteWriter& w) const {
   util::write_varint(w, missing.size());
   for (const chain::Transaction& tx : missing) write_full_tx(w, tx);
-  w.raw(iblt_j.serialize());
+  iblt_j.serialize_into(w);
   w.u8(filter_f.has_value() ? 1 : 0);
-  if (filter_f) w.raw(filter_f->serialize());
+  if (filter_f) filter_f->serialize_into(w);
+}
+
+util::Bytes GrapheneResponseMsg::serialize() const {
+  util::ByteWriter w;
+  serialize_into(w);
   return w.take();
 }
 
@@ -149,10 +161,14 @@ std::size_t GrapheneResponseMsg::missing_tx_bytes() const noexcept {
   return total;
 }
 
-util::Bytes RepairRequestMsg::serialize() const {
-  util::ByteWriter w;
+void RepairRequestMsg::serialize_into(util::ByteWriter& w) const {
   util::write_varint(w, short_ids.size());
   for (std::uint64_t id : short_ids) w.u64(id);
+}
+
+util::Bytes RepairRequestMsg::serialize() const {
+  util::ByteWriter w;
+  serialize_into(w);
   return w.take();
 }
 
@@ -168,10 +184,14 @@ RepairRequestMsg RepairRequestMsg::deserialize(util::ByteReader& reader) {
   return msg;
 }
 
-util::Bytes RepairResponseMsg::serialize() const {
-  util::ByteWriter w;
+void RepairResponseMsg::serialize_into(util::ByteWriter& w) const {
   util::write_varint(w, txns.size());
   for (const chain::Transaction& tx : txns) write_full_tx(w, tx);
+}
+
+util::Bytes RepairResponseMsg::serialize() const {
+  util::ByteWriter w;
+  serialize_into(w);
   return w.take();
 }
 

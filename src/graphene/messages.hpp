@@ -23,6 +23,10 @@ struct GrapheneBlockMsg {
   bloom::BloomFilter filter_s;
   iblt::Iblt iblt_i;
 
+  /// Appends the wire encoding to `w` (scatter form of serialize()).
+
+  void serialize_into(util::ByteWriter& w) const;
+
   [[nodiscard]] util::Bytes serialize() const;
   static GrapheneBlockMsg deserialize(util::ByteReader& reader);
 };
@@ -37,6 +41,10 @@ struct GrapheneRequestMsg {
   bool reversed = false;
   bloom::BloomFilter filter_r;
 
+  /// Appends the wire encoding to `w` (scatter form of serialize()).
+
+  void serialize_into(util::ByteWriter& w) const;
+
   [[nodiscard]] util::Bytes serialize() const;
   static GrapheneRequestMsg deserialize(util::ByteReader& reader);
 };
@@ -47,6 +55,10 @@ struct GrapheneResponseMsg {
   std::vector<chain::Transaction> missing;
   iblt::Iblt iblt_j;
   std::optional<bloom::BloomFilter> filter_f;
+
+  /// Appends the wire encoding to `w` (scatter form of serialize()).
+
+  void serialize_into(util::ByteWriter& w) const;
 
   [[nodiscard]] util::Bytes serialize() const;
   static GrapheneResponseMsg deserialize(util::ByteReader& reader);
@@ -60,12 +72,16 @@ struct GrapheneResponseMsg {
 /// receiver decoded from an IBLT but holds no transaction for.
 struct RepairRequestMsg {
   std::vector<std::uint64_t> short_ids;
+  /// Appends the wire encoding to `w` (scatter form of serialize()).
+  void serialize_into(util::ByteWriter& w) const;
   [[nodiscard]] util::Bytes serialize() const;
   static RepairRequestMsg deserialize(util::ByteReader& reader);
 };
 
 struct RepairResponseMsg {
   std::vector<chain::Transaction> txns;
+  /// Appends the wire encoding to `w` (scatter form of serialize()).
+  void serialize_into(util::ByteWriter& w) const;
   [[nodiscard]] util::Bytes serialize() const;
   static RepairResponseMsg deserialize(util::ByteReader& reader);
 };

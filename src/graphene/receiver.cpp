@@ -1,5 +1,7 @@
 #include "graphene/receiver.hpp"
 
+#include <span>
+
 #include <algorithm>
 
 #include "bloom/bloom_math.hpp"
@@ -9,6 +11,7 @@
 #include "graphene/sender.hpp"  // derive_short_id
 #include "iblt/pingpong.hpp"
 #include "obs/obs.hpp"
+#include "util/arena.hpp"
 #include "util/thread_pool.hpp"
 
 namespace graphene::core {
@@ -31,13 +34,15 @@ const char* status_label(ReceiveStatus status) noexcept { return to_string(statu
 /// Batch-queries `filter` over `ids` (chunk-parallel when `pool` is set);
 /// out[i] = 1 iff ids[i] passes. The hit pattern is identical to querying
 /// one id at a time.
-std::vector<std::uint8_t> scan_ids(const bloom::BloomFilter& filter,
-                                   const std::vector<chain::TxId>& ids,
-                                   util::ThreadPool* pool) {
-  std::vector<util::ByteView> views;
-  views.reserve(ids.size());
-  for (const chain::TxId& id : ids) views.emplace_back(id.data(), id.size());
-  std::vector<std::uint8_t> hit(ids.size());
+std::span<const std::uint8_t> scan_ids(const bloom::BloomFilter& filter,
+                                       const std::vector<chain::TxId>& ids,
+                                       util::ThreadPool* pool,
+                                       util::ScratchScope& scratch) {
+  const std::span<util::ByteView> views = scratch.span<util::ByteView>(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    views[i] = util::ByteView(ids[i].data(), ids[i].size());
+  }
+  const std::span<std::uint8_t> hit = scratch.span<std::uint8_t>(ids.size());
   bloom::contains_all(filter, views.data(), views.size(), hit.data(), pool);
   return hit;
 }
@@ -93,7 +98,9 @@ ReceiveOutcome ReceiveSession::receive_block(const GrapheneBlockMsg& msg) {
     // candidate indexing stays serial and in mempool order, so the session
     // state matches the one-query-at-a-time loop exactly.
     const std::vector<chain::TxId> ids = mempool_->ids();
-    const std::vector<std::uint8_t> hit = scan_ids(msg.filter_s, ids, cfg_.pool);
+    util::ScratchScope scratch;  // session scan scratch, recycled per relay
+    const std::span<const std::uint8_t> hit =
+        scan_ids(msg.filter_s, ids, cfg_.pool, scratch);
     for (std::size_t i = 0; i < ids.size(); ++i) {
       if (hit[i] != 0) index_candidate(ids[i]);
     }
@@ -270,10 +277,12 @@ GrapheneRequestMsg ReceiveSession::build_request() {
         bloom::BloomFilter(std::max<std::uint64_t>(z, 1), params2_.fpr,
                            /*seed=*/msg_.shortid_salt ^ 0x42d551f17e1dULL,
                            cfg_.bloom_strategy);
-    std::vector<util::ByteView> views;
-    views.reserve(candidates_.size());
+    util::ScratchScope scratch;
+    const std::span<util::ByteView> views =
+        scratch.span<util::ByteView>(candidates_.size());
+    std::size_t at = 0;
     for (const chain::TxId& id : candidates_) {
-      views.emplace_back(id.data(), id.size());
+      views[at++] = util::ByteView(id.data(), id.size());
     }
     req.filter_r.insert_batch(views.data(), views.size());
     span.attr("items", z);
@@ -347,7 +356,9 @@ ReceiveOutcome ReceiveSession::complete(const GrapheneResponseMsg& resp) {
   // block does not contain before the new transactions are added.
   if (params2_.reversed && resp.filter_f.has_value()) {
     const std::vector<chain::TxId> cand(candidates_.begin(), candidates_.end());
-    const std::vector<std::uint8_t> hit = scan_ids(*resp.filter_f, cand, cfg_.pool);
+    util::ScratchScope scratch;
+    const std::span<const std::uint8_t> hit =
+        scan_ids(*resp.filter_f, cand, cfg_.pool, scratch);
     for (std::size_t i = 0; i < cand.size(); ++i) {
       if (hit[i] == 0) candidates_.erase(cand[i]);
     }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "bloom/bloom_math.hpp"
+#include "util/arena.hpp"
 #include "graphene/bounds.hpp"
 #include "graphene/errors.hpp"
 #include "iblt/param_cache.hpp"
@@ -63,10 +64,12 @@ EncodeResult Sender::encode(std::uint64_t receiver_mempool_count) const {
       obs::ScopedSpan span(reg, "sfilter_build");
       msg.filter_s = bloom::BloomFilter(n, out.params.fpr, /*seed=*/salt_ ^ 0x5eedf00d,
                                         cfg_.bloom_strategy);
-      std::vector<util::ByteView> ids;
-      ids.reserve(block_.tx_count());
+      util::ScratchScope scratch;  // per-thread arena: no heap churn per encode
+      const std::span<util::ByteView> ids =
+          scratch.span<util::ByteView>(block_.tx_count());
+      std::size_t at = 0;
       for (const chain::Transaction& tx : block_.transactions()) {
-        ids.emplace_back(tx.id.data(), tx.id.size());
+        ids[at++] = util::ByteView(tx.id.data(), tx.id.size());
       }
       msg.filter_s.insert_batch(ids.data(), ids.size());
       span.attr("items", n);
@@ -143,25 +146,30 @@ GrapheneResponseMsg Sender::serve(const GrapheneRequestMsg& request) const {
   // receiver; send them in full. The membership pass runs through the
   // chunked batch scan; the partition below stays serial and in block
   // order, so resp.missing's wire bytes match the item-at-a-time loop.
-  std::vector<const chain::Transaction*> passed;
-  passed.reserve(n);
+  util::ScratchScope scratch;  // per-thread arena: serve scratch sized by m
+  std::span<const chain::Transaction*> passed_buf =
+      scratch.span<const chain::Transaction*>(n);
+  std::size_t passed_count = 0;
   {
-    std::vector<util::ByteView> ids;
-    ids.reserve(block_.tx_count());
+    const std::span<util::ByteView> ids =
+        scratch.span<util::ByteView>(block_.tx_count());
+    std::size_t at = 0;
     for (const chain::Transaction& tx : block_.transactions()) {
-      ids.emplace_back(tx.id.data(), tx.id.size());
+      ids[at++] = util::ByteView(tx.id.data(), tx.id.size());
     }
-    std::vector<std::uint8_t> hit(ids.size());
+    const std::span<std::uint8_t> hit = scratch.span<std::uint8_t>(ids.size());
     bloom::contains_all(request.filter_r, ids.data(), ids.size(), hit.data(), cfg_.pool);
     std::size_t i = 0;
     for (const chain::Transaction& tx : block_.transactions()) {
       if (hit[i++] != 0) {
-        passed.push_back(&tx);
+        passed_buf[passed_count++] = &tx;
       } else {
         resp.missing.push_back(tx);
       }
     }
   }
+  const std::span<const chain::Transaction* const> passed =
+      passed_buf.first(passed_count);
 
   std::uint64_t j_items = request.b + request.y_star;
 
@@ -193,10 +201,11 @@ GrapheneResponseMsg Sender::serve(const GrapheneRequestMsg& request) const {
         std::min(1.0, static_cast<double>(best_b) / static_cast<double>(denom));
     bloom::BloomFilter filter_f(z_s, f_f, /*seed=*/salt_ ^ 0xfeedface,
                                 cfg_.bloom_strategy);
-    std::vector<util::ByteView> passed_ids;
-    passed_ids.reserve(passed.size());
+    const std::span<util::ByteView> passed_ids =
+        scratch.span<util::ByteView>(passed.size());
+    std::size_t at = 0;
     for (const chain::Transaction* tx : passed) {
-      passed_ids.emplace_back(tx->id.data(), tx->id.size());
+      passed_ids[at++] = util::ByteView(tx->id.data(), tx->id.size());
     }
     filter_f.insert_batch(passed_ids.data(), passed_ids.size());
     resp.filter_f = std::move(filter_f);

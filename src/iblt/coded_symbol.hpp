@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "util/bytes.hpp"
+#include "util/simd/simd.hpp"
 
 namespace graphene::iblt {
 
@@ -41,7 +42,7 @@ struct CodedSymbol {
   static constexpr std::size_t kWireBytes = 48;
 
   void apply(const Digest32& d, std::uint64_t chk, std::int64_t dir) noexcept {
-    for (std::size_t i = 0; i < d.size(); ++i) sum[i] ^= d[i];
+    util::simd::active().xor_bytes(sum.data(), d.data(), d.size());
     check ^= chk;
     // Wrapping add: a hostile stream can deliver count = INT64_MIN, and the
     // decoder must keep applying items to the garbage cell until its work
@@ -53,10 +54,7 @@ struct CodedSymbol {
 
   [[nodiscard]] bool is_zero() const noexcept {
     if (count != 0 || check != 0) return false;
-    for (const std::uint8_t b : sum) {
-      if (b != 0) return false;
-    }
-    return true;
+    return util::simd::active().all_zero(sum.data(), sum.size());
   }
 };
 

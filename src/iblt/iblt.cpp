@@ -1,8 +1,10 @@
 #include "iblt/iblt.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <stdexcept>
 
+#include "util/simd/simd.hpp"
 #include "util/thread_pool.hpp"
 #include "util/varint.hpp"
 #include "util/wire_limits.hpp"
@@ -10,6 +12,13 @@
 namespace graphene::iblt {
 
 namespace {
+// The SIMD cells_add/cells_sub kernels operate on the raw 16-byte cell
+// layout; pin the field offsets they assume.
+static_assert(sizeof(Iblt::Cell) == 16);
+static_assert(offsetof(Iblt::Cell, key_sum) == 0);
+static_assert(offsetof(Iblt::Cell, count) == 8);
+static_assert(offsetof(Iblt::Cell, check_sum) == 12);
+
 constexpr std::uint32_t kMinHashCount = 2;
 constexpr std::uint32_t kMaxHashCount = 16;
 constexpr std::uint64_t kCheckSalt = 0xc0ffee3141592653ULL;
@@ -253,11 +262,10 @@ void Iblt::insert_all(std::span<const std::uint64_t> keys, util::ThreadPool* poo
 }
 
 void Iblt::merge_add(const Iblt& other) noexcept {
-  for (std::size_t i = 0; i < cells_.size(); ++i) {
-    cells_[i].count = wrap_add(cells_[i].count, other.cells_[i].count);
-    cells_[i].key_sum ^= other.cells_[i].key_sum;
-    cells_[i].check_sum ^= other.cells_[i].check_sum;
-  }
+  // Cell is a packed 16-byte {u64, i32, u32} record, so the fold is the
+  // SIMD cells_add kernel verbatim (XOR the sums, wrapping-add the counts).
+  util::simd::active().cells_add(cells_.data(), other.cells_.data(),
+                                 cells_.size());
 }
 
 void Iblt::cancel(std::uint64_t key, int sign) {
@@ -273,11 +281,8 @@ Iblt Iblt::subtract(const Iblt& other, util::ThreadPool* pool) const {
   Iblt out = *this;
   const std::size_t n = cells_.size();
   auto body = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      out.cells_[i].count = wrap_sub(out.cells_[i].count, other.cells_[i].count);
-      out.cells_[i].key_sum ^= other.cells_[i].key_sum;
-      out.cells_[i].check_sum ^= other.cells_[i].check_sum;
-    }
+    util::simd::active().cells_sub(out.cells_.data() + begin,
+                                   other.cells_.data() + begin, end - begin);
   };
   if (pool != nullptr && pool->size() > 0 && n >= 2 * kSubtractChunkCells) {
     // Cells are independent, so any chunking yields the same table.
@@ -293,10 +298,8 @@ Iblt Iblt::subtract(const Iblt& other, util::ThreadPool* pool) const {
 }
 
 bool Iblt::empty() const noexcept {
-  for (const Cell& c : cells_) {
-    if (c.count != 0 || c.key_sum != 0 || c.check_sum != 0) return false;
-  }
-  return true;
+  const util::ByteView raw = util::object_bytes(cells_.data(), cells_.size());
+  return util::simd::active().all_zero(raw.data(), raw.size());
 }
 
 DecodeResult Iblt::decode() const {
@@ -358,8 +361,7 @@ DecodeResult Iblt::decode() const {
   return result;
 }
 
-util::Bytes Iblt::serialize() const {
-  util::ByteWriter w;
+void Iblt::serialize_into(util::ByteWriter& w) const {
   util::write_varint(w, cells_.size());
   w.u8(static_cast<std::uint8_t>(k_));
   w.u64(seed_);
@@ -368,6 +370,11 @@ util::Bytes Iblt::serialize() const {
     w.u64(c.key_sum);
     w.u32(c.check_sum);
   }
+}
+
+util::Bytes Iblt::serialize() const {
+  util::ByteWriter w;
+  serialize_into(w);
   return w.take();
 }
 

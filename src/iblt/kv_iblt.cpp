@@ -144,8 +144,7 @@ KvDecodeResult KvIblt::decode() const {
   return result;
 }
 
-util::Bytes KvIblt::serialize() const {
-  util::ByteWriter w;
+void KvIblt::serialize_into(util::ByteWriter& w) const {
   util::write_varint(w, cells_.size());
   w.u8(static_cast<std::uint8_t>(k_));
   w.u64(seed_);
@@ -155,6 +154,11 @@ util::Bytes KvIblt::serialize() const {
     w.u64(c.value_sum);
     w.u32(c.check_sum);
   }
+}
+
+util::Bytes KvIblt::serialize() const {
+  util::ByteWriter w;
+  serialize_into(w);
   return w.take();
 }
 

@@ -55,6 +55,10 @@ class KvIblt {
   [[nodiscard]] std::uint64_t cell_count() const noexcept { return cells_.size(); }
   [[nodiscard]] std::uint32_t hash_count() const noexcept { return k_; }
 
+  /// Appends the wire encoding to `w` (scatter form of serialize()).
+
+  void serialize_into(util::ByteWriter& w) const;
+
   [[nodiscard]] util::Bytes serialize() const;
   static KvIblt deserialize(util::ByteReader& reader);
 

@@ -22,22 +22,61 @@ std::array<std::uint8_t, 4> frame_checksum(util::ByteView payload) noexcept {
   return {twice[0], twice[1], twice[2], twice[3]};
 }
 
+namespace {
+
+void append_envelope(util::ByteWriter& w, MessageType type, std::uint32_t length,
+                     const std::array<std::uint8_t, 4>& checksum) {
+  w.raw(util::ByteView(kFrameMagic.data(), kFrameMagic.size()));
+  const std::string_view cmd = command_name(type);
+  std::array<std::uint8_t, kFrameCommandBytes> command{};
+  std::memcpy(command.data(), cmd.data(), cmd.size());
+  w.raw(util::ByteView(command.data(), command.size()));
+  w.u32(length);
+  w.raw(util::ByteView(checksum.data(), checksum.size()));
+}
+
+}  // namespace
+
 util::Bytes encode_frame(const Message& msg, std::uint64_t max_payload) {
+  util::Bytes out;
+  encode_frame_into(out, msg, max_payload);
+  return out;
+}
+
+void encode_frame_into(util::Bytes& out, const Message& msg, std::uint64_t max_payload) {
   if (msg.payload.size() > max_payload) {
     throw util::DeserializeError("frame: payload " + std::to_string(msg.payload.size()) +
                                  " exceeds cap " + std::to_string(max_payload));
   }
-  util::ByteWriter w;
-  w.raw(util::ByteView(kFrameMagic.data(), kFrameMagic.size()));
-  const std::string_view cmd = command_name(msg.type);
-  std::array<std::uint8_t, kFrameCommandBytes> command{};
-  std::memcpy(command.data(), cmd.data(), cmd.size());
-  w.raw(util::ByteView(command.data(), command.size()));
-  w.u32(static_cast<std::uint32_t>(msg.payload.size()));
-  const std::array<std::uint8_t, 4> sum = frame_checksum(util::ByteView(msg.payload));
-  w.raw(util::ByteView(sum.data(), sum.size()));
+  out.reserve(out.size() + kEnvelopeBytes + msg.payload.size());
+  util::ByteWriter w(std::move(out));
+  append_envelope(w, msg.type, static_cast<std::uint32_t>(msg.payload.size()),
+                  frame_checksum(util::ByteView(msg.payload)));
   w.raw(util::ByteView(msg.payload));
-  return w.take();
+  out = w.take();
+}
+
+FramePatch begin_frame(util::ByteWriter& w, MessageType type) {
+  const FramePatch patch{w.size()};
+  append_envelope(w, type, 0, {0, 0, 0, 0});
+  return patch;
+}
+
+void end_frame(util::ByteWriter& w, const FramePatch& patch, std::uint64_t max_payload) {
+  const std::size_t payload_start = patch.envelope_start + kEnvelopeBytes;
+  if (payload_start > w.size()) {
+    throw util::DeserializeError("frame: end_frame before begin_frame");
+  }
+  const std::size_t payload_size = w.size() - payload_start;
+  if (payload_size > max_payload) {
+    throw util::DeserializeError("frame: payload " + std::to_string(payload_size) +
+                                 " exceeds cap " + std::to_string(max_payload));
+  }
+  const util::ByteView payload = w.view().subspan(payload_start);
+  const std::array<std::uint8_t, 4> sum = frame_checksum(payload);
+  const std::size_t len_at = patch.envelope_start + kFrameMagic.size() + kFrameCommandBytes;
+  w.patch_u32(len_at, static_cast<std::uint32_t>(payload_size));
+  w.patch_raw(len_at + 4, util::ByteView(sum.data(), sum.size()));
 }
 
 void FrameReader::absorb(util::ByteView data) {

@@ -1,0 +1,558 @@
+#include "net/views.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "net/frame.hpp"
+#include "util/varint.hpp"
+
+namespace graphene::net::views {
+namespace {
+
+// Structural bounds the copying deserializers keep file-local. Each value is
+// pinned to its owner by tests/perf/test_zero_copy.cpp (a drift here shows up
+// as an accept/reject divergence, which the differential fuzzer also holds).
+constexpr std::uint32_t kBloomMaxHashCount = 64;   // bloom_filter.cpp
+constexpr std::uint32_t kIbltMinHashCount = 2;     // iblt.cpp / kv_iblt.cpp
+constexpr std::uint32_t kIbltMaxHashCount = 16;    // iblt.cpp / kv_iblt.cpp
+constexpr std::size_t kCuckooBucketSlots = 4;      // cuckoo_filter.cpp
+constexpr std::size_t kTxFixedOverhead = 36;       // messages.cpp: id + size
+constexpr std::uint8_t kMaxErrorCode = 4;          // daemon::ErrorCode::kShutdown
+
+/// Bytes consumed from `r` since `before = r.tail()` was taken.
+util::ByteView consumed(util::ByteView before, const util::ByteReader& r) {
+  return before.first(before.size() - r.tail().size());
+}
+
+[[noreturn]] void fail(const char* what) { throw util::DeserializeError(what); }
+
+/// Canonical presence/bool flag: only 0 and 1 are wire-legal.
+bool read_flag(util::ByteReader& r, const char* what) {
+  const std::uint8_t flag = r.u8();
+  if (flag > 1) fail(what);
+  return flag == 1;
+}
+
+double read_fpr(util::ByteReader& r, const char* what) {
+  const std::uint64_t bits = r.u64();
+  double fpr = 0.0;
+  std::memcpy(&fpr, &bits, sizeof(fpr));
+  if (!(fpr > 0.0 && fpr <= 1.0)) fail(what);
+  return fpr;
+}
+
+/// Walks one full-transaction record (32-byte id | u32 claimed size | padded
+/// body) without materializing it — the borrow twin of read_full_tx().
+void skip_full_tx(util::ByteReader& r) {
+  (void)r.raw_view(32);
+  const std::uint32_t size = r.u32();
+  if (size > util::wire::kMaxTxWireSize) {
+    fail("full tx: claimed size exceeds kMaxTxWireSize");
+  }
+  const std::size_t body = size > kTxFixedOverhead ? size - kTxFixedOverhead : 0;
+  (void)r.raw_view(body);
+}
+
+/// Borrows `count` full-tx records and returns their concatenated extent.
+util::ByteView read_full_tx_records(util::ByteReader& r, std::uint64_t count,
+                                    const char* what) {
+  if (count > r.remaining() / kTxFixedOverhead) fail(what);
+  const util::ByteView before = r.tail();
+  for (std::uint64_t i = 0; i < count; ++i) skip_full_tx(r);
+  return consumed(before, r);
+}
+
+}  // namespace
+
+// --- leaf container views ----------------------------------------------------
+
+BloomFilterView BloomFilterView::parse(util::ByteReader& r) {
+  const util::ByteView before = r.tail();
+  BloomFilterView v;
+  v.n_bits = util::read_varint_bounded(r, util::wire::kMaxBloomBits, "BloomFilter bits");
+  v.k_byte = r.u8();
+  if ((v.k_byte & 0xc0) == 0xc0 && (v.k_byte & 0x3f) != 0) {
+    if (v.n_bits == 0 || v.n_bits % bloom::BloomFilter::kBlockBits != 0) {
+      fail("BloomFilter: blocked layout requires whole blocks");
+    }
+  } else {
+    const std::uint32_t k = v.k_byte & 0x7f;
+    if (k == 0 || k > kBloomMaxHashCount) fail("BloomFilter: invalid hash count");
+  }
+  v.seed = r.u64();
+  const std::size_t payload = static_cast<std::size_t>((v.n_bits + 7) / 8);
+  if (payload > r.remaining()) fail("BloomFilter: bit count exceeds buffer");
+  v.bits = r.raw_view(payload);
+  v.span = consumed(before, r);
+  return v;
+}
+
+bloom::BloomFilter BloomFilterView::materialize() const {
+  util::ByteReader r(span);
+  return bloom::BloomFilter::deserialize(r);
+}
+
+GolombSetView GolombSetView::parse(util::ByteReader& r) {
+  const util::ByteView before = r.tail();
+  GolombSetView v;
+  v.n = util::read_varint_bounded(r, util::wire::kMaxGolombItems, "GolombSet items");
+  v.rice_param = r.u8();
+  if (v.rice_param < 1 || v.rice_param > 40) fail("GolombSet: invalid rice parameter");
+  v.seed = r.u64();
+  v.bit_count = util::read_varint_bounded(r, util::wire::kMaxGolombBits, "GolombSet bits");
+  if (v.n > v.bit_count / (v.rice_param + 1u)) {
+    fail("GolombSet: item count exceeds coded stream");
+  }
+  const std::size_t payload = static_cast<std::size_t>((v.bit_count + 7) / 8);
+  if (payload > r.remaining()) fail("GolombSet: bit count exceeds buffer");
+  v.coded = r.raw_view(payload);
+  v.span = consumed(before, r);
+  return v;
+}
+
+bloom::GolombSet GolombSetView::materialize() const {
+  util::ByteReader r(span);
+  return bloom::GolombSet::deserialize(r);
+}
+
+CuckooFilterView CuckooFilterView::parse(util::ByteReader& r) {
+  const util::ByteView before = r.tail();
+  CuckooFilterView v;
+  v.buckets =
+      util::read_varint_bounded(r, util::wire::kMaxCuckooBuckets, "CuckooFilter buckets");
+  v.fp_bits = r.u8();
+  if (v.buckets != 0 && (v.buckets & (v.buckets - 1)) != 0) {
+    fail("CuckooFilter: bucket count not a power of two");
+  }
+  if (v.fp_bits < 4 || v.fp_bits > 16) fail("CuckooFilter: invalid fingerprint width");
+  if (v.buckets > r.remaining()) fail("CuckooFilter: bucket count exceeds buffer");
+  v.seed = r.u64();
+  const std::uint64_t stash_count =
+      util::read_varint_bounded(r, util::wire::kMaxWireCollection, "CuckooFilter stash");
+  if (stash_count > r.remaining() / 2) fail("CuckooFilter: stash exceeds buffer");
+  v.stash = r.raw_view(static_cast<std::size_t>(stash_count) * 2);
+  // The copying path streams the table bit-by-bit; its byte consumption is
+  // exactly ceil(buckets * slots * fp_bits / 8).
+  const std::uint64_t payload_bits = v.buckets * kCuckooBucketSlots * v.fp_bits;
+  if ((payload_bits + 7) / 8 > r.remaining()) {
+    fail("CuckooFilter: bucket count exceeds buffer");
+  }
+  v.table = r.raw_view(static_cast<std::size_t>((payload_bits + 7) / 8));
+  v.span = consumed(before, r);
+  return v;
+}
+
+bloom::CuckooFilter CuckooFilterView::materialize() const {
+  util::ByteReader r(span);
+  return bloom::CuckooFilter::deserialize(r);
+}
+
+IbltView IbltView::parse(util::ByteReader& r) {
+  const util::ByteView before = r.tail();
+  IbltView v;
+  v.cell_count = util::read_varint_bounded(r, util::wire::kMaxIbltCells, "Iblt cells");
+  v.k = r.u8();
+  if (v.k < kIbltMinHashCount || v.k > kIbltMaxHashCount) {
+    fail("Iblt: invalid hash count");
+  }
+  if (v.cell_count == 0 || v.cell_count % v.k != 0) {
+    fail("Iblt: cell count not a positive multiple of hash count");
+  }
+  if (r.remaining() < 8 ||
+      v.cell_count > (r.remaining() - 8) / iblt::Iblt::kCellBytes) {
+    fail("Iblt: cell count exceeds buffer");
+  }
+  v.seed = r.u64();
+  v.cells = r.raw_view(static_cast<std::size_t>(v.cell_count) * iblt::Iblt::kCellBytes);
+  v.span = consumed(before, r);
+  return v;
+}
+
+iblt::Iblt IbltView::materialize() const {
+  util::ByteReader r(span);
+  return iblt::Iblt::deserialize(r);
+}
+
+KvIbltView KvIbltView::parse(util::ByteReader& r) {
+  const util::ByteView before = r.tail();
+  KvIbltView v;
+  v.cell_count = util::read_varint_bounded(r, util::wire::kMaxIbltCells, "KvIblt cells");
+  v.k = r.u8();
+  if (v.k < kIbltMinHashCount || v.k > kIbltMaxHashCount) {
+    fail("KvIblt: invalid hash count");
+  }
+  if (v.cell_count == 0 || v.cell_count % v.k != 0) {
+    fail("KvIblt: cell count not a positive multiple of hash count");
+  }
+  if (r.remaining() < 8 ||
+      v.cell_count > (r.remaining() - 8) / iblt::KvIblt::kCellBytes) {
+    fail("KvIblt: cell count exceeds buffer");
+  }
+  v.seed = r.u64();
+  v.cells =
+      r.raw_view(static_cast<std::size_t>(v.cell_count) * iblt::KvIblt::kCellBytes);
+  v.span = consumed(before, r);
+  return v;
+}
+
+iblt::KvIblt KvIbltView::materialize() const {
+  util::ByteReader r(span);
+  return iblt::KvIblt::deserialize(r);
+}
+
+StrataEstimatorView StrataEstimatorView::parse(util::ByteReader& r) {
+  const util::ByteView before = r.tail();
+  StrataEstimatorView v;
+  v.stratum_count = r.u8();
+  if (v.stratum_count == 0 || v.stratum_count > 64) {
+    fail("StrataEstimator: invalid stratum count");
+  }
+  const util::ByteView strata_start = r.tail();
+  for (std::uint8_t s = 0; s < v.stratum_count; ++s) (void)IbltView::parse(r);
+  v.strata = consumed(strata_start, r);
+  v.span = consumed(before, r);
+  return v;
+}
+
+iblt::StrataEstimator StrataEstimatorView::materialize() const {
+  util::ByteReader r(span);
+  return iblt::StrataEstimator::deserialize(r);
+}
+
+// --- core protocol message views ---------------------------------------------
+
+GrapheneBlockMsgView GrapheneBlockMsgView::parse(util::ByteReader& r) {
+  const util::ByteView before = r.tail();
+  GrapheneBlockMsgView v;
+  v.header = chain::BlockHeader::deserialize(r);
+  v.n = util::read_varint_bounded(r, util::wire::kMaxBlockTxCount, "GrapheneBlockMsg n");
+  v.shortid_salt = r.u64();
+  v.filter_s = BloomFilterView::parse(r);
+  v.iblt_i = IbltView::parse(r);
+  v.span = consumed(before, r);
+  return v;
+}
+
+core::GrapheneBlockMsg GrapheneBlockMsgView::materialize() const {
+  util::ByteReader r(span);
+  return core::GrapheneBlockMsg::deserialize(r);
+}
+
+GrapheneRequestMsgView GrapheneRequestMsgView::parse(util::ByteReader& r) {
+  const util::ByteView before = r.tail();
+  GrapheneRequestMsgView v;
+  v.z = util::read_varint_bounded(r, util::wire::kMaxWireCollection,
+                                  "GrapheneRequestMsg z");
+  v.b = util::read_varint_bounded(r, util::wire::kMaxSizingParam, "GrapheneRequestMsg b");
+  v.y_star = util::read_varint_bounded(r, util::wire::kMaxSizingParam,
+                                       "GrapheneRequestMsg y_star");
+  v.fpr_r = read_fpr(r, "GrapheneRequestMsg: fpr not in (0, 1]");
+  v.reversed = read_flag(r, "GrapheneRequestMsg reversed: invalid presence flag");
+  v.filter_r = BloomFilterView::parse(r);
+  v.span = consumed(before, r);
+  return v;
+}
+
+core::GrapheneRequestMsg GrapheneRequestMsgView::materialize() const {
+  util::ByteReader r(span);
+  return core::GrapheneRequestMsg::deserialize(r);
+}
+
+GrapheneResponseMsgView GrapheneResponseMsgView::parse(util::ByteReader& r) {
+  const util::ByteView before = r.tail();
+  GrapheneResponseMsgView v;
+  v.missing_count = util::read_varint_bounded(r, util::wire::kMaxWireCollection,
+                                              "GrapheneResponseMsg count");
+  v.missing = read_full_tx_records(
+      r, v.missing_count, "GrapheneResponseMsg: transaction count exceeds buffer");
+  v.iblt_j = IbltView::parse(r);
+  v.has_filter_f = read_flag(r, "GrapheneResponseMsg filter_f: invalid presence flag");
+  if (v.has_filter_f) v.filter_f = BloomFilterView::parse(r);
+  v.span = consumed(before, r);
+  return v;
+}
+
+core::GrapheneResponseMsg GrapheneResponseMsgView::materialize() const {
+  util::ByteReader r(span);
+  return core::GrapheneResponseMsg::deserialize(r);
+}
+
+RepairRequestMsgView RepairRequestMsgView::parse(util::ByteReader& r) {
+  const util::ByteView before = r.tail();
+  RepairRequestMsgView v;
+  v.id_count = util::read_varint_bounded(r, util::wire::kMaxWireCollection,
+                                         "RepairRequestMsg count");
+  if (v.id_count > r.remaining() / 8) {
+    fail("RepairRequestMsg: id count exceeds buffer");
+  }
+  v.short_ids = r.raw_view(static_cast<std::size_t>(v.id_count) * 8);
+  v.span = consumed(before, r);
+  return v;
+}
+
+core::RepairRequestMsg RepairRequestMsgView::materialize() const {
+  util::ByteReader r(span);
+  return core::RepairRequestMsg::deserialize(r);
+}
+
+RepairResponseMsgView RepairResponseMsgView::parse(util::ByteReader& r) {
+  const util::ByteView before = r.tail();
+  RepairResponseMsgView v;
+  v.tx_count = util::read_varint_bounded(r, util::wire::kMaxWireCollection,
+                                         "RepairResponseMsg count");
+  v.txns = read_full_tx_records(
+      r, v.tx_count, "RepairResponseMsg: transaction count exceeds buffer");
+  v.span = consumed(before, r);
+  return v;
+}
+
+core::RepairResponseMsg RepairResponseMsgView::materialize() const {
+  util::ByteReader r(span);
+  return core::RepairResponseMsg::deserialize(r);
+}
+
+// --- reconcile backend message views -----------------------------------------
+
+OfferView OfferView::parse(util::ByteReader& r) {
+  const util::ByteView before = r.tail();
+  OfferView v;
+  v.count = util::read_varint_bounded(r, util::wire::kMaxWireCollection,
+                                      "reconcile::Offer count");
+  v.salt = r.u64();
+  v.set_checksum = r.u64();
+  v.filter = BloomFilterView::parse(r);
+  v.correction = IbltView::parse(r);
+  v.span = consumed(before, r);
+  return v;
+}
+
+reconcile::Offer OfferView::materialize() const {
+  util::ByteReader r(span);
+  return reconcile::Offer::deserialize(r);
+}
+
+RequestView RequestView::parse(util::ByteReader& r) {
+  const util::ByteView before = r.tail();
+  RequestView v;
+  v.candidate_count = util::read_varint_bounded(r, util::wire::kMaxWireCollection,
+                                                "reconcile::Request candidates");
+  v.b = util::read_varint_bounded(r, util::wire::kMaxSizingParam,
+                                  "reconcile::Request b");
+  v.y_star = util::read_varint_bounded(r, util::wire::kMaxSizingParam,
+                                       "reconcile::Request y_star");
+  v.fpr_r = read_fpr(r, "reconcile::Request: fpr not in (0, 1]");
+  v.reversed = read_flag(r, "reconcile::Request: invalid reversed flag");
+  v.filter = BloomFilterView::parse(r);
+  v.span = consumed(before, r);
+  return v;
+}
+
+reconcile::Request RequestView::materialize() const {
+  util::ByteReader r(span);
+  return reconcile::Request::deserialize(r);
+}
+
+ResponseView ResponseView::parse(util::ByteReader& r) {
+  const util::ByteView before = r.tail();
+  ResponseView v;
+  v.missing_count = util::read_varint_bounded(r, util::wire::kMaxWireCollection,
+                                              "reconcile::Response count");
+  if (v.missing_count > r.remaining() / 32) {
+    fail("reconcile::Response: item count exceeds buffer");
+  }
+  v.missing = r.raw_view(static_cast<std::size_t>(v.missing_count) * 32);
+  v.correction = IbltView::parse(r);
+  v.has_compensation = read_flag(r, "reconcile::Response: invalid presence flag");
+  if (v.has_compensation) v.compensation = BloomFilterView::parse(r);
+  v.span = consumed(before, r);
+  return v;
+}
+
+reconcile::Response ResponseView::materialize() const {
+  util::ByteReader r(span);
+  return reconcile::Response::deserialize(r);
+}
+
+FetchRequestView FetchRequestView::parse(util::ByteReader& r) {
+  const util::ByteView before = r.tail();
+  FetchRequestView v;
+  v.id_count = util::read_varint_bounded(r, util::wire::kMaxWireCollection,
+                                         "reconcile::FetchRequest count");
+  if (v.id_count > r.remaining() / 8) {
+    fail("reconcile::FetchRequest: count exceeds buffer");
+  }
+  v.short_ids = r.raw_view(static_cast<std::size_t>(v.id_count) * 8);
+  v.span = consumed(before, r);
+  return v;
+}
+
+reconcile::FetchRequest FetchRequestView::materialize() const {
+  util::ByteReader r(span);
+  return reconcile::FetchRequest::deserialize(r);
+}
+
+FetchResponseView FetchResponseView::parse(util::ByteReader& r) {
+  const util::ByteView before = r.tail();
+  FetchResponseView v;
+  v.item_count = util::read_varint_bounded(r, util::wire::kMaxWireCollection,
+                                           "reconcile::FetchResponse count");
+  if (v.item_count > r.remaining() / 32) {
+    fail("reconcile::FetchResponse: count exceeds buffer");
+  }
+  v.items = r.raw_view(static_cast<std::size_t>(v.item_count) * 32);
+  v.span = consumed(before, r);
+  return v;
+}
+
+reconcile::FetchResponse FetchResponseView::materialize() const {
+  util::ByteReader r(span);
+  return reconcile::FetchResponse::deserialize(r);
+}
+
+RatelessChunkView RatelessChunkView::parse(util::ByteReader& r) {
+  const util::ByteView before = r.tail();
+  RatelessChunkView v;
+  v.start = util::read_varint_bounded(r, util::wire::kMaxRatelessStreamIndex,
+                                      "reconcile::RatelessChunk start");
+  v.host_count = util::read_varint_bounded(r, util::wire::kMaxWireCollection,
+                                           "reconcile::RatelessChunk host_count");
+  v.salt = r.u64();
+  v.set_checksum = r.u64();
+  v.symbol_count =
+      util::read_varint_bounded(r, util::wire::kMaxRatelessChunkSymbols,
+                                "reconcile::RatelessChunk symbols");
+  if (v.symbol_count > r.remaining() / iblt::CodedSymbol::kWireBytes) {
+    fail("reconcile::RatelessChunk: symbol count exceeds buffer");
+  }
+  v.symbols = r.raw_view(static_cast<std::size_t>(v.symbol_count) *
+                         iblt::CodedSymbol::kWireBytes);
+  v.span = consumed(before, r);
+  return v;
+}
+
+reconcile::RatelessChunk RatelessChunkView::materialize() const {
+  util::ByteReader r(span);
+  return reconcile::RatelessChunk::deserialize(r);
+}
+
+RatelessNeedView RatelessNeedView::parse(util::ByteReader& r) {
+  const util::ByteView before = r.tail();
+  RatelessNeedView v;
+  v.next_index = util::read_varint_bounded(r, util::wire::kMaxRatelessStreamIndex,
+                                           "reconcile::RatelessNeed next_index");
+  v.count = util::read_varint_bounded(r, util::wire::kMaxRatelessChunkSymbols,
+                                      "reconcile::RatelessNeed count");
+  v.span = consumed(before, r);
+  return v;
+}
+
+reconcile::RatelessNeed RatelessNeedView::materialize() const {
+  util::ByteReader r(span);
+  return reconcile::RatelessNeed::deserialize(r);
+}
+
+// --- daemon control-plane views ----------------------------------------------
+
+HelloMsgView HelloMsgView::parse(util::ByteReader& r) {
+  const util::ByteView before = r.tail();
+  HelloMsgView v;
+  v.version = r.u32();
+  v.backend = r.u8();
+  if (v.backend > 1) fail("daemon::HelloMsg: unknown backend");
+  v.item_count = util::read_varint_bounded(r, util::wire::kMaxDaemonItemCount,
+                                           "daemon::HelloMsg::item_count");
+  v.span = consumed(before, r);
+  return v;
+}
+
+daemon::HelloMsg HelloMsgView::materialize() const {
+  util::ByteReader r(span);
+  return daemon::HelloMsg::deserialize(r);
+}
+
+ByeMsgView ByeMsgView::parse(util::ByteReader& r) {
+  const util::ByteView before = r.tail();
+  ByeMsgView v;
+  v.ok = r.u8();
+  if (v.ok > 1) fail("daemon::ByeMsg: non-canonical ok flag");
+  v.rounds = r.u32();
+  v.span = consumed(before, r);
+  return v;
+}
+
+daemon::ByeMsg ByeMsgView::materialize() const {
+  util::ByteReader r(span);
+  return daemon::ByeMsg::deserialize(r);
+}
+
+ErrorMsgView ErrorMsgView::parse(util::ByteReader& r) {
+  const util::ByteView before = r.tail();
+  ErrorMsgView v;
+  v.code = r.u8();
+  if (v.code > kMaxErrorCode) fail("daemon::ErrorMsg: unknown code");
+  const std::uint64_t len = util::read_varint_bounded(
+      r, util::wire::kMaxDaemonTextBytes, "daemon::ErrorMsg::detail");
+  v.detail = r.raw_view(static_cast<std::size_t>(len));
+  v.span = consumed(before, r);
+  return v;
+}
+
+daemon::ErrorMsg ErrorMsgView::materialize() const {
+  util::ByteReader r(span);
+  return daemon::ErrorMsg::deserialize(r);
+}
+
+// --- frame view --------------------------------------------------------------
+
+std::optional<FrameView> FrameView::parse(util::ByteView data,
+                                          std::uint64_t max_payload) {
+  if (data.size() < kEnvelopeBytes) return std::nullopt;
+
+  const std::uint8_t* head = data.data();
+  if (std::memcmp(head, kFrameMagic.data(), kFrameMagic.size()) != 0) {
+    fail("frame: bad magic");
+  }
+
+  const std::uint8_t* cmd = head + kFrameMagic.size();
+  std::size_t name_len = 0;
+  while (name_len < kFrameCommandBytes && cmd[name_len] != 0) ++name_len;
+  for (std::size_t i = name_len; i < kFrameCommandBytes; ++i) {
+    if (cmd[i] != 0) fail("frame: command not NUL-padded");
+  }
+  const std::string name(cmd, cmd + name_len);
+  const std::optional<MessageType> type = command_from_name(name);
+  if (!type) {
+    throw util::DeserializeError("frame: unknown command \"" + name + "\"");
+  }
+
+  const std::uint8_t* len_field = cmd + kFrameCommandBytes;
+  std::uint32_t length = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(len_field[i]) << (8 * i);
+  }
+  if (length > max_payload) {
+    throw util::DeserializeError("frame: payload length " + std::to_string(length) +
+                                 " exceeds cap " + std::to_string(max_payload));
+  }
+
+  if (data.size() < kEnvelopeBytes + length) return std::nullopt;
+
+  FrameView v;
+  v.type = *type;
+  v.payload = data.subspan(kEnvelopeBytes, length);
+  const std::array<std::uint8_t, 4> expect = frame_checksum(v.payload);
+  if (std::memcmp(len_field + 4, expect.data(), expect.size()) != 0) {
+    throw util::DeserializeError("frame: checksum mismatch for \"" + name + "\"");
+  }
+  v.span = data.first(kEnvelopeBytes + length);
+  return v;
+}
+
+Message FrameView::materialize() const {
+  Message msg;
+  msg.type = type;
+  msg.payload.assign(payload.begin(), payload.end());
+  return msg;
+}
+
+}  // namespace graphene::net::views

@@ -1,0 +1,300 @@
+// Borrow-not-copy wire readers.
+//
+// Every copying deserializer in the library materializes vectors (filter
+// words, IBLT cells, digest lists) out of the input buffer. The views here
+// are their zero-copy twins: parse() walks the same wire layout with the
+// same bounded-read validation, but records util::ByteView spans into the
+// caller's buffer instead of allocating — the parsed message borrows the
+// frame it arrived in. materialize() re-runs the copying deserializer over
+// the recorded extent, which pins the two code paths to identical bytes.
+//
+// Validation contract: views enforce the full *structural* rule set (caps,
+// canonical flags, claimed-size-vs-buffer bounds), so for every type except
+// GolombSet a view accepts a byte string iff the copying deserializer does,
+// and consumes exactly the same extent. GolombSetView is documented as a
+// structural superset: the copying path additionally decodes the coded
+// stream end-to-end (semantic validation a borrow cannot do for free), so
+// view-accepted golomb bytes may still be rejected on materialize().
+// fuzz/fuzz_zero_copy_reader.cpp holds both ends to this contract.
+//
+// Views alias the buffer handed to parse(): they are valid only while that
+// buffer outlives them, and are meant for stack-scoped decode paths (frame
+// handler → view → consume), never for storage.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "bloom/bloom_filter.hpp"
+#include "bloom/cuckoo_filter.hpp"
+#include "bloom/golomb_set.hpp"
+#include "chain/block.hpp"
+#include "daemon/wire.hpp"
+#include "graphene/messages.hpp"
+#include "iblt/iblt.hpp"
+#include "iblt/kv_iblt.hpp"
+#include "iblt/strata_estimator.hpp"
+#include "net/message.hpp"
+#include "reconcile/graphene_backend.hpp"
+#include "reconcile/rateless_backend.hpp"
+#include "util/bytes.hpp"
+#include "util/wire_limits.hpp"
+
+namespace graphene::net::views {
+
+// --- leaf container views ----------------------------------------------------
+
+struct BloomFilterView {
+  std::uint64_t n_bits = 0;
+  std::uint8_t k_byte = 0;  ///< raw strategy/k tag (0xC0|k = blocked)
+  std::uint64_t seed = 0;
+  util::ByteView bits;  ///< packed filter payload, (n_bits + 7) / 8 bytes
+  util::ByteView span;  ///< full serialized extent
+
+  static BloomFilterView parse(util::ByteReader& r);
+  [[nodiscard]] bloom::BloomFilter materialize() const;
+};
+
+struct GolombSetView {
+  std::uint64_t n = 0;
+  std::uint8_t rice_param = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t bit_count = 0;
+  util::ByteView coded;  ///< rice-coded stream, (bit_count + 7) / 8 bytes
+  util::ByteView span;
+
+  /// Structural superset of GolombSet::deserialize — see file comment.
+  static GolombSetView parse(util::ByteReader& r);
+  [[nodiscard]] bloom::GolombSet materialize() const;
+};
+
+struct CuckooFilterView {
+  std::uint64_t buckets = 0;
+  std::uint8_t fp_bits = 0;
+  std::uint64_t seed = 0;
+  util::ByteView stash;  ///< u16 LE fingerprints
+  util::ByteView table;  ///< bit-packed fingerprint payload
+  util::ByteView span;
+
+  static CuckooFilterView parse(util::ByteReader& r);
+  [[nodiscard]] bloom::CuckooFilter materialize() const;
+};
+
+struct IbltView {
+  std::uint64_t cell_count = 0;
+  std::uint32_t k = 0;
+  std::uint64_t seed = 0;
+  util::ByteView cells;  ///< cell_count records of i32|u64|u32
+  util::ByteView span;
+
+  static IbltView parse(util::ByteReader& r);
+  [[nodiscard]] iblt::Iblt materialize() const;
+};
+
+struct KvIbltView {
+  std::uint64_t cell_count = 0;
+  std::uint32_t k = 0;
+  std::uint64_t seed = 0;
+  util::ByteView cells;  ///< cell_count records of i32|u64|u64|u32
+  util::ByteView span;
+
+  static KvIbltView parse(util::ByteReader& r);
+  [[nodiscard]] iblt::KvIblt materialize() const;
+};
+
+struct StrataEstimatorView {
+  std::uint8_t stratum_count = 0;
+  util::ByteView strata;  ///< concatenated serialized Iblt strata
+  util::ByteView span;
+
+  static StrataEstimatorView parse(util::ByteReader& r);
+  [[nodiscard]] iblt::StrataEstimator materialize() const;
+};
+
+// --- core protocol message views ---------------------------------------------
+
+struct GrapheneBlockMsgView {
+  chain::BlockHeader header{};  ///< fixed 80-byte record, copied (not bulk)
+  std::uint64_t n = 0;
+  std::uint64_t shortid_salt = 0;
+  BloomFilterView filter_s;
+  IbltView iblt_i;
+  util::ByteView span;
+
+  static GrapheneBlockMsgView parse(util::ByteReader& r);
+  [[nodiscard]] core::GrapheneBlockMsg materialize() const;
+};
+
+struct GrapheneRequestMsgView {
+  std::uint64_t z = 0;
+  std::uint64_t b = 0;
+  std::uint64_t y_star = 0;
+  double fpr_r = 1.0;
+  bool reversed = false;
+  BloomFilterView filter_r;
+  util::ByteView span;
+
+  static GrapheneRequestMsgView parse(util::ByteReader& r);
+  [[nodiscard]] core::GrapheneRequestMsg materialize() const;
+};
+
+struct GrapheneResponseMsgView {
+  std::uint64_t missing_count = 0;
+  util::ByteView missing;  ///< concatenated full-tx records
+  IbltView iblt_j;
+  bool has_filter_f = false;
+  BloomFilterView filter_f;  ///< valid only when has_filter_f
+  util::ByteView span;
+
+  static GrapheneResponseMsgView parse(util::ByteReader& r);
+  [[nodiscard]] core::GrapheneResponseMsg materialize() const;
+};
+
+struct RepairRequestMsgView {
+  std::uint64_t id_count = 0;
+  util::ByteView short_ids;  ///< id_count u64 LE words
+  util::ByteView span;
+
+  static RepairRequestMsgView parse(util::ByteReader& r);
+  [[nodiscard]] core::RepairRequestMsg materialize() const;
+};
+
+struct RepairResponseMsgView {
+  std::uint64_t tx_count = 0;
+  util::ByteView txns;  ///< concatenated full-tx records
+  util::ByteView span;
+
+  static RepairResponseMsgView parse(util::ByteReader& r);
+  [[nodiscard]] core::RepairResponseMsg materialize() const;
+};
+
+// --- reconcile backend message views -----------------------------------------
+
+struct OfferView {
+  std::uint64_t count = 0;
+  std::uint64_t salt = 0;
+  std::uint64_t set_checksum = 0;
+  BloomFilterView filter;
+  IbltView correction;
+  util::ByteView span;
+
+  static OfferView parse(util::ByteReader& r);
+  [[nodiscard]] reconcile::Offer materialize() const;
+};
+
+struct RequestView {
+  std::uint64_t candidate_count = 0;
+  std::uint64_t b = 0;
+  std::uint64_t y_star = 0;
+  double fpr_r = 1.0;
+  bool reversed = false;
+  BloomFilterView filter;
+  util::ByteView span;
+
+  static RequestView parse(util::ByteReader& r);
+  [[nodiscard]] reconcile::Request materialize() const;
+};
+
+struct ResponseView {
+  std::uint64_t missing_count = 0;
+  util::ByteView missing;  ///< missing_count 32-byte digests
+  IbltView correction;
+  bool has_compensation = false;
+  BloomFilterView compensation;  ///< valid only when has_compensation
+  util::ByteView span;
+
+  static ResponseView parse(util::ByteReader& r);
+  [[nodiscard]] reconcile::Response materialize() const;
+};
+
+struct FetchRequestView {
+  std::uint64_t id_count = 0;
+  util::ByteView short_ids;  ///< id_count u64 LE words
+  util::ByteView span;
+
+  static FetchRequestView parse(util::ByteReader& r);
+  [[nodiscard]] reconcile::FetchRequest materialize() const;
+};
+
+struct FetchResponseView {
+  std::uint64_t item_count = 0;
+  util::ByteView items;  ///< item_count 32-byte digests
+  util::ByteView span;
+
+  static FetchResponseView parse(util::ByteReader& r);
+  [[nodiscard]] reconcile::FetchResponse materialize() const;
+};
+
+struct RatelessChunkView {
+  std::uint64_t start = 0;
+  std::uint64_t host_count = 0;
+  std::uint64_t salt = 0;
+  std::uint64_t set_checksum = 0;
+  std::uint64_t symbol_count = 0;
+  util::ByteView symbols;  ///< symbol_count records of u64|u64|32-byte sum
+  util::ByteView span;
+
+  static RatelessChunkView parse(util::ByteReader& r);
+  [[nodiscard]] reconcile::RatelessChunk materialize() const;
+};
+
+struct RatelessNeedView {
+  std::uint64_t next_index = 0;
+  std::uint64_t count = 0;
+  util::ByteView span;
+
+  static RatelessNeedView parse(util::ByteReader& r);
+  [[nodiscard]] reconcile::RatelessNeed materialize() const;
+};
+
+// --- daemon control-plane views ----------------------------------------------
+
+struct HelloMsgView {
+  std::uint32_t version = 0;
+  std::uint8_t backend = 0;
+  std::uint64_t item_count = 0;
+  util::ByteView span;
+
+  static HelloMsgView parse(util::ByteReader& r);
+  [[nodiscard]] daemon::HelloMsg materialize() const;
+};
+
+struct ByeMsgView {
+  std::uint8_t ok = 0;
+  std::uint32_t rounds = 0;
+  util::ByteView span;
+
+  static ByeMsgView parse(util::ByteReader& r);
+  [[nodiscard]] daemon::ByeMsg materialize() const;
+};
+
+struct ErrorMsgView {
+  std::uint8_t code = 0;
+  util::ByteView detail;  ///< bounded UTF-8-ish text, borrowed
+  util::ByteView span;
+
+  static ErrorMsgView parse(util::ByteReader& r);
+  [[nodiscard]] daemon::ErrorMsg materialize() const;
+};
+
+// --- frame view --------------------------------------------------------------
+
+/// Zero-copy twin of FrameReader::next() over a complete buffer: validates
+/// the 24-byte envelope (magic, strict NUL padding, known command, length
+/// cap, double-SHA checksum) and borrows the payload in place.
+struct FrameView {
+  MessageType type = MessageType::kGrapheneBlock;
+  util::ByteView payload;
+  util::ByteView span;  ///< envelope + payload extent
+
+  /// Parses one frame at the front of `data`. Returns nullopt when `data`
+  /// ends mid-frame (more bytes needed); throws util::DeserializeError on a
+  /// malformed envelope — the exact split FrameReader::next() makes.
+  static std::optional<FrameView> parse(
+      util::ByteView data,
+      std::uint64_t max_payload = util::wire::kMaxFramePayload);
+  [[nodiscard]] Message materialize() const;
+};
+
+}  // namespace graphene::net::views

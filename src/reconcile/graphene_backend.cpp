@@ -67,13 +67,17 @@ using detail::parse_payload;
 
 // --- wire formats -----------------------------------------------------------
 
-util::Bytes Offer::serialize() const {
-  util::ByteWriter w;
+void Offer::serialize_into(util::ByteWriter& w) const {
   util::write_varint(w, count);
   w.u64(salt);
   w.u64(set_checksum);
-  w.raw(filter.serialize());
-  w.raw(correction.serialize());
+  filter.serialize_into(w);
+  correction.serialize_into(w);
+}
+
+util::Bytes Offer::serialize() const {
+  util::ByteWriter w;
+  serialize_into(w);
   return w.take();
 }
 
@@ -93,8 +97,7 @@ std::size_t Offer::serialized_size() const noexcept {
          correction.serialized_size();
 }
 
-util::Bytes Request::serialize() const {
-  util::ByteWriter w;
+void Request::serialize_into(util::ByteWriter& w) const {
   util::write_varint(w, candidate_count);
   util::write_varint(w, b);
   util::write_varint(w, y_star);
@@ -102,7 +105,12 @@ util::Bytes Request::serialize() const {
   std::memcpy(&bits, &fpr_r, sizeof(bits));
   w.u64(bits);
   w.u8(reversed ? 1 : 0);
-  w.raw(filter.serialize());
+  filter.serialize_into(w);
+}
+
+util::Bytes Request::serialize() const {
+  util::ByteWriter w;
+  serialize_into(w);
   return w.take();
 }
 
@@ -128,13 +136,17 @@ Request Request::deserialize(util::ByteReader& reader) {
   return r;
 }
 
-util::Bytes Response::serialize() const {
-  util::ByteWriter w;
+void Response::serialize_into(util::ByteWriter& w) const {
   util::write_varint(w, missing.size());
   for (const ItemDigest& d : missing) w.raw(view(d));
-  w.raw(correction.serialize());
+  correction.serialize_into(w);
   w.u8(compensation.has_value() ? 1 : 0);
-  if (compensation) w.raw(compensation->serialize());
+  if (compensation) compensation->serialize_into(w);
+}
+
+util::Bytes Response::serialize() const {
+  util::ByteWriter w;
+  serialize_into(w);
   return w.take();
 }
 
@@ -156,10 +168,14 @@ Response Response::deserialize(util::ByteReader& reader) {
   return r;
 }
 
-util::Bytes FetchRequest::serialize() const {
-  util::ByteWriter w;
+void FetchRequest::serialize_into(util::ByteWriter& w) const {
   util::write_varint(w, short_ids.size());
   for (const std::uint64_t s : short_ids) w.u64(s);
+}
+
+util::Bytes FetchRequest::serialize() const {
+  util::ByteWriter w;
+  serialize_into(w);
   return w.take();
 }
 
@@ -175,10 +191,14 @@ FetchRequest FetchRequest::deserialize(util::ByteReader& reader) {
   return r;
 }
 
-util::Bytes FetchResponse::serialize() const {
-  util::ByteWriter w;
+void FetchResponse::serialize_into(util::ByteWriter& w) const {
   util::write_varint(w, items.size());
   for (const ItemDigest& d : items) w.raw(view(d));
+}
+
+util::Bytes FetchResponse::serialize() const {
+  util::ByteWriter w;
+  serialize_into(w);
   return w.take();
 }
 

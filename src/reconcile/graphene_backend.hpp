@@ -38,6 +38,10 @@ struct Offer {
   bloom::BloomFilter filter;      ///< S over the full digests
   iblt::Iblt correction;          ///< I over the short IDs
 
+  /// Appends the wire encoding to `w` (scatter form of serialize()).
+
+  void serialize_into(util::ByteWriter& w) const;
+
   [[nodiscard]] util::Bytes serialize() const;
   static Offer deserialize(util::ByteReader& reader);
   [[nodiscard]] std::size_t serialized_size() const noexcept;
@@ -52,6 +56,10 @@ struct Request {
   bool reversed = false;
   bloom::BloomFilter filter;  ///< R over the client's candidate digests
 
+  /// Appends the wire encoding to `w` (scatter form of serialize()).
+
+  void serialize_into(util::ByteWriter& w) const;
+
   [[nodiscard]] util::Bytes serialize() const;
   static Request deserialize(util::ByteReader& reader);
 };
@@ -62,6 +70,10 @@ struct Response {
   iblt::Iblt correction;
   std::optional<bloom::BloomFilter> compensation;  ///< F, reversed path only
 
+  /// Appends the wire encoding to `w` (scatter form of serialize()).
+
+  void serialize_into(util::ByteWriter& w) const;
+
   [[nodiscard]] util::Bytes serialize() const;
   static Response deserialize(util::ByteReader& reader);
 };
@@ -70,12 +82,16 @@ struct Response {
 /// a digest (they were hidden by R's false positives).
 struct FetchRequest {
   std::vector<std::uint64_t> short_ids;
+  /// Appends the wire encoding to `w` (scatter form of serialize()).
+  void serialize_into(util::ByteWriter& w) const;
   [[nodiscard]] util::Bytes serialize() const;
   static FetchRequest deserialize(util::ByteReader& reader);
 };
 
 struct FetchResponse {
   std::vector<ItemDigest> items;
+  /// Appends the wire encoding to `w` (scatter form of serialize()).
+  void serialize_into(util::ByteWriter& w) const;
   [[nodiscard]] util::Bytes serialize() const;
   static FetchResponse deserialize(util::ByteReader& reader);
 };

@@ -19,8 +19,7 @@ using detail::record_msg;
 
 // --- wire formats -----------------------------------------------------------
 
-util::Bytes RatelessChunk::serialize() const {
-  util::ByteWriter w;
+void RatelessChunk::serialize_into(util::ByteWriter& w) const {
   util::write_varint(w, start);
   util::write_varint(w, host_count);
   w.u64(salt);
@@ -31,6 +30,11 @@ util::Bytes RatelessChunk::serialize() const {
     w.u64(s.check);
     w.raw(util::ByteView(s.sum.data(), s.sum.size()));
   }
+}
+
+util::Bytes RatelessChunk::serialize() const {
+  util::ByteWriter w;
+  serialize_into(w);
   return w.take();
 }
 
@@ -57,10 +61,14 @@ RatelessChunk RatelessChunk::deserialize(util::ByteReader& reader) {
   return c;
 }
 
-util::Bytes RatelessNeed::serialize() const {
-  util::ByteWriter w;
+void RatelessNeed::serialize_into(util::ByteWriter& w) const {
   util::write_varint(w, next_index);
   util::write_varint(w, count);
+}
+
+util::Bytes RatelessNeed::serialize() const {
+  util::ByteWriter w;
+  serialize_into(w);
   return w.take();
 }
 

@@ -36,6 +36,10 @@ struct RatelessChunk {
   std::uint64_t set_checksum = 0;  ///< xor of per-item checksums over the host set
   std::vector<iblt::CodedSymbol> symbols;
 
+  /// Appends the wire encoding to `w` (scatter form of serialize()).
+
+  void serialize_into(util::ByteWriter& w) const;
+
   [[nodiscard]] util::Bytes serialize() const;
   static RatelessChunk deserialize(util::ByteReader& reader);
 };
@@ -44,6 +48,10 @@ struct RatelessChunk {
 struct RatelessNeed {
   std::uint64_t next_index = 0;  ///< first symbol index not yet consumed
   std::uint64_t count = 0;       ///< symbols wanted in the next chunk
+
+  /// Appends the wire encoding to `w` (scatter form of serialize()).
+
+  void serialize_into(util::ByteWriter& w) const;
 
   [[nodiscard]] util::Bytes serialize() const;
   static RatelessNeed deserialize(util::ByteReader& reader);

@@ -1,15 +1,14 @@
 #include "util/bytes.hpp"
 
 #include <cstddef>
-#include <cstdint>
+
+#include "util/simd/simd.hpp"
 
 namespace graphene::util {
 
 bool equal(ByteView a, ByteView b) noexcept {
   if (a.size() != b.size()) return false;
-  std::uint8_t acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
-  return acc == 0;
+  return simd::active().bytes_equal(a.data(), b.data(), a.size());
 }
 
 }  // namespace graphene::util

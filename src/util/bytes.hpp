@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 namespace graphene::util {
@@ -20,11 +21,20 @@ namespace graphene::util {
 using Bytes = std::vector<std::uint8_t>;
 using ByteView = std::span<const std::uint8_t>;
 
-/// Views the bytes of string-like data. The one sanctioned pointer
-/// reinterpretation in the codebase lives here; everywhere else raw
+/// Views the bytes of string-like data. The sanctioned pointer
+/// reinterpretations in the codebase live here; everywhere else raw
 /// `reinterpret_cast` is banned by tools/lint.py.
 inline ByteView str_bytes(std::string_view s) noexcept {
   return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// Views the in-memory bytes of a trivially-copyable object array (host
+/// representation — only for same-process use such as SIMD kernels and
+/// scratch comparisons, never directly for wire bytes).
+template <typename T>
+inline ByteView object_bytes(const T* data, std::size_t count) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return {reinterpret_cast<const std::uint8_t*>(data), count * sizeof(T)};
 }
 
 /// Thrown when a reader runs off the end of a buffer or a decoder meets a
@@ -34,10 +44,17 @@ class DeserializeError : public std::runtime_error {
   explicit DeserializeError(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// Append-only little-endian byte writer.
+/// Little-endian byte writer: append-only, plus offset patching for
+/// length/checksum fields reserved before their value is known (scatter
+/// framing writes the payload first, then fixes the envelope in place).
 class ByteWriter {
  public:
   ByteWriter() = default;
+
+  /// Adopts an existing buffer and appends after its current contents — the
+  /// zero-copy bridge into an outgoing send queue: move the queue in, write
+  /// frames, move it back out with take().
+  explicit ByteWriter(Bytes&& adopt) noexcept : buf_(std::move(adopt)) {}
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v) { append_le(v); }
@@ -71,8 +88,26 @@ class ByteWriter {
     }
   }
 
+  /// Overwrites 4 bytes at `offset` (little-endian) with `v`. The offset
+  /// must address already-written bytes.
+  void patch_u32(std::size_t offset, std::uint32_t v) {
+    check_patch(offset, 4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      buf_[offset + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  }
+
+  /// Overwrites data.size() already-written bytes at `offset`.
+  void patch_raw(std::size_t offset, ByteView data) {
+    check_patch(offset, data.size());
+    if (!data.empty()) std::memcpy(buf_.data() + offset, data.data(), data.size());
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
   [[nodiscard]] const Bytes& bytes() const noexcept { return buf_; }
+  /// Non-owning view of everything written so far (e.g. to checksum a
+  /// payload region before patching its envelope).
+  [[nodiscard]] ByteView view() const noexcept { return buf_; }
   [[nodiscard]] Bytes take() noexcept { return std::move(buf_); }
 
  private:
@@ -80,6 +115,12 @@ class ByteWriter {
   void append_le(T v) {
     for (std::size_t i = 0; i < sizeof(T); ++i) {
       buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void check_patch(std::size_t offset, std::size_t len) const {
+    if (offset > buf_.size() || len > buf_.size() - offset) {
+      throw std::out_of_range("ByteWriter: patch beyond written bytes");
     }
   }
 
@@ -106,6 +147,18 @@ class ByteReader {
     pos_ += len;
     return out;
   }
+
+  /// Borrows `len` bytes in place — the zero-copy twin of raw(). The view
+  /// aliases the reader's underlying buffer (valid only while it lives).
+  ByteView raw_view(std::size_t len) {
+    require(len);
+    const ByteView v = data_.subspan(pos_, len);
+    pos_ += len;
+    return v;
+  }
+
+  /// Everything not yet consumed, borrowed in place.
+  [[nodiscard]] ByteView tail() const noexcept { return data_.subspan(pos_); }
 
   /// Reads `len` bytes into caller-provided storage.
   void raw_into(void* dst, std::size_t len) {
@@ -160,8 +213,9 @@ class ByteReader {
   std::size_t pos_ = 0;
 };
 
-/// Constant-time-ish equality for short digests (not security critical here,
-/// but cheap and avoids accidental short-circuit timing differences in tests).
+/// Equality for short digests via the SIMD bytes_equal kernel (not security
+/// critical here; any early exit is at vector-chunk granularity, not per
+/// byte, so it stays free of fine-grained short-circuit timing).
 bool equal(ByteView a, ByteView b) noexcept;
 
 }  // namespace graphene::util

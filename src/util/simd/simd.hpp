@@ -1,0 +1,92 @@
+// Runtime-dispatched SIMD kernels for the data-plane hot paths.
+//
+// The portable scalar table is the reference implementation: every ISA
+// variant must be bit-exact against it (tests/perf/test_simd_parity.cpp
+// pins this with min_rate=1.0 StatGates), so callers can route through
+// active() unconditionally. Dispatch is resolved once, on first use, from
+// CPU capability detection plus the GRAPHENE_SIMD environment override
+// (off|portable|avx2|neon|auto; unknown values fall back to auto, and a
+// requested ISA the CPU lacks falls back to portable).
+//
+// Intrinsics and <immintrin.h>/<arm_neon.h> includes are confined to this
+// directory (tools/lint.py enforces the boundary); ISA-specific code lives
+// in its own translation unit compiled with the matching -m flags so no
+// vector instruction can execute before the capability check.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace graphene::util::simd {
+
+enum class Isa : std::uint8_t {
+  kPortable = 0,
+  kAvx2 = 1,
+  kNeon = 2,
+};
+
+/// Function-pointer table for every vectorizable kernel. All pointers are
+/// always non-null; unimplemented ISA slots reuse the portable function.
+struct Kernels {
+  /// Blocked-Bloom probe: test the k bits of the 512-bit block at `block`
+  /// (8 little-endian u64 words) visited by the recurrence
+  ///   bit = x; x = (x + y) & 511; y = (y + i + 1) & 511
+  /// for i in [0, k). Returns true iff every probed bit is set. k <= 63.
+  bool (*bloom_test_block)(const std::uint64_t* block, std::uint32_t k,
+                           std::uint32_t x, std::uint32_t y);
+  /// Blocked-Bloom insert: set the same k bits in the block.
+  void (*bloom_set_block)(std::uint64_t* block, std::uint32_t k,
+                          std::uint32_t x, std::uint32_t y);
+
+  /// IBLT cell merge-add: for n 16-byte cells laid out as
+  ///   { u64 key_sum; i32 count; u32 check_sum }  (host representation)
+  /// fold src into dst: key_sum ^= , count += (wrapping), check_sum ^= .
+  /// dst and src must not partially overlap.
+  void (*cells_add)(void* dst, const void* src, std::size_t n_cells);
+  /// IBLT cell subtract: key_sum ^= , count -= (wrapping), check_sum ^= .
+  void (*cells_sub)(void* dst, const void* src, std::size_t n_cells);
+
+  /// dst[i] ^= src[i] for i in [0, n). Used by CodedSymbol::apply digest
+  /// folds. Buffers must not partially overlap.
+  void (*xor_bytes)(std::uint8_t* dst, const std::uint8_t* src, std::size_t n);
+  /// True iff every byte in [p, p+n) is zero.
+  bool (*all_zero)(const std::uint8_t* p, std::size_t n);
+  /// True iff the two n-byte buffers are byte-identical.
+  bool (*bytes_equal)(const std::uint8_t* a, const std::uint8_t* b,
+                      std::size_t n);
+};
+
+/// The kernel table selected for this process (env override + CPU probe,
+/// resolved once on first call; subsequent calls are a relaxed atomic load).
+[[nodiscard]] const Kernels& active() noexcept;
+
+/// The ISA backing active().
+[[nodiscard]] Isa active_isa() noexcept;
+
+/// The ISA auto-dispatch would pick on this CPU, ignoring the env override.
+[[nodiscard]] Isa detected_isa() noexcept;
+
+/// Whether this build + CPU can run the given ISA's kernels.
+[[nodiscard]] bool isa_available(Isa isa) noexcept;
+
+/// The kernel table for a specific ISA; falls back to portable when the ISA
+/// is unavailable. Lets benches and parity tests compare variants directly.
+[[nodiscard]] const Kernels& kernels_for(Isa isa) noexcept;
+
+[[nodiscard]] const char* isa_name(Isa isa) noexcept;
+
+/// Test-only: force active() to a specific ISA for the lifetime of the
+/// object (falls back to portable if unavailable). Not thread-safe against
+/// concurrent hot-path use — parity tests drive kernels single-threaded.
+class ScopedIsaOverride {
+ public:
+  explicit ScopedIsaOverride(Isa isa) noexcept;
+  ~ScopedIsaOverride();
+  ScopedIsaOverride(const ScopedIsaOverride&) = delete;
+  ScopedIsaOverride& operator=(const ScopedIsaOverride&) = delete;
+
+ private:
+  Isa prev_;
+};
+
+}  // namespace graphene::util::simd

@@ -1,0 +1,104 @@
+// util::Arena / ScratchScope semantics: slab reuse, LIFO rewind, and the
+// zero-heap steady state the hot paths (Sender::serve, scan_ids) rely on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "util/arena.hpp"
+
+namespace graphene::util {
+namespace {
+
+TEST(Arena, SpansAreUsableAndDisjoint) {
+  Arena arena;
+  const std::span<std::uint64_t> a = arena.allocate_span<std::uint64_t>(100);
+  const std::span<std::uint32_t> b = arena.allocate_span<std::uint32_t>(50);
+  ASSERT_EQ(a.size(), 100u);
+  ASSERT_EQ(b.size(), 50u);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = i;
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = static_cast<std::uint32_t>(~i);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], i);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(b[i], static_cast<std::uint32_t>(~i));
+  }
+  EXPECT_TRUE(arena.allocate_span<std::uint8_t>(0).empty());
+}
+
+TEST(Arena, ZeroedSpansAreZero) {
+  Arena arena;
+  // Dirty a slab, recycle it, and demand zeroed memory from the same bytes.
+  auto dirty = arena.allocate_span<std::uint8_t>(4096);
+  std::memset(dirty.data(), 0xab, dirty.size());
+  arena.reset();
+  const auto clean = arena.allocate_zeroed<std::uint8_t>(4096);
+  for (const std::uint8_t b : clean) ASSERT_EQ(b, 0);
+}
+
+TEST(Arena, ResetRecyclesSlabsWithoutGrowth) {
+  Arena arena(1 << 12);
+  (void)arena.allocate_span<std::uint8_t>(3000);
+  (void)arena.allocate_span<std::uint8_t>(3000);
+  const std::size_t reserved = arena.bytes_reserved();
+  ASSERT_GT(reserved, 0u);
+  // Steady state: identical allocation patterns after reset must not grow
+  // the footprint.
+  for (int round = 0; round < 10; ++round) {
+    arena.reset();
+    (void)arena.allocate_span<std::uint8_t>(3000);
+    (void)arena.allocate_span<std::uint8_t>(3000);
+  }
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedSlab) {
+  Arena arena(1 << 12);
+  const auto big = arena.allocate_span<std::uint8_t>(1 << 16);
+  ASSERT_EQ(big.size(), std::size_t{1} << 16);
+  std::memset(big.data(), 0x5a, big.size());
+  // A small allocation still works after the oversized slab.
+  const auto small = arena.allocate_span<std::uint8_t>(16);
+  EXPECT_EQ(small.size(), 16u);
+}
+
+TEST(Arena, MarkRewindIsLifo) {
+  Arena arena(1 << 12);
+  const auto outer = arena.allocate_span<std::uint64_t>(64);
+  for (std::size_t i = 0; i < outer.size(); ++i) outer[i] = i * 3;
+
+  const Arena::Mark m = arena.mark();
+  const std::size_t used_at_mark = arena.bytes_in_use();
+  (void)arena.allocate_span<std::uint8_t>(10000);  // spills to a new slab
+  (void)arena.allocate_span<std::uint8_t>(100);
+  arena.rewind(m);
+  EXPECT_EQ(arena.bytes_in_use(), used_at_mark);
+
+  // Outer span survives the rewind; the rewound bytes are reusable.
+  for (std::size_t i = 0; i < outer.size(); ++i) ASSERT_EQ(outer[i], i * 3);
+  const auto again = arena.allocate_span<std::uint8_t>(10000);
+  EXPECT_EQ(again.size(), 10000u);
+}
+
+TEST(Arena, ScratchScopeNestsAndRecycles) {
+  Arena& arena = thread_scratch();
+  const std::size_t baseline = arena.bytes_in_use();
+  {
+    ScratchScope outer;
+    const auto a = outer.span<std::uint32_t>(100);
+    ASSERT_EQ(a.size(), 100u);
+    a[0] = 7;
+    {
+      ScratchScope inner;
+      const auto b = inner.zeroed<std::uint32_t>(200);
+      ASSERT_EQ(b.size(), 200u);
+      EXPECT_EQ(b[199], 0u);
+    }
+    // Inner scope rewound; outer span is intact.
+    EXPECT_EQ(a[0], 7u);
+    EXPECT_GT(arena.bytes_in_use(), baseline);
+  }
+  EXPECT_EQ(thread_scratch().bytes_in_use(), baseline);
+}
+
+}  // namespace
+}  // namespace graphene::util

@@ -12,6 +12,14 @@ FIRST-CLASS — things no AST check can express, enforced everywhere:
      location; an unjustified one cannot be audited when the suppressed
      check evolves.
 
+  confined-intrinsics: vector-intrinsic headers (<immintrin.h>,
+     <x86intrin.h>, <arm_neon.h>) and raw intrinsic calls (_mm*/_mm256*/
+     _mm512*/vld1q*-family identifiers) are allowed only under
+     src/util/simd/. Everything else routes through util::simd::active()
+     so the capability check in dispatch.cpp is the single gate deciding
+     whether a vector instruction can execute — an intrinsic anywhere else
+     can SIGILL on an older CPU before dispatch ever runs.
+
 FALLBACK — regex approximations of the graphene-* clang-tidy checks in
 tools/tidy-plugin/. On toolchains that can build and load the plugin, the
 flow-aware AST versions are the single source of truth and these are
@@ -80,6 +88,18 @@ RE_CHRONO_CLOCK = re.compile(
 # NOLINT / NOLINTNEXTLINE / NOLINTBEGIN / NOLINTEND with an optional
 # (check-list); group 2 is None for the bare form.
 RE_NOLINT = re.compile(r"\bNOLINT(NEXTLINE|BEGIN|END)?\b(\(([^)]*)\))?")
+
+RE_INTRINSIC_HEADER = re.compile(
+    r'#\s*include\s*[<"](?:immintrin|x86intrin|arm_neon|emmintrin|smmintrin|'
+    r"tmmintrin|avxintrin|avx2intrin)\.h"
+)
+# x86 vector intrinsics and types (_mm_/_mm256_/_mm512_, __m128*/__m256*/
+# __m512*) and the NEON load/store/arith prefixes (vld1q_u8(...), vaddq, ...).
+RE_INTRINSIC_CALL = re.compile(
+    r"\b(?:_mm(?:256|512)?_[a-z0-9_]+\s*\(|__m(?:128|256|512)[a-z]*\b|"
+    r"v(?:ld|st)[1-4]q?_[a-z0-9_]+\s*\(|"
+    r"v(?:add|sub|mul|and|orr|eor|ceq|shl|shr|dup|get|set|ext|tbl)q?_[a-z0-9_]+\s*\()"
+)
 
 
 def tracked_cpp_files():
@@ -159,6 +179,37 @@ def lint_file(rel: Path, text=None, fallback=True):
     lines = text.splitlines()
 
     findings.extend(lint_nolint_hygiene(lines))
+
+    # First-class: intrinsics stay behind the runtime dispatch boundary.
+    in_simd = rel.parts[:3] == ("src", "util", "simd")
+    if not in_simd:
+        in_block = False
+        for lineno, raw in enumerate(lines, 1):
+            line = raw
+            if in_block:
+                end = line.find("*/")
+                if end < 0:
+                    continue
+                line = line[end + 2:]
+                in_block = False
+            if "/*" in line and "*/" not in line[line.find("/*"):]:
+                line = line[: line.find("/*")]
+                in_block = True
+            code = strip_comments_and_strings(line)
+            if RE_INTRINSIC_HEADER.search(code):
+                findings.append(
+                    (lineno, "confined-intrinsics",
+                     "vector-intrinsic header outside src/util/simd/ — add a "
+                     "kernel there and call util::simd::active()")
+                )
+            elif RE_INTRINSIC_CALL.search(code):
+                findings.append(
+                    (lineno, "confined-intrinsics",
+                     "raw vector intrinsic outside src/util/simd/ — it can "
+                     "execute before the CPU capability check; route through "
+                     "util::simd::active()")
+                )
+
     if not fallback:
         return sorted(findings)
 

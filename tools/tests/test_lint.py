@@ -120,6 +120,39 @@ class NolintHygiene(unittest.TestCase):
         self.assertEqual(rules_of(findings), ["nolint-hygiene"])
 
 
+class ConfinedIntrinsics(unittest.TestCase):
+    """Intrinsic headers and raw vector calls live only in src/util/simd/."""
+
+    HEADER = "#include <immintrin.h>\n"
+    CALL = "auto v = _mm256_loadu_si256(p);\n"
+    NEON = "auto v = vld1q_u8(p);\n"
+    TYPE = "__m256i acc;\n"
+
+    def test_header_flagged_outside_kernel_dir(self):
+        for path in ("src/bloom/bloom_filter.cpp", "src/iblt/iblt.cpp",
+                     "bench/hotpath.cpp", "src/util/bytes.hpp"):
+            rules = rules_of(lint_text(path, self.HEADER))
+            self.assertEqual(rules, ["confined-intrinsics"], path)
+
+    def test_calls_and_types_flagged_outside_kernel_dir(self):
+        for text in (self.CALL, self.NEON, self.TYPE):
+            rules = rules_of(lint_text("src/net/frame.cpp", text))
+            self.assertEqual(rules, ["confined-intrinsics"], text)
+
+    def test_kernel_dir_is_exempt(self):
+        for text in (self.HEADER, self.CALL, self.NEON, self.TYPE):
+            self.assertEqual(lint_text("src/util/simd/avx2.cpp", text), [], text)
+
+    def test_commented_mention_is_ignored(self):
+        text = "// dispatch confines _mm256_xor_si256 to the kernel TU\nint x;\n"
+        self.assertEqual(lint_text("src/net/frame.cpp", text), [])
+
+    def test_enforced_even_without_fallback_tier(self):
+        rules = rules_of(lint_text("src/net/frame.cpp", self.HEADER,
+                                   fallback=False))
+        self.assertEqual(rules, ["confined-intrinsics"])
+
+
 class TierSelection(unittest.TestCase):
     def test_env_var_retires_fallback(self):
         old = os.environ.pop("GRAPHENE_TIDY_PLUGIN_ENFORCED", None)
